@@ -1,0 +1,75 @@
+// bench/bench_ablation_ensemble.cpp — the IPDPS'22 ensemble algorithm: one
+// counting pass emitting L_s for a whole vector of s values, versus
+// reconstructing each s-line graph independently, versus slicing a weighted
+// 1-line graph by threshold.  The ensemble's win grows with the number of
+// requested s values, since overlap counting is shared.
+#include <benchmark/benchmark.h>
+
+#include "nwhy.hpp"
+
+namespace {
+
+using namespace nw::hypergraph;
+
+struct fixture {
+  biadjacency<0>           hyperedges;
+  biadjacency<1>           hypernodes;
+  std::vector<std::size_t> degrees;
+};
+
+const fixture& data() {
+  static fixture f = [] {
+    auto el = gen::powerlaw_hypergraph(15000, 8000, 300, 1.6, 1.0, 0xAB1F);
+    el.sort_and_unique();
+    fixture out{biadjacency<0>(el), biadjacency<1>(el), {}};
+    out.degrees = out.hyperedges.degrees();
+    return out;
+  }();
+  return f;
+}
+
+std::vector<std::size_t> s_values(std::int64_t k) {
+  std::vector<std::size_t> out;
+  for (std::int64_t s = 1; s <= k; ++s) out.push_back(static_cast<std::size_t>(s));
+  return out;
+}
+
+void BM_EnsembleOnePass(benchmark::State& state) {
+  const auto& f  = data();
+  auto        sv = s_values(state.range(0));
+  for (auto _ : state) {
+    auto results = to_two_graph_ensemble(f.hyperedges, f.hypernodes, f.degrees, sv);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+
+void BM_RepeatedSinglePass(benchmark::State& state) {
+  const auto& f  = data();
+  auto        sv = s_values(state.range(0));
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (auto s : sv) {
+      total += to_two_graph_hashmap(f.hyperedges, f.hypernodes, f.degrees, s).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+
+void BM_WeightedThenThreshold(benchmark::State& state) {
+  const auto& f  = data();
+  auto        sv = s_values(state.range(0));
+  for (auto _ : state) {
+    auto        weighted = to_two_graph_weighted(f.hyperedges, f.hypernodes, f.degrees, 1);
+    std::size_t total    = 0;
+    for (auto s : sv) total += threshold_weighted(weighted, s).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EnsembleOnePass)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RepeatedSinglePass)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WeightedThenThreshold)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// bench/bench_ablation_implicit.cpp — implicit s-line traversal vs
+// materialize-then-run: when a single traversal-shaped query is needed,
+// is it worth building L_s(H)?  The materialized route pays construction +
+// symmetrize + CSR once and then queries are cheap; the implicit route
+// re-counts overlaps per visited hyperedge but allocates nothing.
+#include <benchmark/benchmark.h>
+
+#include "nwhy.hpp"
+
+namespace {
+
+using namespace nw::hypergraph;
+
+const NWHypergraph& data() {
+  static NWHypergraph hg(gen::powerlaw_hypergraph(20000, 10000, 400, 1.6, 1.0, 0xAB20));
+  return hg;
+}
+
+/// Distance endpoints: the two largest hyperedges, so they stay active for
+/// every benchmarked s and the query does real traversal work.
+std::pair<nw::vertex_id_t, nw::vertex_id_t> endpoints() {
+  const auto&     sizes = data().edge_sizes();
+  nw::vertex_id_t a = 0, b = 1;
+  for (std::size_t e = 0; e < sizes.size(); ++e) {
+    if (sizes[e] > sizes[a]) {
+      b = a;
+      a = static_cast<nw::vertex_id_t>(e);
+    } else if (sizes[e] > sizes[b]) {
+      b = static_cast<nw::vertex_id_t>(e);
+    }
+  }
+  return {a, b};
+}
+
+void BM_ComponentsMaterialized(benchmark::State& state) {
+  std::size_t s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto lg     = data().make_s_linegraph(s);
+    auto labels = lg.s_connected_components();
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+
+void BM_ComponentsImplicit(benchmark::State& state) {
+  std::size_t s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto labels = data().s_connected_components_implicit(s);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+
+void BM_DistanceMaterialized(benchmark::State& state) {
+  std::size_t s        = static_cast<std::size_t>(state.range(0));
+  auto [src, dst]      = endpoints();
+  for (auto _ : state) {
+    auto lg = data().make_s_linegraph(s);
+    auto d  = lg.s_distance(src, dst);
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void BM_DistanceImplicit(benchmark::State& state) {
+  std::size_t s   = static_cast<std::size_t>(state.range(0));
+  auto [src, dst] = endpoints();
+  for (auto _ : state) {
+    auto d = data().s_distance_implicit(s, src, dst);
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ComponentsMaterialized)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ComponentsImplicit)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceMaterialized)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceImplicit)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// bench/bench_ablation_partition.cpp — ablation A (Sec. III-D): blocked vs
+// cyclic partitioning on a skewed, degree-sorted workload.
+//
+// The paper's claim: with hyperedges sorted by degree, assigning contiguous
+// blocks of ids to threads is "problematic ... some of the threads will
+// have highly-unbalanced workload due to assignment of high-degree
+// hyperedges to first few threads", while the cyclic range's strided
+// assignment spreads the hubs.
+//
+// A one-physical-core container cannot show the imbalance in wall time (the
+// OS serializes the threads anyway), so each benchmark computes the
+// *assigned-work imbalance* of its static partitioning analytically:
+//   imbalance = max work assigned to one thread / (total work / threads),
+// reported as a counter (1.0 = perfect).  Wall time of the sweep is still
+// measured so the counter has a benchmark to hang off.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "nwhy.hpp"
+
+namespace {
+
+using namespace nw::hypergraph;
+
+/// Degree-descending hyperedge size sequence of a skewed hypergraph — the
+/// exact layout relabel-by-degree produces.
+const std::vector<std::size_t>& sorted_degrees() {
+  static std::vector<std::size_t> degrees = [] {
+    auto el = gen::powerlaw_hypergraph(200000, 50000, 20000, 1.8, 1.0, 0xAB1A);
+    el.sort_and_unique();
+    biadjacency<0> he(el);
+    auto           d = he.degrees();
+    std::sort(d.begin(), d.end(), std::greater<>{});
+    return d;
+  }();
+  return degrees;
+}
+
+double imbalance(const std::vector<std::uint64_t>& per_thread) {
+  std::uint64_t total = 0, worst = 0;
+  for (auto w : per_thread) {
+    total += w;
+    worst = std::max(worst, w);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(worst) * static_cast<double>(per_thread.size()) /
+         static_cast<double>(total);
+}
+
+/// Static blocked: thread t owns the contiguous slice [t*block, (t+1)*block).
+void BM_StaticBlockedAssignment(benchmark::State& state) {
+  const auto&       d       = sorted_degrees();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  double            result  = 1.0;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> work(threads, 0);
+    const std::size_t          block = (d.size() + threads - 1) / threads;
+    for (std::size_t i = 0; i < d.size(); ++i) work[i / block] += d[i];
+    benchmark::DoNotOptimize(work.data());
+    result = imbalance(work);
+  }
+  state.counters["imbalance"] = result;
+}
+
+/// Cyclic: thread t owns ids {t, t + threads, t + 2*threads, ...} — the
+/// paper's cyclic range with stride = number of threads.
+void BM_CyclicAssignment(benchmark::State& state) {
+  const auto&       d       = sorted_degrees();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  double            result  = 1.0;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> work(threads, 0);
+    for (std::size_t i = 0; i < d.size(); ++i) work[i % threads] += d[i];
+    benchmark::DoNotOptimize(work.data());
+    result = imbalance(work);
+  }
+  state.counters["imbalance"] = result;
+}
+
+/// Dynamic blocked chunks (the tbb::auto_partitioner analog): chunks of
+/// grain g handed out in order; model the greedy longest-processing-time
+/// bound by assigning each chunk to the currently least-loaded thread —
+/// the balance a work-stealing scheduler converges to.
+void BM_DynamicChunkAssignment(benchmark::State& state) {
+  const auto&       d       = sorted_degrees();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t grain   = std::max<std::size_t>(1, d.size() / (threads * 8));
+  double            result  = 1.0;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> work(threads, 0);
+    for (std::size_t chunk = 0; chunk < d.size(); chunk += grain) {
+      std::uint64_t chunk_work = 0;
+      for (std::size_t i = chunk; i < std::min(chunk + grain, d.size()); ++i) chunk_work += d[i];
+      auto least = std::min_element(work.begin(), work.end());
+      *least += chunk_work;
+    }
+    benchmark::DoNotOptimize(work.data());
+    result = imbalance(work);
+  }
+  state.counters["imbalance"] = result;
+}
+
+}  // namespace
+
+BENCHMARK(BM_StaticBlockedAssignment)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CyclicAssignment)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DynamicChunkAssignment)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// bench/bench_ablation_relabel.cpp — ablation B (Sec. III-B.2/III-C.3):
+// effect of relabel-by-degree on s-line graph construction, and the
+// queue-based algorithms' indifference to the id layout.  Relabeling is the
+// optimization the adjoin representation cannot use; Algorithms 1-2 accept
+// permuted ids either way.
+#include <benchmark/benchmark.h>
+
+#include "nwgraph/relabel.hpp"
+#include "nwhy.hpp"
+
+namespace {
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+struct fixture {
+  biadjacency<0>           hyperedges;
+  biadjacency<1>           hypernodes;
+  std::vector<std::size_t> degrees;
+  std::vector<vertex_id_t> queue;
+};
+
+fixture make_fixture(nw::graph::degree_order order, bool relabel) {
+  static biedgelist<> base = [] {
+    auto el = gen::powerlaw_hypergraph(20000, 10000, 500, 1.6, 1.0, 0xAB1B);
+    el.sort_and_unique();
+    return el;
+  }();
+  biedgelist<> el = base;
+  if (relabel) {
+    biadjacency<0> he(base);
+    auto           perm = nw::graph::degree_permutation(he.degrees(), order);
+    biedgelist<>   rel(base.num_vertices(0), base.num_vertices(1));
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      auto [e, v] = base[i];
+      rel.push_back(perm[e], v);
+    }
+    rel.sort_and_unique();
+    el = std::move(rel);
+  }
+  fixture f{biadjacency<0>(el), biadjacency<1>(el), {}, {}};
+  f.degrees = f.hyperedges.degrees();
+  f.queue.resize(f.hyperedges.size());
+  for (std::size_t i = 0; i < f.queue.size(); ++i) f.queue[i] = static_cast<vertex_id_t>(i);
+  return f;
+}
+
+const fixture& original() {
+  static fixture f = make_fixture(nw::graph::degree_order::descending, false);
+  return f;
+}
+const fixture& descending() {
+  static fixture f = make_fixture(nw::graph::degree_order::descending, true);
+  return f;
+}
+const fixture& ascending() {
+  static fixture f = make_fixture(nw::graph::degree_order::ascending, true);
+  return f;
+}
+
+void bench_hashmap(benchmark::State& state, const fixture& f) {
+  std::size_t s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto el = to_two_graph_hashmap(f.hyperedges, f.hypernodes, f.degrees, s);
+    benchmark::DoNotOptimize(el.size());
+  }
+}
+
+void bench_queue_hashmap(benchmark::State& state, const fixture& f) {
+  std::size_t s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto el = to_two_graph_queue_hashmap(f.queue, f.hyperedges, f.hypernodes, f.degrees, s,
+                                         f.hyperedges.size());
+    benchmark::DoNotOptimize(el.size());
+  }
+}
+
+void BM_Hashmap_Original(benchmark::State& s) { bench_hashmap(s, original()); }
+void BM_Hashmap_RelabelDesc(benchmark::State& s) { bench_hashmap(s, descending()); }
+void BM_Hashmap_RelabelAsc(benchmark::State& s) { bench_hashmap(s, ascending()); }
+void BM_QueueHashmap_Original(benchmark::State& s) { bench_queue_hashmap(s, original()); }
+void BM_QueueHashmap_RelabelDesc(benchmark::State& s) { bench_queue_hashmap(s, descending()); }
+
+}  // namespace
+
+BENCHMARK(BM_Hashmap_Original)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hashmap_RelabelDesc)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hashmap_RelabelAsc)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueueHashmap_Original)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueueHashmap_RelabelDesc)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// bench/bench_common.hpp — shared scaffolding for the figure-reproduction
+// harnesses: the Table-I dataset suite (cached per process), timing with
+// min-of-N repetitions, and environment knobs.
+//
+//   NWHY_BENCH_SCALE  multiplies dataset sizes (default 1)
+//   NWHY_BENCH_REPS   repetitions per measurement, min reported (default 3)
+//   NWHY_BENCH_THREADS comma list of thread counts (default "1,2,4,8")
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nwhy.hpp"
+
+namespace bench {
+
+using namespace nw::hypergraph;
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
+inline std::vector<unsigned> env_threads() {
+  std::vector<unsigned> out;
+  const char*           v = std::getenv("NWHY_BENCH_THREADS");
+  std::string           s = v ? v : "1,2,4,8";
+  std::size_t           pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    int n = std::atoi(s.substr(pos, next - pos).c_str());
+    if (n > 0) out.push_back(static_cast<unsigned>(n));
+    pos = next + 1;
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+/// One fully materialized dataset: every representation the harnesses need.
+struct dataset {
+  std::string              name;
+  biedgelist<>             el;
+  biadjacency<0>           hyperedges;
+  biadjacency<1>           hypernodes;
+  adjoin_graph             adjoin;
+  std::vector<std::size_t> edge_degrees;
+  std::vector<std::size_t> node_degrees;
+
+  dataset(std::string n, biedgelist<> input) : name(std::move(n)) {
+    input.sort_and_unique();
+    el           = std::move(input);
+    hyperedges   = biadjacency<0>(el);
+    hypernodes   = biadjacency<1>(el);
+    adjoin       = make_adjoin_graph(el);
+    edge_degrees = hyperedges.degrees();
+    node_degrees = hypernodes.degrees();
+  }
+};
+
+/// Build (and cache) the Table-I suite at the configured scale.
+inline const std::vector<std::unique_ptr<dataset>>& suite() {
+  static std::vector<std::unique_ptr<dataset>> cache = [] {
+    std::size_t scale = env_size("NWHY_BENCH_SCALE", 1);
+    std::vector<std::unique_ptr<dataset>> out;
+    for (const auto& spec : gen::dataset_suite()) {
+      out.push_back(std::make_unique<dataset>(spec.name, spec.build(scale)));
+    }
+    return out;
+  }();
+  return cache;
+}
+
+/// Wall-clock min over NWHY_BENCH_REPS runs of `fn`, in milliseconds.
+inline double time_min_ms(const std::function<void()>& fn) {
+  std::size_t reps = env_size("NWHY_BENCH_REPS", 3);
+  double      best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    nw::timer t;
+    fn();
+    best = std::min(best, t.elapsed_ms());
+  }
+  return best;
+}
+
+/// The highest-degree hyperedge: the standard BFS source (largest component
+/// coverage, deterministic).
+inline nw::vertex_id_t bfs_source(const dataset& d) {
+  nw::vertex_id_t best = 0;
+  for (std::size_t e = 1; e < d.edge_degrees.size(); ++e) {
+    if (d.edge_degrees[e] > d.edge_degrees[best]) best = static_cast<nw::vertex_id_t>(e);
+  }
+  return best;
+}
+
+}  // namespace bench

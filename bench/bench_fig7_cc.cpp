@@ -1,0 +1,46 @@
+// bench/bench_fig7_cc.cpp — reproduces Figure 7: strong scaling of
+// hypergraph connected-component decomposition.  Series per dataset:
+// HyperCC (bipartite label propagation), AdjoinCC-Afforest, AdjoinCC-LP,
+// and the HygraCC comparator, across doubling thread counts.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hygra/algorithms.hpp"
+
+using namespace bench;
+
+int main() {
+  std::printf("Figure 7 — strong scaling, connected components (time in ms, min of %zu reps)\n",
+              env_size("NWHY_BENCH_REPS", 3));
+  std::printf("%-18s %8s %12s %16s %12s %12s\n", "dataset", "threads", "HyperCC",
+              "AdjoinCC-Aff", "AdjoinCC-LP", "HygraCC");
+  for (const auto& d : suite()) {
+    for (unsigned t : env_threads()) {
+      nw::par::thread_pool::set_default_concurrency(t);
+      double hyper = time_min_ms([&] {
+        auto r = hyper_cc(d->hyperedges, d->hypernodes);
+        (void)r;
+      });
+      double aff = time_min_ms([&] {
+        auto r = adjoin_cc(d->adjoin, adjoin_cc_engine::afforest);
+        (void)r;
+      });
+      double lp = time_min_ms([&] {
+        auto r = adjoin_cc(d->adjoin, adjoin_cc_engine::label_propagation);
+        (void)r;
+      });
+      double hygra = time_min_ms([&] {
+        auto r = nw::hygra::hygra_cc(d->hyperedges, d->hypernodes);
+        (void)r;
+      });
+      std::printf("%-18s %8u %12.2f %16.2f %12.2f %12.2f\n", d->name.c_str(), t, hyper, aff, lp,
+                  hygra);
+    }
+    // Sanity footer: component count must agree across engines.
+    auto a = adjoin_cc(d->adjoin, adjoin_cc_engine::afforest);
+    std::vector<nw::vertex_id_t> all(a.labels_edge);
+    all.insert(all.end(), a.labels_node.begin(), a.labels_node.end());
+    std::printf("  -> %zu connected components\n", nw::graph::count_components(all));
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// bench/bench_micro.cpp — microbenchmarks of the performance-critical
+// building blocks: the epoch-clearing counting hashmap against
+// std::unordered_map (the data structure choice behind the hashmap s-line
+// algorithm), early-exit set intersection, and parallel sort.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "nwhy.hpp"
+
+namespace {
+
+using nw::vertex_id_t;
+
+/// Keys with a skewed repeat pattern, like hyperedge ids seen through
+/// shared hypernodes.
+const std::vector<vertex_id_t>& keys() {
+  static std::vector<vertex_id_t> k = [] {
+    nw::xoshiro256ss          rng(0xAB1E);
+    std::vector<vertex_id_t> out(1 << 16);
+    for (auto& x : out) x = static_cast<vertex_id_t>(rng.bounded(1 << 12));
+    return out;
+  }();
+  return k;
+}
+
+void BM_CountingHashmap(benchmark::State& state) {
+  nw::counting_hashmap<> map;
+  for (auto _ : state) {
+    map.clear();
+    for (auto k : keys()) map.increment(k);
+    std::uint64_t total = 0;
+    map.for_each([&](vertex_id_t, std::uint32_t c) { total += c; });
+    benchmark::DoNotOptimize(total);
+  }
+}
+
+void BM_StdUnorderedMap(benchmark::State& state) {
+  std::unordered_map<vertex_id_t, std::uint32_t> map;
+  for (auto _ : state) {
+    map.clear();
+    for (auto k : keys()) ++map[k];
+    std::uint64_t total = 0;
+    for (auto& [key, c] : map) total += c;
+    benchmark::DoNotOptimize(total);
+  }
+}
+
+void BM_IntersectionFull(benchmark::State& state) {
+  nw::xoshiro256ss          rng(1);
+  std::vector<vertex_id_t> a(state.range(0)), b(state.range(0));
+  for (auto& x : a) x = static_cast<vertex_id_t>(rng.bounded(1 << 20));
+  for (auto& x : b) x = static_cast<vertex_id_t>(rng.bounded(1 << 20));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nw::hypergraph::intersection_size(a, b));
+  }
+}
+
+void BM_IntersectionEarlyExit(benchmark::State& state) {
+  nw::xoshiro256ss          rng(1);
+  std::vector<vertex_id_t> a(state.range(0)), b(state.range(0));
+  for (auto& x : a) x = static_cast<vertex_id_t>(rng.bounded(1 << 10));  // heavy overlap
+  for (auto& x : b) x = static_cast<vertex_id_t>(rng.bounded(1 << 10));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nw::hypergraph::intersection_size(a, b, 2));
+  }
+}
+
+void BM_ParallelSort(benchmark::State& state) {
+  nw::xoshiro256ss           rng(2);
+  std::vector<std::uint64_t> base(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : base) x = rng();
+  nw::par::thread_pool pool(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = base;
+    state.ResumeTiming();
+    nw::par::parallel_sort(data.begin(), data.end(), std::less<>{}, pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+
+void BM_StdSort(benchmark::State& state) {
+  nw::xoshiro256ss           rng(2);
+  std::vector<std::uint64_t> base(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : base) x = rng();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = base;
+    state.ResumeTiming();
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CountingHashmap)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StdUnorderedMap)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IntersectionFull)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_IntersectionEarlyExit)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_ParallelSort)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StdSort)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

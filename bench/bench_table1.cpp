@@ -1,0 +1,27 @@
+// bench/bench_table1.cpp — reproduces Table I: input characteristics of the
+// benchmark suite.  Columns match the paper: |V|, |E|, average degrees
+// (d̄v = average hypernode degree, d̄e = average hyperedge size) and maximum
+// degrees (Δv, Δe).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  std::printf("Table I — input characteristics (synthetic analogs, scale=%zu)\n",
+              bench::env_size("NWHY_BENCH_SCALE", 1));
+  std::printf("%-18s %10s %10s %8s %8s %10s %10s\n", "hypergraph", "|V|", "|E|", "dv_avg",
+              "de_avg", "dv_max", "de_max");
+  for (const auto& d : bench::suite()) {
+    auto node_stats =
+        nw::compute_degree_stats(std::span<const std::size_t>(d->node_degrees));
+    auto edge_stats =
+        nw::compute_degree_stats(std::span<const std::size_t>(d->edge_degrees));
+    std::printf("%-18s %10s %10s %8.1f %8.1f %10s %10s\n", d->name.c_str(),
+                nw::format_compact(static_cast<double>(d->hypernodes.size())).c_str(),
+                nw::format_compact(static_cast<double>(d->hyperedges.size())).c_str(),
+                node_stats.mean, edge_stats.mean,
+                nw::format_compact(static_cast<double>(node_stats.max)).c_str(),
+                nw::format_compact(static_cast<double>(edge_stats.max)).c_str());
+  }
+  return 0;
+}

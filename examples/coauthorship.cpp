@@ -1,0 +1,73 @@
+// examples/coauthorship.cpp
+//
+// The paper's motivating scenario (Sec. I): author-paper relationships are
+// inherently multi-way — a three-author paper is one hyperedge, not three
+// pairwise edges.  This example builds a synthetic collaboration hypergraph
+// (papers = hyperedges, authors = hypernodes), then uses s-line graphs to
+// answer questions clique expansion cannot:
+//
+//   * which paper pairs share >= s authors (strong intellectual overlap)?
+//   * which papers are most central to the strongly-connected literature?
+//   * how does the collaboration structure fragment as s grows?
+#include <algorithm>
+#include <cstdio>
+
+#include "nwhy.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+int main() {
+  // A corpus of 400 papers by 250 authors; productive authors (low Zipf
+  // ranks) appear on many papers, like real bibliometric data.
+  auto corpus =
+      gen::powerlaw_hypergraph(/*papers=*/400, /*authors=*/250, /*max_authors_per_paper=*/12,
+                               /*size_alpha=*/1.3, /*degree_alpha=*/0.9, /*seed=*/2022);
+  NWHypergraph hg(std::move(corpus));
+  std::printf("corpus: %zu papers, %zu authors, %zu authorships\n", hg.num_hyperedges(),
+              hg.num_hypernodes(), hg.num_incidences());
+
+  // How multi-way is the data?  Papers with three or more authors are the
+  // cases pairwise graphs mis-model.
+  std::size_t multiway = 0;
+  for (auto sz : hg.edge_sizes()) multiway += sz >= 3;
+  std::printf("%zu papers (%.0f%%) have >= 3 authors — the graph abstraction loses these\n",
+              multiway, 100.0 * static_cast<double>(multiway) / hg.num_hyperedges());
+
+  // Fragmentation as the collaboration-strength threshold s rises.
+  std::printf("\n%4s %14s %12s %16s\n", "s", "s-line edges", "components", "largest comp");
+  for (std::size_t s = 1; s <= 4; ++s) {
+    auto lg     = hg.make_s_linegraph(s);
+    auto labels = lg.s_connected_components();
+    // Count components over active papers only.
+    std::vector<vertex_id_t> active;
+    for (auto l : labels) {
+      if (l != nw::null_vertex<>) active.push_back(l);
+    }
+    std::size_t comps   = nw::graph::count_components(active);
+    std::size_t largest = active.empty() ? 0 : nw::graph::largest_component_size(active);
+    std::printf("%4zu %14zu %12zu %16zu\n", s, lg.num_edges(), comps, largest);
+  }
+
+  // Centrality at s = 2: papers bridging strongly-overlapping author groups.
+  auto lg = hg.make_s_linegraph(2);
+  auto bc = lg.s_betweenness_centrality();
+  std::vector<vertex_id_t> ranking(hg.num_hyperedges());
+  for (std::size_t i = 0; i < ranking.size(); ++i) ranking[i] = static_cast<vertex_id_t>(i);
+  std::sort(ranking.begin(), ranking.end(),
+            [&](vertex_id_t a, vertex_id_t b) { return bc[a] > bc[b]; });
+  std::printf("\nmost central papers in the 2-line graph (bridging strong collaborations):\n");
+  for (std::size_t k = 0; k < 5; ++k) {
+    vertex_id_t p = ranking[k];
+    std::printf("  paper %4u  betweenness %.4f  authors %zu  2-degree %zu\n", p, bc[p],
+                hg.edge_sizes()[p], lg.s_degree(p));
+  }
+
+  // Distance between the two most central papers.
+  if (auto d = lg.s_distance(ranking[0], ranking[1])) {
+    std::printf("\n2-walk distance between the top two papers: %zu\n", *d);
+  } else {
+    std::printf("\nthe top two papers are 2-disconnected\n");
+  }
+  return 0;
+}

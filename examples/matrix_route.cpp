@@ -1,0 +1,77 @@
+// examples/matrix_route.cpp
+//
+// The algebraic view of hypergraph analytics (paper Sec. II / III-B.1a):
+// everything this repository computes combinatorially can be phrased as
+// operations on the rectangular incidence matrix B —
+//
+//   B  · 1     = hyperedge sizes          Bᵗ · 1 = hypernode degrees
+//   B  · Bᵗ    = hyperedge overlaps        -> threshold = s-line graph
+//   Bᵗ · B     = hypernode co-memberships  -> threshold = clique expansion
+//   [[0,Bᵗ],[B,0]]                         = the adjoin adjacency matrix,
+//                                            on which plain (Graph)BLAS
+//                                            BFS/CC compute exact metrics
+//
+// This example walks the Fig. 1 hypergraph through each identity and
+// cross-checks the matrix route against the combinatorial engines.
+#include <cstdio>
+
+#include "nwhy.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+int main() {
+  biedgelist<> el;
+  for (vertex_id_t v : {0, 1, 2}) el.push_back(0, v);
+  for (vertex_id_t v : {1, 2, 3, 4}) el.push_back(1, v);
+  for (vertex_id_t v : {4, 5, 6}) el.push_back(2, v);
+  for (vertex_id_t v : {6, 7, 8}) el.push_back(3, v);
+  el.sort_and_unique();
+  NWHypergraph hg(el);
+
+  auto b  = nw::sparse::csr_matrix<std::uint32_t>::from_incidence(el);
+  auto bt = b.transpose();
+  std::printf("incidence matrix B: %zu x %zu, %zu nonzeros\n", b.num_rows(), b.num_cols(),
+              b.num_nonzeros());
+
+  // Degree identities via SpMV.
+  std::vector<std::uint64_t> ones_v(b.num_cols(), 1), ones_e(b.num_rows(), 1);
+  auto sizes   = b.spmv(std::span<const std::uint64_t>(ones_v));
+  auto degrees = bt.spmv(std::span<const std::uint64_t>(ones_e));
+  std::printf("B*1  (hyperedge sizes):   ");
+  for (auto s : sizes) std::printf("%llu ", static_cast<unsigned long long>(s));
+  std::printf("\nBt*1 (hypernode degrees): ");
+  for (auto d : degrees) std::printf("%llu ", static_cast<unsigned long long>(d));
+  std::printf("\n");
+
+  // Overlap matrix and the s-line graphs it induces.
+  auto bbt = b.multiply(bt);
+  std::printf("\nB*Bt overlap matrix (diagonal = sizes, off-diagonal = intersections):\n");
+  for (std::size_t i = 0; i < bbt.num_rows(); ++i) {
+    std::printf("  ");
+    for (std::size_t j = 0; j < bbt.num_cols(); ++j) std::printf("%2u ", bbt.at(i, j));
+    std::printf("\n");
+  }
+  for (std::size_t s = 1; s <= 3; ++s) {
+    auto algebraic = to_two_graph_spgemm(el, s);
+    auto lg        = hg.make_s_linegraph(s);
+    std::printf("threshold >= %zu: %zu line edges (combinatorial route: %zu) %s\n", s,
+                algebraic.size(), lg.num_edges(),
+                algebraic.size() == lg.num_edges() ? "- agree" : "- MISMATCH!");
+  }
+
+  // The adjoin matrix and matrix-route exact algorithms.
+  auto a = nw::sparse::adjoin_matrix(b);
+  std::printf("\nadjoin matrix [[0,Bt],[B,0]]: %zu x %zu, %zu nonzeros\n", a.num_rows(),
+              a.num_cols(), a.num_nonzeros());
+  auto levels = nw::sparse::bfs_levels_spmv(a, 0);
+  std::printf("masked-SpMV BFS levels from e0: ");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : " ", levels[i]);
+  }
+  auto cc_labels = nw::sparse::cc_spmv(a);
+  std::size_t comps = nw::graph::count_components(cc_labels);
+  std::printf("\nmin-label SpMV CC: %zu component(s) — exact engines agree: %s\n", comps,
+              comps == 1 ? "yes" : "no");
+  return 0;
+}

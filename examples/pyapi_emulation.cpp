@@ -1,0 +1,80 @@
+// examples/pyapi_emulation.cpp
+//
+// The paper's Listing 5 Python session, line for line, through the C ABI
+// (our pybind11 substitute — see DESIGN.md).  Each block is prefixed with
+// the Python statement it mirrors.
+#include <cstdio>
+#include <vector>
+
+#include "capi/nwhy_capi.h"
+
+int main() {
+  // col = np.array([0, 0, 0, 1, 1, 1])
+  // row = np.array([0, 1, 2, 0, 1, 2])
+  // weight = np.array([1, 1, 1, 1, 1, 1])
+  std::vector<uint32_t> col{0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> row{0, 1, 2, 0, 1, 2};
+  std::vector<double>   weight{1, 1, 1, 1, 1, 1};
+
+  // hg = nwhy.NWHypergraph(row, col, weight)
+  nwhy_hypergraph* hg = nwhy_hypergraph_create(col.data(), row.data(), weight.data(), col.size());
+  std::printf("hg: %zu hyperedges, %zu hypernodes\n", nwhy_num_hyperedges(hg),
+              nwhy_num_hypernodes(hg));
+
+  // s2lg = hg.s_linegraph(s=2, edges=True)
+  nwhy_slinegraph* s2lg = nwhy_s_linegraph(hg, 2, /*edges=*/1);
+
+  // tmp = s2lg.is_s_connected()
+  std::printf("is_s_connected: %s\n", nwhy_slg_is_s_connected(s2lg) ? "True" : "False");
+
+  // sn = s2lg.s_neighbors(v=0)
+  std::vector<uint32_t> sn(nwhy_slg_s_degree(s2lg, 0));
+  nwhy_slg_s_neighbors(s2lg, 0, sn.data());
+  std::printf("s_neighbors(0): [");
+  for (std::size_t i = 0; i < sn.size(); ++i) std::printf("%s%u", i ? ", " : "", sn[i]);
+  std::printf("]\n");
+
+  // sd = s2lg.s_degree(v=0)
+  std::printf("s_degree(0): %zu\n", nwhy_slg_s_degree(s2lg, 0));
+
+  // scc = s2lg.s_connected_components()
+  std::vector<uint32_t> scc(nwhy_slg_num_vertices(s2lg));
+  nwhy_slg_s_connected_components(s2lg, scc.data());
+  std::printf("s_connected_components: [");
+  for (std::size_t i = 0; i < scc.size(); ++i) std::printf("%s%u", i ? ", " : "", scc[i]);
+  std::printf("]\n");
+
+  // sdist = s2lg.s_distance(src=0, dest=1)
+  std::printf("s_distance(0, 1): %u\n", nwhy_slg_s_distance(s2lg, 0, 1));
+
+  // sp = s2lg.s_path(src=0, dest=1)
+  std::vector<uint32_t> sp(nwhy_slg_num_vertices(s2lg));
+  std::size_t           len = nwhy_slg_s_path(s2lg, 0, 1, sp.data());
+  std::printf("s_path(0, 1): [");
+  for (std::size_t i = 0; i < len; ++i) std::printf("%s%u", i ? ", " : "", sp[i]);
+  std::printf("]\n");
+
+  // sbc = s2lg.s_betweenness_centrality(normalized=True)
+  std::vector<double> sbc(nwhy_slg_num_vertices(s2lg));
+  nwhy_slg_s_betweenness_centrality(s2lg, /*normalized=*/1, sbc.data());
+  std::printf("s_betweenness_centrality: [%g, %g]\n", sbc[0], sbc[1]);
+
+  // sc = s2lg.s_closeness_centrality(v=None)
+  std::vector<double> sc(nwhy_slg_num_vertices(s2lg));
+  nwhy_slg_s_closeness_centrality(s2lg, sc.data());
+  std::printf("s_closeness_centrality: [%g, %g]\n", sc[0], sc[1]);
+
+  // shc = s2lg.s_harmonic_closeness_centrality(v=None)
+  std::vector<double> shc(nwhy_slg_num_vertices(s2lg));
+  nwhy_slg_s_harmonic_closeness_centrality(s2lg, shc.data());
+  std::printf("s_harmonic_closeness_centrality: [%g, %g]\n", shc[0], shc[1]);
+
+  // se = s2lg.s_eccentricity(v=None)
+  std::vector<uint32_t> se(nwhy_slg_num_vertices(s2lg));
+  nwhy_slg_s_eccentricity(s2lg, se.data());
+  std::printf("s_eccentricity: [%u, %u]\n", se[0], se[1]);
+
+  nwhy_slinegraph_destroy(s2lg);
+  nwhy_hypergraph_destroy(hg);
+  return 0;
+}

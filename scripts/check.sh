@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, run tests, run every
+# table/figure harness.  Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+BUILD=${1:-build}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+done

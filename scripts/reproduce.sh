@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, and regenerate every table/figure of
+# the paper plus the ablations, leaving test_output.txt and
+# bench_output.txt in the repository root (the artifacts EXPERIMENTS.md is
+# written against).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===== $b ====="
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done.  Compare against EXPERIMENTS.md:"
+echo "  Table I   -> bench_table1 section"
+echo "  Figure 7  -> bench_fig7_cc section"
+echo "  Figure 8  -> bench_fig8_bfs section"
+echo "  Figure 9  -> bench_fig9_slinegraph section"
+echo "  Ablations -> bench_ablation_* / bench_toplex / bench_micro sections"

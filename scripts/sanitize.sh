@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Build and run the test suite under AddressSanitizer + UBSan.
+# The parallel kernels rely on std::atomic_ref over plain vectors; ASan/UBSan
+# runs catch lifetime and indexing bugs the regular build cannot.
+set -euo pipefail
+BUILD=${1:-build-asan}
+
+cmake -B "$BUILD" -G Ninja -DNWHY_SANITIZE=ON
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure

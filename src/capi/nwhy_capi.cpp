@@ -1,0 +1,111 @@
+// capi/nwhy_capi.cpp — implementation of the C binding surface.
+#include "capi/nwhy_capi.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "nwhy/nwhypergraph.hpp"
+#include "nwhy/s_linegraph.hpp"
+
+using nw::hypergraph::NWHypergraph;
+using nw::hypergraph::s_linegraph;
+
+struct nwhy_hypergraph {
+  NWHypergraph impl;
+};
+
+struct nwhy_slinegraph {
+  s_linegraph impl;
+};
+
+extern "C" {
+
+nwhy_hypergraph* nwhy_hypergraph_create(const uint32_t* edge_ids, const uint32_t* node_ids,
+                                        const double* weights, size_t n) {
+  if ((edge_ids == nullptr || node_ids == nullptr) && n > 0) return nullptr;
+  (void)weights;  // accepted for Listing-5 fidelity; structural metrics ignore them
+  return new nwhy_hypergraph{
+      NWHypergraph(std::span<const uint32_t>(edge_ids, n), std::span<const uint32_t>(node_ids, n))};
+}
+
+void nwhy_hypergraph_destroy(nwhy_hypergraph* hg) { delete hg; }
+
+size_t nwhy_num_hyperedges(const nwhy_hypergraph* hg) { return hg->impl.num_hyperedges(); }
+size_t nwhy_num_hypernodes(const nwhy_hypergraph* hg) { return hg->impl.num_hypernodes(); }
+size_t nwhy_num_incidences(const nwhy_hypergraph* hg) { return hg->impl.num_incidences(); }
+
+void nwhy_edge_sizes(const nwhy_hypergraph* hg, size_t* out) {
+  const auto& d = hg->impl.edge_sizes();
+  std::copy(d.begin(), d.end(), out);
+}
+
+void nwhy_node_degrees(const nwhy_hypergraph* hg, size_t* out) {
+  const auto& d = hg->impl.node_degrees();
+  std::copy(d.begin(), d.end(), out);
+}
+
+size_t nwhy_toplexes(const nwhy_hypergraph* hg, uint32_t* out) {
+  auto t = hg->impl.toplexes();
+  if (out != nullptr) std::copy(t.begin(), t.end(), out);
+  return t.size();
+}
+
+nwhy_slinegraph* nwhy_s_linegraph(const nwhy_hypergraph* hg, size_t s, int edges) {
+  return new nwhy_slinegraph{hg->impl.make_s_linegraph(s, edges != 0)};
+}
+
+void nwhy_slinegraph_destroy(nwhy_slinegraph* lg) { delete lg; }
+
+size_t nwhy_slg_num_vertices(const nwhy_slinegraph* lg) { return lg->impl.num_vertices(); }
+size_t nwhy_slg_num_edges(const nwhy_slinegraph* lg) { return lg->impl.num_edges(); }
+
+int nwhy_slg_is_s_connected(const nwhy_slinegraph* lg) {
+  return lg->impl.is_s_connected() ? 1 : 0;
+}
+
+size_t nwhy_slg_s_degree(const nwhy_slinegraph* lg, uint32_t v) { return lg->impl.s_degree(v); }
+
+size_t nwhy_slg_s_neighbors(const nwhy_slinegraph* lg, uint32_t v, uint32_t* out) {
+  auto nbrs = lg->impl.s_neighbors(v);
+  if (out != nullptr) std::copy(nbrs.begin(), nbrs.end(), out);
+  return nbrs.size();
+}
+
+void nwhy_slg_s_connected_components(const nwhy_slinegraph* lg, uint32_t* out) {
+  auto labels = lg->impl.s_connected_components();
+  std::copy(labels.begin(), labels.end(), out);
+}
+
+uint32_t nwhy_slg_s_distance(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest) {
+  auto d = lg->impl.s_distance(src, dest);
+  return d ? static_cast<uint32_t>(*d) : NWHY_NULL_ID;
+}
+
+size_t nwhy_slg_s_path(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest, uint32_t* out) {
+  auto path = lg->impl.s_path(src, dest);
+  if (out != nullptr) std::copy(path.begin(), path.end(), out);
+  return path.size();
+}
+
+void nwhy_slg_s_betweenness_centrality(const nwhy_slinegraph* lg, int normalized, double* out) {
+  auto bc = lg->impl.s_betweenness_centrality(normalized != 0);
+  std::copy(bc.begin(), bc.end(), out);
+}
+
+void nwhy_slg_s_closeness_centrality(const nwhy_slinegraph* lg, double* out) {
+  auto c = lg->impl.s_closeness_centrality();
+  std::copy(c.begin(), c.end(), out);
+}
+
+void nwhy_slg_s_harmonic_closeness_centrality(const nwhy_slinegraph* lg, double* out) {
+  auto c = lg->impl.s_harmonic_closeness_centrality();
+  std::copy(c.begin(), c.end(), out);
+}
+
+void nwhy_slg_s_eccentricity(const nwhy_slinegraph* lg, uint32_t* out) {
+  auto e = lg->impl.s_eccentricity();
+  std::copy(e.begin(), e.end(), out);
+}
+
+}  // extern "C"

@@ -1,0 +1,88 @@
+/* capi/nwhy_capi.h
+ *
+ * C ABI for the NWHy framework, mirroring the Python API of the paper's
+ * Listing 5 one-to-one.  pybind11 is not available in this environment, so
+ * this header is the binding surface a Python (ctypes / cffi) or any other
+ * FFI layer would wrap; examples/pyapi_emulation.cpp drives it exactly like
+ * the Listing 5 session.
+ *
+ * Conventions:
+ *  - handles are opaque pointers; destroy with the matching *_destroy
+ *  - array outputs are written into caller-provided buffers whose length is
+ *    queried first (…_size functions) or fixed by the entity counts
+ *  - all ids are uint32_t, -1 (NWHY_NULL_ID) means "none"/unreachable
+ */
+#ifndef NWHY_CAPI_H
+#define NWHY_CAPI_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define NWHY_NULL_ID ((uint32_t)-1)
+
+typedef struct nwhy_hypergraph nwhy_hypergraph;
+typedef struct nwhy_slinegraph nwhy_slinegraph;
+
+/* --- hypergraph lifecycle (Listing 5: nwhy.NWHypergraph(row, col, weight)) */
+
+/* Build from parallel incidence arrays: edge_ids[i] is incident on
+ * node_ids[i].  weights are accepted for API fidelity and ignored by the
+ * structural metrics, as in the paper.  Returns NULL on invalid input. */
+nwhy_hypergraph* nwhy_hypergraph_create(const uint32_t* edge_ids, const uint32_t* node_ids,
+                                        const double* weights, size_t n);
+void             nwhy_hypergraph_destroy(nwhy_hypergraph* hg);
+
+size_t nwhy_num_hyperedges(const nwhy_hypergraph* hg);
+size_t nwhy_num_hypernodes(const nwhy_hypergraph* hg);
+size_t nwhy_num_incidences(const nwhy_hypergraph* hg);
+
+/* degrees[0..num_hyperedges) / [0..num_hypernodes) */
+void nwhy_edge_sizes(const nwhy_hypergraph* hg, size_t* out);
+void nwhy_node_degrees(const nwhy_hypergraph* hg, size_t* out);
+
+/* Toplexes: returns the count; if out != NULL it must have room for the
+ * count obtained from a first call with out == NULL. */
+size_t nwhy_toplexes(const nwhy_hypergraph* hg, uint32_t* out);
+
+/* --- s-line graph (Listing 5: hg.s_linegraph(s, edges)) ------------------- */
+
+nwhy_slinegraph* nwhy_s_linegraph(const nwhy_hypergraph* hg, size_t s, int edges);
+void             nwhy_slinegraph_destroy(nwhy_slinegraph* lg);
+
+size_t nwhy_slg_num_vertices(const nwhy_slinegraph* lg);
+size_t nwhy_slg_num_edges(const nwhy_slinegraph* lg);
+
+/* Listing 5: s2lg.is_s_connected() */
+int nwhy_slg_is_s_connected(const nwhy_slinegraph* lg);
+
+/* Listing 5: s2lg.s_neighbors(v); returns neighbor count, fills out if
+ * non-NULL (room for nwhy_slg_s_degree(lg, v) entries). */
+size_t nwhy_slg_s_degree(const nwhy_slinegraph* lg, uint32_t v);
+size_t nwhy_slg_s_neighbors(const nwhy_slinegraph* lg, uint32_t v, uint32_t* out);
+
+/* Listing 5: s2lg.s_connected_components(); out has num_vertices entries,
+ * NWHY_NULL_ID for inactive hyperedges. */
+void nwhy_slg_s_connected_components(const nwhy_slinegraph* lg, uint32_t* out);
+
+/* Listing 5: s2lg.s_distance(src, dest); NWHY_NULL_ID when unreachable. */
+uint32_t nwhy_slg_s_distance(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest);
+
+/* Listing 5: s2lg.s_path(src, dest); returns path length in vertices (0 if
+ * unreachable); fills out (room for num_vertices entries) if non-NULL. */
+size_t nwhy_slg_s_path(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest, uint32_t* out);
+
+/* Listing 5 centralities; out has num_vertices entries. */
+void nwhy_slg_s_betweenness_centrality(const nwhy_slinegraph* lg, int normalized, double* out);
+void nwhy_slg_s_closeness_centrality(const nwhy_slinegraph* lg, double* out);
+void nwhy_slg_s_harmonic_closeness_centrality(const nwhy_slinegraph* lg, double* out);
+void nwhy_slg_s_eccentricity(const nwhy_slinegraph* lg, uint32_t* out);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* NWHY_CAPI_H */

@@ -1,0 +1,100 @@
+// hygra/algorithms.hpp
+//
+// The two comparator algorithms from the paper's evaluation:
+//
+//   HygraBFS — top-down hypergraph BFS (no bottom-up / direction switching),
+//              alternating edgeMap over the two incidence directions
+//   HygraCC  — label-propagation connected components
+//
+// Implemented in the Ligra frontier idiom on the same bi-adjacency
+// structures as NWHy's own algorithms, so Fig. 7 / Fig. 8 comparisons
+// exercise algorithmic differences, not container differences.
+#pragma once
+
+#include <vector>
+
+#include "hygra/edge_map.hpp"
+#include "hygra/vertex_subset.hpp"
+#include "nwhy/biadjacency.hpp"
+#include "nwutil/atomics.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hygra {
+
+struct bfs_result {
+  std::vector<vertex_id_t> parents_edge;
+  std::vector<vertex_id_t> parents_node;
+};
+
+/// Top-down hypergraph BFS from hyperedge `source`.
+template <class... Attributes>
+bfs_result hygra_bfs(const nw::hypergraph::biadjacency<0, Attributes...>& hyperedges,
+                     const nw::hypergraph::biadjacency<1, Attributes...>& hypernodes,
+                     vertex_id_t source) {
+  bfs_result r;
+  r.parents_edge.assign(hyperedges.size(), null_vertex<>);
+  r.parents_node.assign(hypernodes.size(), null_vertex<>);
+  if (hyperedges.size() == 0) return r;
+  r.parents_edge[source] = source;
+
+  vertex_subset edge_frontier(source);
+  while (!edge_frontier.empty()) {
+    vertex_subset node_frontier = edge_map(
+        hyperedges, edge_frontier,
+        [&](vertex_id_t u, vertex_id_t v) {
+          return compare_and_swap(r.parents_node[v], null_vertex<>, u);
+        },
+        [&](vertex_id_t v) { return atomic_load(r.parents_node[v]) == null_vertex<>; });
+    if (node_frontier.empty()) break;
+    edge_frontier = edge_map(
+        hypernodes, node_frontier,
+        [&](vertex_id_t u, vertex_id_t v) {
+          return compare_and_swap(r.parents_edge[v], null_vertex<>, u);
+        },
+        [&](vertex_id_t v) { return atomic_load(r.parents_edge[v]) == null_vertex<>; });
+  }
+  return r;
+}
+
+struct cc_result {
+  std::vector<vertex_id_t> labels_edge;
+  std::vector<vertex_id_t> labels_node;
+};
+
+/// Label-propagation connected components, frontier-driven: only entities
+/// whose label changed propagate in the next round (Hygra's formulation).
+template <class... Attributes>
+cc_result hygra_cc(const nw::hypergraph::biadjacency<0, Attributes...>& hyperedges,
+                   const nw::hypergraph::biadjacency<1, Attributes...>& hypernodes) {
+  const std::size_t ne = hyperedges.size();
+  const std::size_t nv = hypernodes.size();
+  cc_result         r;
+  r.labels_edge.resize(ne);
+  r.labels_node.resize(nv);
+  for (std::size_t e = 0; e < ne; ++e) r.labels_edge[e] = static_cast<vertex_id_t>(e);
+  for (std::size_t v = 0; v < nv; ++v) r.labels_node[v] = static_cast<vertex_id_t>(ne + v);
+
+  // Start from all hyperedges.
+  std::vector<vertex_id_t> all(ne);
+  for (std::size_t e = 0; e < ne; ++e) all[e] = static_cast<vertex_id_t>(e);
+  vertex_subset edge_frontier(std::move(all));
+
+  while (!edge_frontier.empty()) {
+    vertex_subset node_frontier = edge_map(
+        hyperedges, edge_frontier,
+        [&](vertex_id_t u, vertex_id_t v) {
+          return write_min(r.labels_node[v], atomic_load(r.labels_edge[u]));
+        },
+        [](vertex_id_t) { return true; });
+    if (node_frontier.empty()) break;
+    edge_frontier = edge_map(
+        hypernodes, node_frontier,
+        [&](vertex_id_t u, vertex_id_t v) {
+          return write_min(r.labels_edge[v], atomic_load(r.labels_node[u]));
+        },
+        [](vertex_id_t) { return true; });
+  }
+  return r;
+}
+
+}  // namespace nw::hygra

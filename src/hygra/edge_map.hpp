@@ -1,0 +1,38 @@
+// hygra/edge_map.hpp
+//
+// Ligra-style edgeMap over one direction of the bipartite incidence: apply
+// `update(u, v)` to every incidence (u in frontier, v a neighbor), keeping v
+// in the output subset when `update` returns true and `cond(v)` held.  This
+// is the push-style (sparse) edgeMap only — Hygra's BFS comparator in the
+// paper is the *top-down* algorithm, which is exactly this primitive.
+#pragma once
+
+#include "hygra/vertex_subset.hpp"
+#include "nwgraph/concepts.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hygra {
+
+template <class Graph, class Update, class Cond>
+vertex_subset edge_map(const Graph& g, const vertex_subset& frontier, Update update, Cond cond) {
+  par::per_thread<std::vector<vertex_id_t>> out;
+  par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
+    vertex_id_t u = frontier.ids()[i];
+    for (auto&& e : g[u]) {
+      vertex_id_t v = nw::graph::target(e);
+      if (cond(v) && update(u, v)) {
+        out.local(tid).push_back(v);
+      }
+    }
+  });
+  return vertex_subset(par::merge_thread_vectors(out));
+}
+
+/// vertexMap: apply `fn` to every member of a subset.
+template <class Fn>
+void vertex_map(const vertex_subset& subset, Fn fn) {
+  par::parallel_for(0, subset.size(), [&](std::size_t i) { fn(subset.ids()[i]); });
+}
+
+}  // namespace nw::hygra

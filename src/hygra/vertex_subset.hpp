@@ -1,0 +1,35 @@
+// hygra/vertex_subset.hpp
+//
+// A faithful-in-spirit reimplementation of the Ligra/Hygra programming
+// model used as the paper's comparator (Shun, PPoPP'20).  Hygra represents
+// hypergraph frontiers as *vertex subsets* over one of the two index
+// spaces and advances them with edgeMap-style primitives.  We provide the
+// sparse vertex_subset plus the two mapping primitives the HygraBFS /
+// HygraCC algorithms need.
+#pragma once
+
+#include <vector>
+
+#include "nwutil/defs.hpp"
+
+namespace nw::hygra {
+
+/// Sparse subset of one index space (hyperedges or hypernodes).
+class vertex_subset {
+public:
+  vertex_subset() = default;
+  explicit vertex_subset(vertex_id_t single) : ids_{single} {}
+  explicit vertex_subset(std::vector<vertex_id_t> ids) : ids_(std::move(ids)) {}
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] bool        empty() const { return ids_.empty(); }
+  [[nodiscard]] const std::vector<vertex_id_t>& ids() const { return ids_; }
+
+  [[nodiscard]] auto begin() const { return ids_.begin(); }
+  [[nodiscard]] auto end() const { return ids_.end(); }
+
+private:
+  std::vector<vertex_id_t> ids_;
+};
+
+}  // namespace nw::hygra

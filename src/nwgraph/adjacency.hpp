@@ -1,0 +1,289 @@
+// nwgraph/adjacency.hpp
+//
+// Compressed Sparse Row adjacency structure — the workhorse container of
+// both the graph substrate and the hypergraph bi-adjacency (Section III-B.1
+// stores a hypergraph as *two* mutually indexed instances of this).
+//
+// Models the paper's "range of ranges": the outer range over vertices is a
+// std::ranges::random_access_range; each inner neighborhood is a
+// forward_range (contiguous, in fact).  Checked by static_asserts at the
+// bottom of this header.
+#pragma once
+
+#include <iterator>
+#include <numeric>
+#include <ranges>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwgraph/edge_list.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwpar/parallel_scan.hpp"
+#include "nwutil/atomics.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+namespace detail {
+
+/// Inner range for attributed adjacency: iterating yields
+/// std::tuple<vertex_id_t, Attributes...> by value.
+template <class... Attributes>
+class attributed_span {
+public:
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type        = std::tuple<vertex_id_t, Attributes...>;
+    using difference_type   = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const vertex_id_t* tgt, std::tuple<const Attributes*...> attrs)
+        : tgt_(tgt), attrs_(attrs) {}
+
+    value_type operator*() const {
+      return std::apply([&](const auto*... a) { return value_type{*tgt_, *a...}; }, attrs_);
+    }
+    iterator& operator++() {
+      ++tgt_;
+      std::apply([](const auto*&... a) { ((++a), ...); }, attrs_);
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) { return a.tgt_ == b.tgt_; }
+
+  private:
+    const vertex_id_t*               tgt_ = nullptr;
+    std::tuple<const Attributes*...> attrs_;
+  };
+
+  attributed_span() = default;
+  attributed_span(const vertex_id_t* tgt, std::tuple<const Attributes*...> attrs, std::size_t n)
+      : tgt_(tgt), attrs_(attrs), n_(n) {}
+
+  [[nodiscard]] iterator begin() const { return {tgt_, attrs_}; }
+  [[nodiscard]] iterator end() const {
+    auto shifted = std::apply(
+        [&](const auto*... a) { return std::tuple<const Attributes*...>{(a + n_)...}; }, attrs_);
+    return {tgt_ + n_, shifted};
+  }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool        empty() const { return n_ == 0; }
+
+private:
+  const vertex_id_t*               tgt_ = nullptr;
+  std::tuple<const Attributes*...> attrs_;
+  std::size_t                      n_ = 0;
+};
+
+}  // namespace detail
+
+template <class... Attributes>
+class adjacency {
+public:
+  using inner_range = std::conditional_t<sizeof...(Attributes) == 0, std::span<const vertex_id_t>,
+                                         detail::attributed_span<Attributes...>>;
+
+  adjacency() : indices_(1, 0) {}
+
+  /// Build CSR from an edge list.  Edges are grouped by source; the order
+  /// of neighbors within a group follows the edge-list order.  `n` overrides
+  /// the vertex count (0 = take from the edge list).  `check_targets`
+  /// is disabled for rectangular (bipartite) builds where target ids live in
+  /// a different index space than the sources.
+  explicit adjacency(const edge_list<Attributes...>& el, std::size_t n = 0)
+      : adjacency(el, n, check_targets_tag{true}) {}
+
+  /// Build a CSR whose target ids live in a different index space of size
+  /// `n_targets` (bipartite / rectangular case: targets are not checked
+  /// against the source cardinality).
+  adjacency(const edge_list<Attributes...>& el, std::size_t n_sources, std::size_t n_targets)
+      : adjacency(el, n_sources, check_targets_tag{false}) {
+    (void)n_targets;
+  }
+
+private:
+  struct check_targets_tag {
+    bool value;
+  };
+
+  adjacency(const edge_list<Attributes...>& el, std::size_t n, check_targets_tag tag) {
+    const bool check_targets = tag.value;
+    n_ = n != 0 ? n : el.num_vertices();
+    const auto&       src = el.sources();
+    const auto&       dst = el.destinations();
+    const std::size_t m   = el.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      NW_ASSERT(src[i] < n_, "edge source out of declared vertex range");
+      NW_ASSERT(dst[i] < n_ || !check_targets, "edge target out of declared vertex range");
+    }
+    targets_.resize(m);
+    resize_attrs(m);
+
+    auto&          pool    = par::thread_pool::default_pool();
+    const unsigned threads = pool.concurrency();
+    if (threads == 1 || m < (1u << 16)) {
+      build_serial(el, m);
+    } else {
+      build_parallel(el, m, pool, threads);
+    }
+  }
+
+  /// Serial stable counting sort into CSR.
+  void build_serial(const edge_list<Attributes...>& el, std::size_t m) {
+    const auto&           src = el.sources();
+    const auto&           dst = el.destinations();
+    std::vector<offset_t> counts(n_ + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) ++counts[src[i] + 1];
+    std::partial_sum(counts.begin(), counts.end(), counts.begin());
+    indices_ = counts;  // counts becomes the write cursor below
+    for (std::size_t i = 0; i < m; ++i) {
+      offset_t slot  = counts[src[i]]++;
+      targets_[slot] = dst[i];
+      scatter_attrs(el, i, slot, std::index_sequence_for<Attributes...>{});
+    }
+  }
+
+  /// Parallel stable counting sort: per-(source, thread) histograms give
+  /// each thread an exclusive, order-preserving slice of every row, so the
+  /// result is bit-identical to build_serial (neighbor order = edge-list
+  /// order) regardless of thread count.
+  void build_parallel(const edge_list<Attributes...>& el, std::size_t m,
+                      par::thread_pool& pool, unsigned threads) {
+    const auto&       src   = el.sources();
+    const auto&       dst   = el.destinations();
+    const std::size_t chunk = (m + threads - 1) / threads;
+
+    // cursors[v * threads + t]: first the per-chunk counts, then (after the
+    // scan) the running write cursor for (source v, thread t).
+    std::vector<offset_t> cursors(n_ * static_cast<std::size_t>(threads), 0);
+    pool.run([&](unsigned tid) {
+      std::size_t lo = tid * chunk, hi = std::min(lo + chunk, m);
+      for (std::size_t i = lo; i < hi; ++i) {
+        ++cursors[static_cast<std::size_t>(src[i]) * threads + tid];
+      }
+    });
+    par::parallel_exclusive_scan(cursors, pool);
+    indices_.resize(n_ + 1);
+    par::parallel_for(0, n_, [&](std::size_t v) { indices_[v] = cursors[v * threads]; },
+                      par::blocked{}, pool);
+    indices_[n_] = m;
+    pool.run([&](unsigned tid) {
+      std::size_t lo = tid * chunk, hi = std::min(lo + chunk, m);
+      for (std::size_t i = lo; i < hi; ++i) {
+        offset_t slot  = cursors[static_cast<std::size_t>(src[i]) * threads + tid]++;
+        targets_[slot] = dst[i];
+        scatter_attrs(el, i, slot, std::index_sequence_for<Attributes...>{});
+      }
+    });
+  }
+
+public:
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return targets_.size(); }
+
+  [[nodiscard]] std::size_t degree(std::size_t u) const {
+    NW_DEBUG_ASSERT(u < n_, "degree: vertex out of range");
+    return static_cast<std::size_t>(indices_[u + 1] - indices_[u]);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> degrees() const {
+    std::vector<std::size_t> d(n_);
+    for (std::size_t u = 0; u < n_; ++u) d[u] = degree(u);
+    return d;
+  }
+
+  [[nodiscard]] inner_range operator[](std::size_t u) const {
+    NW_DEBUG_ASSERT(u < n_, "operator[]: vertex out of range");
+    offset_t    b = indices_[u], e = indices_[u + 1];
+    std::size_t len = static_cast<std::size_t>(e - b);
+    if constexpr (sizeof...(Attributes) == 0) {
+      return inner_range(targets_.data() + b, len);
+    } else {
+      auto ptrs = std::apply(
+          [&](const auto&... col) { return std::tuple{(col.data() + b)...}; }, attrs_);
+      return inner_range(targets_.data() + b, ptrs, len);
+    }
+  }
+
+  /// Outer iterator: random access over vertices, dereferencing to the
+  /// vertex's neighborhood (an inner_range prvalue, like views::iota).
+  class const_iterator {
+  public:
+    using iterator_concept  = std::random_access_iterator_tag;
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type        = inner_range;
+    using difference_type   = std::ptrdiff_t;
+    using reference         = inner_range;
+
+    const_iterator() = default;
+    const_iterator(const adjacency* g, std::size_t u) : g_(g), u_(u) {}
+
+    inner_range operator*() const { return (*g_)[u_]; }
+    inner_range operator[](difference_type k) const { return (*g_)[u_ + k]; }
+
+    const_iterator& operator++() { ++u_; return *this; }
+    const_iterator  operator++(int) { auto t = *this; ++u_; return t; }
+    const_iterator& operator--() { --u_; return *this; }
+    const_iterator  operator--(int) { auto t = *this; --u_; return t; }
+    const_iterator& operator+=(difference_type k) { u_ += k; return *this; }
+    const_iterator& operator-=(difference_type k) { u_ -= k; return *this; }
+
+    friend const_iterator operator+(const_iterator it, difference_type k) { return it += k; }
+    friend const_iterator operator+(difference_type k, const_iterator it) { return it += k; }
+    friend const_iterator operator-(const_iterator it, difference_type k) { return it -= k; }
+    friend difference_type operator-(const const_iterator& a, const const_iterator& b) {
+      return static_cast<difference_type>(a.u_) - static_cast<difference_type>(b.u_);
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.u_ == b.u_;
+    }
+    friend auto operator<=>(const const_iterator& a, const const_iterator& b) {
+      return a.u_ <=> b.u_;
+    }
+
+  private:
+    const adjacency* g_ = nullptr;
+    std::size_t      u_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, n_}; }
+
+  /// Raw CSR access for kernels that want pointer arithmetic.
+  [[nodiscard]] const std::vector<offset_t>&    indices() const { return indices_; }
+  [[nodiscard]] const std::vector<vertex_id_t>& targets() const { return targets_; }
+
+private:
+  template <std::size_t... Is>
+  void scatter_attrs([[maybe_unused]] const edge_list<Attributes...>& el,
+                     [[maybe_unused]] std::size_t i, [[maybe_unused]] offset_t slot,
+                     std::index_sequence<Is...>) {
+    ((std::get<Is>(attrs_)[slot] = el.template attribute_column<Is>()[i]), ...);
+  }
+  void resize_attrs(std::size_t m) {
+    std::apply([m](auto&... col) { (col.resize(m), ...); }, attrs_);
+  }
+
+  std::size_t                            n_ = 0;
+  std::vector<offset_t>                  indices_;
+  std::vector<vertex_id_t>               targets_;
+  std::tuple<std::vector<Attributes>...> attrs_;
+};
+
+// The containers must model the paper's range-of-ranges contract.
+static_assert(std::ranges::random_access_range<adjacency<>>);
+static_assert(std::ranges::forward_range<std::ranges::range_reference_t<adjacency<>>>);
+static_assert(adjacency_list_graph<adjacency<>>);
+static_assert(degree_enumerable_graph<adjacency<>>);
+static_assert(std::ranges::random_access_range<adjacency<float>>);
+static_assert(std::ranges::forward_range<std::ranges::range_reference_t<adjacency<float>>>);
+
+}  // namespace nw::graph

@@ -1,0 +1,134 @@
+// nwgraph/algorithms/betweenness.hpp
+//
+// Brandes betweenness centrality on unweighted graphs.  The per-source
+// dependency accumulation is the textbook serial kernel; exact_bc
+// parallelizes *across sources* with per-thread score buffers (the shape of
+// the parallel Brandes used for the s-betweenness-centrality metric), and
+// approx_bc samples a subset of sources.
+#pragma once
+
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+#include "nwutil/rng.hpp"
+
+namespace nw::graph {
+
+namespace detail {
+
+/// Accumulate the dependency contributions of one source into `scores`.
+template <adjacency_list_graph Graph>
+void brandes_accumulate(const Graph& g, vertex_id_t s, std::vector<double>& scores,
+                        std::vector<vertex_id_t>& order, std::vector<std::int64_t>& dist,
+                        std::vector<double>& sigma, std::vector<double>& delta) {
+  const std::size_t n = g.size();
+  order.clear();
+  dist.assign(n, -1);
+  sigma.assign(n, 0.0);
+  delta.assign(n, 0.0);
+
+  dist[s]  = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+  // order doubles as the BFS queue: it ends holding vertices in
+  // non-decreasing distance, which reversed is the dependency order.
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    vertex_id_t u = order[head];
+    for (auto&& e : g[u]) {
+      vertex_id_t v = target(e);
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        order.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  // Accumulation: walk vertices farthest-first; each vertex w collects
+  // dependency from its shortest-path successors (neighbors one level down).
+  for (std::size_t k = order.size(); k-- > 0;) {
+    vertex_id_t w = order[k];
+    for (auto&& e : g[w]) {
+      vertex_id_t v = target(e);
+      if (dist[v] == dist[w] + 1 && sigma[v] > 0) {
+        delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+    if (w != s) scores[w] += delta[w];
+  }
+}
+
+}  // namespace detail
+
+/// Exact betweenness centrality, parallel over sources.  For undirected
+/// graphs each pair is counted twice, so scores are halved; `normalized`
+/// additionally divides by (n-1)(n-2)/2.
+template <adjacency_list_graph Graph>
+std::vector<double> betweenness_centrality(const Graph& g, bool normalized = true) {
+  const std::size_t               n = g.size();
+  par::per_thread<std::vector<double>> partial;
+  partial.for_each([n](std::vector<double>& v) { v.assign(n, 0.0); });
+
+  struct workspace {
+    std::vector<vertex_id_t>  order;
+    std::vector<std::int64_t> dist;
+    std::vector<double>       sigma;
+    std::vector<double>       delta;
+  };
+  par::per_thread<workspace> scratch;
+
+  par::parallel_for(0, n, [&](unsigned tid, std::size_t s) {
+    auto& ws = scratch.local(tid);
+    detail::brandes_accumulate(g, static_cast<vertex_id_t>(s), partial.local(tid), ws.order,
+                               ws.dist, ws.sigma, ws.delta);
+  });
+
+  std::vector<double> scores(n, 0.0);
+  partial.for_each([&](const std::vector<double>& p) {
+    for (std::size_t v = 0; v < n; ++v) scores[v] += p[v];
+  });
+  for (auto& x : scores) x /= 2.0;  // undirected double-count
+  if (normalized && n > 2) {
+    double scale = 2.0 / (static_cast<double>(n - 1) * static_cast<double>(n - 2));
+    for (auto& x : scores) x *= scale;
+  }
+  return scores;
+}
+
+/// Sampled (approximate) betweenness: accumulate from `num_samples` random
+/// sources and scale by n / num_samples.
+template <adjacency_list_graph Graph>
+std::vector<double> betweenness_centrality_approx(const Graph& g, std::size_t num_samples,
+                                                  std::uint64_t seed = 42) {
+  const std::size_t n = g.size();
+  if (n == 0) return {};
+  num_samples = std::min(num_samples, n);
+  xoshiro256ss             rng(seed);
+  std::vector<vertex_id_t> sources(num_samples);
+  for (auto& s : sources) s = static_cast<vertex_id_t>(rng.bounded(n));
+
+  par::per_thread<std::vector<double>> partial;
+  partial.for_each([n](std::vector<double>& v) { v.assign(n, 0.0); });
+  struct workspace {
+    std::vector<vertex_id_t>  order;
+    std::vector<std::int64_t> dist;
+    std::vector<double>       sigma;
+    std::vector<double>       delta;
+  };
+  par::per_thread<workspace> scratch;
+  par::parallel_for(0, sources.size(), [&](unsigned tid, std::size_t i) {
+    auto& ws = scratch.local(tid);
+    detail::brandes_accumulate(g, sources[i], partial.local(tid), ws.order, ws.dist, ws.sigma,
+                               ws.delta);
+  });
+  std::vector<double> scores(n, 0.0);
+  partial.for_each([&](const std::vector<double>& p) {
+    for (std::size_t v = 0; v < n; ++v) scores[v] += p[v];
+  });
+  double scale = static_cast<double>(n) / static_cast<double>(num_samples) / 2.0;
+  for (auto& x : scores) x *= scale;
+  return scores;
+}
+
+}  // namespace nw::graph

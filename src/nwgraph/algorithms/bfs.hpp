@@ -1,0 +1,175 @@
+// nwgraph/algorithms/bfs.hpp
+//
+// Parallel breadth-first search on CSR graphs:
+//   * top-down   — frontier expands via outgoing edges; parents claimed by CAS
+//   * bottom-up  — every unvisited vertex scans its neighbors for a frontier
+//                  member (Beamer et al.'s idea); wins on huge frontiers
+//   * direction-optimizing — switches between the two using the standard
+//                  alpha/beta heuristics (the AdjoinBFS engine of Sec. III-C.2)
+//
+// All variants return the parent array; parents[source] == source and
+// unreached vertices hold null_vertex.
+#pragma once
+
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/atomics.hpp"
+#include "nwutil/bitmap.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+/// One top-down step: expand `frontier` into `next`, claiming parents.
+/// Returns the number of edges examined (for the direction heuristic).
+template <adjacency_list_graph Graph>
+std::size_t bfs_top_down_step(const Graph& g, const std::vector<vertex_id_t>& frontier,
+                              std::vector<vertex_id_t>& next, std::vector<vertex_id_t>& parents) {
+  par::per_thread<std::vector<vertex_id_t>> next_local;
+  par::per_thread<std::size_t>              scanned;
+  par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
+    vertex_id_t u = frontier[i];
+    for (auto&& e : g[u]) {
+      vertex_id_t v = target(e);
+      ++scanned.local(tid);
+      if (atomic_load(parents[v]) == null_vertex<> &&
+          compare_and_swap(parents[v], null_vertex<>, u)) {
+        next_local.local(tid).push_back(v);
+      }
+    }
+  });
+  next = par::merge_thread_vectors(next_local);
+  std::size_t total = 0;
+  scanned.for_each([&](std::size_t s) { total += s; });
+  return total;
+}
+
+/// One bottom-up step: every unvisited vertex looks for any neighbor in the
+/// current frontier bitmap.  Returns the number of vertices added.
+template <adjacency_list_graph Graph>
+std::size_t bfs_bottom_up_step(const Graph& g, const bitmap& frontier, bitmap& next,
+                               std::vector<vertex_id_t>& parents) {
+  next.clear();
+  par::per_thread<std::size_t> added;
+  par::parallel_for(0, g.size(), [&](unsigned tid, std::size_t v) {
+    if (parents[v] != null_vertex<>) return;
+    for (auto&& e : g[v]) {
+      vertex_id_t u = target(e);
+      if (frontier.get(u)) {
+        parents[v] = u;
+        next.set_atomic(v);
+        ++added.local(tid);
+        break;
+      }
+    }
+  });
+  std::size_t total = 0;
+  added.for_each([&](std::size_t a) { total += a; });
+  return total;
+}
+
+/// Pure top-down BFS (the HygraBFS-style engine).
+template <adjacency_list_graph Graph>
+std::vector<vertex_id_t> bfs_top_down(const Graph& g, vertex_id_t source) {
+  std::vector<vertex_id_t> parents(g.size(), null_vertex<>);
+  if (g.size() == 0) return parents;
+  parents[source] = source;
+  std::vector<vertex_id_t> frontier{source}, next;
+  while (!frontier.empty()) {
+    bfs_top_down_step(g, frontier, next, parents);
+    frontier.swap(next);
+  }
+  return parents;
+}
+
+/// Pure bottom-up BFS (every level sweeps all vertices).
+template <adjacency_list_graph Graph>
+std::vector<vertex_id_t> bfs_bottom_up(const Graph& g, vertex_id_t source) {
+  std::vector<vertex_id_t> parents(g.size(), null_vertex<>);
+  if (g.size() == 0) return parents;
+  parents[source] = source;
+  bitmap frontier(g.size()), next(g.size());
+  frontier.set(source);
+  while (bfs_bottom_up_step(g, frontier, next, parents) > 0) {
+    frontier.swap(next);
+  }
+  return parents;
+}
+
+/// Direction-optimizing BFS (Beamer et al.): start top-down, switch to
+/// bottom-up when the frontier's edge work exceeds 1/alpha of the remaining
+/// edges, and back when the frontier shrinks below |V|/beta.
+template <degree_enumerable_graph Graph>
+std::vector<vertex_id_t> bfs_direction_optimizing(const Graph& g, vertex_id_t source,
+                                                  std::size_t alpha = 15, std::size_t beta = 18) {
+  std::vector<vertex_id_t> parents(g.size(), null_vertex<>);
+  if (g.size() == 0) return parents;
+  parents[source] = source;
+
+  std::vector<vertex_id_t> frontier{source}, next;
+  bitmap                   front_bm(g.size()), next_bm(g.size());
+  std::size_t              edges_remaining = g.num_edges();
+  bool                     bottom_up       = false;
+  std::size_t              frontier_size   = 1;
+
+  while (frontier_size > 0) {
+    if (!bottom_up) {
+      // Estimate the frontier's outgoing work to decide on a switch.
+      std::size_t frontier_edges = 0;
+      for (auto u : frontier) frontier_edges += g.degree(u);
+      if (frontier_edges * alpha > edges_remaining) {
+        front_bm.clear();
+        for (auto u : frontier) front_bm.set(u);
+        bottom_up = true;
+      } else {
+        std::size_t scanned = bfs_top_down_step(g, frontier, next, parents);
+        edges_remaining -= std::min(edges_remaining, scanned);
+        frontier.swap(next);
+        frontier_size = frontier.size();
+        continue;
+      }
+    }
+    std::size_t added = bfs_bottom_up_step(g, front_bm, next_bm, parents);
+    front_bm.swap(next_bm);
+    frontier_size = added;
+    if (frontier_size > 0 && frontier_size < g.size() / beta) {
+      // Shrinking frontier: convert the bitmap back to a sparse list.
+      frontier.clear();
+      for (std::size_t v = 0; v < g.size(); ++v) {
+        if (front_bm.get(v)) frontier.push_back(static_cast<vertex_id_t>(v));
+      }
+      bottom_up = false;
+    }
+  }
+  return parents;
+}
+
+/// Hop distances from `source` derived by a level-synchronous sweep; used by
+/// the s-distance / s-eccentricity metrics.  Unreachable = null_vertex.
+template <adjacency_list_graph Graph>
+std::vector<vertex_id_t> bfs_distances(const Graph& g, vertex_id_t source) {
+  std::vector<vertex_id_t> dist(g.size(), null_vertex<>);
+  if (g.size() == 0) return dist;
+  dist[source] = 0;
+  std::vector<vertex_id_t> frontier{source}, next;
+  vertex_id_t              level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    par::per_thread<std::vector<vertex_id_t>> next_local;
+    par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
+      for (auto&& e : g[frontier[i]]) {
+        vertex_id_t v = target(e);
+        if (atomic_load(dist[v]) == null_vertex<> &&
+            compare_and_swap(dist[v], null_vertex<>, level)) {
+          next_local.local(tid).push_back(v);
+        }
+      }
+    });
+    next = par::merge_thread_vectors(next_local);
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace nw::graph

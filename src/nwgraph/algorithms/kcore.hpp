@@ -1,0 +1,67 @@
+// nwgraph/algorithms/kcore.hpp
+//
+// k-core decomposition by iterative peeling (Matula–Beck bucket ordering,
+// serial peel with parallel degree initialization).  Exposed on s-line
+// graphs as the s-core metric.
+#pragma once
+
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+/// Core number of every vertex: the largest k such that the vertex belongs
+/// to a subgraph where every vertex has degree >= k.
+template <degree_enumerable_graph Graph>
+std::vector<std::size_t> kcore_decomposition(const Graph& g) {
+  const std::size_t        n = g.size();
+  std::vector<std::size_t> degree(n);
+  std::size_t              max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v]  = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by current degree (Matula–Beck).
+  std::vector<std::size_t>  bucket_start(max_degree + 2, 0);
+  std::vector<vertex_id_t>  order(n);
+  std::vector<std::size_t>  position(n);
+  for (std::size_t v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) bucket_start[d] += bucket_start[d - 1];
+  {
+    std::vector<std::size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      position[v]        = cursor[degree[v]]++;
+      order[position[v]] = static_cast<vertex_id_t>(v);
+    }
+  }
+
+  std::vector<std::size_t> core(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    vertex_id_t v = order[i];
+    core[v]       = degree[v];
+    for (auto&& e : g[v]) {
+      vertex_id_t u = target(e);
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap it with the first element of its
+        // bucket, then shrink the bucket boundary.
+        std::size_t du        = degree[u];
+        std::size_t pu        = position[u];
+        std::size_t pw        = bucket_start[du];
+        vertex_id_t w         = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bucket_start[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace nw::graph

@@ -1,0 +1,85 @@
+// nwgraph/algorithms/mis.hpp
+//
+// Parallel maximal independent set (Luby-style): each round, a vertex joins
+// the MIS if its random priority beats every undecided neighbor's; its
+// neighbors are then knocked out.  MIS is in the algorithm suite the
+// related-work frameworks (MESH, HyperX) advertise; applied to a
+// clique-expansion or s-line graph it yields a set of pairwise
+// non-overlapping hyperedges (an s-matching of the hypergraph).
+#pragma once
+
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+#include "nwutil/rng.hpp"
+
+namespace nw::graph {
+
+/// Returns a flag per vertex: 1 = in the MIS.  Deterministic for a given
+/// seed regardless of thread count (priorities are pure functions of id).
+template <adjacency_list_graph Graph>
+std::vector<char> maximal_independent_set(const Graph& g, std::uint64_t seed = 0x315D) {
+  const std::size_t n = g.size();
+  enum : char { undecided = 0, in_set = 1, knocked_out = 2 };
+  std::vector<char> state(n, undecided);
+
+  // Fixed random priority per vertex.
+  std::vector<std::uint64_t> priority(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t x = seed ^ (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull);
+    priority[v]     = splitmix64(x);
+  }
+
+  bool progress = true;
+  while (progress) {
+    // Round: select local priority winners among undecided vertices.
+    std::vector<char> joins(n, 0);
+    par::parallel_for(0, n, [&](std::size_t v) {
+      if (state[v] != undecided) return;
+      for (auto&& e : g[v]) {
+        vertex_id_t u = target(e);
+        if (u == v || state[u] == knocked_out) continue;
+        if (state[u] == in_set) return;  // already dominated (stale state)
+        if (priority[u] > priority[v] || (priority[u] == priority[v] && u > v)) return;
+      }
+      joins[v] = 1;
+    });
+    progress = false;
+    // Commit winners and knock out their neighborhoods (two-phase: no races).
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!joins[v] || state[v] != undecided) continue;
+      state[v] = in_set;
+      progress = true;
+      for (auto&& e : g[v]) {
+        vertex_id_t u = target(e);
+        if (u != v && state[u] == undecided) state[u] = knocked_out;
+      }
+    }
+  }
+
+  std::vector<char> result(n);
+  for (std::size_t v = 0; v < n; ++v) result[v] = state[v] == in_set ? 1 : 0;
+  return result;
+}
+
+/// Check the MIS invariants: independence (no two members adjacent) and
+/// maximality (every non-member has a member neighbor).  For tests.
+template <adjacency_list_graph Graph>
+bool is_maximal_independent_set(const Graph& g, const std::vector<char>& mis) {
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    bool member   = mis[v] != 0;
+    bool dominated = false;
+    for (auto&& e : g[v]) {
+      vertex_id_t u = target(e);
+      if (u == v) continue;
+      if (member && mis[u]) return false;  // independence violated
+      if (mis[u]) dominated = true;
+    }
+    if (!member && !dominated) return false;  // maximality violated
+  }
+  return true;
+}
+
+}  // namespace nw::graph

@@ -1,0 +1,56 @@
+// nwgraph/algorithms/pagerank.hpp
+//
+// Pull-based parallel PageRank with uniform teleport.  Included because the
+// related-work frameworks (MESH, HyperX) expose PageRank on hypergraph
+// projections; NWHy applies it to clique-expansion and s-line graphs.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+/// Returns the PageRank vector (sums to ~1).  Iterates until the L1 change
+/// drops below `tolerance` or `max_iterations` is reached.
+template <degree_enumerable_graph Graph>
+std::vector<double> pagerank(const Graph& g, double damping = 0.85, double tolerance = 1e-9,
+                             std::size_t max_iterations = 100) {
+  const std::size_t n = g.size();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> contrib(n, 0.0);
+  const double        teleport = (1.0 - damping) / static_cast<double>(n);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Dangling mass is shared uniformly so the ranks stay a distribution.
+    double dangling = par::parallel_reduce(
+        0, n, 0.0,
+        [&](double acc, std::size_t v) {
+          std::size_t d = g.degree(v);
+          contrib[v]    = d > 0 ? rank[v] / static_cast<double>(d) : 0.0;
+          return d == 0 ? acc + rank[v] : acc;
+        },
+        std::plus<>{});
+    double base = teleport + damping * dangling / static_cast<double>(n);
+
+    double change = par::parallel_reduce(
+        0, n, 0.0,
+        [&](double acc, std::size_t v) {
+          double sum = 0.0;
+          for (auto&& e : g[v]) sum += contrib[target(e)];
+          double next  = base + damping * sum;
+          double delta = std::abs(next - rank[v]);
+          rank[v]      = next;  // safe: each v written once; readers use contrib[]
+          return acc + delta;
+        },
+        std::plus<>{});
+    if (change < tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace nw::graph

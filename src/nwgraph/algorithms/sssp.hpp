@@ -1,0 +1,90 @@
+// nwgraph/algorithms/sssp.hpp
+//
+// Single-source shortest paths on weighted CSR graphs:
+//   * Dijkstra (binary heap)            — the serial reference
+//   * delta-stepping (Meyer & Sanders)  — the parallel engine behind the
+//                                         s-single-source-shortest-path metric
+#pragma once
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "nwgraph/adjacency.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/atomics.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+template <class W>
+inline constexpr W infinite_distance = std::numeric_limits<W>::max();
+
+/// Dijkstra with a lazy-deletion binary heap.  O((n + m) log m).
+template <class W>
+std::vector<W> sssp_dijkstra(const adjacency<W>& g, vertex_id_t source) {
+  std::vector<W> dist(g.size(), infinite_distance<W>);
+  if (g.size() == 0) return dist;
+  using entry = std::pair<W, vertex_id_t>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  dist[source] = W{0};
+  heap.push({W{0}, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (auto&& [v, w] : g[u]) {
+      W nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+/// Delta-stepping.  Vertices are kept in distance buckets of width `delta`;
+/// each bucket is settled with parallel relaxations (light edges may
+/// re-enter the current bucket, heavy edges always move forward).
+template <class W>
+std::vector<W> sssp_delta_stepping(const adjacency<W>& g, vertex_id_t source, W delta) {
+  std::vector<W> dist(g.size(), infinite_distance<W>);
+  if (g.size() == 0) return dist;
+  NW_ASSERT(delta > W{0}, "delta must be positive");
+  dist[source] = W{0};
+
+  std::vector<std::vector<vertex_id_t>> buckets(1);
+  buckets[0].push_back(source);
+
+  auto bucket_of = [&](W d) { return static_cast<std::size_t>(d / delta); };
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    // A vertex can be re-relaxed into bucket b while we drain it.
+    while (!buckets[b].empty()) {
+      std::vector<vertex_id_t> current;
+      current.swap(buckets[b]);
+      par::per_thread<std::vector<std::pair<vertex_id_t, W>>> requests;
+      par::parallel_for(0, current.size(), [&](unsigned tid, std::size_t i) {
+        vertex_id_t u  = current[i];
+        W           du = atomic_load(dist[u]);
+        if (bucket_of(du) != b) return;  // settled into an earlier bucket already
+        for (auto&& [v, w] : g[u]) {
+          requests.local(tid).push_back({v, du + w});
+        }
+      });
+      auto all = par::merge_thread_vectors(requests);
+      for (auto& [v, nd] : all) {
+        if (nd < dist[v]) {
+          dist[v]          = nd;
+          std::size_t dest = bucket_of(nd);
+          if (dest >= buckets.size()) buckets.resize(dest + 1);
+          buckets[dest].push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace nw::graph

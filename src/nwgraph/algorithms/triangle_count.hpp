@@ -1,0 +1,54 @@
+// nwgraph/algorithms/triangle_count.hpp
+//
+// Parallel triangle counting by ordered neighborhood intersection.  Assumes
+// each neighborhood is sorted ascending (adjacency built from a
+// sort_and_unique'd edge list satisfies this).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+/// Number of triangles in an undirected graph (each counted once).
+template <adjacency_list_graph Graph>
+std::size_t triangle_count(const Graph& g) {
+  return par::parallel_reduce(
+      0, g.size(), std::size_t{0},
+      [&](std::size_t acc, std::size_t u) {
+        auto nu = g[u];
+        for (auto&& e : nu) {
+          vertex_id_t v = target(e);
+          if (v <= u) continue;  // orient edges low -> high
+          // Count common neighbors w with w > v (fully ordered triple).
+          auto nv  = g[v];
+          auto it1 = nu.begin();
+          auto it2 = nv.begin();
+          while (it1 != nu.end() && it2 != nv.end()) {
+            vertex_id_t a = target(*it1);
+            vertex_id_t b = target(*it2);
+            if (a <= v) {
+              ++it1;
+            } else if (b <= v) {
+              ++it2;
+            } else if (a < b) {
+              ++it1;
+            } else if (b < a) {
+              ++it2;
+            } else {
+              ++acc;
+              ++it1;
+              ++it2;
+            }
+          }
+        }
+        return acc;
+      },
+      std::plus<>{});
+}
+
+}  // namespace nw::graph

@@ -1,0 +1,50 @@
+// nwgraph/concepts.hpp
+//
+// Graph concepts in the "graphs as ranges of ranges" style of Section III-A:
+// the outer range (over vertices / hyperedges) must be a
+// std::ranges::random_access_range and each inner range (a neighborhood) a
+// std::ranges::forward_range.  Containers in this library statically assert
+// conformance, and generic algorithms constrain on these concepts.
+#pragma once
+
+#include <concepts>
+#include <ranges>
+
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+/// Extract the neighbor id from an inner-range element.  For unweighted
+/// adjacency the element *is* the id; for attributed adjacency it is a
+/// tuple whose first member is the id.  This is the `target(e)` helper the
+/// paper's Listing 3 iterates with.
+template <class E>
+  requires std::convertible_to<E, std::size_t>
+constexpr vertex_id_t target(const E& e) {
+  return static_cast<vertex_id_t>(e);
+}
+
+template <class E>
+  requires requires(const E& e) { std::get<0>(e); }
+constexpr vertex_id_t target(const E& e) {
+  return static_cast<vertex_id_t>(std::get<0>(e));
+}
+
+/// A graph whose outer range is random-access and whose inner ranges are
+/// forward ranges of things `target` accepts.
+template <class G>
+concept adjacency_list_graph =
+    std::ranges::random_access_range<G> &&
+    std::ranges::forward_range<std::ranges::range_reference_t<G>> &&
+    requires(const G& g, std::size_t u) {
+      { g.size() } -> std::convertible_to<std::size_t>;
+      { g[u] };
+    };
+
+/// A graph that can report per-vertex degrees in O(1).
+template <class G>
+concept degree_enumerable_graph = adjacency_list_graph<G> && requires(const G& g, std::size_t u) {
+  { g.degree(u) } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace nw::graph

@@ -1,0 +1,121 @@
+// nwgraph/edge_list.hpp
+//
+// Struct-of-arrays edge list, the construction format every adjacency
+// structure in the framework is built from (mirrors NWGraph's edge_list /
+// the paper's biedgelist base_).  Attributes... are per-edge payload
+// columns (e.g. float weights); the common case is none.
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "nwpar/parallel_sort.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+template <class... Attributes>
+class edge_list {
+public:
+  edge_list() = default;
+
+  /// Pre-declare the vertex count (ids must then be < n); if 0, the count
+  /// is discovered from the data as max id + 1.
+  explicit edge_list(std::size_t n) : declared_vertices_(n) {}
+
+  void reserve(std::size_t n) {
+    src_.reserve(n);
+    dst_.reserve(n);
+    std::apply([n](auto&... col) { (col.reserve(n), ...); }, attrs_);
+  }
+
+  void push_back(vertex_id_t u, vertex_id_t v, Attributes... attrs) {
+    src_.push_back(u);
+    dst_.push_back(v);
+    push_attrs(std::index_sequence_for<Attributes...>{}, attrs...);
+  }
+
+  [[nodiscard]] std::size_t size() const { return src_.size(); }
+  [[nodiscard]] bool        empty() const { return src_.empty(); }
+
+  [[nodiscard]] vertex_id_t source(std::size_t i) const { return src_[i]; }
+  [[nodiscard]] vertex_id_t destination(std::size_t i) const { return dst_[i]; }
+
+  template <std::size_t I>
+  [[nodiscard]] const auto& attribute(std::size_t i) const {
+    return std::get<I>(attrs_)[i];
+  }
+
+  /// (source, destination, attributes...) of edge i, by value.
+  [[nodiscard]] auto operator[](std::size_t i) const {
+    return std::apply(
+        [&](const auto&... col) { return std::tuple{src_[i], dst_[i], col[i]...}; }, attrs_);
+  }
+
+  /// Number of vertices: declared, or discovered as max id + 1.
+  [[nodiscard]] std::size_t num_vertices() const {
+    if (declared_vertices_ != 0) return declared_vertices_;
+    vertex_id_t mx = 0;
+    bool        any = false;
+    for (std::size_t i = 0; i < src_.size(); ++i) {
+      mx  = std::max({mx, src_[i], dst_[i]});
+      any = true;
+    }
+    return any ? static_cast<std::size_t>(mx) + 1 : 0;
+  }
+
+  void set_num_vertices(std::size_t n) { declared_vertices_ = n; }
+
+  /// Append the reverse of every edge (attributes copied), making the list
+  /// represent an undirected graph for CSR construction.
+  void symmetrize() {
+    std::size_t n = size();
+    reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::apply([&](const auto&... col) { push_back(dst_[i], src_[i], col[i]...); }, attrs_);
+    }
+  }
+
+  /// Canonicalize: sort lexicographically by (source, destination) and drop
+  /// exact duplicate (source, destination) pairs (first attribute wins).
+  void sort_and_unique() {
+    std::vector<std::size_t> order(size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    par::parallel_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return src_[a] != src_[b] ? src_[a] < src_[b] : dst_[a] < dst_[b];
+    });
+    edge_list out(declared_vertices_);
+    out.reserve(size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      std::size_t i = order[k];
+      if (k > 0) {
+        std::size_t p = order[k - 1];
+        if (src_[p] == src_[i] && dst_[p] == dst_[i]) continue;
+      }
+      std::apply([&](const auto&... col) { out.push_back(src_[i], dst_[i], col[i]...); }, attrs_);
+    }
+    *this = std::move(out);
+  }
+
+  /// Direct column access for bulk construction (CSR builders).
+  [[nodiscard]] const std::vector<vertex_id_t>& sources() const { return src_; }
+  [[nodiscard]] const std::vector<vertex_id_t>& destinations() const { return dst_; }
+  template <std::size_t I>
+  [[nodiscard]] const auto& attribute_column() const {
+    return std::get<I>(attrs_);
+  }
+
+private:
+  template <std::size_t... Is>
+  void push_attrs(std::index_sequence<Is...>, const Attributes&... attrs) {
+    (std::get<Is>(attrs_).push_back(attrs), ...);
+  }
+
+  std::vector<vertex_id_t>               src_;
+  std::vector<vertex_id_t>               dst_;
+  std::tuple<std::vector<Attributes>...> attrs_;
+  std::size_t                            declared_vertices_ = 0;
+};
+
+}  // namespace nw::graph

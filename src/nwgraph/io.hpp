@@ -1,0 +1,91 @@
+// nwgraph/io.hpp
+//
+// Plain-graph I/O for the NWGraph substrate, so it is usable standalone
+// (the paper positions NWGraph as an independent library NWHy leverages):
+// square MatrixMarket adjacency matrices and whitespace edge lists
+// (GAPBS-style .el).  For hypergraph incidence matrices use nwhy/io/.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "nwgraph/edge_list.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::graph {
+
+/// Read a square MatrixMarket "coordinate pattern|real general|symmetric"
+/// file as a directed edge list (symmetric inputs emit both directions).
+inline edge_list<> read_mm_graph(std::istream& in) {
+  std::string line;
+  NW_ASSERT(static_cast<bool>(std::getline(in, line)), "empty MatrixMarket stream");
+  NW_ASSERT(line.rfind("%%MatrixMarket", 0) == 0, "missing MatrixMarket banner");
+  const bool pattern   = line.find("pattern") != std::string::npos;
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  NW_ASSERT(line.find("coordinate") != std::string::npos, "only coordinate format supported");
+
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream dims(line);
+    NW_ASSERT(static_cast<bool>(dims >> rows >> cols >> nnz), "malformed size line");
+    break;
+  }
+  NW_ASSERT(rows == cols, "read_mm_graph expects a square adjacency matrix");
+
+  edge_list<> el(rows);
+  el.reserve(symmetric ? 2 * nnz : nnz);
+  std::size_t r = 0, c = 0;
+  double      val = 0;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    NW_ASSERT(static_cast<bool>(in >> r >> c), "truncated MatrixMarket entries");
+    if (!pattern) in >> val;
+    NW_ASSERT(r >= 1 && r <= rows && c >= 1 && c <= cols, "entry out of bounds");
+    auto u = static_cast<vertex_id_t>(r - 1);
+    auto v = static_cast<vertex_id_t>(c - 1);
+    el.push_back(u, v);
+    if (symmetric && u != v) el.push_back(v, u);
+  }
+  return el;
+}
+
+inline edge_list<> read_mm_graph(const std::string& path) {
+  std::ifstream in(path);
+  NW_ASSERT(in.is_open(), "cannot open MatrixMarket graph file");
+  return read_mm_graph(in);
+}
+
+/// Read a GAPBS-style edge list: one "u v" pair per line, 0-based, '#' or
+/// '%' comments.  Does not symmetrize.
+inline edge_list<> read_edge_list(std::istream& in) {
+  edge_list<> el;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream row(line);
+    long long          u = 0, v = 0;
+    if (!(row >> u >> v)) continue;
+    NW_ASSERT(u >= 0 && v >= 0, "edge-list ids must be non-negative");
+    el.push_back(static_cast<vertex_id_t>(u), static_cast<vertex_id_t>(v));
+  }
+  return el;
+}
+
+inline edge_list<> read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  NW_ASSERT(in.is_open(), "cannot open edge-list file");
+  return read_edge_list(in);
+}
+
+/// Write a graph edge list as square MatrixMarket (pattern general).
+inline void write_mm_graph(std::ostream& out, const edge_list<>& el) {
+  std::size_t n = el.num_vertices();
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << n << ' ' << n << ' ' << el.size() << '\n';
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    out << (el.source(i) + 1) << ' ' << (el.destination(i) + 1) << '\n';
+  }
+}
+
+}  // namespace nw::graph

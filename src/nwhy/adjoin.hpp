@@ -1,0 +1,91 @@
+// nwhy/adjoin.hpp
+//
+// The adjoined-graph representation of a hypergraph (paper Sec. III-B.2):
+// the two index spaces are consolidated into one shared index set —
+// hyperedges keep ids [0, nE), hypernodes are shifted to [nE, nE + nV).
+// The resulting general graph has the symmetric adjacency matrix
+//
+//        A_G = [ 0    Bᵗ ]
+//              [ B    0  ]
+//
+// where B is the incidence matrix of H.  Any graph algorithm then computes
+// hypergraph metrics, provided it is *range-aware*; afterwards the resultant
+// array is split back into hyperedge and hypernode parts (split_results).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nwgraph/adjacency.hpp"
+#include "nwgraph/edge_list.hpp"
+#include "nwhy/biedgelist.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+/// The adjoin graph together with the index-split bookkeeping the
+/// range-aware algorithms need.
+struct adjoin_graph {
+  nw::graph::adjacency<> graph;       ///< symmetric CSR over the shared index set
+  std::size_t            nrealedges;  ///< ids [0, nrealedges) are hyperedges
+  std::size_t            nrealnodes;  ///< ids [nrealedges, nrealedges + nrealnodes) are hypernodes
+
+  [[nodiscard]] std::size_t num_ids() const { return nrealedges + nrealnodes; }
+
+  /// Shift a hypernode id into the shared index set.
+  [[nodiscard]] nw::vertex_id_t node_to_adjoin(nw::vertex_id_t v) const {
+    return v + static_cast<nw::vertex_id_t>(nrealedges);
+  }
+  /// Recover a hypernode id from a shared-index id.
+  [[nodiscard]] nw::vertex_id_t adjoin_to_node(nw::vertex_id_t id) const {
+    NW_DEBUG_ASSERT(id >= nrealedges, "adjoin id is a hyperedge, not a hypernode");
+    return id - static_cast<nw::vertex_id_t>(nrealedges);
+  }
+  [[nodiscard]] bool is_edge_id(nw::vertex_id_t id) const { return id < nrealedges; }
+};
+
+/// Flatten a bipartite edge list into a symmetric single-index edge list
+/// (the in-memory analog of the paper's graph_reader_adjoin).  Outputs the
+/// partition sizes through nrealedges / nrealnodes like the Listing 2 API.
+template <class... Attributes>
+nw::graph::edge_list<> make_adjoin_edge_list(const biedgelist<Attributes...>& el,
+                                             std::size_t& nrealedges, std::size_t& nrealnodes) {
+  nrealedges = el.num_vertices(0);
+  nrealnodes = el.num_vertices(1);
+  nw::graph::edge_list<> out(nrealedges + nrealnodes);
+  out.reserve(2 * el.size());
+  const auto& e_ids = el.edge_ids();
+  const auto& n_ids = el.node_ids();
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    nw::vertex_id_t e = e_ids[i];
+    nw::vertex_id_t v = n_ids[i] + static_cast<nw::vertex_id_t>(nrealedges);
+    out.push_back(e, v);
+    out.push_back(v, e);
+  }
+  return out;
+}
+
+/// Build the adjoin CSR directly from a bipartite edge list.
+template <class... Attributes>
+adjoin_graph make_adjoin_graph(const biedgelist<Attributes...>& el) {
+  std::size_t ne = 0, nv = 0;
+  auto        flat = make_adjoin_edge_list(el, ne, nv);
+  return adjoin_graph{nw::graph::adjacency<>(flat, ne + nv), ne, nv};
+}
+
+/// Split a per-id result array computed on the adjoin graph back into the
+/// hyperedge part and the hypernode part (paper Sec. III-B.2: "we split the
+/// resultant array of the graph algorithms into the hyperedge resultant
+/// array and the hypernodes resultant array").
+template <class T>
+std::pair<std::vector<T>, std::vector<T>> split_results(const std::vector<T>& combined,
+                                                        std::size_t nrealedges) {
+  NW_ASSERT(combined.size() >= nrealedges, "result array shorter than the hyperedge range");
+  std::vector<T> edge_part(combined.begin(),
+                           combined.begin() + static_cast<std::ptrdiff_t>(nrealedges));
+  std::vector<T> node_part(combined.begin() + static_cast<std::ptrdiff_t>(nrealedges),
+                           combined.end());
+  return {std::move(edge_part), std::move(node_part)};
+}
+
+}  // namespace nw::hypergraph

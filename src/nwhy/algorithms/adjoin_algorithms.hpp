@@ -1,0 +1,62 @@
+// nwhy/algorithms/adjoin_algorithms.hpp
+//
+// AdjoinBFS and AdjoinCC (paper Sec. III-C.2): hypergraph BFS / connected
+// components computed by running *plain graph algorithms* on the adjoin
+// representation, then splitting the resultant array back into the
+// hyperedge and hypernode parts.  This is the payoff of the single shared
+// index space: no hypergraph-specific algorithm required.
+//
+//   AdjoinBFS — direction-optimizing BFS (Beamer) on the adjoin CSR
+//   AdjoinCC  — Afforest (Sutton et al.) or min-label propagation
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nwgraph/algorithms/bfs.hpp"
+#include "nwgraph/algorithms/connected_components.hpp"
+#include "nwhy/adjoin.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+struct adjoin_bfs_result {
+  std::vector<vertex_id_t> parents_edge;  ///< parent ids are in the *shared* index set
+  std::vector<vertex_id_t> parents_node;
+};
+
+/// BFS from hyperedge `source_edge` via direction-optimizing graph BFS.
+inline adjoin_bfs_result adjoin_bfs(const adjoin_graph& g, vertex_id_t source_edge) {
+  NW_ASSERT(source_edge < g.nrealedges, "adjoin_bfs source must be a hyperedge id");
+  auto parents = nw::graph::bfs_direction_optimizing(g.graph, source_edge);
+  auto [pe, pn] = split_results(parents, g.nrealedges);
+  return {std::move(pe), std::move(pn)};
+}
+
+/// BFS hop distances in the shared index set (hypernodes at odd depths).
+inline std::pair<std::vector<vertex_id_t>, std::vector<vertex_id_t>> adjoin_bfs_distances(
+    const adjoin_graph& g, vertex_id_t source_edge) {
+  auto dist = nw::graph::bfs_distances(g.graph, source_edge);
+  return split_results(dist, g.nrealedges);
+}
+
+struct adjoin_cc_result {
+  std::vector<vertex_id_t> labels_edge;
+  std::vector<vertex_id_t> labels_node;
+};
+
+enum class adjoin_cc_engine { afforest, label_propagation };
+
+/// Connected components of the hypergraph through its adjoin graph.  Labels
+/// are shared-index ids; a hyperedge and a hypernode in the same component
+/// receive the same label.
+inline adjoin_cc_result adjoin_cc(const adjoin_graph&           g,
+                                  adjoin_cc_engine engine = adjoin_cc_engine::afforest) {
+  std::vector<vertex_id_t> labels = engine == adjoin_cc_engine::afforest
+                                        ? nw::graph::cc_afforest(g.graph)
+                                        : nw::graph::cc_label_propagation(g.graph);
+  auto [le, ln] = split_results(labels, g.nrealedges);
+  return {std::move(le), std::move(ln)};
+}
+
+}  // namespace nw::hypergraph

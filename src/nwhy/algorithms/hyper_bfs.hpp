@@ -1,0 +1,221 @@
+// nwhy/algorithms/hyper_bfs.hpp
+//
+// HyperBFS (paper Sec. III-C.1): breadth-first search on the *bipartite*
+// representation.  A hypergraph BFS alternates between the two index
+// spaces: a hyperedge frontier expands to the hypernodes it contains, a
+// hypernode frontier expands to the hyperedges it joins.  Because the two
+// index spaces are separate, the algorithm maintains two of every
+// algorithm-specific structure (frontier, parents) — the bookkeeping
+// drawback of the bi-adjacency representation the paper calls out.
+//
+// Both a top-down and a bottom-up engine are provided, plus a
+// direction-optimizing combination.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nwhy/biadjacency.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/atomics.hpp"
+#include "nwutil/bitmap.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+/// Result of a hypergraph BFS: parent arrays for both entity classes.
+/// parents_edge[e] is the hypernode through which hyperedge e was reached
+/// (the source hyperedge holds its own id); parents_node[v] is the
+/// hyperedge through which hypernode v was reached.  Unreached entries are
+/// null_vertex.  Distances count bipartite hops: hyperedges sit at even
+/// depths, hypernodes at odd depths.
+struct hyper_bfs_result {
+  std::vector<vertex_id_t> parents_edge;
+  std::vector<vertex_id_t> parents_node;
+  std::vector<vertex_id_t> dist_edge;
+  std::vector<vertex_id_t> dist_node;
+};
+
+namespace detail {
+
+/// Top-down expansion of `frontier` (ids in the source class) through
+/// `graph` into the target class.
+template <class Graph>
+std::vector<vertex_id_t> expand_top_down(const Graph& graph,
+                                         const std::vector<vertex_id_t>& frontier,
+                                         std::vector<vertex_id_t>& parents_target,
+                                         std::vector<vertex_id_t>& dist_target,
+                                         vertex_id_t level) {
+  par::per_thread<std::vector<vertex_id_t>> next_local;
+  par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
+    vertex_id_t u = frontier[i];
+    for (auto&& e : graph[u]) {
+      vertex_id_t v = target(e);
+      if (atomic_load(parents_target[v]) == null_vertex<> &&
+          compare_and_swap(parents_target[v], null_vertex<>, u)) {
+        dist_target[v] = level;
+        next_local.local(tid).push_back(v);
+      }
+    }
+  });
+  return par::merge_thread_vectors(next_local);
+}
+
+/// Bottom-up expansion: every unvisited entity of the target class scans its
+/// own incidence list for a frontier member.
+template <class Graph>
+std::vector<vertex_id_t> expand_bottom_up(const Graph& graph_target_side, const bitmap& frontier,
+                                          std::vector<vertex_id_t>& parents_target,
+                                          std::vector<vertex_id_t>& dist_target,
+                                          vertex_id_t level) {
+  par::per_thread<std::vector<vertex_id_t>> next_local;
+  par::parallel_for(0, graph_target_side.size(), [&](unsigned tid, std::size_t v) {
+    if (parents_target[v] != null_vertex<>) return;
+    for (auto&& e : graph_target_side[v]) {
+      vertex_id_t u = target(e);
+      if (frontier.get(u)) {
+        parents_target[v] = u;
+        dist_target[v]    = level;
+        next_local.local(tid).push_back(static_cast<vertex_id_t>(v));
+        break;
+      }
+    }
+  });
+  return par::merge_thread_vectors(next_local);
+}
+
+}  // namespace detail
+
+/// Top-down HyperBFS from hyperedge `source`.
+template <class... Attributes>
+hyper_bfs_result hyper_bfs_top_down(const biadjacency<0, Attributes...>& hyperedges,
+                                    const biadjacency<1, Attributes...>& hypernodes,
+                                    vertex_id_t source) {
+  hyper_bfs_result r;
+  r.parents_edge.assign(hyperedges.size(), null_vertex<>);
+  r.parents_node.assign(hypernodes.size(), null_vertex<>);
+  r.dist_edge.assign(hyperedges.size(), null_vertex<>);
+  r.dist_node.assign(hypernodes.size(), null_vertex<>);
+  if (hyperedges.size() == 0) return r;
+
+  r.parents_edge[source] = source;
+  r.dist_edge[source]    = 0;
+  std::vector<vertex_id_t> edge_frontier{source};
+  vertex_id_t              level = 0;
+  while (!edge_frontier.empty()) {
+    auto node_frontier =
+        detail::expand_top_down(hyperedges, edge_frontier, r.parents_node, r.dist_node, ++level);
+    if (node_frontier.empty()) break;
+    edge_frontier =
+        detail::expand_top_down(hypernodes, node_frontier, r.parents_edge, r.dist_edge, ++level);
+  }
+  return r;
+}
+
+/// Bottom-up HyperBFS: each half-step sweeps the whole unvisited side.
+template <class... Attributes>
+hyper_bfs_result hyper_bfs_bottom_up(const biadjacency<0, Attributes...>& hyperedges,
+                                     const biadjacency<1, Attributes...>& hypernodes,
+                                     vertex_id_t source) {
+  hyper_bfs_result r;
+  r.parents_edge.assign(hyperedges.size(), null_vertex<>);
+  r.parents_node.assign(hypernodes.size(), null_vertex<>);
+  r.dist_edge.assign(hyperedges.size(), null_vertex<>);
+  r.dist_node.assign(hypernodes.size(), null_vertex<>);
+  if (hyperedges.size() == 0) return r;
+
+  r.parents_edge[source] = source;
+  r.dist_edge[source]    = 0;
+  bitmap edge_bm(hyperedges.size()), node_bm(hypernodes.size());
+  edge_bm.set(source);
+  vertex_id_t level         = 0;
+  std::size_t frontier_size = 1;
+  while (frontier_size > 0) {
+    // Hypernode side scans its incident hyperedges for frontier members.
+    auto nodes_added =
+        detail::expand_bottom_up(hypernodes, edge_bm, r.parents_node, r.dist_node, ++level);
+    node_bm.clear();
+    for (auto v : nodes_added) node_bm.set(v);
+    if (nodes_added.empty()) break;
+    auto edges_added =
+        detail::expand_bottom_up(hyperedges, node_bm, r.parents_edge, r.dist_edge, ++level);
+    edge_bm.clear();
+    for (auto e : edges_added) edge_bm.set(e);
+    frontier_size = edges_added.size();
+  }
+  return r;
+}
+
+/// A hyperpath between two hyperedges: the alternating sequence
+/// e_src, v, e, v, ..., e_dst extracted from a BFS forest (the hyperpath /
+/// hypertree primitive of the Hygra/MESH algorithm suites).  Even positions
+/// hold hyperedge ids, odd positions hypernode ids; empty if unreachable.
+inline std::vector<vertex_id_t> extract_hyperpath(const hyper_bfs_result& bfs,
+                                                  vertex_id_t source_edge,
+                                                  vertex_id_t dest_edge) {
+  if (bfs.parents_edge[dest_edge] == null_vertex<>) return {};
+  std::vector<vertex_id_t> path;
+  vertex_id_t              e = dest_edge;
+  path.push_back(e);
+  while (e != source_edge) {
+    vertex_id_t v = bfs.parents_edge[e];  // the hypernode that discovered e
+    path.push_back(v);
+    e = bfs.parents_node[v];  // the hyperedge that discovered v
+    path.push_back(e);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Direction-optimizing HyperBFS: per half-step, choose top-down when the
+/// frontier is small relative to the side being expanded, bottom-up when it
+/// is large (threshold |frontier| > |side| / denominator).
+template <class... Attributes>
+hyper_bfs_result hyper_bfs(const biadjacency<0, Attributes...>& hyperedges,
+                           const biadjacency<1, Attributes...>& hypernodes, vertex_id_t source,
+                           std::size_t denominator = 20) {
+  hyper_bfs_result r;
+  r.parents_edge.assign(hyperedges.size(), null_vertex<>);
+  r.parents_node.assign(hypernodes.size(), null_vertex<>);
+  r.dist_edge.assign(hyperedges.size(), null_vertex<>);
+  r.dist_node.assign(hypernodes.size(), null_vertex<>);
+  if (hyperedges.size() == 0) return r;
+
+  r.parents_edge[source] = source;
+  r.dist_edge[source]    = 0;
+  std::vector<vertex_id_t> frontier{source};
+  bitmap                   frontier_bm(std::max(hyperedges.size(), hypernodes.size()));
+  bool                     edge_side = true;  // class of ids currently in `frontier`
+  vertex_id_t              level     = 0;
+
+  while (!frontier.empty()) {
+    std::size_t target_side = edge_side ? hypernodes.size() : hyperedges.size();
+    bool        go_bottom_up = frontier.size() > target_side / denominator;
+    ++level;
+    std::vector<vertex_id_t> next;
+    if (edge_side) {
+      if (go_bottom_up) {
+        frontier_bm.clear();
+        for (auto u : frontier) frontier_bm.set(u);
+        next = detail::expand_bottom_up(hypernodes, frontier_bm, r.parents_node, r.dist_node,
+                                        level);
+      } else {
+        next = detail::expand_top_down(hyperedges, frontier, r.parents_node, r.dist_node, level);
+      }
+    } else {
+      if (go_bottom_up) {
+        frontier_bm.clear();
+        for (auto u : frontier) frontier_bm.set(u);
+        next = detail::expand_bottom_up(hyperedges, frontier_bm, r.parents_edge, r.dist_edge,
+                                        level);
+      } else {
+        next = detail::expand_top_down(hypernodes, frontier, r.parents_edge, r.dist_edge, level);
+      }
+    }
+    frontier  = std::move(next);
+    edge_side = !edge_side;
+  }
+  return r;
+}
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,77 @@
+// nwhy/algorithms/hyper_cc.hpp
+//
+// HyperCC (paper Sec. III-C.1): connected components of a hypergraph on the
+// bipartite representation, via min-label propagation (Orzan / Pregel
+// style).  Two label arrays are maintained — one per index space — and each
+// round pulls the minimum label across the incidence in both directions
+// until a fixed point.  Labels are drawn from the hyperedge id space (a
+// hypernode belonging to no hyperedge keeps a unique label nE + v).
+#pragma once
+
+#include <vector>
+
+#include "nwhy/biadjacency.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/atomics.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+struct hyper_cc_result {
+  std::vector<vertex_id_t> labels_edge;
+  std::vector<vertex_id_t> labels_node;
+};
+
+template <class... Attributes>
+hyper_cc_result hyper_cc(const biadjacency<0, Attributes...>& hyperedges,
+                         const biadjacency<1, Attributes...>& hypernodes) {
+  const std::size_t ne = hyperedges.size();
+  const std::size_t nv = hypernodes.size();
+  hyper_cc_result   r;
+  r.labels_edge.resize(ne);
+  r.labels_node.resize(nv);
+  for (std::size_t e = 0; e < ne; ++e) r.labels_edge[e] = static_cast<vertex_id_t>(e);
+  // Hypernodes start above the hyperedge label range so that any incident
+  // hyperedge label immediately wins.
+  for (std::size_t v = 0; v < nv; ++v) r.labels_node[v] = static_cast<vertex_id_t>(ne + v);
+
+  bool changed = true;
+  while (changed) {
+    // Hypernodes pull the minimum over their incident hyperedges.
+    bool node_changed = par::parallel_reduce(
+        0, nv, false,
+        [&](bool acc, std::size_t v) {
+          vertex_id_t lv = atomic_load(r.labels_node[v]);
+          for (auto&& e : hypernodes[v]) {
+            vertex_id_t le = atomic_load(r.labels_edge[target(e)]);
+            if (le < lv) {
+              lv  = le;
+              acc = true;
+            }
+          }
+          if (acc) atomic_store(r.labels_node[v], lv);
+          return acc;
+        },
+        [](bool a, bool b) { return a || b; });
+    // Hyperedges pull the minimum over their incident hypernodes.
+    bool edge_changed = par::parallel_reduce(
+        0, ne, false,
+        [&](bool acc, std::size_t e) {
+          vertex_id_t le = atomic_load(r.labels_edge[e]);
+          for (auto&& vv : hyperedges[e]) {
+            vertex_id_t lv = atomic_load(r.labels_node[target(vv)]);
+            if (lv < le) {
+              le  = lv;
+              acc = true;
+            }
+          }
+          if (acc) atomic_store(r.labels_edge[e], le);
+          return acc;
+        },
+        [](bool a, bool b) { return a || b; });
+    changed = node_changed || edge_changed;
+  }
+  return r;
+}
+
+}  // namespace nw::hypergraph

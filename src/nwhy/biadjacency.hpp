@@ -1,0 +1,102 @@
+// nwhy/biadjacency.hpp
+//
+// The bipartite representation of a hypergraph (paper Sec. III-B.1): two
+// *separate but mutually indexed* CSR structures built from one biedgelist.
+//
+//   biadjacency<0>  — outer range over hyperedges, inner range = the
+//                     hypernodes each hyperedge is incident on
+//   biadjacency<1>  — outer range over hypernodes, inner range = the
+//                     hyperedges each hypernode joins
+//
+// The bi-adjacency matrix is generally rectangular (|E| x |V|); nothing here
+// assumes the two cardinalities match.  Models the range-of-ranges contract:
+// outer random_access_range, inner forward_range.
+#pragma once
+
+#include <ranges>
+#include <vector>
+
+#include "nwgraph/adjacency.hpp"
+#include "nwgraph/edge_list.hpp"
+#include "nwhy/biedgelist.hpp"
+#include "nwhy/bipartite_graph_base.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+// Make the Listing-3 `target(e)` helper available throughout the hypergraph
+// namespace (inner-range elements are plain ids, so ADL alone cannot find it).
+using nw::graph::target;
+
+template <int idx, class... Attributes>
+class biadjacency : public bipartite_graph_base {
+  static_assert(idx == 0 || idx == 1, "biadjacency is indexed by partition 0 or 1");
+
+public:
+  using inner_range = typename nw::graph::adjacency<Attributes...>::inner_range;
+  using const_iterator = typename nw::graph::adjacency<Attributes...>::const_iterator;
+
+  biadjacency() : bipartite_graph_base(0, 0) {}
+
+  /// Build from a bipartite edge list.  For idx == 0 the outer index space
+  /// is the hyperedges; for idx == 1 the roles are transposed (this is how
+  /// the dual hypergraph H* is materialized: biadjacency<1> of H is
+  /// biadjacency<0> of H*).
+  explicit biadjacency(const biedgelist<Attributes...>& el)
+      : bipartite_graph_base(el.num_vertices(0), el.num_vertices(1)) {
+    nw::graph::edge_list<Attributes...> flat(num_sources());
+    flat.reserve(el.size());
+    const auto& e_ids = el.edge_ids();
+    const auto& n_ids = el.node_ids();
+    for (std::size_t i = 0; i < el.size(); ++i) {
+      nw::vertex_id_t s = idx == 0 ? e_ids[i] : n_ids[i];
+      nw::vertex_id_t t = idx == 0 ? n_ids[i] : e_ids[i];
+      push_converted(flat, el, i, s, t, std::index_sequence_for<Attributes...>{});
+    }
+    csr_ = nw::graph::adjacency<Attributes...>(flat, num_sources(), num_targets());
+  }
+
+  /// Cardinality of this structure's outer index space.
+  [[nodiscard]] std::size_t num_sources() const { return vertex_cardinality_[idx]; }
+  /// Cardinality of the opposite index space (the inner ids).
+  [[nodiscard]] std::size_t num_targets() const { return vertex_cardinality_[1 - idx]; }
+
+  [[nodiscard]] std::size_t size() const { return num_sources(); }
+  [[nodiscard]] std::size_t num_edges() const { return csr_.num_edges(); }
+
+  [[nodiscard]] std::size_t degree(std::size_t u) const { return csr_.degree(u); }
+  [[nodiscard]] std::vector<std::size_t> degrees() const { return csr_.degrees(); }
+
+  [[nodiscard]] inner_range operator[](std::size_t u) const { return csr_[u]; }
+
+  [[nodiscard]] const_iterator begin() const { return csr_.begin(); }
+  [[nodiscard]] const_iterator end() const { return csr_.end(); }
+
+  /// Underlying CSR (for kernels using raw offsets).
+  [[nodiscard]] const nw::graph::adjacency<Attributes...>& csr() const { return csr_; }
+
+private:
+  template <std::size_t... Is>
+  static void push_converted(nw::graph::edge_list<Attributes...>& flat,
+                             [[maybe_unused]] const biedgelist<Attributes...>& el,
+                             [[maybe_unused]] std::size_t i, nw::vertex_id_t s,
+                             nw::vertex_id_t t, std::index_sequence<Is...>) {
+    flat.push_back(s, t, el.template attribute_column<Is>()[i]...);
+  }
+
+  nw::graph::adjacency<Attributes...> csr_;
+};
+
+// Range-of-ranges conformance (Sec. III-A).
+static_assert(std::ranges::random_access_range<biadjacency<0>>);
+static_assert(std::ranges::forward_range<std::ranges::range_reference_t<biadjacency<0>>>);
+static_assert(std::ranges::random_access_range<biadjacency<1>>);
+
+/// Free-function facade matching the paper's Listing 3 call style:
+/// `num_vertices(hyperedges, 0)`.
+template <int idx, class... Attributes>
+std::size_t num_vertices(const biadjacency<idx, Attributes...>& g, std::size_t partition) {
+  return partition == static_cast<std::size_t>(idx) ? g.num_sources() : g.num_targets();
+}
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,91 @@
+// nwhy/biedgelist.hpp
+//
+// Bipartite edge list: the (hyperedge id, hypernode id) incidence pairs a
+// hypergraph is constructed from (paper Listing 1).  Column 0 ids live in
+// the hyperedge index space, column 1 ids in the hypernode index space.
+// Attributes... are per-incidence payload (e.g. weights from Listing 5).
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "nwhy/bipartite_graph_base.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+template <class... Attributes>
+class biedgelist : public bipartite_graph_base {
+public:
+  explicit biedgelist(std::size_t n0 = 0, std::size_t n1 = 0) : bipartite_graph_base(n0, n1) {}
+
+  void reserve(std::size_t n) {
+    edge_ids_.reserve(n);
+    node_ids_.reserve(n);
+    std::apply([n](auto&... col) { (col.reserve(n), ...); }, attrs_);
+  }
+
+  /// Record that hyperedge `e` is incident on hypernode `v`.  Cardinalities
+  /// grow automatically if the ids exceed the declared partition sizes.
+  void push_back(nw::vertex_id_t e, nw::vertex_id_t v, Attributes... attrs) {
+    edge_ids_.push_back(e);
+    node_ids_.push_back(v);
+    push_attrs(std::index_sequence_for<Attributes...>{}, attrs...);
+    vertex_cardinality_[0] = std::max(vertex_cardinality_[0], static_cast<std::size_t>(e) + 1);
+    vertex_cardinality_[1] = std::max(vertex_cardinality_[1], static_cast<std::size_t>(v) + 1);
+  }
+
+  [[nodiscard]] std::size_t num_edges() const { return edge_ids_.size(); }
+  [[nodiscard]] std::size_t size() const { return edge_ids_.size(); }
+  [[nodiscard]] bool        empty() const { return edge_ids_.empty(); }
+
+  /// Incidence i as (hyperedge id, hypernode id, attributes...).
+  [[nodiscard]] auto operator[](std::size_t i) const {
+    return std::apply(
+        [&](const auto&... col) { return std::tuple{edge_ids_[i], node_ids_[i], col[i]...}; },
+        attrs_);
+  }
+
+  [[nodiscard]] const std::vector<nw::vertex_id_t>& edge_ids() const { return edge_ids_; }
+  [[nodiscard]] const std::vector<nw::vertex_id_t>& node_ids() const { return node_ids_; }
+  template <std::size_t I>
+  [[nodiscard]] const auto& attribute_column() const {
+    return std::get<I>(attrs_);
+  }
+
+  /// Drop exact duplicate incidences (keeps the first occurrence's
+  /// attributes); sorts by (hyperedge, hypernode).
+  void sort_and_unique() {
+    std::vector<std::size_t> order(size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return edge_ids_[a] != edge_ids_[b] ? edge_ids_[a] < edge_ids_[b]
+                                          : node_ids_[a] < node_ids_[b];
+    });
+    biedgelist out(vertex_cardinality_[0], vertex_cardinality_[1]);
+    out.reserve(size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      std::size_t i = order[k];
+      if (k > 0) {
+        std::size_t p = order[k - 1];
+        if (edge_ids_[p] == edge_ids_[i] && node_ids_[p] == node_ids_[i]) continue;
+      }
+      std::apply([&](const auto&... col) { out.push_back(edge_ids_[i], node_ids_[i], col[i]...); },
+                 attrs_);
+    }
+    *this = std::move(out);
+  }
+
+private:
+  template <std::size_t... Is>
+  void push_attrs(std::index_sequence<Is...>, const Attributes&... attrs) {
+    (std::get<Is>(attrs_).push_back(attrs), ...);
+  }
+
+  std::vector<nw::vertex_id_t>           edge_ids_;
+  std::vector<nw::vertex_id_t>           node_ids_;
+  std::tuple<std::vector<Attributes>...> attrs_;
+};
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,28 @@
+// nwhy/bipartite_graph_base.hpp
+//
+// Base class for the bipartite containers (paper Listing 1): holds the
+// cardinalities of the two vertex partitions.  Partition 0 is the hyperedge
+// index space, partition 1 the hypernode index space; because these are two
+// *different entity types* (author vs. paper), their index spaces are kept
+// separate and may have different sizes (rectangular incidence matrices).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace nw::hypergraph {
+
+class bipartite_graph_base {
+public:
+  bipartite_graph_base(std::size_t n0, std::size_t n1) : vertex_cardinality_{n0, n1} {}
+
+  /// Cardinality of partition `idx` (0 = hyperedges, 1 = hypernodes).
+  [[nodiscard]] std::size_t num_vertices(std::size_t idx) const {
+    return vertex_cardinality_[idx];
+  }
+
+protected:
+  std::array<std::size_t, 2> vertex_cardinality_;
+};
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,88 @@
+// nwhy/gen/dataset_suite.hpp
+//
+// The benchmark dataset suite: laptop-scale synthetic analogs of the six
+// hypergraphs in the paper's Table I.  Sizes are scaled down ~100-300x
+// (documented in EXPERIMENTS.md) while preserving each input's qualitative
+// shape — skew, edge/node ratio, and component structure — which is what
+// the evaluation's conclusions rest on:
+//
+//   com-Orkut-sim    social, skewed, |V| > |E| per original ratios
+//   Friendster-sim   social, skewed, many more hypernodes than hyperedges
+//   Orkut-group-sim  community-style, many components, extreme max degree
+//   LiveJournal-sim  community-style, moderate skew
+//   Web-sim          web, extreme skew (Δ_e ~ |V|), many components
+//   Rand1-sim        uniform random (Hygra generator), one giant component
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nwhy/gen/generators.hpp"
+
+namespace nw::hypergraph::gen {
+
+struct dataset_spec {
+  std::string name;
+  std::string type;  ///< Social / Web / Synthetic, as in Table I
+  biedgelist<> (*build)(std::size_t scale);
+};
+
+/// `scale` multiplies the base sizes; scale = 1 targets ~1-2 s total bench
+/// runtime per dataset on one core.
+inline biedgelist<> build_com_orkut_sim(std::size_t scale) {
+  // Original: |V| = 2.3M, |E| = 15.3M, dv̄ = 46, dē = 7, skewed.
+  // Analog: |E| ~ 6.7x |V|, small mean edge size, Zipf node popularity.
+  return powerlaw_hypergraph(/*num_edges=*/60000 * scale, /*num_nodes=*/9000 * scale,
+                             /*max_edge_size=*/64, /*size_alpha=*/1.6,
+                             /*degree_alpha=*/0.9, /*seed=*/0x0C0FFEE1);
+}
+
+inline biedgelist<> build_friendster_sim(std::size_t scale) {
+  // Original: |V| = 7.9M >> |E| = 1.6M, dv̄ = 3, dē = 14.
+  return powerlaw_hypergraph(/*num_edges=*/8000 * scale, /*num_nodes=*/40000 * scale,
+                             /*max_edge_size=*/128, /*size_alpha=*/1.2,
+                             /*degree_alpha=*/0.8, /*seed=*/0x0C0FFEE2);
+}
+
+inline biedgelist<> build_orkut_group_sim(std::size_t scale) {
+  // Original: community hypergraph with extreme max degrees (Δ_e = 318k)
+  // and many connected components.
+  return planted_community_hypergraph(/*num_edges=*/35000 * scale, /*num_nodes=*/11000 * scale,
+                                      /*max_community=*/150, /*size_alpha=*/1.5,
+                                      /*crosslink_prob=*/0.0005, /*seed=*/0x0C0FFEE3);
+}
+
+inline biedgelist<> build_livejournal_sim(std::size_t scale) {
+  // Original: moderate skew, Δ_e = 1.1M on |E| = 7.5M.
+  return planted_community_hypergraph(/*num_edges=*/30000 * scale, /*num_nodes=*/13000 * scale,
+                                      /*max_community=*/650, /*size_alpha=*/1.8,
+                                      /*crosslink_prob=*/0.3, /*seed=*/0x0C0FFEE4);
+}
+
+inline biedgelist<> build_web_sim(std::size_t scale) {
+  // Original: |V| = 27.7M, |E| = 12.8M, Δ_v = 1.1M, Δ_e = 11.6M — the most
+  // extreme skew in the suite; hub pages touch a huge fraction of nodes.
+  return powerlaw_hypergraph(/*num_edges=*/50000 * scale, /*num_nodes=*/110000 * scale,
+                             /*max_edge_size=*/8000, /*size_alpha=*/2.0,
+                             /*degree_alpha=*/1.1, /*seed=*/0x0C0FFEE5);
+}
+
+inline biedgelist<> build_rand1_sim(std::size_t scale) {
+  // Original: 100M x 100M uniform random, d = 10, single giant component.
+  return uniform_random_hypergraph(/*num_edges=*/100000 * scale, /*num_nodes=*/100000 * scale,
+                                   /*edge_size=*/10, /*seed=*/0x0C0FFEE6);
+}
+
+/// The full Table-I suite in the paper's row order.
+inline std::vector<dataset_spec> dataset_suite() {
+  return {
+      {"com-Orkut-sim", "Social", &build_com_orkut_sim},
+      {"Friendster-sim", "Social", &build_friendster_sim},
+      {"Orkut-group-sim", "Social", &build_orkut_group_sim},
+      {"LiveJournal-sim", "Social", &build_livejournal_sim},
+      {"Web-sim", "Web", &build_web_sim},
+      {"Rand1-sim", "Synthetic", &build_rand1_sim},
+  };
+}
+
+}  // namespace nw::hypergraph::gen

@@ -1,0 +1,211 @@
+// nwhy/gen/generators.hpp
+//
+// Synthetic hypergraph generators.  These stand in for the datasets of the
+// paper's Table I (SNAP community hypergraphs, KONECT bipartite graphs,
+// Hygra's Rand1), reproducing the *distributional shape* that drives the
+// evaluation's qualitative results:
+//
+//   uniform_random_hypergraph  — Hygra Rand1 style: every hyperedge picks
+//                                its members uniformly at random; uniform
+//                                degree distribution, one giant component
+//   powerlaw_hypergraph        — skewed hyperedge sizes and hypernode
+//                                degrees (Zipf), like the social/web inputs
+//   planted_community_hypergraph — hyperedges are planted communities with
+//                                overlap, like the SNAP-derived datasets;
+//                                yields many connected components
+//   nested_hypergraph          — chains of nested hyperedges, exercising
+//                                toplex computation worst cases
+//   star_hypergraph            — one giant hyperedge plus satellites; the
+//                                clique-expansion blow-up scenario
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nwhy/biedgelist.hpp"
+#include "nwutil/defs.hpp"
+#include "nwutil/rng.hpp"
+
+namespace nw::hypergraph::gen {
+
+/// Hygra-style random hypergraph: `num_edges` hyperedges, each of exactly
+/// `edge_size` hypernodes chosen uniformly at random from `num_nodes`
+/// (duplicates within a hyperedge removed by downstream canonicalization).
+inline biedgelist<> uniform_random_hypergraph(std::size_t num_edges, std::size_t num_nodes,
+                                              std::size_t edge_size, std::uint64_t seed) {
+  NW_ASSERT(num_nodes > 0, "uniform_random_hypergraph requires hypernodes");
+  xoshiro256ss rng(seed);
+  biedgelist<> el(num_edges, num_nodes);
+  el.reserve(num_edges * edge_size);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    for (std::size_t k = 0; k < edge_size; ++k) {
+      el.push_back(static_cast<vertex_id_t>(e),
+                   static_cast<vertex_id_t>(rng.bounded(num_nodes)));
+    }
+  }
+  return el;
+}
+
+namespace detail {
+
+/// Sampler over {0, ..., n-1} with Zipf(alpha) weights, O(log n) per draw
+/// via binary search on the cumulative weights.
+class zipf_sampler {
+public:
+  zipf_sampler(std::size_t n, double alpha) : cumulative_(n) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cumulative_[i] = total;
+    }
+    for (auto& c : cumulative_) c /= total;
+  }
+
+  std::size_t operator()(xoshiro256ss& rng) const {
+    double u = rng.uniform();
+    auto   it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<std::size_t>(it - cumulative_.begin());
+  }
+
+private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace detail
+
+/// Skewed hypergraph: hyperedge sizes follow Zipf(`size_alpha`) scaled to
+/// [1, max_edge_size], and members are drawn from a Zipf(`degree_alpha`)
+/// popularity distribution over hypernodes — a few hub hypernodes join very
+/// many hyperedges, matching the social-network shape of Table I where all
+/// real-world inputs "have a skewed hyperedge degree distribution".
+inline biedgelist<> powerlaw_hypergraph(std::size_t num_edges, std::size_t num_nodes,
+                                        std::size_t max_edge_size, double size_alpha,
+                                        double degree_alpha, std::uint64_t seed) {
+  NW_ASSERT(num_nodes > 0 && max_edge_size > 0, "degenerate powerlaw parameters");
+  xoshiro256ss          rng(seed);
+  detail::zipf_sampler  node_sampler(num_nodes, degree_alpha);
+  detail::zipf_sampler  size_sampler(max_edge_size, size_alpha);
+  // A fixed pseudo-random permutation decouples a node's popularity from its
+  // id, so degree is not correlated with index order.
+  std::vector<vertex_id_t> node_map(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) node_map[i] = static_cast<vertex_id_t>(i);
+  for (std::size_t i = num_nodes; i > 1; --i) {
+    std::swap(node_map[i - 1], node_map[rng.bounded(i)]);
+  }
+  biedgelist<> el(num_edges, num_nodes);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    std::size_t size = size_sampler(rng) + 1;
+    for (std::size_t k = 0; k < size; ++k) {
+      el.push_back(static_cast<vertex_id_t>(e), node_map[node_sampler(rng)]);
+    }
+  }
+  return el;
+}
+
+/// Community-style hypergraph (the SNAP-derived shape): the hypernode space
+/// is partitioned into blocks of `max_community` nodes; each of the
+/// `num_edges` communities lives inside one block, with a Zipf(size_alpha)
+/// size capped by the block, and — with probability `crosslink_prob` —
+/// one extra member from a foreign block.  Small crosslink_prob yields
+/// *many* connected components (one per block, roughly), the property that
+/// makes BFS on Orkut-group/Web fast in the paper's Fig. 8 discussion.
+inline biedgelist<> planted_community_hypergraph(std::size_t num_edges, std::size_t num_nodes,
+                                                 std::size_t max_community, double size_alpha,
+                                                 double crosslink_prob, std::uint64_t seed) {
+  NW_ASSERT(num_edges > 0 && num_nodes > 0 && max_community > 0,
+            "degenerate community parameters");
+  max_community = std::min(max_community, num_nodes);
+  xoshiro256ss         rng(seed);
+  detail::zipf_sampler size_sampler(max_community, size_alpha);
+  const std::size_t    num_blocks = (num_nodes + max_community - 1) / max_community;
+  biedgelist<>         el(num_edges, num_nodes);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    std::size_t block       = rng.bounded(num_blocks);
+    std::size_t block_begin = block * max_community;
+    std::size_t block_size  = std::min(max_community, num_nodes - block_begin);
+    std::size_t size        = std::min(size_sampler(rng) + 1, block_size);
+    for (std::size_t k = 0; k < size; ++k) {
+      vertex_id_t v = static_cast<vertex_id_t>(block_begin + rng.bounded(block_size));
+      el.push_back(static_cast<vertex_id_t>(e), v);
+    }
+    if (rng.uniform() < crosslink_prob) {
+      el.push_back(static_cast<vertex_id_t>(e),
+                   static_cast<vertex_id_t>(rng.bounded(num_nodes)));
+    }
+  }
+  return el;
+}
+
+/// Configuration-model hypergraph: realizes prescribed hyperedge sizes and
+/// hypernode degrees exactly (before duplicate-incidence collapse) by the
+/// bipartite stub-matching construction — edge e contributes sizes[e]
+/// stubs, node v contributes degrees[v] stubs, and a random permutation
+/// pairs them.  The two sequences must have equal sums.
+inline biedgelist<> configuration_model_hypergraph(const std::vector<std::size_t>& edge_sizes,
+                                                   const std::vector<std::size_t>& node_degrees,
+                                                   std::uint64_t seed) {
+  std::size_t edge_stub_count = 0, node_stub_count = 0;
+  for (auto s : edge_sizes) edge_stub_count += s;
+  for (auto d : node_degrees) node_stub_count += d;
+  NW_ASSERT(edge_stub_count == node_stub_count,
+            "configuration model requires equal stub sums");
+
+  std::vector<vertex_id_t> node_stubs;
+  node_stubs.reserve(node_stub_count);
+  for (std::size_t v = 0; v < node_degrees.size(); ++v) {
+    for (std::size_t k = 0; k < node_degrees[v]; ++k) {
+      node_stubs.push_back(static_cast<vertex_id_t>(v));
+    }
+  }
+  xoshiro256ss rng(seed);
+  for (std::size_t i = node_stubs.size(); i > 1; --i) {
+    std::swap(node_stubs[i - 1], node_stubs[rng.bounded(i)]);
+  }
+
+  biedgelist<> el(edge_sizes.size(), node_degrees.size());
+  el.reserve(edge_stub_count);
+  std::size_t cursor = 0;
+  for (std::size_t e = 0; e < edge_sizes.size(); ++e) {
+    for (std::size_t k = 0; k < edge_sizes[e]; ++k) {
+      el.push_back(static_cast<vertex_id_t>(e), node_stubs[cursor++]);
+    }
+  }
+  return el;
+}
+
+/// Chains of nested hyperedges: chain c contributes `depth` hyperedges
+/// {v0}, {v0,v1}, ..., {v0..v_{depth-1}} over its private vertex block.
+/// Exactly one toplex per chain (the full block).
+inline biedgelist<> nested_hypergraph(std::size_t num_chains, std::size_t depth) {
+  biedgelist<> el(num_chains * depth, num_chains * depth);
+  for (std::size_t c = 0; c < num_chains; ++c) {
+    vertex_id_t base = static_cast<vertex_id_t>(c * depth);
+    for (std::size_t d = 0; d < depth; ++d) {
+      vertex_id_t e = base + static_cast<vertex_id_t>(d);
+      for (std::size_t k = 0; k <= d; ++k) {
+        el.push_back(e, base + static_cast<vertex_id_t>(k));
+      }
+    }
+  }
+  return el;
+}
+
+/// One giant hyperedge containing every hypernode plus `num_small` pairwise
+/// hyperedges; its clique expansion is the complete graph — the
+/// representation-size blow-up scenario of Sec. III-B.3.
+inline biedgelist<> star_hypergraph(std::size_t num_nodes, std::size_t num_small,
+                                    std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  biedgelist<> el(1 + num_small, num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    el.push_back(0, static_cast<vertex_id_t>(v));
+  }
+  for (std::size_t e = 0; e < num_small; ++e) {
+    el.push_back(static_cast<vertex_id_t>(1 + e), static_cast<vertex_id_t>(rng.bounded(num_nodes)));
+    el.push_back(static_cast<vertex_id_t>(1 + e), static_cast<vertex_id_t>(rng.bounded(num_nodes)));
+  }
+  return el;
+}
+
+}  // namespace nw::hypergraph::gen

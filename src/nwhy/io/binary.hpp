@@ -1,0 +1,63 @@
+// nwhy/io/binary.hpp
+//
+// Binary snapshot format for bipartite edge lists, so the benchmark suite
+// can cache generated datasets between runs.  Layout (little-endian):
+//   magic "NWHYBIN1" | u64 n0 | u64 n1 | u64 m | m x u32 edge ids | m x u32 node ids
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nwhy/biedgelist.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+inline constexpr char binary_magic[8] = {'N', 'W', 'H', 'Y', 'B', 'I', 'N', '1'};
+
+inline void write_binary(std::ostream& out, const biedgelist<>& el) {
+  out.write(binary_magic, sizeof(binary_magic));
+  std::uint64_t header[3] = {el.num_vertices(0), el.num_vertices(1), el.size()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(el.edge_ids().data()),
+            static_cast<std::streamsize>(el.size() * sizeof(vertex_id_t)));
+  out.write(reinterpret_cast<const char*>(el.node_ids().data()),
+            static_cast<std::streamsize>(el.size() * sizeof(vertex_id_t)));
+}
+
+inline void write_binary(const std::string& path, const biedgelist<>& el) {
+  std::ofstream out(path, std::ios::binary);
+  NW_ASSERT(out.is_open(), "cannot open binary output file");
+  write_binary(out, el);
+}
+
+inline biedgelist<> read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  NW_ASSERT(in.good() && std::memcmp(magic, binary_magic, sizeof(magic)) == 0,
+            "not an NWHy binary snapshot");
+  std::uint64_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  NW_ASSERT(in.good(), "truncated binary snapshot header");
+  const std::size_t        m = header[2];
+  std::vector<vertex_id_t> edges(m), nodes(m);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(vertex_id_t)));
+  in.read(reinterpret_cast<char*>(nodes.data()),
+          static_cast<std::streamsize>(m * sizeof(vertex_id_t)));
+  NW_ASSERT(in.good(), "truncated binary snapshot body");
+  biedgelist<> el(header[0], header[1]);
+  el.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) el.push_back(edges[i], nodes[i]);
+  return el;
+}
+
+inline biedgelist<> read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  NW_ASSERT(in.is_open(), "cannot open binary snapshot");
+  return read_binary(in);
+}
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,39 @@
+// nwhy/io/konect.hpp
+//
+// Reader for KONECT-style bipartite TSV files (the format of orkut-groups,
+// Web and LiveJournal in the paper's Table I): '%'-prefixed comment lines,
+// then one "<left> <right> [weight [timestamp]]" incidence per line,
+// 1-based ids.  Left column = hyperedge (group / page), right column =
+// hypernode (member / user).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "nwhy/biedgelist.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+inline biedgelist<> read_konect_bipartite(std::istream& in) {
+  biedgelist<> el;
+  std::string  line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream row(line);
+    long long          left = 0, right = 0;
+    if (!(row >> left >> right)) continue;  // tolerate stray blank/garbage rows
+    NW_ASSERT(left >= 1 && right >= 1, "KONECT ids are 1-based");
+    el.push_back(static_cast<vertex_id_t>(left - 1), static_cast<vertex_id_t>(right - 1));
+  }
+  return el;
+}
+
+inline biedgelist<> read_konect_bipartite(const std::string& path) {
+  std::ifstream in(path);
+  NW_ASSERT(in.is_open(), "cannot open KONECT file");
+  return read_konect_bipartite(in);
+}
+
+}  // namespace nw::hypergraph

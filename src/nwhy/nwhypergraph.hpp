@@ -1,0 +1,188 @@
+// nwhy/nwhypergraph.hpp
+//
+// The NWHypergraph facade — the C++ twin of the Python-facing class in the
+// paper's Listing 5.  Owns the canonical biedgelist plus the two mutually
+// indexed biadjacency structures, lazily materializes the adjoin graph, and
+// exposes the representation constructors (s-line graph, s-clique graph,
+// clique expansion) and exact algorithms (BFS, CC, toplexes).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nwhy/adjoin.hpp"
+#include "nwhy/algorithms/adjoin_algorithms.hpp"
+#include "nwhy/algorithms/hyper_bfs.hpp"
+#include "nwhy/algorithms/hyper_cc.hpp"
+#include "nwhy/algorithms/toplex.hpp"
+#include "nwhy/biadjacency.hpp"
+#include "nwhy/biedgelist.hpp"
+#include "nwgraph/relabel.hpp"
+#include "nwhy/s_linegraph.hpp"
+#include "nwhy/slinegraph/construction.hpp"
+#include "nwhy/slinegraph/implicit.hpp"
+#include "nwhy/slinegraph/weighted.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+class NWHypergraph {
+public:
+  /// Construct from parallel (hyperedge id, hypernode id) arrays — the
+  /// Listing 5 `NWHypergraph(row, col, weight)` signature, with weights
+  /// optional and ignored for the structural metrics.
+  NWHypergraph(std::span<const vertex_id_t> edge_ids, std::span<const vertex_id_t> node_ids) {
+    NW_ASSERT(edge_ids.size() == node_ids.size(), "row/col arrays must have equal length");
+    biedgelist<> el;
+    el.reserve(edge_ids.size());
+    for (std::size_t i = 0; i < edge_ids.size(); ++i) el.push_back(edge_ids[i], node_ids[i]);
+    init(std::move(el));
+  }
+
+  /// Construct from an already-populated bipartite edge list.
+  explicit NWHypergraph(biedgelist<> el) { init(std::move(el)); }
+
+  // --- representation accessors -------------------------------------------
+
+  [[nodiscard]] const biedgelist<>&     edge_list() const { return el_; }
+  [[nodiscard]] const biadjacency<0>&   hyperedges() const { return hyperedges_; }
+  [[nodiscard]] const biadjacency<1>&   hypernodes() const { return hypernodes_; }
+
+  [[nodiscard]] std::size_t num_hyperedges() const { return hyperedges_.size(); }
+  [[nodiscard]] std::size_t num_hypernodes() const { return hypernodes_.size(); }
+  [[nodiscard]] std::size_t num_incidences() const { return el_.size(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& edge_sizes() const { return edge_degrees_; }
+  [[nodiscard]] const std::vector<std::size_t>& node_degrees() const { return node_degrees_; }
+
+  /// The adjoin representation, built on first use and cached.
+  [[nodiscard]] const adjoin_graph& adjoin() const {
+    if (!adjoin_) {
+      std::size_t ne = 0, nv = 0;
+      auto        flat = make_adjoin_edge_list(el_, ne, nv);
+      flat.sort_and_unique();
+      adjoin_ = std::make_unique<adjoin_graph>(
+          adjoin_graph{nw::graph::adjacency<>(flat, ne + nv), ne, nv});
+    }
+    return *adjoin_;
+  }
+
+  /// The dual hypergraph H*: hyperedges and hypernodes swap roles
+  /// (transpose of the incidence matrix).
+  [[nodiscard]] NWHypergraph dual() const {
+    biedgelist<> el(hypernodes_.size(), hyperedges_.size());
+    el.reserve(el_.size());
+    for (std::size_t i = 0; i < el_.size(); ++i) {
+      auto [e, v] = el_[i];
+      el.push_back(v, e);
+    }
+    return NWHypergraph(std::move(el));
+  }
+
+  // --- lower-order approximations -----------------------------------------
+
+  /// Listing 5 `s_linegraph(s, edges)`: the s-line graph over hyperedges
+  /// (edges == true) or the s-clique graph over hypernodes (edges == false).
+  [[nodiscard]] s_linegraph make_s_linegraph(std::size_t s, bool edges = true) const {
+    if (edges) {
+      auto pairs = to_two_graph_hashmap(hyperedges_, hypernodes_, edge_degrees_, s);
+      return s_linegraph(std::move(pairs), hyperedges_.size(), edge_degrees_, s);
+    }
+    auto pairs = to_two_graph_hashmap(hypernodes_, hyperedges_, node_degrees_, s);
+    return s_linegraph(std::move(pairs), hypernodes_.size(), node_degrees_, s);
+  }
+
+  /// s-connected components / s-distance computed *without* materializing
+  /// the line graph (implicit traversal — see slinegraph/implicit.hpp for
+  /// the memory/work tradeoff).
+  [[nodiscard]] std::vector<vertex_id_t> s_connected_components_implicit(std::size_t s) const {
+    return nw::hypergraph::s_connected_components_implicit(hyperedges_, hypernodes_,
+                                                           edge_degrees_, s);
+  }
+  [[nodiscard]] std::optional<std::size_t> s_distance_implicit(std::size_t s, vertex_id_t src,
+                                                               vertex_id_t dst) const {
+    return nw::hypergraph::s_distance_implicit(hyperedges_, hypernodes_, edge_degrees_, s, src,
+                                               dst);
+  }
+
+  /// Weighted 1-line edge list: every s-adjacent pair with its exact
+  /// overlap |e_i ∩ e_j|; threshold_weighted() slices it into any L_s(H).
+  [[nodiscard]] nw::graph::edge_list<std::uint32_t> weighted_linegraph_edges(
+      std::size_t s = 1) const {
+    return to_two_graph_weighted(hyperedges_, hypernodes_, edge_degrees_, s);
+  }
+
+  /// A copy of this hypergraph with hyperedge ids relabeled by degree
+  /// (Sec. III-B.2's optimization — legal on the bipartite representation,
+  /// impossible on the adjoin one).  `perm_out`, if given, receives the
+  /// old-id -> new-id permutation.
+  [[nodiscard]] NWHypergraph relabel_edges_by_degree(
+      nw::graph::degree_order order = nw::graph::degree_order::descending,
+      std::vector<vertex_id_t>* perm_out = nullptr) const {
+    auto perm = nw::graph::degree_permutation(edge_degrees_, order);
+    biedgelist<> rel(el_.num_vertices(0), el_.num_vertices(1));
+    rel.reserve(el_.size());
+    for (std::size_t i = 0; i < el_.size(); ++i) {
+      auto [e, v] = el_[i];
+      rel.push_back(perm[e], v);
+    }
+    if (perm_out) *perm_out = std::move(perm);
+    return NWHypergraph(std::move(rel));
+  }
+
+  /// Clique-expansion graph (Sec. III-B.3): graph over hypernodes replacing
+  /// every hyperedge by a clique.
+  [[nodiscard]] nw::graph::adjacency<> clique_expansion_graph() const {
+    auto pairs = clique_expansion(hypernodes_, hyperedges_, node_degrees_);
+    pairs.set_num_vertices(hypernodes_.size());
+    pairs.symmetrize();
+    pairs.sort_and_unique();
+    return nw::graph::adjacency<>(pairs, hypernodes_.size());
+  }
+
+  // --- exact algorithms -----------------------------------------------------
+
+  /// HyperBFS from a hyperedge (direction-optimizing).
+  [[nodiscard]] hyper_bfs_result bfs(vertex_id_t source_edge) const {
+    return hyper_bfs(hyperedges_, hypernodes_, source_edge);
+  }
+
+  /// HyperCC over the bipartite representation.
+  [[nodiscard]] hyper_cc_result connected_components() const {
+    return hyper_cc(hyperedges_, hypernodes_);
+  }
+
+  /// AdjoinBFS / AdjoinCC through the adjoin representation.
+  [[nodiscard]] adjoin_bfs_result bfs_adjoin(vertex_id_t source_edge) const {
+    return adjoin_bfs(adjoin(), source_edge);
+  }
+  [[nodiscard]] adjoin_cc_result connected_components_adjoin(
+      adjoin_cc_engine engine = adjoin_cc_engine::afforest) const {
+    return adjoin_cc(adjoin(), engine);
+  }
+
+  /// Toplexes (Algorithm 3).
+  [[nodiscard]] std::vector<vertex_id_t> toplexes() const {
+    return nw::hypergraph::toplexes(hyperedges_, hypernodes_);
+  }
+
+private:
+  void init(biedgelist<> el) {
+    el.sort_and_unique();  // canonical order: sorted incidence lists everywhere
+    el_           = std::move(el);
+    hyperedges_   = biadjacency<0>(el_);
+    hypernodes_   = biadjacency<1>(el_);
+    edge_degrees_ = hyperedges_.degrees();
+    node_degrees_ = hypernodes_.degrees();
+  }
+
+  biedgelist<>                          el_;
+  biadjacency<0>                        hyperedges_;
+  biadjacency<1>                        hypernodes_;
+  std::vector<std::size_t>              edge_degrees_;
+  std::vector<std::size_t>              node_degrees_;
+  mutable std::unique_ptr<adjoin_graph> adjoin_;
+};
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,230 @@
+// nwhy/s_linegraph.hpp
+//
+// The s-line graph object with the full metric suite of the paper's
+// Listing 5 (the Python API surface): s-connectivity, s-components,
+// s-distance / s-path, s-betweenness / s-closeness / s-harmonic-closeness
+// centrality, s-eccentricity, s-degree and s-neighbors.  All metrics are
+// plain graph algorithms from the NWGraph substrate applied to the line
+// graph — that delegation is exactly the "approximate hypergraph analytics"
+// workflow of Sec. III-C.3.
+//
+// Vertices of the line graph are hyperedge ids of the original hypergraph
+// (or hypernode ids, for an s-clique graph built on the dual).  A hyperedge
+// is *active* when it has at least s incident hypernodes; inactive
+// hyperedges are isolated vertices here and are excluded from
+// connectivity-style queries, matching HyperNetX semantics.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+#include <vector>
+
+#include "nwgraph/adjacency.hpp"
+#include "nwgraph/algorithms/betweenness.hpp"
+#include "nwgraph/algorithms/bfs.hpp"
+#include "nwgraph/algorithms/closeness.hpp"
+#include "nwgraph/algorithms/connected_components.hpp"
+#include "nwgraph/algorithms/kcore.hpp"
+#include "nwgraph/algorithms/mis.hpp"
+#include "nwgraph/algorithms/pagerank.hpp"
+#include "nwgraph/algorithms/triangle_count.hpp"
+#include "nwgraph/edge_list.hpp"
+#include "nwutil/defs.hpp"
+#include "nwutil/rng.hpp"
+
+namespace nw::hypergraph {
+
+class s_linegraph {
+public:
+  /// Build from a construction algorithm's output (unique {lo, hi} pairs).
+  /// `num_entities` is the cardinality of the underlying id space (nE for a
+  /// line graph, nV for a clique graph); `entity_sizes` are the hyperedge
+  /// sizes used to determine activity.
+  s_linegraph(nw::graph::edge_list<> pairs, std::size_t num_entities,
+              const std::vector<std::size_t>& entity_sizes, std::size_t s)
+      : s_(s), active_(num_entities, false) {
+    pairs.set_num_vertices(num_entities);
+    pairs.symmetrize();
+    pairs.sort_and_unique();
+    graph_ = nw::graph::adjacency<>(pairs, num_entities);
+    for (std::size_t e = 0; e < num_entities; ++e) {
+      active_[e] = entity_sizes.size() > e && entity_sizes[e] >= s_;
+    }
+  }
+
+  [[nodiscard]] std::size_t s() const { return s_; }
+  [[nodiscard]] std::size_t num_vertices() const { return graph_.size(); }
+  /// Number of s-line-graph edges (each counted once).
+  [[nodiscard]] std::size_t num_edges() const { return graph_.num_edges() / 2; }
+  [[nodiscard]] const nw::graph::adjacency<>& graph() const { return graph_; }
+  [[nodiscard]] bool is_active(vertex_id_t v) const { return active_[v]; }
+
+  /// Listing 5 `s_degree(v)`: number of s-adjacent hyperedges.
+  [[nodiscard]] std::size_t s_degree(vertex_id_t v) const { return graph_.degree(v); }
+
+  /// Listing 5 `s_neighbors(v)`: the s-adjacent hyperedge ids.
+  [[nodiscard]] std::vector<vertex_id_t> s_neighbors(vertex_id_t v) const {
+    auto                     nbrs = graph_[v];
+    std::vector<vertex_id_t> out(nbrs.begin(), nbrs.end());
+    return out;
+  }
+
+  /// Listing 5 `s_connected_components()`: component label per entity.
+  /// Inactive entities receive null_vertex.
+  [[nodiscard]] std::vector<vertex_id_t> s_connected_components() const {
+    auto labels = nw::graph::cc_afforest(graph_);
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+      if (!active_[v]) labels[v] = null_vertex<>;
+    }
+    return labels;
+  }
+
+  /// Listing 5 `is_s_connected()`: true when every active entity lies in a
+  /// single component (and there is at least one active entity).
+  [[nodiscard]] bool is_s_connected() const {
+    auto        labels = nw::graph::cc_afforest(graph_);
+    vertex_id_t first  = null_vertex<>;
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+      if (!active_[v]) continue;
+      if (first == null_vertex<>) {
+        first = labels[v];
+      } else if (labels[v] != first) {
+        return false;
+      }
+    }
+    return first != null_vertex<>;
+  }
+
+  /// Listing 5 `s_distance(src, dest)`: hop distance in the s-line graph;
+  /// nullopt when unreachable.
+  [[nodiscard]] std::optional<std::size_t> s_distance(vertex_id_t src, vertex_id_t dest) const {
+    auto dist = nw::graph::bfs_distances(graph_, src);
+    if (dist[dest] == null_vertex<>) return std::nullopt;
+    return static_cast<std::size_t>(dist[dest]);
+  }
+
+  /// Listing 5 `s_path(src, dest)`: one shortest s-walk between two
+  /// hyperedges (sequence of hyperedge ids); empty when unreachable.
+  [[nodiscard]] std::vector<vertex_id_t> s_path(vertex_id_t src, vertex_id_t dest) const {
+    auto parents = nw::graph::bfs_top_down(graph_, src);
+    if (parents[dest] == null_vertex<>) return {};
+    std::vector<vertex_id_t> path{dest};
+    vertex_id_t              cur = dest;
+    while (cur != src) {
+      cur = parents[cur];
+      path.push_back(cur);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  /// Listing 5 `s_betweenness_centrality(normalized)`.
+  [[nodiscard]] std::vector<double> s_betweenness_centrality(bool normalized = true) const {
+    return nw::graph::betweenness_centrality(graph_, normalized);
+  }
+
+  /// Listing 5 `s_closeness_centrality(v)`: all entities, or one.
+  [[nodiscard]] std::vector<double> s_closeness_centrality() const {
+    return nw::graph::closeness_centrality(graph_);
+  }
+  [[nodiscard]] double s_closeness_centrality(vertex_id_t v) const {
+    return nw::graph::closeness_centrality(graph_)[v];
+  }
+
+  /// Listing 5 `s_harmonic_closeness_centrality(v)`.
+  [[nodiscard]] std::vector<double> s_harmonic_closeness_centrality() const {
+    return nw::graph::harmonic_closeness_centrality(graph_);
+  }
+  [[nodiscard]] double s_harmonic_closeness_centrality(vertex_id_t v) const {
+    return nw::graph::harmonic_closeness_centrality(graph_)[v];
+  }
+
+  /// Listing 5 `s_eccentricity(v)`.
+  [[nodiscard]] std::vector<vertex_id_t> s_eccentricity() const {
+    return nw::graph::eccentricity(graph_);
+  }
+  [[nodiscard]] vertex_id_t s_eccentricity(vertex_id_t v) const {
+    return nw::graph::eccentricity(graph_)[v];
+  }
+
+  /// s-diameter: the largest eccentricity among active entities (the
+  /// longest shortest s-walk); 0 for an edgeless line graph.
+  [[nodiscard]] std::size_t s_diameter() const {
+    auto        ecc  = nw::graph::eccentricity(graph_);
+    vertex_id_t best = 0;
+    for (std::size_t v = 0; v < ecc.size(); ++v) {
+      if (active_[v]) best = std::max(best, ecc[v]);
+    }
+    return best;
+  }
+
+  /// s-PageRank over the line graph (the PageRank-on-projection workflow of
+  /// MESH / HyperX, here at arbitrary s).
+  [[nodiscard]] std::vector<double> s_pagerank(double damping = 0.85) const {
+    return nw::graph::pagerank(graph_, damping);
+  }
+
+  /// s-core numbers: k-core decomposition of the line graph.
+  [[nodiscard]] std::vector<std::size_t> s_core_numbers() const {
+    return nw::graph::kcore_decomposition(graph_);
+  }
+
+  /// Number of s-triangles: triples of mutually s-adjacent hyperedges.
+  [[nodiscard]] std::size_t s_triangle_count() const {
+    return nw::graph::triangle_count(graph_);
+  }
+
+  /// Global clustering coefficient of the line graph
+  /// (3 * triangles / open-or-closed wedges).
+  [[nodiscard]] double s_clustering_coefficient() const {
+    std::size_t wedges = 0;
+    for (std::size_t v = 0; v < graph_.size(); ++v) {
+      std::size_t d = graph_.degree(v);
+      wedges += d * (d - 1) / 2;
+    }
+    if (wedges == 0) return 0.0;
+    return 3.0 * static_cast<double>(nw::graph::triangle_count(graph_)) /
+           static_cast<double>(wedges);
+  }
+
+  /// A random s-walk (Aksoy et al.: "an s-walk is a random walk on the
+  /// s-line graph"): starting from `start`, take up to `length` uniform
+  /// steps across s-adjacencies.  The walk stops early at a vertex with no
+  /// s-neighbors.  Returns the visited sequence, starting with `start`.
+  [[nodiscard]] std::vector<vertex_id_t> random_s_walk(vertex_id_t start, std::size_t length,
+                                                       std::uint64_t seed = 0x5A17) const {
+    std::vector<vertex_id_t> walk{start};
+    xoshiro256ss             rng(seed);
+    vertex_id_t              cur = start;
+    for (std::size_t step = 0; step < length; ++step) {
+      std::size_t d = graph_.degree(cur);
+      if (d == 0) break;
+      auto nbrs = graph_[cur];
+      auto it   = nbrs.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.bounded(d)));
+      cur = nw::graph::target(*it);
+      walk.push_back(cur);
+    }
+    return walk;
+  }
+
+  /// A maximal set of pairwise non-s-adjacent hyperedges (an s-matching of
+  /// the hypergraph), via parallel MIS on the line graph.  Inactive
+  /// entities are excluded from the result.
+  [[nodiscard]] std::vector<vertex_id_t> s_independent_edges(std::uint64_t seed = 0x315D) const {
+    auto                     mis = nw::graph::maximal_independent_set(graph_, seed);
+    std::vector<vertex_id_t> out;
+    for (std::size_t v = 0; v < mis.size(); ++v) {
+      if (mis[v] && active_[v]) out.push_back(static_cast<vertex_id_t>(v));
+    }
+    return out;
+  }
+
+private:
+  std::size_t            s_;
+  std::vector<char>      active_;
+  nw::graph::adjacency<> graph_;
+};
+
+}  // namespace nw::hypergraph

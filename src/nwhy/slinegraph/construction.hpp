@@ -1,0 +1,403 @@
+// nwhy/slinegraph/construction.hpp
+//
+// s-line graph construction (paper Sec. III-B.4 / III-C.3).  Given a
+// hypergraph H, the s-line graph L_s(H) has one vertex per hyperedge and an
+// edge {e_i, e_j} whenever |e_i ∩ e_j| >= s.  Six parallel construction
+// algorithms are provided:
+//
+//   to_two_graph_naive             all-pairs set intersection (reference)
+//   to_two_graph_intersection     indirection + per-edge dedup + early-exit
+//                                  set intersection (HiPC'21 heuristic)
+//   to_two_graph_hashmap          per-source overlap counting in a private
+//                                  hashmap (IPDPS'22)
+//   to_two_graph_ensemble         one counting pass emitting L_s for a whole
+//                                  vector of s values (IPDPS'22 ensemble)
+//   to_two_graph_queue_hashmap    *Algorithm 1*: the hashmap algorithm over
+//                                  an explicit work queue of hyperedge ids
+//   to_two_graph_queue_intersection  *Algorithm 2*: two-phase — enqueue
+//                                  eligible pairs, then set-intersect each
+//
+// The queue-based algorithms accept any id set (original, permuted by
+// degree, or adjoin single-index ids) — that versatility is their point.
+// Every function is generic over two graph-like structures:
+//   edges: hyperedge id -> incident hypernode ids
+//   nodes: hypernode id -> incident hyperedge ids
+// For the bipartite representation these are biadjacency<0>/<1>; for the
+// adjoin representation, pass the same adjoin CSR as both (hypernode
+// neighborhoods are hyperedge ids and vice versa by construction).
+// Dually, swapping the roles of edges/nodes yields the s-clique graph, whose
+// s = 1 case is the clique expansion.
+//
+// All functions return an edge list containing each line-graph edge once,
+// as {min(e_i, e_j), max(e_i, e_j)} pairs in whatever id space the inputs
+// use.  Neighbor lists must be sorted ascending (the intersection variants
+// rely on it); biadjacency built from a sort_and_unique'd biedgelist
+// satisfies this.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nwgraph/concepts.hpp"
+#include "nwgraph/edge_list.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwpar/partitioners.hpp"
+#include "nwpar/range_adaptors.hpp"
+#include "nwpar/work_stealing.hpp"  // the stealing partitioner is also accepted
+#include "nwutil/defs.hpp"
+#include "nwutil/flat_hashmap.hpp"
+
+namespace nw::hypergraph {
+
+using nw::graph::target;
+using nw::vertex_id_t;
+
+/// |a ∩ b| for two sorted ranges, stopping once `cap` common elements are
+/// found (pass s: the caller only needs to know whether the overlap
+/// reaches s).
+template <class R1, class R2>
+std::size_t intersection_size(R1&& a, R2&& b, std::size_t cap = static_cast<std::size_t>(-1)) {
+  std::size_t count = 0;
+  auto        it1 = a.begin();
+  auto        it2 = b.begin();
+  while (it1 != a.end() && it2 != b.end()) {
+    vertex_id_t x = target(*it1);
+    vertex_id_t y = target(*it2);
+    if (x < y) {
+      ++it1;
+    } else if (y < x) {
+      ++it2;
+    } else {
+      if (++count >= cap) return count;
+      ++it1;
+      ++it2;
+    }
+  }
+  return count;
+}
+
+namespace detail {
+
+/// Default work list: all hyperedge ids [0, n).
+inline std::vector<vertex_id_t> iota_queue(std::size_t n) {
+  std::vector<vertex_id_t> q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = static_cast<vertex_id_t>(i);
+  return q;
+}
+
+}  // namespace detail
+
+/// Reference algorithm: test every pair of hyperedges.  O(nE² · d); used by
+/// the correctness tests as ground truth and by the Fig. 9 harness on the
+/// smallest input only.
+template <class EGraph, class NGraph>
+nw::graph::edge_list<> to_two_graph_naive(const EGraph& edges, const NGraph& nodes,
+                                          const std::vector<std::size_t>& edge_degrees,
+                                          std::size_t s) {
+  (void)nodes;
+  const std::size_t                           ne = edges.size();
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
+  par::parallel_for(0, ne, [&](unsigned tid, std::size_t i) {
+    if (edge_degrees[i] < s) return;
+    for (std::size_t j = i + 1; j < ne; ++j) {
+      if (edge_degrees[j] < s) continue;
+      if (intersection_size(edges[i], edges[j], s) >= s) {
+        out.local(tid).push_back({static_cast<vertex_id_t>(i), static_cast<vertex_id_t>(j)});
+      }
+    }
+  });
+  auto                   pairs = par::merge_thread_vectors(out);
+  nw::graph::edge_list<> result(ne);
+  result.reserve(pairs.size());
+  for (auto [a, b] : pairs) result.push_back(a, b);
+  return result;
+}
+
+/// HiPC'21 set-intersection heuristic with the indirection pattern
+/// "for each e_i, for each v in e_i, for each e_j in v": candidate
+/// neighbors are discovered through shared hypernodes (skipping the
+/// quadratic pair scan), deduplicated with a per-thread last-seen stamp,
+/// then verified by an early-exit set intersection.
+template <class EGraph, class NGraph, class Partition = par::blocked>
+nw::graph::edge_list<> to_two_graph_intersection(const EGraph& edges, const NGraph& nodes,
+                                                 const std::vector<std::size_t>& edge_degrees,
+                                                 std::size_t s, std::size_t id_bound = 0,
+                                                 Partition part = {}) {
+  const std::size_t ne    = edges.size();
+  const std::size_t bound = id_bound != 0 ? id_bound : ne;
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
+  par::per_thread<std::vector<vertex_id_t>>                         stamps;
+  stamps.for_each([&](std::vector<vertex_id_t>& v) { v.assign(bound, nw::null_vertex<>); });
+
+  par::parallel_for(
+      0, ne,
+      [&](unsigned tid, std::size_t i) {
+        if (edge_degrees[i] < s) return;
+        auto&       seen = stamps.local(tid);
+        vertex_id_t ei   = static_cast<vertex_id_t>(i);
+        for (auto&& ev : edges[i]) {
+          vertex_id_t v = target(ev);
+          for (auto&& ve : nodes[v]) {
+            vertex_id_t ej = target(ve);
+            if (ej <= ei || edge_degrees[ej] < s) continue;
+            if (seen[ej] == ei) continue;  // pair already verified via another shared node
+            seen[ej] = ei;
+            if (intersection_size(edges[ei], edges[ej], s) >= s) {
+              out.local(tid).push_back({ei, ej});
+            }
+          }
+        }
+      },
+      part);
+  auto                   pairs = par::merge_thread_vectors(out);
+  nw::graph::edge_list<> result(bound);
+  result.reserve(pairs.size());
+  for (auto [a, b] : pairs) result.push_back(a, b);
+  return result;
+}
+
+namespace detail {
+
+/// Shared kernel of the hashmap-counting algorithms: process one hyperedge
+/// `ei`, counting overlaps with every larger-id hyperedge reachable through
+/// a shared hypernode, then emit pairs whose count reaches s.
+template <class EGraph, class NGraph>
+void hashmap_process_edge(const EGraph& edges, const NGraph& nodes,
+                          const std::vector<std::size_t>& edge_degrees, std::size_t s,
+                          vertex_id_t ei, counting_hashmap<>& overlap,
+                          std::vector<std::pair<vertex_id_t, vertex_id_t>>& out) {
+  if (edge_degrees[ei] < s) return;
+  overlap.clear();
+  for (auto&& ev : edges[ei]) {
+    vertex_id_t v = target(ev);
+    for (auto&& ve : nodes[v]) {
+      vertex_id_t ej = target(ve);
+      if (ej > ei && edge_degrees[ej] >= s) overlap.increment(ej);
+    }
+  }
+  overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
+    if (n >= s) out.push_back({ei, ej});
+  });
+}
+
+}  // namespace detail
+
+/// IPDPS'22 hashmap-counting algorithm: iterates hyperedges [0, nE)
+/// directly (contiguous-id assumption the queue variant removes).
+template <class EGraph, class NGraph, class Partition = par::blocked>
+nw::graph::edge_list<> to_two_graph_hashmap(const EGraph& edges, const NGraph& nodes,
+                                            const std::vector<std::size_t>& edge_degrees,
+                                            std::size_t s, Partition part = {}) {
+  const std::size_t ne = edges.size();
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
+  par::per_thread<counting_hashmap<>>                               maps;
+  par::parallel_for(
+      0, ne,
+      [&](unsigned tid, std::size_t i) {
+        detail::hashmap_process_edge(edges, nodes, edge_degrees, s,
+                                     static_cast<vertex_id_t>(i), maps.local(tid),
+                                     out.local(tid));
+      },
+      part);
+  auto                   pairs = par::merge_thread_vectors(out);
+  nw::graph::edge_list<> result(ne);
+  result.reserve(pairs.size());
+  for (auto [a, b] : pairs) result.push_back(a, b);
+  return result;
+}
+
+/// **Algorithm 1** (paper): single-phase queue-based hashmap counting.  The
+/// hyperedge ids to process arrive in an explicit work queue, so the ids
+/// may be original, permuted by degree, or adjoin-graph ids — no
+/// contiguous-[0, nE) assumption.  `id_bound` is an exclusive upper bound on
+/// the ids (used to size the output's vertex count).
+template <class EGraph, class NGraph, class Partition = par::blocked>
+nw::graph::edge_list<> to_two_graph_queue_hashmap(std::span<const vertex_id_t> queue,
+                                                  const EGraph& edges, const NGraph& nodes,
+                                                  const std::vector<std::size_t>& edge_degrees,
+                                                  std::size_t s, std::size_t id_bound,
+                                                  Partition part = {}) {
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
+  par::per_thread<counting_hashmap<>>                               maps;
+  par::parallel_for(
+      0, queue.size(),
+      [&](unsigned tid, std::size_t qi) {
+        detail::hashmap_process_edge(edges, nodes, edge_degrees, s, queue[qi], maps.local(tid),
+                                     out.local(tid));
+      },
+      part);
+  auto                   pairs = par::merge_thread_vectors(out);
+  nw::graph::edge_list<> result(id_bound);
+  result.reserve(pairs.size());
+  for (auto [a, b] : pairs) result.push_back(a, b);
+  return result;
+}
+
+/// **Algorithm 2** (paper): two-phase queue-based set intersection.
+/// Phase 1 discovers eligible pairs through shared hypernodes and enqueues
+/// them (per-thread queues, merged).  Phase 2 is a flat parallel loop of
+/// set intersections over the pair queue — one loop, fine-grained units,
+/// hence the better load-balance potential the paper claims.
+template <class EGraph, class NGraph, class Partition = par::blocked>
+nw::graph::edge_list<> to_two_graph_queue_intersection(
+    std::span<const vertex_id_t> queue, const EGraph& edges, const NGraph& nodes,
+    const std::vector<std::size_t>& edge_degrees, std::size_t s, std::size_t id_bound,
+    Partition part = {}) {
+  using pair_t = std::pair<vertex_id_t, vertex_id_t>;
+  // Phase 1: enqueue candidate pairs.
+  par::per_thread<std::vector<pair_t>>      pair_queues;
+  par::per_thread<std::vector<vertex_id_t>> stamps;
+  stamps.for_each([&](std::vector<vertex_id_t>& v) { v.assign(id_bound, nw::null_vertex<>); });
+  par::parallel_for(
+      0, queue.size(),
+      [&](unsigned tid, std::size_t qi) {
+        vertex_id_t ei = queue[qi];
+        if (edge_degrees[ei] < s) return;
+        auto& seen = stamps.local(tid);
+        for (auto&& ev : edges[ei]) {
+          vertex_id_t v = target(ev);
+          for (auto&& ve : nodes[v]) {
+            vertex_id_t ej = target(ve);
+            if (ej <= ei || edge_degrees[ej] < s) continue;
+            if (seen[ej] == ei) continue;
+            seen[ej] = ei;
+            pair_queues.local(tid).push_back({ei, ej});
+          }
+        }
+      },
+      part);
+  auto pairs = par::merge_thread_vectors(pair_queues);
+
+  // Phase 2: one flat loop of early-exit set intersections.
+  par::per_thread<std::vector<pair_t>> out;
+  par::parallel_for(
+      0, pairs.size(),
+      [&](unsigned tid, std::size_t k) {
+        auto [ei, ej] = pairs[k];
+        if (intersection_size(edges[ei], edges[ej], s) >= s) {
+          out.local(tid).push_back({ei, ej});
+        }
+      },
+      part);
+  auto                   kept = par::merge_thread_vectors(out);
+  nw::graph::edge_list<> result(id_bound);
+  result.reserve(kept.size());
+  for (auto [a, b] : kept) result.push_back(a, b);
+  return result;
+}
+
+/// IPDPS'22 ensemble algorithm: one counting pass over the hypergraph
+/// produces L_s for *every* s in `s_values` (sorted ascending not required).
+/// Returns one edge list per requested s, in the same order.
+template <class EGraph, class NGraph, class Partition = par::blocked>
+std::vector<nw::graph::edge_list<>> to_two_graph_ensemble(
+    const EGraph& edges, const NGraph& nodes, const std::vector<std::size_t>& edge_degrees,
+    const std::vector<std::size_t>& s_values, Partition part = {}) {
+  const std::size_t ne    = edges.size();
+  std::size_t       s_min = static_cast<std::size_t>(-1);
+  for (auto s : s_values) s_min = std::min(s_min, s);
+  const std::size_t k = s_values.size();
+
+  using pair_t = std::pair<vertex_id_t, vertex_id_t>;
+  par::per_thread<std::vector<std::vector<pair_t>>> out;
+  out.for_each([&](std::vector<std::vector<pair_t>>& v) { v.resize(k); });
+  par::per_thread<counting_hashmap<>> maps;
+
+  par::parallel_for(
+      0, ne,
+      [&](unsigned tid, std::size_t i) {
+        vertex_id_t ei = static_cast<vertex_id_t>(i);
+        if (edge_degrees[ei] < s_min) return;
+        auto& overlap = maps.local(tid);
+        overlap.clear();
+        for (auto&& ev : edges[ei]) {
+          vertex_id_t v = target(ev);
+          for (auto&& ve : nodes[v]) {
+            vertex_id_t ej = target(ve);
+            if (ej > ei && edge_degrees[ej] >= s_min) overlap.increment(ej);
+          }
+        }
+        auto& locals = out.local(tid);
+        overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
+          for (std::size_t si = 0; si < k; ++si) {
+            if (n >= s_values[si] && edge_degrees[ei] >= s_values[si] &&
+                edge_degrees[ej] >= s_values[si]) {
+              locals[si].push_back({ei, ej});
+            }
+          }
+        });
+      },
+      part);
+
+  std::vector<nw::graph::edge_list<>> results;
+  results.reserve(k);
+  for (std::size_t si = 0; si < k; ++si) {
+    std::size_t total = 0;
+    out.for_each([&](const std::vector<std::vector<pair_t>>& v) { total += v[si].size(); });
+    nw::graph::edge_list<> el(ne);
+    el.reserve(total);
+    out.for_each([&](std::vector<std::vector<pair_t>>& v) {
+      for (auto [a, b] : v[si]) el.push_back(a, b);
+    });
+    results.push_back(std::move(el));
+  }
+  return results;
+}
+
+/// Hashmap counting driven by the cyclic_neighbor_range adaptor (paper
+/// Listing 4, third style): bins of (hyperedge, neighborhood) tuples are
+/// handed to threads whole, so the kernel never re-indexes the outer
+/// structure.  Produces the same edge set as to_two_graph_hashmap.
+template <class EGraph, class NGraph>
+nw::graph::edge_list<> to_two_graph_neighbor_range(const EGraph& edges, const NGraph& nodes,
+                                                   const std::vector<std::size_t>& edge_degrees,
+                                                   std::size_t s, std::size_t num_bins = 0) {
+  const std::size_t ne = edges.size();
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
+  par::per_thread<counting_hashmap<>>                               maps;
+  par::for_each_cyclic_neighborhood(
+      edges, num_bins, [&](unsigned tid, std::size_t i, auto&& neighborhood) {
+        vertex_id_t ei = static_cast<vertex_id_t>(i);
+        if (edge_degrees[ei] < s) return;
+        auto& overlap = maps.local(tid);
+        overlap.clear();
+        for (auto&& ev : neighborhood) {
+          for (auto&& ve : nodes[target(ev)]) {
+            vertex_id_t ej = target(ve);
+            if (ej > ei && edge_degrees[ej] >= s) overlap.increment(ej);
+          }
+        }
+        overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
+          if (n >= s) out.local(tid).push_back({ei, ej});
+        });
+      });
+  auto                   pairs = par::merge_thread_vectors(out);
+  nw::graph::edge_list<> result(ne);
+  result.reserve(pairs.size());
+  for (auto [a, b] : pairs) result.push_back(a, b);
+  return result;
+}
+
+/// Paper Listing 2 convenience spelling: the hashmap algorithm with the
+/// cyclic partitioning strategy.  `num_threads` is accepted for interface
+/// fidelity but the pool's configured concurrency governs execution.
+template <class EGraph, class NGraph>
+nw::graph::edge_list<> to_two_graph_hashmap_cyclic(const EGraph& edges, const NGraph& nodes,
+                                                   const std::vector<std::size_t>& edge_degrees,
+                                                   std::size_t s, std::size_t num_threads,
+                                                   std::size_t num_bins) {
+  (void)num_threads;
+  return to_two_graph_hashmap(edges, nodes, edge_degrees, s, par::cyclic{num_bins});
+}
+
+/// Clique expansion (Sec. III-B.3) = the 1-line graph of the dual: vertices
+/// are hypernodes, with an edge between every pair of hypernodes sharing a
+/// hyperedge.  Known to blow up on large hyperedges — that cost is the
+/// motivation for s-line graphs, and the Fig. 9 harness measures it.
+template <class NGraph, class EGraph>
+nw::graph::edge_list<> clique_expansion(const NGraph& nodes, const EGraph& edges,
+                                        const std::vector<std::size_t>& node_degrees) {
+  return to_two_graph_hashmap(nodes, edges, node_degrees, 1);
+}
+
+}  // namespace nw::hypergraph

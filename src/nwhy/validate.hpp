@@ -1,0 +1,70 @@
+// nwhy/validate.hpp
+//
+// Structural validation for externally loaded hypergraphs.  The I/O
+// readers enforce format-level invariants; this checks the semantic ones a
+// downstream pipeline cares about before handing data to the parallel
+// kernels (which assume canonical form for, e.g., sorted-list
+// intersections).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nwhy/biedgelist.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+struct validation_report {
+  bool        ids_in_bounds     = true;  ///< every id < declared cardinality
+  bool        canonical_order   = true;  ///< sorted by (edge, node)
+  bool        no_duplicates     = true;  ///< no repeated incidence
+  std::size_t empty_hyperedges  = 0;     ///< declared edges with no incidence
+  std::size_t isolated_nodes    = 0;     ///< declared nodes with no incidence
+
+  [[nodiscard]] bool canonical() const {
+    return ids_in_bounds && canonical_order && no_duplicates;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s;
+    s += ids_in_bounds ? "ids in bounds; " : "IDS OUT OF BOUNDS; ";
+    s += canonical_order ? "sorted; " : "NOT SORTED; ";
+    s += no_duplicates ? "unique; " : "DUPLICATE INCIDENCES; ";
+    s += std::to_string(empty_hyperedges) + " empty hyperedges, ";
+    s += std::to_string(isolated_nodes) + " isolated hypernodes";
+    return s;
+  }
+};
+
+/// Inspect a bipartite edge list; never aborts (unlike the NW_ASSERT-based
+/// reader checks), so callers can report problems to users.
+inline validation_report validate(const biedgelist<>& el) {
+  validation_report r;
+  const auto&       edges = el.edge_ids();
+  const auto&       nodes = el.node_ids();
+  const std::size_t ne    = el.num_vertices(0);
+  const std::size_t nv    = el.num_vertices(1);
+
+  std::vector<char> edge_seen(ne, 0), node_seen(nv, 0);
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    if (edges[i] >= ne || nodes[i] >= nv) {
+      r.ids_in_bounds = false;
+      continue;
+    }
+    edge_seen[edges[i]] = 1;
+    node_seen[nodes[i]] = 1;
+    if (i > 0) {
+      if (edges[i - 1] > edges[i] ||
+          (edges[i - 1] == edges[i] && nodes[i - 1] > nodes[i])) {
+        r.canonical_order = false;
+      }
+      if (edges[i - 1] == edges[i] && nodes[i - 1] == nodes[i]) r.no_duplicates = false;
+    }
+  }
+  for (auto s : edge_seen) r.empty_hyperedges += s == 0;
+  for (auto s : node_seen) r.isolated_nodes += s == 0;
+  return r;
+}
+
+}  // namespace nw::hypergraph

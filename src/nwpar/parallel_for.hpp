@@ -1,0 +1,180 @@
+// nwpar/parallel_for.hpp
+//
+// Fork-join parallel loops over index ranges with pluggable partitioning
+// (see partitioners.hpp).  The body may have either of two signatures:
+//
+//   body(std::size_t i)                 — per element
+//   body(unsigned tid, std::size_t i)   — per element with worker id, for
+//                                         algorithms keeping per-thread state
+//
+// parallel_reduce additionally folds a per-thread accumulator.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "nwpar/partitioners.hpp"
+#include "nwpar/thread_pool.hpp"
+
+namespace nw::par {
+
+namespace detail {
+
+template <class Body>
+void invoke_body(Body& body, unsigned tid, std::size_t i) {
+  if constexpr (std::is_invocable_v<Body&, unsigned, std::size_t>) {
+    body(tid, i);
+  } else {
+    static_assert(std::is_invocable_v<Body&, std::size_t>,
+                  "parallel_for body must be callable as body(i) or body(tid, i)");
+    body(i);
+  }
+}
+
+}  // namespace detail
+
+/// Blocked (dynamic contiguous chunks).
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, Body body, blocked part = {},
+                  thread_pool& pool = thread_pool::default_pool()) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (pool.concurrency() == 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) detail::invoke_body(body, 0, i);
+    return;
+  }
+  const std::size_t        grain = resolve_grain(part.grain, n, pool.concurrency());
+  std::atomic<std::size_t> cursor{begin};
+  pool.run([&](unsigned tid) {
+    for (;;) {
+      std::size_t chunk_begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) break;
+      std::size_t chunk_end = std::min(chunk_begin + grain, end);
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) detail::invoke_body(body, tid, i);
+    }
+  });
+}
+
+/// Static blocked (one contiguous block per thread, no balancing).
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, Body body, static_blocked,
+                  thread_pool& pool = thread_pool::default_pool()) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const unsigned    t = pool.concurrency();
+  if (t == 1) {
+    for (std::size_t i = begin; i < end; ++i) detail::invoke_body(body, 0, i);
+    return;
+  }
+  const std::size_t block = (n + t - 1) / t;
+  pool.run([&](unsigned tid) {
+    std::size_t b = begin + static_cast<std::size_t>(tid) * block;
+    std::size_t e = std::min(b + block, end);
+    for (std::size_t i = b; i < e; ++i) detail::invoke_body(body, tid, i);
+  });
+}
+
+/// Cyclic (paper Sec. III-D): bin b covers {begin + b, begin + b + stride, ...};
+/// bins are claimed dynamically from a shared cursor.
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, Body body, cyclic part,
+                  thread_pool& pool = thread_pool::default_pool()) {
+  if (begin >= end) return;
+  const unsigned t = pool.concurrency();
+  if (t == 1) {
+    for (std::size_t i = begin; i < end; ++i) detail::invoke_body(body, 0, i);
+    return;
+  }
+  const std::size_t        stride = resolve_bins(part.num_bins, t);
+  std::atomic<std::size_t> next_bin{0};
+  pool.run([&](unsigned tid) {
+    for (;;) {
+      std::size_t bin = next_bin.fetch_add(1, std::memory_order_relaxed);
+      if (bin >= stride) break;
+      for (std::size_t i = begin + bin; i < end; i += stride) detail::invoke_body(body, tid, i);
+    }
+  });
+}
+
+/// parallel_reduce: fold `body(acc, i)` per thread over the range (blocked
+/// partitioning), then combine per-thread accumulators with `combine`.
+template <class T, class Body, class Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, Body body, Combine combine,
+                  thread_pool& pool = thread_pool::default_pool()) {
+  if (begin >= end) return identity;
+  const unsigned t = pool.concurrency();
+  if (t == 1) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = body(std::move(acc), i);
+    return acc;
+  }
+  // Deliberately not std::vector<T>: vector<bool>'s proxy references break
+  // generic combine signatures, and padding avoids false sharing.
+  struct alignas(64) padded_acc {
+    T value;
+  };
+  std::vector<padded_acc>  partial(t, padded_acc{identity});
+  const std::size_t        grain = resolve_grain(0, end - begin, t);
+  std::atomic<std::size_t> cursor{begin};
+  pool.run([&](unsigned tid) {
+    T acc = identity;
+    for (;;) {
+      std::size_t chunk_begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) break;
+      std::size_t chunk_end = std::min(chunk_begin + grain, end);
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) acc = body(std::move(acc), i);
+    }
+    partial[tid].value = std::move(acc);
+  });
+  T acc = identity;
+  for (auto& p : partial) acc = combine(std::move(acc), std::move(p.value));
+  return acc;
+}
+
+/// Per-thread storage: one value per pool context, padded to a cache line to
+/// avoid false sharing between workers appending to their local buffers.
+template <class T>
+class per_thread {
+  struct alignas(64) padded {
+    T value{};
+  };
+
+public:
+  explicit per_thread(thread_pool& pool = thread_pool::default_pool())
+      : slots_(pool.concurrency()) {}
+
+  T&       local(unsigned tid) { return slots_[tid].value; }
+  const T& local(unsigned tid) const { return slots_[tid].value; }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Visit every per-thread value (sequentially, after the parallel phase).
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (auto& s : slots_) fn(s.value);
+  }
+
+private:
+  std::vector<padded> slots_;
+};
+
+/// Merge per-thread vectors into one, preserving per-thread order.  This is
+/// the "L_s(H) <- L_s(H) ∪ every L_t(H)" step of Algorithms 1 and 2.
+template <class T>
+std::vector<T> merge_thread_vectors(per_thread<std::vector<T>>& buffers) {
+  std::size_t total = 0;
+  buffers.for_each([&](const std::vector<T>& v) { total += v.size(); });
+  std::vector<T> merged;
+  merged.reserve(total);
+  buffers.for_each([&](std::vector<T>& v) {
+    merged.insert(merged.end(), v.begin(), v.end());
+    v.clear();
+    v.shrink_to_fit();
+  });
+  return merged;
+}
+
+}  // namespace nw::par

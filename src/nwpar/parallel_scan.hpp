@@ -1,0 +1,57 @@
+// nwpar/parallel_scan.hpp
+//
+// Two-pass parallel exclusive prefix sum (Blelloch-style over contiguous
+// blocks): each thread sums a block, block offsets are scanned serially
+// (T values), then each thread writes its block's running prefix.  Used by
+// the parallel CSR builder; small inputs fall back to std::exclusive_scan.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "nwpar/thread_pool.hpp"
+
+namespace nw::par {
+
+/// In-place exclusive prefix sum over `values`; returns the total sum.
+template <class T>
+T parallel_exclusive_scan(std::vector<T>& values,
+                          thread_pool& pool = thread_pool::default_pool()) {
+  const std::size_t n = values.size();
+  const unsigned    t = pool.concurrency();
+  if (t == 1 || n < 1u << 14) {
+    T total{};
+    for (auto& v : values) {
+      T next = total + v;
+      v      = total;
+      total  = next;
+    }
+    return total;
+  }
+  const std::size_t block = (n + t - 1) / t;
+  std::vector<T>    block_sums(t, T{});
+  pool.run([&](unsigned tid) {
+    std::size_t lo = tid * block, hi = std::min(lo + block, n);
+    T           sum{};
+    for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+    block_sums[tid] = sum;
+  });
+  std::vector<T> block_offsets(t, T{});
+  T              total{};
+  for (unsigned b = 0; b < t; ++b) {
+    block_offsets[b] = total;
+    total += block_sums[b];
+  }
+  pool.run([&](unsigned tid) {
+    std::size_t lo = tid * block, hi = std::min(lo + block, n);
+    T           running = block_offsets[tid];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next    = running + values[i];
+      values[i] = running;
+      running   = next;
+    }
+  });
+  return total;
+}
+
+}  // namespace nw::par

@@ -1,0 +1,50 @@
+// nwpar/parallel_sort.hpp
+//
+// Parallel block sort + merge tree.  Good enough to keep edge-list
+// canonicalization off the critical path; falls back to std::sort for small
+// inputs or single-threaded pools.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "nwpar/thread_pool.hpp"
+
+namespace nw::par {
+
+template <class RandomIt, class Compare = std::less<>>
+void parallel_sort(RandomIt first, RandomIt last, Compare comp = {},
+                   thread_pool& pool = thread_pool::default_pool()) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  const unsigned    t = pool.concurrency();
+  if (t == 1 || n < 1u << 14) {
+    std::sort(first, last, comp);
+    return;
+  }
+  // Sort t contiguous blocks in parallel.
+  const std::size_t        block = (n + t - 1) / t;
+  std::vector<std::size_t> bounds;
+  for (std::size_t b = 0; b <= n; b += block) bounds.push_back(std::min(b, n));
+  if (bounds.back() != n) bounds.push_back(n);
+  const std::size_t nblocks = bounds.size() - 1;
+  pool.run([&](unsigned tid) {
+    for (std::size_t b = tid; b < nblocks; b += t) {
+      std::sort(first + bounds[b], first + bounds[b + 1], comp);
+    }
+  });
+  // Binary merge tree; each level merges adjacent block pairs in parallel.
+  for (std::size_t width = 1; width < nblocks; width *= 2) {
+    pool.run([&](unsigned tid) {
+      for (std::size_t b = tid * 2 * width; b + width < nblocks;
+           b += static_cast<std::size_t>(t) * 2 * width) {
+        std::size_t lo  = bounds[b];
+        std::size_t mid = bounds[b + width];
+        std::size_t hi  = bounds[std::min(b + 2 * width, nblocks)];
+        std::inplace_merge(first + lo, first + mid, first + hi, comp);
+      }
+    });
+  }
+}
+
+}  // namespace nw::par

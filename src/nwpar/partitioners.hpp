@@ -1,0 +1,52 @@
+// nwpar/partitioners.hpp
+//
+// Workload-partitioning strategies for parallel_for, mirroring Section III-D
+// of the paper: oneTBB's built-in blocked range plus NWHy's custom *cyclic
+// range* and (in range_adaptors.hpp) *cyclic neighbor range*.
+//
+// Each strategy is a small tag type carrying its tuning knob; parallel_for
+// dispatches on the tag at compile time, so the inner loops are free of
+// strategy branches.
+#pragma once
+
+#include <cstddef>
+
+namespace nw::par {
+
+/// Dynamic blocked partitioning: the index range is cut into contiguous
+/// chunks of `grain` elements which idle threads claim from a shared atomic
+/// cursor.  grain == 0 picks a chunk size targeting ~8 chunks per thread,
+/// emulating tbb::auto_partitioner.
+struct blocked {
+  std::size_t grain = 0;
+};
+
+/// Static blocked partitioning: exactly one contiguous block per thread.
+/// This is the strategy the paper calls out as "problematic for
+/// skewed-degree distributed hypergraphs ... if the hyperedges are sorted
+/// according to their degrees"; we keep it for the partitioning ablation.
+struct static_blocked {};
+
+/// Cyclic partitioning (paper Sec. III-D): with stride `num_bins`, bin b
+/// owns indices {b, b + num_bins, b + 2*num_bins, ...}.  Bins are claimed
+/// dynamically, so num_bins > nthreads still load-balances.  num_bins == 0
+/// defaults the stride to the pool concurrency, matching the paper's
+/// description ("stride size equal to the number of total threads").
+struct cyclic {
+  std::size_t num_bins = 0;
+};
+
+/// Resolve a blocked grain for a range of n elements on t threads.
+inline std::size_t resolve_grain(std::size_t requested, std::size_t n, unsigned t) {
+  if (requested != 0) return requested;
+  std::size_t target_chunks = static_cast<std::size_t>(t) * 8;
+  std::size_t grain         = (n + target_chunks - 1) / (target_chunks == 0 ? 1 : target_chunks);
+  return grain == 0 ? 1 : grain;
+}
+
+/// Resolve a cyclic bin count.
+inline std::size_t resolve_bins(std::size_t requested, unsigned t) {
+  return requested != 0 ? requested : static_cast<std::size_t>(t);
+}
+
+}  // namespace nw::par

@@ -1,0 +1,167 @@
+// nwpar/range_adaptors.hpp
+//
+// Custom range adaptors from Section III-D of the paper:
+//
+//  * cyclic_range          — partitions an index space [0, n) into
+//                            `num_bins` strided bins; bin b visits
+//                            {b, b + stride, b + 2*stride, ...}.
+//  * cyclic_neighbor_range — same binning over an adjacency structure, but
+//                            dereferencing yields a (vertex id, neighborhood)
+//                            tuple, for algorithms that need the
+//                            neighborhood alongside the id.
+//
+// Both adaptors expose their bins as subranges so a parallel driver can hand
+// whole bins to threads (see for_each_cyclic_neighborhood below); they are
+// also plain forward ranges for serial use in examples and tests.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+
+#include "nwpar/partitioners.hpp"
+#include "nwpar/thread_pool.hpp"
+
+namespace nw::par {
+
+/// Strided view over [0, n): bin `b` of `num_bins` enumerates b, b+s, b+2s…
+class cyclic_range {
+public:
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type        = std::size_t;
+    using difference_type   = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(std::size_t pos, std::size_t stride) : pos_(pos), stride_(stride) {}
+
+    std::size_t operator*() const { return pos_; }
+    iterator&   operator++() {
+      pos_ += stride_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    // Bins end at the first index >= n; two iterators in the same bin compare
+    // equal when both have run past the end.
+    friend bool operator==(const iterator& a, const iterator& b) { return a.pos_ == b.pos_; }
+
+  private:
+    std::size_t pos_    = 0;
+    std::size_t stride_ = 1;
+  };
+
+  /// One bin of the cyclic decomposition.
+  class bin {
+  public:
+    bin(std::size_t first, std::size_t n, std::size_t stride)
+        : first_(first), n_(n), stride_(stride) {}
+    [[nodiscard]] iterator begin() const { return {first_ >= n_ ? end_pos() : first_, stride_}; }
+    [[nodiscard]] iterator end() const { return {end_pos(), stride_}; }
+    [[nodiscard]] std::size_t size() const {
+      return first_ >= n_ ? 0 : (n_ - first_ + stride_ - 1) / stride_;
+    }
+
+  private:
+    // Canonical one-past-the-end position for this bin: first_ plus
+    // size()*stride_, so operator== on positions terminates the loop.
+    [[nodiscard]] std::size_t end_pos() const { return first_ + size() * stride_; }
+    std::size_t first_, n_, stride_;
+  };
+
+  cyclic_range(std::size_t n, std::size_t num_bins)
+      : n_(n), num_bins_(num_bins == 0 ? 1 : num_bins) {}
+
+  [[nodiscard]] std::size_t num_bins() const { return num_bins_; }
+  [[nodiscard]] bin         operator[](std::size_t b) const { return {b, n_, num_bins_}; }
+
+private:
+  std::size_t n_;
+  std::size_t num_bins_;
+};
+
+/// Cyclic bins over an adjacency structure where dereferencing a bin element
+/// yields `std::pair<id, inner_range>` — the "tuple, which consists of one
+/// hyperedge and the hypernodes ... that hyperedge is incident to".
+template <class Graph>
+class cyclic_neighbor_range {
+public:
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type   = std::ptrdiff_t;
+
+    iterator(Graph* g, std::size_t pos, std::size_t stride)
+        : g_(g), pos_(pos), stride_(stride) {}
+
+    auto operator*() const { return std::pair{pos_, (*g_)[pos_]}; }
+    iterator& operator++() {
+      pos_ += stride_;
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) { return a.pos_ == b.pos_; }
+
+  private:
+    Graph*      g_;
+    std::size_t pos_;
+    std::size_t stride_;
+  };
+
+  class bin {
+  public:
+    bin(Graph* g, std::size_t first, std::size_t n, std::size_t stride)
+        : g_(g), first_(first), n_(n), stride_(stride) {}
+    [[nodiscard]] iterator begin() const {
+      return {g_, first_ >= n_ ? end_pos() : first_, stride_};
+    }
+    [[nodiscard]] iterator    end() const { return {g_, end_pos(), stride_}; }
+    [[nodiscard]] std::size_t size() const {
+      return first_ >= n_ ? 0 : (n_ - first_ + stride_ - 1) / stride_;
+    }
+
+  private:
+    [[nodiscard]] std::size_t end_pos() const { return first_ + size() * stride_; }
+    Graph*      g_;
+    std::size_t first_, n_, stride_;
+  };
+
+  cyclic_neighbor_range(Graph& g, std::size_t num_bins)
+      : g_(&g), n_(g.size()), num_bins_(num_bins == 0 ? 1 : num_bins) {}
+
+  [[nodiscard]] std::size_t num_bins() const { return num_bins_; }
+  [[nodiscard]] bin operator[](std::size_t b) const { return {g_, b, n_, num_bins_}; }
+
+private:
+  Graph*      g_;
+  std::size_t n_;
+  std::size_t num_bins_;
+};
+
+/// Parallel driver over a cyclic_neighbor_range: bins are claimed
+/// dynamically; `body(tid, id, neighborhood)`.
+template <class Graph, class Body>
+void for_each_cyclic_neighborhood(Graph& g, std::size_t num_bins, Body body,
+                                  thread_pool& pool = thread_pool::default_pool()) {
+  cyclic_neighbor_range<Graph> range(g, num_bins == 0 ? pool.concurrency() : num_bins);
+  if (pool.concurrency() == 1) {
+    for (std::size_t b = 0; b < range.num_bins(); ++b) {
+      for (auto&& [id, nbrs] : range[b]) body(0u, id, nbrs);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next_bin{0};
+  pool.run([&](unsigned tid) {
+    for (;;) {
+      std::size_t b = next_bin.fetch_add(1, std::memory_order_relaxed);
+      if (b >= range.num_bins()) break;
+      for (auto&& [id, nbrs] : range[b]) body(tid, id, nbrs);
+    }
+  });
+}
+
+}  // namespace nw::par

@@ -1,0 +1,143 @@
+// nwpar/thread_pool.hpp
+//
+// Persistent worker pool underpinning every parallel algorithm in the
+// framework.  This is our substitute for the oneTBB task scheduler the paper
+// uses: NWHy's algorithms only need fork-join `parallel_for` over index
+// ranges with a choice of partitioning strategy (blocked / cyclic /
+// cyclic-neighbor), so a flat pool with dynamic chunk claiming provides the
+// same load-balancing behaviour the paper attributes to work stealing —
+// idle threads pick up the chunks stragglers have not claimed yet.
+//
+// The pool is created once and reused; a fork-join dispatch costs two
+// condition-variable round trips, negligible next to the graph kernels.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nwutil/defs.hpp"
+
+namespace nw::par {
+
+class thread_pool {
+public:
+  /// A pool with `nthreads` execution contexts: the calling thread plus
+  /// `nthreads - 1` persistent workers.
+  explicit thread_pool(unsigned nthreads)
+      : nthreads_(nthreads == 0 ? 1 : nthreads) {
+    workers_.reserve(nthreads_ - 1);
+    for (unsigned w = 1; w < nthreads_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  thread_pool(const thread_pool&)            = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  ~thread_pool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  [[nodiscard]] unsigned concurrency() const { return nthreads_; }
+
+  /// Execute `job(worker_id)` once on each of the pool's `concurrency()`
+  /// contexts; worker_id 0 is the calling thread.  Blocks until all
+  /// contexts return.  Not reentrant (algorithms never nest dispatches).
+  void run(const std::function<void(unsigned)>& job) {
+    if (nthreads_ == 1) {
+      job(0);
+      return;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      job_      = &job;
+      n_active_ = nthreads_ - 1;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    job(0);
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [this] { return n_active_ == 0; });
+    job_ = nullptr;
+  }
+
+  /// Process-wide default pool.  Sized from NWHY_NUM_THREADS or the
+  /// hardware concurrency at first use; resizable by the benchmark harness.
+  static thread_pool& default_pool();
+
+  /// Resize the default pool (tears down and recreates workers).  Intended
+  /// for the strong-scaling benchmark sweep; not thread-safe against
+  /// concurrent dispatches.
+  static void set_default_concurrency(unsigned nthreads);
+
+private:
+  void worker_loop(unsigned id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* job = nullptr;
+      {
+        std::unique_lock lock(mutex_);
+        cv_start_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      if (job) (*job)(id);
+      {
+        std::lock_guard lock(mutex_);
+        if (--n_active_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  unsigned                             nthreads_;
+  std::vector<std::thread>             workers_;
+  std::mutex                           mutex_;
+  std::condition_variable              cv_start_;
+  std::condition_variable              cv_done_;
+  const std::function<void(unsigned)>* job_        = nullptr;
+  std::uint64_t                        generation_ = 0;
+  unsigned                             n_active_   = 0;
+  bool                                 stop_       = false;
+};
+
+namespace detail {
+inline std::unique_ptr<thread_pool>& default_pool_slot() {
+  static std::unique_ptr<thread_pool> pool;
+  return pool;
+}
+inline unsigned initial_concurrency() {
+  if (const char* env = std::getenv("NWHY_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace detail
+
+inline thread_pool& thread_pool::default_pool() {
+  auto& slot = detail::default_pool_slot();
+  if (!slot) slot = std::make_unique<thread_pool>(detail::initial_concurrency());
+  return *slot;
+}
+
+inline void thread_pool::set_default_concurrency(unsigned nthreads) {
+  detail::default_pool_slot() = std::make_unique<thread_pool>(nthreads);
+}
+
+/// Convenience: current default concurrency.
+inline unsigned num_threads() { return thread_pool::default_pool().concurrency(); }
+
+}  // namespace nw::par

@@ -1,0 +1,155 @@
+// nwpar/work_stealing.hpp
+//
+// Work-stealing execution of parallel loops — the scheduling discipline the
+// paper gets from oneTBB ("oneTBB is based on a work-stealing scheduler and
+// is better suited for load balancing").  Each worker owns a Chase–Lev
+// deque of index ranges; it repeatedly splits its current range, pushing
+// the far half for thieves, until the range is at or below the grain, then
+// executes it.  Idle workers steal from random victims.
+//
+// The deque is the classic lock-free Chase–Lev structure (owner pushes and
+// pops at the bottom, thieves CAS the top), following the C11 formulation
+// of Lê, Pop, Cohen & Nardelli (PPoPP'13).  Elements are POD index ranges,
+// so no memory reclamation is needed; capacity is fixed and generous (the
+// owner's outstanding ranges are bounded by the split depth, ~log2(n)).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "nwpar/parallel_for.hpp"
+#include "nwpar/thread_pool.hpp"
+#include "nwutil/defs.hpp"
+#include "nwutil/rng.hpp"
+
+namespace nw::par {
+
+/// Half-open index range, the unit of stealable work.
+struct index_range {
+  std::size_t begin = 0;
+  std::size_t end   = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+namespace detail {
+
+/// Chase–Lev deque over index_range with a fixed power-of-two capacity.
+class chase_lev_deque {
+  static constexpr std::size_t kCapacity = 1024;  // >> max split depth (~64) + slack
+  static constexpr std::size_t kMask     = kCapacity - 1;
+
+public:
+  /// Owner-only: push a range at the bottom.
+  void push(index_range r) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    NW_ASSERT(b - t < static_cast<std::int64_t>(kCapacity), "work-stealing deque overflow");
+    buffer_[static_cast<std::size_t>(b) & kMask] = r;
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop from the bottom.  Returns false when empty.
+  bool pop(index_range& out) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // deque was empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buffer_[static_cast<std::size_t>(b) & kMask];
+    if (t != b) return true;  // more than one element: uncontended
+    // Last element: race with thieves via CAS on top.
+    bool won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                            std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+
+  /// Thief: steal from the top.  Returns false when empty or lost a race.
+  bool steal(index_range& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    out = buffer_[static_cast<std::size_t>(t) & kMask];
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+private:
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  index_range buffer_[kCapacity];
+};
+
+}  // namespace detail
+
+/// Partitioning tag selecting work-stealing execution (see partitioners.hpp
+/// for the fork-join strategies).  grain == 0 targets ~32 leaf ranges per
+/// worker, mimicking tbb::auto_partitioner's adaptive splitting.
+struct stealing {
+  std::size_t grain = 0;
+};
+
+/// Work-stealing parallel_for: body is body(i) or body(tid, i).
+template <class Body>
+void parallel_for_stealing(std::size_t begin, std::size_t end, Body body, stealing part = {},
+                           thread_pool& pool = thread_pool::default_pool()) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const unsigned    t = pool.concurrency();
+  if (t == 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) detail::invoke_body(body, 0, i);
+    return;
+  }
+  std::size_t grain = part.grain;
+  if (grain == 0) {
+    grain = n / (static_cast<std::size_t>(t) * 32);
+    if (grain == 0) grain = 1;
+  }
+
+  std::vector<detail::chase_lev_deque> deques(t);
+  std::atomic<std::size_t>             remaining{n};
+  deques[0].push({begin, end});
+
+  pool.run([&](unsigned tid) {
+    xoshiro256ss rng(0x57EA1 + tid);
+    index_range  r{0, 0};
+    bool         have = false;
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      if (!have) {
+        have = deques[tid].pop(r);
+      }
+      if (!have) {
+        // Steal from a random victim; a couple of misses mean we spin on
+        // the termination counter (ranges drain fast at this granularity).
+        unsigned victim = static_cast<unsigned>(rng.bounded(t));
+        if (victim != tid) have = deques[victim].steal(r);
+        if (!have) continue;
+      }
+      // Split until at grain, leaving halves for thieves.
+      while (r.size() > grain) {
+        std::size_t mid = r.begin + r.size() / 2;
+        deques[tid].push({mid, r.end});
+        r.end = mid;
+      }
+      for (std::size_t i = r.begin; i < r.end; ++i) detail::invoke_body(body, tid, i);
+      remaining.fetch_sub(r.size(), std::memory_order_acq_rel);
+      have = false;
+    }
+  });
+}
+
+/// Overload so the generic call sites can pass the stealing tag like any
+/// other partitioner.
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, Body body, stealing part,
+                  thread_pool& pool = thread_pool::default_pool()) {
+  parallel_for_stealing(begin, end, std::move(body), part, pool);
+}
+
+}  // namespace nw::par

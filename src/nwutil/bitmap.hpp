@@ -1,0 +1,76 @@
+// nwutil/bitmap.hpp
+//
+// Fixed-size bitmap with thread-safe set operations.  Used as the frontier
+// representation in bottom-up BFS sweeps and as visited sets in the s-line
+// graph ensemble algorithm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "nwutil/defs.hpp"
+
+namespace nw {
+
+class bitmap {
+  static constexpr std::size_t kBits = 64;
+
+public:
+  bitmap() = default;
+  explicit bitmap(std::size_t n) : size_(n), words_((n + kBits - 1) / kBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  void resize(std::size_t n) {
+    size_ = n;
+    words_.assign((n + kBits - 1) / kBits, 0);
+  }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    NW_DEBUG_ASSERT(i < size_, "bitmap::get out of range");
+    return (words_[i / kBits] >> (i % kBits)) & 1u;
+  }
+
+  /// Non-atomic set; safe only when each bit is written by one thread or
+  /// the bitmap is being filled sequentially.
+  void set(std::size_t i) {
+    NW_DEBUG_ASSERT(i < size_, "bitmap::set out of range");
+    words_[i / kBits] |= (std::uint64_t{1} << (i % kBits));
+  }
+
+  /// Atomic set; returns true if this call flipped the bit from 0 to 1.
+  bool set_atomic(std::size_t i) {
+    NW_DEBUG_ASSERT(i < size_, "bitmap::set_atomic out of range");
+    std::atomic_ref<std::uint64_t> ref(words_[i / kBits]);
+    std::uint64_t                  mask = std::uint64_t{1} << (i % kBits);
+    std::uint64_t                  prev = ref.fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  /// Atomic read (for concurrent sweeps over a bitmap being written).
+  [[nodiscard]] bool get_atomic(std::size_t i) const {
+    std::atomic_ref<const std::uint64_t> ref(words_[i / kBits]);
+    return (ref.load(std::memory_order_relaxed) >> (i % kBits)) & 1u;
+  }
+
+  /// Population count over the whole map.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (auto word : words_) total += static_cast<std::size_t>(__builtin_popcountll(word));
+    return total;
+  }
+
+  void swap(bitmap& other) noexcept {
+    std::swap(size_, other.size_);
+    words_.swap(other.words_);
+  }
+
+private:
+  std::size_t                size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nw

@@ -1,0 +1,45 @@
+// nwutil/defs.hpp
+//
+// Fundamental type aliases and checking macros shared across the NWHy
+// framework.  Every subsystem includes this header first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nw {
+
+/// Default vertex identifier type.  32 bits covers every dataset in the
+/// evaluation (largest index space is ~200M combined ids) at half the memory
+/// traffic of 64-bit ids; containers are templated so callers may widen it.
+using vertex_id_t = std::uint32_t;
+
+/// Type used for CSR offsets and edge counts, which can exceed 2^32.
+using offset_t = std::uint64_t;
+
+/// Sentinel for "no vertex" / unvisited.
+template <class T = vertex_id_t>
+inline constexpr T null_vertex = static_cast<T>(-1);
+
+}  // namespace nw
+
+// NW_ASSERT: active in all build types (unlike <cassert>) because the cost
+// of the checks we guard is negligible next to the graph kernels, and
+// silent corruption in a parallel run is far more expensive to debug.
+#define NW_ASSERT(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::fprintf(stderr, "NW_ASSERT failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, msg);                                           \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// NW_DEBUG_ASSERT: stripped in release builds; for per-element hot-loop checks.
+#ifndef NDEBUG
+#define NW_DEBUG_ASSERT(cond, msg) NW_ASSERT(cond, msg)
+#else
+#define NW_DEBUG_ASSERT(cond, msg) ((void)0)
+#endif

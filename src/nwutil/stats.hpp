@@ -1,0 +1,64 @@
+// nwutil/stats.hpp
+//
+// Descriptive statistics over degree sequences, used by the Table-I harness
+// and the generator self-checks.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nw {
+
+struct degree_stats {
+  std::size_t count = 0;   ///< number of entities
+  double      mean  = 0;   ///< average degree
+  std::size_t max   = 0;   ///< maximum degree
+  std::size_t min   = 0;   ///< minimum degree
+  double      stddev = 0;  ///< population standard deviation
+};
+
+template <class T>
+degree_stats compute_degree_stats(std::span<const T> degrees) {
+  degree_stats s;
+  s.count = degrees.size();
+  if (degrees.empty()) return s;
+  double      sum = 0;
+  std::size_t mx = 0, mn = static_cast<std::size_t>(degrees[0]);
+  for (auto d : degrees) {
+    sum += static_cast<double>(d);
+    mx = std::max(mx, static_cast<std::size_t>(d));
+    mn = std::min(mn, static_cast<std::size_t>(d));
+  }
+  s.mean = sum / static_cast<double>(degrees.size());
+  s.max  = mx;
+  s.min  = mn;
+  double var = 0;
+  for (auto d : degrees) {
+    double diff = static_cast<double>(d) - s.mean;
+    var += diff * diff;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(degrees.size()));
+  return s;
+}
+
+/// Human-friendly compact formatting used in the Table-I reproduction:
+/// 15'300'000 -> "15.3M", 3'100 -> "3.1k".
+inline std::string format_compact(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace nw

@@ -1,0 +1,41 @@
+// nwutil/timer.hpp
+//
+// Minimal wall-clock timer used by the benchmark harnesses and examples.
+#pragma once
+
+#include <chrono>
+
+namespace nw {
+
+/// Wall-clock stopwatch.  `elapsed_ms()` may be called repeatedly; `lap_ms()`
+/// returns time since the previous lap (or construction) and resets the lap.
+class timer {
+  using clock = std::chrono::steady_clock;
+
+public:
+  timer() : start_(clock::now()), lap_(start_) {}
+
+  void reset() {
+    start_ = clock::now();
+    lap_   = start_;
+  }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+  double lap_ms() {
+    auto now = clock::now();
+    double d = std::chrono::duration<double, std::milli>(now - lap_).count();
+    lap_     = now;
+    return d;
+  }
+
+private:
+  clock::time_point start_;
+  clock::time_point lap_;
+};
+
+}  // namespace nw

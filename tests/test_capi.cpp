@@ -1,0 +1,117 @@
+// tests/test_capi.cpp — the C binding surface, driven exactly like the
+// paper's Listing 5 Python session.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "capi/nwhy_capi.h"
+
+namespace {
+
+/// RAII wrappers so test failures don't leak handles.
+struct hg_ptr {
+  nwhy_hypergraph* p;
+  ~hg_ptr() { nwhy_hypergraph_destroy(p); }
+};
+struct lg_ptr {
+  nwhy_slinegraph* p;
+  ~lg_ptr() { nwhy_slinegraph_destroy(p); }
+};
+
+}  // namespace
+
+TEST(CApi, Listing5Session) {
+  // col = [0,0,0,1,1,1], row = [0,1,2,0,1,2], weight = ones — two identical
+  // hyperedges {v0, v1, v2}.
+  std::vector<uint32_t> col{0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> row{0, 1, 2, 0, 1, 2};
+  std::vector<double>   weight{1, 1, 1, 1, 1, 1};
+
+  hg_ptr hg{nwhy_hypergraph_create(col.data(), row.data(), weight.data(), col.size())};
+  ASSERT_NE(hg.p, nullptr);
+  EXPECT_EQ(nwhy_num_hyperedges(hg.p), 2u);
+  EXPECT_EQ(nwhy_num_hypernodes(hg.p), 3u);
+  EXPECT_EQ(nwhy_num_incidences(hg.p), 6u);
+
+  // s2lg = hg.s_linegraph(s=2, edges=True)
+  lg_ptr lg{nwhy_s_linegraph(hg.p, 2, 1)};
+  ASSERT_NE(lg.p, nullptr);
+  EXPECT_EQ(nwhy_slg_num_vertices(lg.p), 2u);
+  EXPECT_EQ(nwhy_slg_num_edges(lg.p), 1u);  // |e0 ∩ e1| = 3 >= 2
+
+  // tmp = s2lg.is_s_connected()
+  EXPECT_EQ(nwhy_slg_is_s_connected(lg.p), 1);
+
+  // sn = s2lg.s_neighbors(v=0)
+  EXPECT_EQ(nwhy_slg_s_degree(lg.p, 0), 1u);
+  std::vector<uint32_t> nbrs(nwhy_slg_s_degree(lg.p, 0));
+  EXPECT_EQ(nwhy_slg_s_neighbors(lg.p, 0, nbrs.data()), 1u);
+  EXPECT_EQ(nbrs[0], 1u);
+
+  // scc = s2lg.s_connected_components()
+  std::vector<uint32_t> labels(nwhy_slg_num_vertices(lg.p));
+  nwhy_slg_s_connected_components(lg.p, labels.data());
+  EXPECT_EQ(labels[0], labels[1]);
+
+  // sdist = s2lg.s_distance(src=0, dest=1)
+  EXPECT_EQ(nwhy_slg_s_distance(lg.p, 0, 1), 1u);
+
+  // sp = s2lg.s_path(src=0, dest=1)
+  std::vector<uint32_t> path(nwhy_slg_num_vertices(lg.p));
+  EXPECT_EQ(nwhy_slg_s_path(lg.p, 0, 1, path.data()), 2u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+
+  // sbc / sc / shc / se
+  std::vector<double> bc(2), cc(2), hc(2);
+  std::vector<uint32_t> ecc(2);
+  nwhy_slg_s_betweenness_centrality(lg.p, 1, bc.data());
+  nwhy_slg_s_closeness_centrality(lg.p, cc.data());
+  nwhy_slg_s_harmonic_closeness_centrality(lg.p, hc.data());
+  nwhy_slg_s_eccentricity(lg.p, ecc.data());
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);  // 2-vertex graph: nothing between
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);
+  EXPECT_DOUBLE_EQ(hc[0], 1.0);
+  EXPECT_EQ(ecc[0], 1u);
+}
+
+TEST(CApi, EdgeSizesAndNodeDegrees) {
+  std::vector<uint32_t> edges{0, 0, 0, 1, 1};
+  std::vector<uint32_t> nodes{0, 1, 2, 2, 3};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  std::vector<size_t> es(nwhy_num_hyperedges(hg.p)), nd(nwhy_num_hypernodes(hg.p));
+  nwhy_edge_sizes(hg.p, es.data());
+  nwhy_node_degrees(hg.p, nd.data());
+  EXPECT_EQ(es, (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(nd, (std::vector<size_t>{1, 1, 2, 1}));
+}
+
+TEST(CApi, ToplexesTwoPhaseQuery) {
+  // e0 ⊂ e1; only e1 is a toplex.
+  std::vector<uint32_t> edges{0, 1, 1};
+  std::vector<uint32_t> nodes{0, 0, 1};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  size_t count = nwhy_toplexes(hg.p, nullptr);
+  ASSERT_EQ(count, 1u);
+  std::vector<uint32_t> out(count);
+  nwhy_toplexes(hg.p, out.data());
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(CApi, NullInputsRejected) {
+  EXPECT_EQ(nwhy_hypergraph_create(nullptr, nullptr, nullptr, 5), nullptr);
+  // Zero-length input is a valid empty hypergraph.
+  hg_ptr hg{nwhy_hypergraph_create(nullptr, nullptr, nullptr, 0)};
+  ASSERT_NE(hg.p, nullptr);
+  EXPECT_EQ(nwhy_num_hyperedges(hg.p), 0u);
+}
+
+TEST(CApi, DualDirectionSCliqueGraph) {
+  // edges=false: s-clique graph over hypernodes.
+  std::vector<uint32_t> edges{0, 0, 0};
+  std::vector<uint32_t> nodes{0, 1, 2};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  lg_ptr cg{nwhy_s_linegraph(hg.p, 1, 0)};
+  EXPECT_EQ(nwhy_slg_num_vertices(cg.p), 3u);
+  EXPECT_EQ(nwhy_slg_num_edges(cg.p), 3u);  // triangle among v0, v1, v2
+}

@@ -1,0 +1,249 @@
+// tests/test_containers.cpp — edge_list, adjacency (CSR), and relabeling.
+#include <gtest/gtest.h>
+
+#include <ranges>
+#include <set>
+
+#include "nwgraph/adjacency.hpp"
+#include "nwgraph/edge_list.hpp"
+#include "nwgraph/relabel.hpp"
+#include "test_util.hpp"
+
+using namespace nw::graph;
+using nw::vertex_id_t;
+
+TEST(EdgeList, PushAndAccess) {
+  edge_list<> el;
+  el.push_back(0, 1);
+  el.push_back(2, 3);
+  EXPECT_EQ(el.size(), 2u);
+  EXPECT_EQ(el.source(1), 2u);
+  EXPECT_EQ(el.destination(1), 3u);
+  auto [u, v] = el[0];
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(EdgeList, NumVerticesDiscoveredFromData) {
+  edge_list<> el;
+  el.push_back(3, 9);
+  EXPECT_EQ(el.num_vertices(), 10u);
+}
+
+TEST(EdgeList, DeclaredVerticesWin) {
+  edge_list<> el(100);
+  el.push_back(3, 9);
+  EXPECT_EQ(el.num_vertices(), 100u);
+}
+
+TEST(EdgeList, EmptyListHasZeroVertices) {
+  edge_list<> el;
+  EXPECT_EQ(el.num_vertices(), 0u);
+  EXPECT_TRUE(el.empty());
+}
+
+TEST(EdgeList, SortAndUniqueRemovesDuplicates) {
+  edge_list<> el(5);
+  el.push_back(1, 2);
+  el.push_back(0, 3);
+  el.push_back(1, 2);
+  el.push_back(1, 0);
+  el.sort_and_unique();
+  EXPECT_EQ(el.size(), 3u);
+  EXPECT_EQ(el.source(0), 0u);
+  EXPECT_EQ(el.destination(0), 3u);
+  EXPECT_EQ(el.source(1), 1u);
+  EXPECT_EQ(el.destination(1), 0u);
+  EXPECT_EQ(el.source(2), 1u);
+  EXPECT_EQ(el.destination(2), 2u);
+}
+
+TEST(EdgeList, SymmetrizeDoubles) {
+  edge_list<> el(4);
+  el.push_back(0, 1);
+  el.push_back(2, 3);
+  el.symmetrize();
+  EXPECT_EQ(el.size(), 4u);
+  EXPECT_EQ(el.source(2), 1u);
+  EXPECT_EQ(el.destination(2), 0u);
+}
+
+TEST(EdgeList, AttributesFollowEdges) {
+  edge_list<float> el(4);
+  el.push_back(0, 1, 2.5f);
+  el.push_back(1, 2, 1.5f);
+  el.symmetrize();
+  EXPECT_EQ(el.size(), 4u);
+  EXPECT_FLOAT_EQ(el.attribute<0>(2), 2.5f);
+  auto [u, v, w] = el[3];
+  EXPECT_EQ(u, 2u);
+  EXPECT_EQ(v, 1u);
+  EXPECT_FLOAT_EQ(w, 1.5f);
+}
+
+TEST(EdgeList, SortAndUniquePreservesAttributes) {
+  edge_list<float> el(3);
+  el.push_back(1, 0, 3.0f);
+  el.push_back(0, 1, 1.0f);
+  el.sort_and_unique();
+  EXPECT_FLOAT_EQ(el.attribute<0>(0), 1.0f);
+  EXPECT_FLOAT_EQ(el.attribute<0>(1), 3.0f);
+}
+
+// --- adjacency ---------------------------------------------------------------
+
+TEST(Adjacency, CsrStructureFromEdgeList) {
+  edge_list<> el(4);
+  el.push_back(0, 1);
+  el.push_back(0, 2);
+  el.push_back(1, 2);
+  el.push_back(3, 0);
+  adjacency<> g(el);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 1u);
+  auto n0 = g[0];
+  EXPECT_EQ(std::vector<vertex_id_t>(n0.begin(), n0.end()),
+            (std::vector<vertex_id_t>{1, 2}));
+}
+
+TEST(Adjacency, EmptyGraph) {
+  adjacency<> g;
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.begin(), g.end());
+}
+
+TEST(Adjacency, OuterIterationMatchesIndexing) {
+  auto        el = nwtest::random_graph(50, 200, 1);
+  adjacency<> g(el);
+  std::size_t u = 0;
+  for (auto&& nbrs : g) {
+    auto direct = g[u];
+    EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), direct.begin(), direct.end()));
+    ++u;
+  }
+  EXPECT_EQ(u, g.size());
+}
+
+TEST(Adjacency, OuterIteratorRandomAccessOps) {
+  auto        el = nwtest::random_graph(20, 60, 2);
+  adjacency<> g(el);
+  auto        it = g.begin();
+  EXPECT_EQ(g.end() - g.begin(), static_cast<std::ptrdiff_t>(g.size()));
+  auto third = it + 3;
+  EXPECT_EQ(third - it, 3);
+  EXPECT_TRUE(it < third);
+  auto nbrs = *(third);
+  auto ref  = g[3];
+  EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), ref.begin(), ref.end()));
+  auto sub = it[5];
+  auto ref5 = g[5];
+  EXPECT_TRUE(std::equal(sub.begin(), sub.end(), ref5.begin(), ref5.end()));
+}
+
+TEST(Adjacency, DegreesVectorMatchesPerVertex) {
+  auto        el = nwtest::random_graph(30, 100, 3);
+  adjacency<> g(el);
+  auto        d = g.degrees();
+  ASSERT_EQ(d.size(), g.size());
+  for (std::size_t v = 0; v < g.size(); ++v) EXPECT_EQ(d[v], g.degree(v));
+}
+
+TEST(Adjacency, RectangularBuildAllowsForeignTargets) {
+  edge_list<> el(3);
+  el.push_back(0, 100);
+  el.push_back(2, 50);
+  adjacency<> g(el, 3, 101);  // 3 sources, targets live in [0, 101)
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(target(*g[0].begin()), 100u);
+}
+
+TEST(Adjacency, AttributedInnerRangeYieldsTuples) {
+  edge_list<float> el(3);
+  el.push_back(0, 1, 0.5f);
+  el.push_back(0, 2, 1.5f);
+  el.push_back(1, 0, 2.5f);
+  adjacency<float> g(el);
+  std::size_t      count = 0;
+  for (auto&& [v, w] : g[0]) {
+    if (v == 1) { EXPECT_FLOAT_EQ(w, 0.5f); }
+    if (v == 2) { EXPECT_FLOAT_EQ(w, 1.5f); }
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(target(*g[1].begin()), 0u);
+}
+
+TEST(Adjacency, ModelsRangeOfRangesConcepts) {
+  static_assert(std::ranges::random_access_range<adjacency<>>);
+  static_assert(std::ranges::forward_range<std::ranges::range_reference_t<adjacency<>>>);
+  static_assert(adjacency_list_graph<adjacency<>>);
+  static_assert(degree_enumerable_graph<adjacency<>>);
+  SUCCEED();
+}
+
+TEST(Adjacency, SortedInputYieldsSortedNeighborhoods) {
+  auto        el = nwtest::random_graph(40, 300, 4);  // sort_and_unique'd
+  adjacency<> g(el);
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    auto nbrs = g[u];
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+// --- relabel-by-degree ----------------------------------------------------------
+
+TEST(Relabel, PermutationIsBijective) {
+  std::vector<std::size_t> degrees{5, 1, 3, 3, 0};
+  for (auto order : {degree_order::ascending, degree_order::descending}) {
+    auto             perm = degree_permutation(degrees, order);
+    std::set<vertex_id_t> ids(perm.begin(), perm.end());
+    EXPECT_EQ(ids.size(), perm.size());
+    EXPECT_EQ(*ids.begin(), 0u);
+    EXPECT_EQ(*ids.rbegin(), perm.size() - 1);
+  }
+}
+
+TEST(Relabel, DescendingPutsHighestDegreeFirst) {
+  std::vector<std::size_t> degrees{5, 1, 3, 3, 0};
+  auto                     perm = degree_permutation(degrees, degree_order::descending);
+  EXPECT_EQ(perm[0], 0u);  // degree 5 -> new id 0
+  EXPECT_EQ(perm[4], 4u);  // degree 0 -> new id 4
+  // Stable tie-break: old 2 before old 3.
+  EXPECT_LT(perm[2], perm[3]);
+}
+
+TEST(Relabel, AscendingReversesExtremes) {
+  std::vector<std::size_t> degrees{5, 1, 3, 3, 0};
+  auto                     perm = degree_permutation(degrees, degree_order::ascending);
+  EXPECT_EQ(perm[4], 0u);
+  EXPECT_EQ(perm[0], 4u);
+}
+
+TEST(Relabel, InverseRoundTrips) {
+  std::vector<std::size_t> degrees{2, 7, 1, 9, 4, 4};
+  auto                     perm = degree_permutation(degrees, degree_order::descending);
+  auto                     inv  = inverse_permutation(perm);
+  for (std::size_t v = 0; v < perm.size(); ++v) EXPECT_EQ(inv[perm[v]], v);
+}
+
+TEST(Relabel, RelabeledGraphPreservesDegreeMultiset) {
+  auto        el = nwtest::random_graph(60, 400, 5);
+  adjacency<> g(el);
+  auto        degrees = g.degrees();
+  auto        perm    = degree_permutation(degrees, degree_order::descending);
+  auto        rel     = relabel_edge_list(el, perm, perm);
+  adjacency<> rg(rel, g.size());
+  auto        rd = rg.degrees();
+  // New id 0 has the max degree, ids weakly decreasing.
+  EXPECT_TRUE(std::is_sorted(rd.begin(), rd.end(), std::greater<>{}));
+  auto sorted_old = degrees;
+  std::sort(sorted_old.begin(), sorted_old.end());
+  auto sorted_new = rd;
+  std::sort(sorted_new.begin(), sorted_new.end());
+  EXPECT_EQ(sorted_old, sorted_new);
+}

@@ -1,0 +1,158 @@
+// tests/test_cross_representation.cpp — properties that must hold *across*
+// the four representations (the paper's central design claim: exact and
+// approximate engines answer the same questions), plus thread-count
+// robustness of every parallel hypergraph algorithm.
+#include <gtest/gtest.h>
+
+#include "nwhy/nwhypergraph.hpp"
+#include "nwhy/transforms.hpp"
+#include "test_util.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+using nwtest::same_partition;
+
+namespace {
+
+NWHypergraph make_hg(std::uint64_t seed) {
+  return NWHypergraph(gen::planted_community_hypergraph(80, 200, 25, 1.4, 0.15, seed));
+}
+
+}  // namespace
+
+// --- exact vs approximate consistency --------------------------------------------
+
+class CrossRepParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossRepParam, CliqueExpansionComponentsMatchExactNodePartition) {
+  // Connected components of the clique expansion must partition the
+  // *non-isolated* hypernodes exactly like exact HyperCC does: 1-walks
+  // between nodes exist iff they share a hyperedge chain.
+  auto hg = make_hg(GetParam());
+  auto exact = hg.connected_components();
+  auto ce    = hg.clique_expansion_graph();
+  auto approx = nw::graph::cc_afforest(ce);
+  std::vector<vertex_id_t> a, b;
+  for (std::size_t v = 0; v < hg.num_hypernodes(); ++v) {
+    if (hg.node_degrees()[v] == 0) continue;  // isolated nodes: exact keeps own label
+    a.push_back(exact.labels_node[v]);
+    b.push_back(approx[v]);
+  }
+  EXPECT_TRUE(same_partition(a, b));
+}
+
+TEST_P(CrossRepParam, OneLineGraphComponentsMatchExactEdgePartition) {
+  // s = 1: hyperedges are 1-adjacent iff they share a node, so components
+  // of L_1(H) equal the hyperedge side of the exact partition (restricted
+  // to non-empty hyperedges).
+  auto hg     = make_hg(GetParam() + 40);
+  auto exact  = hg.connected_components();
+  auto lg     = hg.make_s_linegraph(1);
+  auto approx = lg.s_connected_components();
+  std::vector<vertex_id_t> a, b;
+  for (std::size_t e = 0; e < hg.num_hyperedges(); ++e) {
+    if (hg.edge_sizes()[e] == 0) continue;
+    a.push_back(exact.labels_edge[e]);
+    b.push_back(approx[e]);
+  }
+  EXPECT_TRUE(same_partition(a, b));
+}
+
+TEST_P(CrossRepParam, SDistanceIsHalfTheExactBipartiteDistance) {
+  // An s=1 walk step between hyperedges equals two bipartite hops, so
+  // s_distance(e, f) == dist_edge(f) / 2 under BFS from e.
+  auto hg  = make_hg(GetParam() + 80);
+  auto lg  = hg.make_s_linegraph(1);
+  auto bfs = hg.bfs(0);
+  for (vertex_id_t f : {1u, 5u, 17u, 33u}) {
+    auto sd = lg.s_distance(0, f);
+    if (bfs.dist_edge[f] == nw::null_vertex<>) {
+      EXPECT_FALSE(sd.has_value());
+    } else {
+      ASSERT_TRUE(sd.has_value()) << "f=" << f;
+      EXPECT_EQ(*sd * 2, bfs.dist_edge[f]) << "f=" << f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossRepParam, ::testing::Values(1, 2, 3, 4));
+
+// --- hyperpath extraction ------------------------------------------------------------
+
+TEST(Hyperpath, Figure1PathAlternatesAndConnects) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  auto         bfs  = hg.bfs(0);
+  auto         path = extract_hyperpath(bfs, 0, 3);
+  ASSERT_EQ(path.size(), 7u);  // e, v, e, v, e, v, e
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  const auto& he = hg.hyperedges();
+  for (std::size_t k = 0; k + 1 < path.size(); k += 2) {
+    // Hyperedge at k contains the hypernode at k+1; hyperedge at k+2 too.
+    auto r1 = he[path[k]];
+    EXPECT_NE(std::find(r1.begin(), r1.end(), path[k + 1]), r1.end());
+    auto r2 = he[path[k + 2]];
+    EXPECT_NE(std::find(r2.begin(), r2.end(), path[k + 1]), r2.end());
+  }
+}
+
+TEST(Hyperpath, UnreachableGivesEmpty) {
+  biedgelist<> el;
+  el.push_back(0, 0);
+  el.push_back(1, 1);
+  NWHypergraph hg(std::move(el));
+  auto         bfs = hg.bfs(0);
+  EXPECT_TRUE(extract_hyperpath(bfs, 0, 1).empty());
+}
+
+TEST(Hyperpath, SourceToSourceIsSingleton) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  auto         bfs = hg.bfs(2);
+  EXPECT_EQ(extract_hyperpath(bfs, 2, 2), (std::vector<vertex_id_t>{2}));
+}
+
+TEST(Hyperpath, LengthMatchesBfsDepth) {
+  NWHypergraph hg(gen::uniform_random_hypergraph(60, 80, 3, 0x123));
+  auto         bfs = hg.bfs(0);
+  for (vertex_id_t f = 0; f < hg.num_hyperedges(); ++f) {
+    if (bfs.dist_edge[f] == nw::null_vertex<>) continue;
+    auto path = extract_hyperpath(bfs, 0, f);
+    EXPECT_EQ(path.size(), static_cast<std::size_t>(bfs.dist_edge[f]) + 1);
+  }
+}
+
+// --- thread-count robustness ----------------------------------------------------------
+//
+// Every parallel engine must produce equivalent results for any pool size.
+
+TEST(ThreadCount, AllEnginesStableUnderPoolSize) {
+  auto hg = make_hg(999);
+
+  // Single-thread ground truth for every engine.
+  nw::par::thread_pool::set_default_concurrency(1);
+  auto ref_cc = hg.connected_components_adjoin();
+  std::vector<vertex_id_t> ref_labels(ref_cc.labels_edge);
+  ref_labels.insert(ref_labels.end(), ref_cc.labels_node.begin(), ref_cc.labels_node.end());
+  auto [ref_de, ref_dn]   = adjoin_bfs_distances(hg.adjoin(), 0);
+  std::size_t ref_edges   = hg.make_s_linegraph(2).num_edges();
+  auto        ref_toplex  = hg.toplexes();
+
+  for (unsigned threads : {2u, 3u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    nw::par::thread_pool::set_default_concurrency(threads);
+
+    auto cc = hg.connected_components();
+    std::vector<vertex_id_t> labels(cc.labels_edge);
+    labels.insert(labels.end(), cc.labels_node.begin(), cc.labels_node.end());
+    EXPECT_TRUE(same_partition(labels, ref_labels));
+
+    auto bfs = hg.bfs(0);
+    EXPECT_EQ(bfs.dist_edge, ref_de);
+    EXPECT_EQ(bfs.dist_node, ref_dn);
+
+    EXPECT_EQ(hg.make_s_linegraph(2).num_edges(), ref_edges);
+    EXPECT_EQ(hg.toplexes(), ref_toplex);
+  }
+  nw::par::thread_pool::set_default_concurrency(
+      std::max(1u, std::thread::hardware_concurrency()));
+}

@@ -1,0 +1,184 @@
+// tests/test_io.cpp — MatrixMarket (bipartite + adjoin readers), KONECT
+// bipartite TSV, and the binary snapshot format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nwhy/gen/generators.hpp"
+#include "nwhy/io/binary.hpp"
+#include "nwhy/io/konect.hpp"
+#include "nwhy/io/matrix_market.hpp"
+#include "test_util.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+namespace {
+
+std::string figure1_mm() {
+  std::ostringstream out;
+  auto               el = nwtest::figure1_hypergraph();
+  el.sort_and_unique();
+  write_matrix_market(out, el);
+  return out.str();
+}
+
+}  // namespace
+
+TEST(MatrixMarket, RoundTripPreservesEverything) {
+  auto el = nwtest::figure1_hypergraph();
+  el.sort_and_unique();
+  std::ostringstream out;
+  write_matrix_market(out, el);
+  std::istringstream in(out.str());
+  auto               back = graph_reader(in);
+  back.sort_and_unique();
+  ASSERT_EQ(back.size(), el.size());
+  EXPECT_EQ(back.num_vertices(0), el.num_vertices(0));
+  EXPECT_EQ(back.num_vertices(1), el.num_vertices(1));
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    EXPECT_EQ(back[i], el[i]);
+  }
+}
+
+TEST(MatrixMarket, HeaderIsWellFormed) {
+  auto text = figure1_mm();
+  EXPECT_EQ(text.rfind("%%MatrixMarket matrix coordinate pattern general", 0), 0u);
+  // Size line: 4 hyperedges x 9 hypernodes, 13 entries.
+  EXPECT_NE(text.find("4 9 13"), std::string::npos);
+}
+
+TEST(MatrixMarket, ReaderSkipsComments) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "% another\n"
+      "2 3 2\n"
+      "1 1\n"
+      "2 3\n");
+  auto el = graph_reader(in);
+  EXPECT_EQ(el.size(), 2u);
+  EXPECT_EQ(el.num_vertices(0), 2u);
+  EXPECT_EQ(el.num_vertices(1), 3u);
+  auto [e, v] = el[1];
+  EXPECT_EQ(e, 1u);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(MatrixMarket, RealValuedEntriesAccepted) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 0.5\n"
+      "2 2 1.5\n");
+  auto el = graph_reader(in);
+  EXPECT_EQ(el.size(), 2u);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::istringstream in("this is not a matrix\n1 2 3\n");
+  EXPECT_DEATH(graph_reader(in), "banner");
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "3 1\n");
+  EXPECT_DEATH(graph_reader(in), "bounds");
+}
+
+TEST(MatrixMarket, AdjoinReaderShiftsNodeIds) {
+  std::istringstream in(figure1_mm());
+  std::size_t        ne = 0, nv = 0;
+  auto               flat = graph_reader_adjoin(in, ne, nv);
+  EXPECT_EQ(ne, 4u);
+  EXPECT_EQ(nv, 9u);
+  EXPECT_EQ(flat.size(), 26u);  // 13 incidences, both directions
+  EXPECT_EQ(flat.num_vertices(), 13u);
+  // Every edge must connect the two ranges.
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    bool src_is_edge = flat.source(i) < ne;
+    bool dst_is_edge = flat.destination(i) < ne;
+    EXPECT_NE(src_is_edge, dst_is_edge);
+  }
+}
+
+TEST(MatrixMarket, AdjoinAndBipartiteReadersAgree) {
+  std::istringstream in1(figure1_mm()), in2(figure1_mm());
+  auto               el = graph_reader(in1);
+  std::size_t        ne = 0, nv = 0;
+  auto               flat = graph_reader_adjoin(in2, ne, nv);
+  EXPECT_EQ(el.num_vertices(0), ne);
+  EXPECT_EQ(el.num_vertices(1), nv);
+  EXPECT_EQ(2 * el.size(), flat.size());
+}
+
+// --- KONECT ------------------------------------------------------------------
+
+TEST(Konect, ParsesCommentsAndWeights) {
+  std::istringstream in(
+      "% bip unweighted\n"
+      "% 4 2 3\n"
+      "1 1\n"
+      "1 2 5 1234567\n"
+      "2 3\n"
+      "\n");
+  auto el = read_konect_bipartite(in);
+  EXPECT_EQ(el.size(), 3u);
+  EXPECT_EQ(el.num_vertices(0), 2u);
+  EXPECT_EQ(el.num_vertices(1), 3u);
+  auto [e, v] = el[0];
+  EXPECT_EQ(e, 0u);  // 1-based -> 0-based
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(Konect, HashCommentsAlsoSkipped) {
+  std::istringstream in("# header\n2 2\n");
+  auto               el = read_konect_bipartite(in);
+  EXPECT_EQ(el.size(), 1u);
+}
+
+// --- binary snapshots -----------------------------------------------------------
+
+TEST(Binary, RoundTrip) {
+  auto el = nwtest::figure1_hypergraph();
+  el.sort_and_unique();
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, el);
+  std::istringstream in(out.str(), std::ios::binary);
+  auto               back = read_binary(in);
+  ASSERT_EQ(back.size(), el.size());
+  EXPECT_EQ(back.num_vertices(0), el.num_vertices(0));
+  EXPECT_EQ(back.num_vertices(1), el.num_vertices(1));
+  for (std::size_t i = 0; i < el.size(); ++i) EXPECT_EQ(back[i], el[i]);
+}
+
+TEST(Binary, RejectsWrongMagic) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::istringstream in("NOTMAGIC followed by junk", std::ios::binary);
+  EXPECT_DEATH(read_binary(in), "snapshot");
+}
+
+TEST(Binary, EmptyHypergraphRoundTrips) {
+  biedgelist<>       el(7, 9);
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, el);
+  std::istringstream in(out.str(), std::ios::binary);
+  auto               back = read_binary(in);
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.num_vertices(0), 7u);
+  EXPECT_EQ(back.num_vertices(1), 9u);
+}
+
+TEST(Binary, RoundTripLargeRandom) {
+  auto el = gen::uniform_random_hypergraph(500, 300, 8, 0xF00D);
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, el);
+  std::istringstream in(out.str(), std::ios::binary);
+  auto               back = read_binary(in);
+  ASSERT_EQ(back.size(), el.size());
+  for (std::size_t i = 0; i < el.size(); i += 97) EXPECT_EQ(back[i], el[i]);
+}

@@ -1,0 +1,207 @@
+// tests/test_more_coverage.cpp — additional edge cases: attributed
+// bipartite containers, SSSP corner cases, end-to-end round-trip
+// properties (generate -> serialize -> reload -> identical analytics), and
+// C-API failure paths.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "capi/nwhy_capi.h"
+#include "nwhy.hpp"
+#include "test_util.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+// --- attributed bipartite containers ------------------------------------------
+
+TEST(AttributedBiadjacency, WeightsTravelWithIncidences) {
+  biedgelist<double> el;
+  el.push_back(0, 1, 0.5);
+  el.push_back(0, 2, 1.5);
+  el.push_back(1, 2, 2.5);
+  biadjacency<0, double> hyperedges(el);
+  biadjacency<1, double> hypernodes(el);
+
+  double sum = 0;
+  for (auto&& [v, w] : hyperedges[0]) {
+    if (v == 1) { EXPECT_DOUBLE_EQ(w, 0.5); }
+    if (v == 2) { EXPECT_DOUBLE_EQ(w, 1.5); }
+    sum += w;
+  }
+  EXPECT_DOUBLE_EQ(sum, 2.0);
+  // Transposed side carries the same weights.
+  for (auto&& [e, w] : hypernodes[2]) {
+    if (e == 0) { EXPECT_DOUBLE_EQ(w, 1.5); }
+    if (e == 1) { EXPECT_DOUBLE_EQ(w, 2.5); }
+  }
+}
+
+TEST(AttributedBiadjacency, SortAndUniqueKeepsFirstWeight) {
+  biedgelist<double> el;
+  el.push_back(0, 1, 9.0);
+  el.push_back(0, 1, 1.0);  // duplicate incidence, different weight
+  el.sort_and_unique();
+  ASSERT_EQ(el.size(), 1u);
+  auto [e, v, w] = el[0];
+  EXPECT_DOUBLE_EQ(w, 9.0);
+}
+
+TEST(AttributedEdgeList, RelabelPreservesWeights) {
+  nw::graph::edge_list<float> el(4);
+  el.push_back(0, 1, 1.5f);
+  el.push_back(2, 3, 2.5f);
+  std::vector<vertex_id_t> perm{3, 2, 1, 0};
+  auto rel = nw::graph::relabel_edge_list(el, perm, perm);
+  auto [u, v, w] = rel[0];
+  EXPECT_EQ(u, 3u);
+  EXPECT_EQ(v, 2u);
+  EXPECT_FLOAT_EQ(w, 1.5f);
+}
+
+// --- SSSP corner cases ------------------------------------------------------------
+
+TEST(SsspCorners, SingleVertex) {
+  nw::graph::edge_list<float> el(1);
+  nw::graph::adjacency<float> g(el, 1);
+  auto                        d = nw::graph::sssp_dijkstra(g, 0);
+  EXPECT_FLOAT_EQ(d[0], 0.0f);
+  auto ds = nw::graph::sssp_delta_stepping(g, 0, 1.0f);
+  EXPECT_FLOAT_EQ(ds[0], 0.0f);
+}
+
+TEST(SsspCorners, HugeDeltaDegeneratesToBellmanFordRounds) {
+  nw::graph::edge_list<float> el(3);
+  el.push_back(0, 1, 1.0f);
+  el.push_back(1, 2, 1.0f);
+  nw::graph::adjacency<float> g(el, 3);
+  auto                        d = nw::graph::sssp_delta_stepping(g, 0, 1e9f);
+  EXPECT_FLOAT_EQ(d[2], 2.0f);
+}
+
+TEST(SsspCorners, TinyDeltaManyBuckets) {
+  nw::graph::edge_list<float> el(3);
+  el.push_back(0, 1, 3.0f);
+  el.push_back(1, 2, 4.0f);
+  nw::graph::adjacency<float> g(el, 3);
+  auto                        d = nw::graph::sssp_delta_stepping(g, 0, 0.01f);
+  EXPECT_FLOAT_EQ(d[2], 7.0f);
+}
+
+TEST(SsspCorners, DeltaMustBePositive) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nw::graph::edge_list<float> el(2);
+  el.push_back(0, 1, 1.0f);
+  nw::graph::adjacency<float> g(el, 2);
+  EXPECT_DEATH(nw::graph::sssp_delta_stepping(g, 0, 0.0f), "positive");
+}
+
+// --- end-to-end round trips ---------------------------------------------------------
+
+class RoundTripParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripParam, MatrixMarketPreservesAnalytics) {
+  auto el = gen::powerlaw_hypergraph(50, 40, 10, 1.5, 1.0, GetParam());
+  el.sort_and_unique();
+  NWHypergraph before(el);
+
+  std::ostringstream out;
+  write_matrix_market(out, before.edge_list());
+  std::istringstream in(out.str());
+  NWHypergraph       after(graph_reader(in));
+
+  EXPECT_EQ(before.num_hyperedges(), after.num_hyperedges());
+  EXPECT_EQ(before.num_hypernodes(), after.num_hypernodes());
+  EXPECT_EQ(before.toplexes(), after.toplexes());
+  for (std::size_t s : {1, 2}) {
+    EXPECT_EQ(before.make_s_linegraph(s).num_edges(), after.make_s_linegraph(s).num_edges());
+  }
+}
+
+TEST_P(RoundTripParam, BinaryPreservesAnalytics) {
+  auto el = gen::planted_community_hypergraph(40, 100, 15, 1.4, 0.3, GetParam());
+  el.sort_and_unique();
+  NWHypergraph before(el);
+
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, before.edge_list());
+  std::istringstream in(out.str(), std::ios::binary);
+  NWHypergraph       after(read_binary(in));
+
+  auto cc_before = before.connected_components_adjoin();
+  auto cc_after  = after.connected_components_adjoin();
+  EXPECT_EQ(cc_before.labels_edge, cc_after.labels_edge);
+  EXPECT_EQ(cc_before.labels_node, cc_after.labels_node);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripParam, ::testing::Values(21, 22, 23));
+
+// --- C API failure paths ---------------------------------------------------------------
+
+TEST(CApiCorners, UnreachablePathAndDistance) {
+  // Two disjoint hyperedges.
+  std::vector<uint32_t> edges{0, 1};
+  std::vector<uint32_t> nodes{0, 1};
+  nwhy_hypergraph* hg = nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, 2);
+  nwhy_slinegraph* lg = nwhy_s_linegraph(hg, 1, 1);
+  EXPECT_EQ(nwhy_slg_s_distance(lg, 0, 1), NWHY_NULL_ID);
+  EXPECT_EQ(nwhy_slg_s_path(lg, 0, 1, nullptr), 0u);
+  EXPECT_EQ(nwhy_slg_s_degree(lg, 0), 0u);
+  EXPECT_EQ(nwhy_slg_is_s_connected(lg), 0);
+  nwhy_slinegraph_destroy(lg);
+  nwhy_hypergraph_destroy(hg);
+}
+
+TEST(CApiCorners, ComponentsMarkInactiveNull) {
+  // One big hyperedge, one tiny one; s = 2 deactivates the tiny one.
+  std::vector<uint32_t> edges{0, 0, 0, 1};
+  std::vector<uint32_t> nodes{0, 1, 2, 0};
+  nwhy_hypergraph* hg = nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, 4);
+  nwhy_slinegraph* lg = nwhy_s_linegraph(hg, 2, 1);
+  std::vector<uint32_t> labels(nwhy_slg_num_vertices(lg));
+  nwhy_slg_s_connected_components(lg, labels.data());
+  EXPECT_NE(labels[0], NWHY_NULL_ID);
+  EXPECT_EQ(labels[1], NWHY_NULL_ID);
+  nwhy_slinegraph_destroy(lg);
+  nwhy_hypergraph_destroy(hg);
+}
+
+// --- range adaptor <-> paper Listing 4 integration --------------------------------------
+
+TEST(Listing4, AllThreeIterationStylesAgree) {
+  auto el = nwtest::figure1_hypergraph();
+  el.sort_and_unique();
+  biadjacency<0> hyperedges(el);
+
+  // Style 1: serial range-of-ranges (std::for_each in the paper).
+  std::size_t count1 = 0;
+  std::for_each(hyperedges.begin(), hyperedges.end(), [&](auto&& nbrs) {
+    std::for_each(nbrs.begin(), nbrs.end(), [&](auto&& e) {
+      (void)target(e);
+      ++count1;
+    });
+  });
+
+  // Style 2: parallel_for over the id space (tbb::blocked_range analog).
+  std::atomic<std::size_t> count2{0};
+  nw::par::parallel_for(0, num_vertices(hyperedges, 0), [&](std::size_t e) {
+    for (auto&& v : hyperedges[e]) {
+      (void)target(v);
+      count2.fetch_add(1);
+    }
+  });
+
+  // Style 3: cyclic neighbor range adaptor (the paper's custom adaptor).
+  std::atomic<std::size_t> count3{0};
+  nw::par::for_each_cyclic_neighborhood(hyperedges, 4,
+                                        [&](unsigned, std::size_t, auto&& nbrs) {
+                                          for (auto&& v : nbrs) {
+                                            (void)target(v);
+                                            count3.fetch_add(1);
+                                          }
+                                        });
+
+  EXPECT_EQ(count1, el.size());
+  EXPECT_EQ(count2.load(), el.size());
+  EXPECT_EQ(count3.load(), el.size());
+}

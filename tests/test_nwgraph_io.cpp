@@ -1,0 +1,74 @@
+// tests/test_nwgraph_io.cpp — plain-graph I/O for the NWGraph substrate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nwgraph/adjacency.hpp"
+#include "nwgraph/io.hpp"
+#include "test_util.hpp"
+
+using namespace nw::graph;
+using nw::vertex_id_t;
+
+TEST(GraphIo, SquareMmRoundTrip) {
+  auto               el = nwtest::random_graph(30, 100, 8);
+  std::ostringstream out;
+  write_mm_graph(out, el);
+  std::istringstream in(out.str());
+  auto               back = read_mm_graph(in);
+  back.set_num_vertices(30);
+  back.sort_and_unique();
+  ASSERT_EQ(back.size(), el.size());
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    EXPECT_EQ(back.source(i), el.source(i));
+    EXPECT_EQ(back.destination(i), el.destination(i));
+  }
+}
+
+TEST(GraphIo, SymmetricMmEmitsBothDirections) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  auto el = read_mm_graph(in);
+  // (1,0) -> both directions; (2,2) self loop stays single.
+  EXPECT_EQ(el.size(), 3u);
+}
+
+TEST(GraphIo, RejectsRectangular) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 1\n"
+      "1 1\n");
+  EXPECT_DEATH(read_mm_graph(in), "square");
+}
+
+TEST(GraphIo, EdgeListReader) {
+  std::istringstream in(
+      "# comment\n"
+      "0 1\n"
+      "1 2\n"
+      "\n"
+      "% another comment\n"
+      "2 0\n");
+  auto el = read_edge_list(in);
+  ASSERT_EQ(el.size(), 3u);
+  EXPECT_EQ(el.source(2), 2u);
+  EXPECT_EQ(el.destination(2), 0u);
+  EXPECT_EQ(el.num_vertices(), 3u);
+}
+
+TEST(GraphIo, ReadGraphRunsAlgorithms) {
+  auto               el = nwtest::random_graph(40, 120, 9);
+  std::ostringstream out;
+  write_mm_graph(out, el);
+  std::istringstream in(out.str());
+  auto               back = read_mm_graph(in);
+  back.set_num_vertices(40);
+  adjacency<> g(back);
+  auto        before = nwtest::reference_components(adjacency<>(el));
+  auto        after  = nwtest::reference_components(g);
+  EXPECT_TRUE(nwtest::same_partition(before, after));
+}

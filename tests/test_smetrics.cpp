@@ -1,0 +1,222 @@
+// tests/test_smetrics.cpp — the s_linegraph metric facade (Listing 5):
+// s-components, s-distance/s-path, s-centralities, s-eccentricity.
+#include <gtest/gtest.h>
+
+#include "nwhy/nwhypergraph.hpp"
+#include "test_util.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+namespace {
+
+NWHypergraph figure1() { return NWHypergraph(nwtest::figure1_hypergraph()); }
+
+}  // namespace
+
+TEST(SMetrics, Figure1OneLineGraphShape) {
+  auto lg = figure1().make_s_linegraph(1);
+  EXPECT_EQ(lg.num_vertices(), 4u);
+  EXPECT_EQ(lg.num_edges(), 3u);  // the path e0-e1-e2-e3
+  EXPECT_EQ(lg.s_degree(0), 1u);
+  EXPECT_EQ(lg.s_degree(1), 2u);
+  EXPECT_EQ(lg.s_neighbors(1), (std::vector<vertex_id_t>{0, 2}));
+}
+
+TEST(SMetrics, Figure1Connectivity) {
+  auto hg = figure1();
+  EXPECT_TRUE(hg.make_s_linegraph(1).is_s_connected());
+  EXPECT_FALSE(hg.make_s_linegraph(2).is_s_connected());
+}
+
+TEST(SMetrics, Figure1DistanceAndPath) {
+  auto lg = figure1().make_s_linegraph(1);
+  auto d  = lg.s_distance(0, 3);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 3u);
+  EXPECT_EQ(lg.s_path(0, 3), (std::vector<vertex_id_t>{0, 1, 2, 3}));
+  EXPECT_EQ(lg.s_path(2, 2), (std::vector<vertex_id_t>{2}));
+}
+
+TEST(SMetrics, UnreachablePairs) {
+  auto lg = figure1().make_s_linegraph(2);  // only e0-e1 survives
+  EXPECT_FALSE(lg.s_distance(0, 3).has_value());
+  EXPECT_TRUE(lg.s_path(0, 3).empty());
+  auto d = lg.s_distance(0, 1);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 1u);
+}
+
+TEST(SMetrics, ComponentsMarkInactiveAsNull) {
+  auto hg     = figure1();
+  auto lg     = hg.make_s_linegraph(4);  // only e1 has >= 4 hypernodes
+  auto labels = lg.s_connected_components();
+  EXPECT_EQ(labels[0], nw::null_vertex<>);
+  EXPECT_NE(labels[1], nw::null_vertex<>);
+  EXPECT_EQ(labels[2], nw::null_vertex<>);
+  EXPECT_EQ(labels[3], nw::null_vertex<>);
+  // A single active vertex counts as s-connected.
+  EXPECT_TRUE(lg.is_s_connected());
+}
+
+TEST(SMetrics, NoActiveVerticesIsNotConnected) {
+  auto lg = figure1().make_s_linegraph(10);
+  EXPECT_FALSE(lg.is_s_connected());
+}
+
+TEST(SMetrics, ComponentLabelsPartitionThePath) {
+  auto lg     = figure1().make_s_linegraph(1);
+  auto labels = lg.s_connected_components();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[2], labels[3]);
+}
+
+TEST(SMetrics, BetweennessOfLinePath) {
+  // The 1-line graph of Fig. 1 is the path e0-e1-e2-e3; unnormalized BC of
+  // a 4-path is [0, 2, 2, 0].
+  auto bc = figure1().make_s_linegraph(1).s_betweenness_centrality(/*normalized=*/false);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);
+  EXPECT_DOUBLE_EQ(bc[2], 2.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(SMetrics, ClosenessOfLinePath) {
+  auto c = figure1().make_s_linegraph(1).s_closeness_centrality();
+  EXPECT_NEAR(c[0], 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c[1], 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(figure1().make_s_linegraph(1).s_closeness_centrality(1), c[1], 1e-12);
+}
+
+TEST(SMetrics, HarmonicClosenessOfLinePath) {
+  auto h = figure1().make_s_linegraph(1).s_harmonic_closeness_centrality();
+  EXPECT_NEAR(h[0], 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h[1], 1.0 + 1.0 + 0.5, 1e-12);
+}
+
+TEST(SMetrics, EccentricityOfLinePath) {
+  auto lg = figure1().make_s_linegraph(1);
+  auto e  = lg.s_eccentricity();
+  EXPECT_EQ(e[0], 3u);
+  EXPECT_EQ(e[1], 2u);
+  EXPECT_EQ(lg.s_eccentricity(3), 3u);
+}
+
+// --- property checks on generated hypergraphs -------------------------------------
+
+class SMetricsProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SMetricsProperty, PathIsValidSWalk) {
+  std::size_t  s  = GetParam();
+  NWHypergraph hg(gen::uniform_random_hypergraph(60, 50, 6, 0xD00D));
+  auto         lg = hg.make_s_linegraph(s);
+  for (vertex_id_t src : {0u, 5u, 11u}) {
+    for (vertex_id_t dst : {3u, 20u, 40u}) {
+      auto path = lg.s_path(src, dst);
+      auto dist = lg.s_distance(src, dst);
+      if (path.empty()) {
+        EXPECT_FALSE(dist.has_value());
+        continue;
+      }
+      ASSERT_TRUE(dist.has_value());
+      EXPECT_EQ(path.size(), *dist + 1);
+      EXPECT_EQ(path.front(), src);
+      EXPECT_EQ(path.back(), dst);
+      // Consecutive path members must be s-adjacent.
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        auto nbrs = lg.s_neighbors(path[k]);
+        EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), path[k + 1]), nbrs.end());
+      }
+    }
+  }
+}
+
+TEST_P(SMetricsProperty, DistanceIsSymmetric) {
+  std::size_t  s = GetParam();
+  NWHypergraph hg(gen::powerlaw_hypergraph(50, 40, 15, 1.5, 1.0, 0xD11D));
+  auto         lg = hg.make_s_linegraph(s);
+  for (vertex_id_t a : {0u, 7u, 23u}) {
+    for (vertex_id_t b : {2u, 14u, 40u}) {
+      EXPECT_EQ(lg.s_distance(a, b), lg.s_distance(b, a));
+    }
+  }
+}
+
+TEST_P(SMetricsProperty, ComponentsConsistentWithDistances) {
+  std::size_t  s = GetParam();
+  NWHypergraph hg(gen::planted_community_hypergraph(40, 80, 20, 1.4, 0.3, 0xD22D));
+  auto         lg     = hg.make_s_linegraph(s);
+  auto         labels = lg.s_connected_components();
+  for (vertex_id_t a = 0; a < 10; ++a) {
+    for (vertex_id_t b = 0; b < 10; ++b) {
+      if (!lg.is_active(a) || !lg.is_active(b)) continue;
+      bool same_comp = labels[a] == labels[b];
+      bool reachable = lg.s_distance(a, b).has_value();
+      EXPECT_EQ(same_comp, reachable) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SValues, SMetricsProperty, ::testing::Values(1, 2, 3));
+
+// --- random s-walks (Aksoy et al.'s primitive) ---------------------------------------
+
+TEST(SWalk, StepsAreSAdjacent) {
+  NWHypergraph hg(gen::uniform_random_hypergraph(60, 50, 5, 0xA17));
+  for (std::size_t s : {1, 2}) {
+    auto lg   = hg.make_s_linegraph(s);
+    auto walk = lg.random_s_walk(0, 25, /*seed=*/7);
+    ASSERT_FALSE(walk.empty());
+    EXPECT_EQ(walk.front(), 0u);
+    for (std::size_t k = 0; k + 1 < walk.size(); ++k) {
+      auto nbrs = lg.s_neighbors(walk[k]);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), walk[k + 1]), nbrs.end())
+          << "step " << k << " s=" << s;
+    }
+  }
+}
+
+TEST(SWalk, StopsAtIsolatedVertex) {
+  auto lg   = figure1().make_s_linegraph(10);  // edgeless line graph
+  auto walk = lg.random_s_walk(2, 100);
+  EXPECT_EQ(walk, (std::vector<vertex_id_t>{2}));
+}
+
+TEST(SWalk, DeterministicPerSeed) {
+  NWHypergraph hg(gen::powerlaw_hypergraph(40, 30, 10, 1.4, 1.0, 0xA));
+  auto         lg = hg.make_s_linegraph(1);
+  EXPECT_EQ(lg.random_s_walk(0, 50, 3), lg.random_s_walk(0, 50, 3));
+}
+
+TEST(SWalk, LongWalkOnPathStaysInside) {
+  auto lg   = figure1().make_s_linegraph(1);  // path e0-e1-e2-e3
+  auto walk = lg.random_s_walk(1, 200, 11);
+  EXPECT_EQ(walk.size(), 201u);  // no dead ends on a path's interior... ends bounce back
+  for (auto v : walk) EXPECT_LT(v, 4u);
+}
+
+// --- s-clique graph (dual direction, edges=false) -----------------------------------
+
+TEST(SCliqueGraph, OneCliqueGraphEqualsCliqueExpansion) {
+  auto hg = figure1();
+  auto cg = hg.make_s_linegraph(1, /*edges=*/false);
+  EXPECT_EQ(cg.num_vertices(), 9u);
+  EXPECT_EQ(cg.num_edges(), 14u);  // matches the clique-expansion count
+  auto ce = hg.clique_expansion_graph();
+  EXPECT_EQ(cg.num_edges() * 2, ce.num_edges());
+}
+
+TEST(SCliqueGraph, DualOfDualIsOriginal) {
+  auto hg   = figure1();
+  auto dual = hg.dual();
+  EXPECT_EQ(dual.num_hyperedges(), hg.num_hypernodes());
+  EXPECT_EQ(dual.num_hypernodes(), hg.num_hyperedges());
+  auto back = dual.dual();
+  EXPECT_EQ(back.num_hyperedges(), hg.num_hyperedges());
+  EXPECT_EQ(back.num_incidences(), hg.num_incidences());
+  // 1-line graph of the dual == 1-clique graph of the original.
+  auto a = dual.make_s_linegraph(1, /*edges=*/true);
+  auto b = hg.make_s_linegraph(1, /*edges=*/false);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}

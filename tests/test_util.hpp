@@ -1,0 +1,115 @@
+// tests/test_util.hpp — shared fixtures and canonicalization helpers.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "nwhy.hpp"
+
+namespace nwtest {
+
+using nw::vertex_id_t;
+
+/// Canonical form of a line-graph edge list: sorted unique {lo, hi} pairs.
+inline std::vector<std::pair<vertex_id_t, vertex_id_t>> canonical_pairs(
+    const nw::graph::edge_list<>& el) {
+  std::vector<std::pair<vertex_id_t, vertex_id_t>> pairs;
+  pairs.reserve(el.size());
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    vertex_id_t a = el.source(i), b = el.destination(i);
+    if (a > b) std::swap(a, b);
+    pairs.push_back({a, b});
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+/// True when two label arrays induce the same partition of [0, n)
+/// (labels themselves may differ).
+template <class T>
+bool same_partition(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<T, T> fwd, bwd;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [it1, new1] = fwd.try_emplace(a[i], b[i]);
+    if (!new1 && it1->second != b[i]) return false;
+    auto [it2, new2] = bwd.try_emplace(b[i], a[i]);
+    if (!new2 && it2->second != a[i]) return false;
+  }
+  return true;
+}
+
+/// The paper's Fig. 1 hypergraph: 4 hyperedges over 9 hypernodes.
+inline nw::hypergraph::biedgelist<> figure1_hypergraph() {
+  nw::hypergraph::biedgelist<> el;
+  for (vertex_id_t v : {0, 1, 2}) el.push_back(0, v);
+  for (vertex_id_t v : {1, 2, 3, 4}) el.push_back(1, v);
+  for (vertex_id_t v : {4, 5, 6}) el.push_back(2, v);
+  for (vertex_id_t v : {6, 7, 8}) el.push_back(3, v);
+  return el;
+}
+
+/// A small deterministic pseudo-random graph edge list (undirected,
+/// symmetrized) for graph-algorithm tests.
+inline nw::graph::edge_list<> random_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  nw::xoshiro256ss       rng(seed);
+  nw::graph::edge_list<> el(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto u = static_cast<vertex_id_t>(rng.bounded(n));
+    auto v = static_cast<vertex_id_t>(rng.bounded(n));
+    if (u == v) continue;
+    el.push_back(u, v);
+    el.push_back(v, u);
+  }
+  el.sort_and_unique();
+  return el;
+}
+
+/// Serial reference BFS distances (ground truth for all BFS variants).
+template <class Graph>
+std::vector<vertex_id_t> reference_bfs_distances(const Graph& g, vertex_id_t s) {
+  std::vector<vertex_id_t> dist(g.size(), nw::null_vertex<>);
+  std::vector<vertex_id_t> queue;
+  dist[s] = 0;
+  queue.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    vertex_id_t u = queue[head];
+    for (auto&& e : g[u]) {
+      vertex_id_t v = nw::graph::target(e);
+      if (dist[v] == nw::null_vertex<>) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Serial union-find components (ground truth for all CC variants).
+template <class Graph>
+std::vector<vertex_id_t> reference_components(const Graph& g) {
+  std::vector<vertex_id_t> parent(g.size());
+  for (std::size_t v = 0; v < g.size(); ++v) parent[v] = static_cast<vertex_id_t>(v);
+  auto find = [&](vertex_id_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x         = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (auto&& e : g[u]) {
+      vertex_id_t ru = find(static_cast<vertex_id_t>(u));
+      vertex_id_t rv = find(nw::graph::target(e));
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<vertex_id_t> labels(g.size());
+  for (std::size_t v = 0; v < g.size(); ++v) labels[v] = find(static_cast<vertex_id_t>(v));
+  return labels;
+}
+
+}  // namespace nwtest

@@ -1,0 +1,284 @@
+// tools/nwhy_tool.cpp
+//
+// Command-line front end to the framework — the quickest way to run NWHy
+// on your own data without writing C++.  Input formats: MatrixMarket
+// incidence matrices (.mtx), KONECT bipartite TSV (.tsv), or NWHy binary
+// snapshots (.bin).
+//
+//   nwhy_tool stats      <file>                 Table-I style characteristics
+//   nwhy_tool components <file>                 exact CC (both engines, timed)
+//   nwhy_tool bfs        <file> <edge-id>       exact BFS depths summary
+//   nwhy_tool slinegraph <file> <s> [out.mtx]   build L_s(H); optional export
+//   nwhy_tool slcompare  <file> <s>             time all construction algorithms
+//   nwhy_tool smetrics   <file> <s>             connectivity/centrality summary
+//   nwhy_tool toplexes   <file>                 maximal hyperedges
+//   nwhy_tool collapse   <file>                 duplicate-hyperedge collapse
+//   nwhy_tool convert    <in> <out.bin|out.mtx> format conversion
+//   nwhy_tool generate   <name> <scale> <out>   emit a Table-I analog dataset
+//
+// Thread count: NWHY_NUM_THREADS (default: hardware concurrency).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "nwhy.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+namespace {
+
+biedgelist<> load(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    std::size_t n = std::strlen(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".bin")) return read_binary(path);
+  if (ends_with(".tsv") || ends_with(".konect")) return read_konect_bipartite(path);
+  return graph_reader(path);  // MatrixMarket by default
+}
+
+int cmd_stats(const std::string& path) {
+  NWHypergraph hg(load(path));
+  auto es = nw::compute_degree_stats(std::span<const std::size_t>(hg.edge_sizes()));
+  auto ns = nw::compute_degree_stats(std::span<const std::size_t>(hg.node_degrees()));
+  std::printf("hyperedges   : %zu\n", hg.num_hyperedges());
+  std::printf("hypernodes   : %zu\n", hg.num_hypernodes());
+  std::printf("incidences   : %zu\n", hg.num_incidences());
+  std::printf("edge size    : mean %.2f  max %zu  min %zu  stddev %.2f\n", es.mean, es.max,
+              es.min, es.stddev);
+  std::printf("node degree  : mean %.2f  max %zu  min %zu  stddev %.2f\n", ns.mean, ns.max,
+              ns.min, ns.stddev);
+  auto cc = hg.connected_components_adjoin();
+  std::vector<vertex_id_t> all(cc.labels_edge);
+  all.insert(all.end(), cc.labels_node.begin(), cc.labels_node.end());
+  std::printf("components   : %zu (largest spans %zu entities)\n",
+              nw::graph::count_components(all), nw::graph::largest_component_size(all));
+  return 0;
+}
+
+int cmd_components(const std::string& path) {
+  NWHypergraph hg(load(path));
+  nw::timer    t1;
+  auto         exact = hg.connected_components();
+  double       ms1   = t1.elapsed_ms();
+  nw::timer    t2;
+  auto         adjoin = hg.connected_components_adjoin();
+  double       ms2    = t2.elapsed_ms();
+  auto count = [](const std::vector<vertex_id_t>& e, const std::vector<vertex_id_t>& n) {
+    std::vector<vertex_id_t> all(e);
+    all.insert(all.end(), n.begin(), n.end());
+    return nw::graph::count_components(all);
+  };
+  std::printf("HyperCC  (bipartite LP):    %zu components, %.2f ms\n",
+              count(exact.labels_edge, exact.labels_node), ms1);
+  std::printf("AdjoinCC (adjoin Afforest): %zu components, %.2f ms\n",
+              count(adjoin.labels_edge, adjoin.labels_node), ms2);
+  return 0;
+}
+
+int cmd_bfs(const std::string& path, vertex_id_t source) {
+  NWHypergraph hg(load(path));
+  if (source >= hg.num_hyperedges()) {
+    std::fprintf(stderr, "error: source %u out of range (%zu hyperedges)\n", source,
+                 hg.num_hyperedges());
+    return 1;
+  }
+  nw::timer t;
+  auto      r  = hg.bfs(source);
+  double    ms = t.elapsed_ms();
+  std::size_t reached_e = 0, reached_n = 0;
+  vertex_id_t max_depth = 0;
+  for (auto d : r.dist_edge) {
+    if (d != nw::null_vertex<>) {
+      ++reached_e;
+      max_depth = std::max(max_depth, d);
+    }
+  }
+  for (auto d : r.dist_node) reached_n += d != nw::null_vertex<>;
+  std::printf("BFS from e%u: %.2f ms\n", source, ms);
+  std::printf("reached %zu/%zu hyperedges, %zu/%zu hypernodes, max depth %u\n", reached_e,
+              hg.num_hyperedges(), reached_n, hg.num_hypernodes(), max_depth);
+  return 0;
+}
+
+int cmd_slinegraph(const std::string& path, std::size_t s, const char* out) {
+  NWHypergraph hg(load(path));
+  nw::timer    t;
+  auto         lg = hg.make_s_linegraph(s);
+  std::printf("L_%zu(H): %zu vertices, %zu edges (%.2f ms)\n", s, lg.num_vertices(),
+              lg.num_edges(), t.elapsed_ms());
+  if (out != nullptr) {
+    // Export as a MatrixMarket general graph (square adjacency pattern).
+    std::ofstream f(out);
+    if (!f.is_open()) {
+      std::fprintf(stderr, "error: cannot open %s\n", out);
+      return 1;
+    }
+    const auto& g = lg.graph();
+    f << "%%MatrixMarket matrix coordinate pattern general\n";
+    f << "% " << s << "-line graph written by nwhy_tool\n";
+    f << g.size() << ' ' << g.size() << ' ' << g.num_edges() << '\n';
+    for (std::size_t u = 0; u < g.size(); ++u) {
+      for (auto&& e : g[u]) f << (u + 1) << ' ' << (target(e) + 1) << '\n';
+    }
+    std::printf("wrote %s\n", out);
+  }
+  return 0;
+}
+
+int cmd_smetrics(const std::string& path, std::size_t s) {
+  NWHypergraph hg(load(path));
+  auto         lg = hg.make_s_linegraph(s);
+  std::printf("s = %zu: %zu line edges, %s\n", s, lg.num_edges(),
+              lg.is_s_connected() ? "s-connected" : "not s-connected");
+  auto labels = lg.s_connected_components();
+  std::vector<vertex_id_t> active;
+  for (auto l : labels) {
+    if (l != nw::null_vertex<>) active.push_back(l);
+  }
+  if (!active.empty()) {
+    std::printf("s-components: %zu over %zu active hyperedges (largest %zu)\n",
+                nw::graph::count_components(active), active.size(),
+                nw::graph::largest_component_size(active));
+  }
+  std::printf("s-diameter: %zu, s-triangles: %zu, s-clustering: %.4f\n", lg.s_diameter(),
+              lg.s_triangle_count(), lg.s_clustering_coefficient());
+  auto bc   = lg.s_betweenness_centrality();
+  auto imax = std::max_element(bc.begin(), bc.end()) - bc.begin();
+  std::printf("most s-between hyperedge: e%td (%.4f)\n", imax, bc[imax]);
+  return 0;
+}
+
+int cmd_slcompare(const std::string& path, std::size_t s) {
+  NWHypergraph hg(load(path));
+  const auto&  he = hg.hyperedges();
+  const auto&  hn = hg.hypernodes();
+  const auto&  deg = hg.edge_sizes();
+  std::vector<vertex_id_t> queue(hg.num_hyperedges());
+  for (std::size_t i = 0; i < queue.size(); ++i) queue[i] = static_cast<vertex_id_t>(i);
+
+  auto report = [&](const char* name, auto&& run) {
+    nw::timer t;
+    auto      result = run();
+    std::printf("  %-28s %10.2f ms   %zu edges\n", name, t.elapsed_ms(), result.size());
+  };
+  std::printf("s-line graph construction comparison, s = %zu:\n", s);
+  report("hashmap [IPDPS'22]", [&] { return to_two_graph_hashmap(he, hn, deg, s); });
+  report("intersection [HiPC'21]",
+         [&] { return to_two_graph_intersection(he, hn, deg, s, he.size()); });
+  report("Algorithm 1 (queue hashmap)",
+         [&] { return to_two_graph_queue_hashmap(queue, he, hn, deg, s, he.size()); });
+  report("Algorithm 2 (queue 2-phase)",
+         [&] { return to_two_graph_queue_intersection(queue, he, hn, deg, s, he.size()); });
+  report("weighted (keeps overlaps)", [&] { return to_two_graph_weighted(he, hn, deg, s); });
+  return 0;
+}
+
+int cmd_generate(const std::string& name, std::size_t scale, const std::string& out) {
+  for (const auto& spec : gen::dataset_suite()) {
+    if (spec.name != name) continue;
+    auto el = spec.build(scale);
+    el.sort_and_unique();
+    if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
+      write_binary(out, el);
+    } else {
+      write_matrix_market(out, el);
+    }
+    std::printf("generated %s (scale %zu): %zu hyperedges, %zu hypernodes, %zu incidences -> %s\n",
+                name.c_str(), scale, el.num_vertices(0), el.num_vertices(1), el.size(),
+                out.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown dataset '%s'; available:", name.c_str());
+  for (const auto& spec : gen::dataset_suite()) std::fprintf(stderr, " %s", spec.name.c_str());
+  std::fprintf(stderr, "\n");
+  return 1;
+}
+
+int cmd_toplexes(const std::string& path) {
+  NWHypergraph hg(load(path));
+  nw::timer    t;
+  auto         tops = hg.toplexes();
+  std::printf("%zu toplexes among %zu hyperedges (%.2f ms)\n", tops.size(),
+              hg.num_hyperedges(), t.elapsed_ms());
+  std::size_t shown = 0;
+  for (auto e : tops) {
+    if (shown++ == 20) {
+      std::printf("  ... (%zu more)\n", tops.size() - 20);
+      break;
+    }
+    std::printf("  e%u (size %zu)\n", e, hg.edge_sizes()[e]);
+  }
+  return 0;
+}
+
+int cmd_collapse(const std::string& path) {
+  auto el = load(path);
+  el.sort_and_unique();
+  auto r = collapse_duplicate_edges(el);
+  std::printf("collapsed %zu hyperedges into %zu distinct ones\n", el.num_vertices(0),
+              r.el.num_vertices(0));
+  std::size_t dups = 0;
+  for (auto m : r.multiplicity) dups += m > 1;
+  std::printf("%zu hyperedges had duplicates\n", dups);
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  auto el = load(in);
+  el.sort_and_unique();
+  if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
+    write_binary(out, el);
+  } else {
+    write_matrix_market(out, el);
+  }
+  std::printf("wrote %s (%zu incidences)\n", out.c_str(), el.size());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: nwhy_tool <command> <file> [args]\n"
+               "  stats      <file>\n"
+               "  components <file>\n"
+               "  bfs        <file> <edge-id>\n"
+               "  slinegraph <file> <s> [out.mtx]\n"
+               "  slcompare  <file> <s>\n"
+               "  smetrics   <file> <s>\n"
+               "  toplexes   <file>\n"
+               "  collapse   <file>\n"
+               "  convert    <in> <out.bin|out.mtx>\n"
+               "  generate   <dataset-name> <scale> <out.bin|out.mtx>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  std::string cmd = argv[1], path = argv[2];
+  if (cmd == "stats") return cmd_stats(path);
+  if (cmd == "components") return cmd_components(path);
+  if (cmd == "bfs" && argc >= 4) return cmd_bfs(path, static_cast<vertex_id_t>(std::atol(argv[3])));
+  if (cmd == "slinegraph" && argc >= 4) {
+    return cmd_slinegraph(path, static_cast<std::size_t>(std::atol(argv[3])),
+                          argc >= 5 ? argv[4] : nullptr);
+  }
+  if (cmd == "smetrics" && argc >= 4) {
+    return cmd_smetrics(path, static_cast<std::size_t>(std::atol(argv[3])));
+  }
+  if (cmd == "slcompare" && argc >= 4) {
+    return cmd_slcompare(path, static_cast<std::size_t>(std::atol(argv[3])));
+  }
+  if (cmd == "toplexes") return cmd_toplexes(path);
+  if (cmd == "collapse") return cmd_collapse(path);
+  if (cmd == "convert" && argc >= 4) return cmd_convert(path, argv[3]);
+  if (cmd == "generate" && argc >= 5) {
+    return cmd_generate(path, static_cast<std::size_t>(std::atol(argv[3])), argv[4]);
+  }
+  usage();
+  return 2;
+}
