@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bfs_dir.dir/bench_ablation_bfs_dir.cpp.o"
+  "CMakeFiles/bench_ablation_bfs_dir.dir/bench_ablation_bfs_dir.cpp.o.d"
+  "bench_ablation_bfs_dir"
+  "bench_ablation_bfs_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bfs_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_implicit.dir/bench_ablation_implicit.cpp.o"
+  "CMakeFiles/bench_ablation_implicit.dir/bench_ablation_implicit.cpp.o.d"
+  "bench_ablation_implicit"
+  "bench_ablation_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_relabel.dir/bench_ablation_relabel.cpp.o"
+  "CMakeFiles/bench_ablation_relabel.dir/bench_ablation_relabel.cpp.o.d"
+  "bench_ablation_relabel"
+  "bench_ablation_relabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cc.dir/bench_fig7_cc.cpp.o"
+  "CMakeFiles/bench_fig7_cc.dir/bench_fig7_cc.cpp.o.d"
+  "bench_fig7_cc"
+  "bench_fig7_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_slinegraph.dir/bench_fig9_slinegraph.cpp.o"
+  "CMakeFiles/bench_fig9_slinegraph.dir/bench_fig9_slinegraph.cpp.o.d"
+  "bench_fig9_slinegraph"
+  "bench_fig9_slinegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_slinegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toplex.dir/bench_toplex.cpp.o"
+  "CMakeFiles/bench_toplex.dir/bench_toplex.cpp.o.d"
+  "bench_toplex"
+  "bench_toplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_components.dir/community_components.cpp.o"
+  "CMakeFiles/community_components.dir/community_components.cpp.o.d"
+  "community_components"
+  "community_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_route.dir/matrix_route.cpp.o"
+  "CMakeFiles/matrix_route.dir/matrix_route.cpp.o.d"
+  "matrix_route"
+  "matrix_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

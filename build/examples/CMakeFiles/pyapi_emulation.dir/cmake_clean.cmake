@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyapi_emulation.dir/pyapi_emulation.cpp.o"
+  "CMakeFiles/pyapi_emulation.dir/pyapi_emulation.cpp.o.d"
+  "pyapi_emulation"
+  "pyapi_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyapi_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toplex_mining.dir/toplex_mining.cpp.o"
+  "CMakeFiles/toplex_mining.dir/toplex_mining.cpp.o.d"
+  "toplex_mining"
+  "toplex_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toplex_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwhy_capi.dir/capi/nwhy_capi.cpp.o"
+  "CMakeFiles/nwhy_capi.dir/capi/nwhy_capi.cpp.o.d"
+  "libnwhy_capi.a"
+  "libnwhy_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwhy_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

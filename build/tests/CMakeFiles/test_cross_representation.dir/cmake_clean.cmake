@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_representation.dir/test_cross_representation.cpp.o"
+  "CMakeFiles/test_cross_representation.dir/test_cross_representation.cpp.o.d"
+  "test_cross_representation"
+  "test_cross_representation.pdb"
+  "test_cross_representation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

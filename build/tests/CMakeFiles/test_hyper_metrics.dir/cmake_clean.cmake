@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyper_metrics.dir/test_hyper_metrics.cpp.o"
+  "CMakeFiles/test_hyper_metrics.dir/test_hyper_metrics.cpp.o.d"
+  "test_hyper_metrics"
+  "test_hyper_metrics.pdb"
+  "test_hyper_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyper_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypergraph_containers.dir/test_hypergraph_containers.cpp.o"
+  "CMakeFiles/test_hypergraph_containers.dir/test_hypergraph_containers.cpp.o.d"
+  "test_hypergraph_containers"
+  "test_hypergraph_containers.pdb"
+  "test_hypergraph_containers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypergraph_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

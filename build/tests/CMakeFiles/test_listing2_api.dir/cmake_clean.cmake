@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listing2_api.dir/test_listing2_api.cpp.o"
+  "CMakeFiles/test_listing2_api.dir/test_listing2_api.cpp.o.d"
+  "test_listing2_api"
+  "test_listing2_api.pdb"
+  "test_listing2_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listing2_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

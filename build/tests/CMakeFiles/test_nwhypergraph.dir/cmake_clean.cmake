@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nwhypergraph.dir/test_nwhypergraph.cpp.o"
+  "CMakeFiles/test_nwhypergraph.dir/test_nwhypergraph.cpp.o.d"
+  "test_nwhypergraph"
+  "test_nwhypergraph.pdb"
+  "test_nwhypergraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nwhypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nwpar.dir/test_nwpar.cpp.o"
+  "CMakeFiles/test_nwpar.dir/test_nwpar.cpp.o.d"
+  "test_nwpar"
+  "test_nwpar.pdb"
+  "test_nwpar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nwpar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

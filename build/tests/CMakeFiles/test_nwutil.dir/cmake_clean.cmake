@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nwutil.dir/test_nwutil.cpp.o"
+  "CMakeFiles/test_nwutil.dir/test_nwutil.cpp.o.d"
+  "test_nwutil"
+  "test_nwutil.pdb"
+  "test_nwutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nwutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slinegraph_construction.dir/test_slinegraph_construction.cpp.o"
+  "CMakeFiles/test_slinegraph_construction.dir/test_slinegraph_construction.cpp.o.d"
+  "test_slinegraph_construction"
+  "test_slinegraph_construction.pdb"
+  "test_slinegraph_construction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slinegraph_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smetrics.dir/test_smetrics.cpp.o"
+  "CMakeFiles/test_smetrics.dir/test_smetrics.cpp.o.d"
+  "test_smetrics"
+  "test_smetrics.pdb"
+  "test_smetrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smetrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toplex.dir/test_toplex.cpp.o"
+  "CMakeFiles/test_toplex.dir/test_toplex.cpp.o.d"
+  "test_toplex"
+  "test_toplex.pdb"
+  "test_toplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

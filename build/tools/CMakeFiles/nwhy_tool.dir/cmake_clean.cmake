@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwhy_tool.dir/nwhy_tool.cpp.o"
+  "CMakeFiles/nwhy_tool.dir/nwhy_tool.cpp.o.d"
+  "nwhy_tool"
+  "nwhy_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwhy_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
