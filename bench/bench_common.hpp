@@ -2,9 +2,12 @@
 // harnesses: the Table-I dataset suite (cached per process), timing with
 // min-of-N repetitions, and environment knobs.
 //
-//   NWHY_BENCH_SCALE  multiplies dataset sizes (default 1)
-//   NWHY_BENCH_REPS   repetitions per measurement, min reported (default 3)
+//   NWHY_BENCH_SCALE   multiplies dataset sizes (default 1)
+//   NWHY_BENCH_REPS    repetitions per measurement, min reported (default 3)
 //   NWHY_BENCH_THREADS comma list of thread counts (default "1,2,4,8")
+//   NWHY_BENCH_PROFILE path; when set, an nwobs JSON profile (counters,
+//                      phase timers, env, threads) is written there at
+//                      process exit, landing next to the timing output
 #pragma once
 
 #include <cstdio>
@@ -89,6 +92,40 @@ inline double time_min_ms(const std::function<void()>& fn) {
   }
   return best;
 }
+
+/// Install the NWHY_BENCH_PROFILE export hook (idempotent).  When the env
+/// var names a path and observability is runtime-enabled, the accumulated
+/// counter/timer registry is serialized there at process exit, so profiles
+/// land next to whatever timing output the harness printed.  Harnesses call
+/// this from main(); calling it again is a no-op.
+inline void install_profile_export() {
+  static const bool installed = [] {
+    const char* path = std::getenv("NWHY_BENCH_PROFILE");
+    if (path == nullptr || *path == '\0' || !nw::obs::runtime_enabled()) return false;
+    // Touch the registry singleton *before* registering the atexit hook:
+    // static destructors and atexit callbacks run in reverse registration
+    // order, so constructing it first guarantees it outlives the hook.
+    (void)nw::obs::registry::get();
+    static std::string target;  // outlives the atexit callback
+    target = path;
+    std::atexit([] {
+      if (nw::obs::write_profile(target)) {
+        std::fprintf(stderr, "[bench] wrote nwobs profile to %s\n", target.c_str());
+      } else {
+        std::fprintf(stderr, "[bench] failed to write nwobs profile to %s\n", target.c_str());
+      }
+    });
+    return true;
+  }();
+  (void)installed;
+}
+
+namespace detail {
+/// Auto-install at static-init time so every harness — including the
+/// google-benchmark ones whose main() is BENCHMARK_MAIN() — honors
+/// NWHY_BENCH_PROFILE without per-harness wiring.
+inline const bool profile_export_auto = (install_profile_export(), true);
+}  // namespace detail
 
 /// The highest-degree hyperedge: the standard BFS source (largest component
 /// coverage, deterministic).

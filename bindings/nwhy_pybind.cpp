@@ -23,6 +23,7 @@
 
 #include "nwhy/nwhypergraph.hpp"
 #include "nwhy/s_linegraph.hpp"
+#include "nwobs/profile.hpp"
 
 namespace py = pybind11;
 using nw::vertex_id_t;
@@ -103,6 +104,15 @@ private:
 
 PYBIND11_MODULE(nwhy, m) {
   m.doc() = "NWHy: parallel hypergraph analytics (paper Listing 5 API)";
+
+  // Observability: the accumulated counter/timer registry as a JSON string
+  // (schema: {counters, timers, env, threads} — see DESIGN.md).  Kept as a
+  // string rather than a dict so the schema is identical to the C++ tools'
+  // --profile output; callers `json.loads()` it.
+  m.def("profile_snapshot", [] { return nw::obs::profile_json(); },
+        "JSON snapshot of the nwobs counter/timer registry");
+  m.def("profile_reset", [] { nw::obs::reset_profile(); },
+        "Zero all nwobs counters and drop timer aggregates");
 
   py::class_<PyHypergraph>(m, "NWHypergraph")
       .def(py::init<py::array_t<vertex_id_t, py::array::c_style | py::array::forcecast>,

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# scripts/verify.sh — the tier-1 verification cycle, plus a guard against
+# quiet test-suite degradation.
+#
+# `gtest_discover_tests` replaces a test binary that failed to compile with
+# a single `<name>_NOT_BUILT` ctest placeholder; a skim of the final
+# "N% tests passed" line can miss that hundreds of assertions vanished.
+# This script fails when (a) the build fails, (b) any ctest entry fails, or
+# (c) any *_NOT_BUILT placeholder appears in the ctest listing at all.
+#
+# Usage: scripts/verify.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$(nproc)"
+
+# -N lists registered tests without running them: catch NOT_BUILT
+# placeholders even before the run (they would also fail, but this names
+# the degradation precisely instead of drowning it in a failure list).
+if ctest --test-dir "$BUILD" -N | grep -F "_NOT_BUILT"; then
+  echo "verify.sh: NOT_BUILT placeholder(s) registered — a test binary failed to compile" >&2
+  echo "verify.sh: stale GTest_DIR in $BUILD/CMakeCache.txt is the usual cause (see README)" >&2
+  exit 1
+fi
+
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" | tee "$LOG"; then
+  echo "verify.sh: ctest reported failures" >&2
+  exit 1
+fi
+if grep -F "_NOT_BUILT" "$LOG" >/dev/null; then
+  echo "verify.sh: NOT_BUILT placeholder(s) in ctest output" >&2
+  exit 1
+fi
+echo "verify.sh: OK"

@@ -64,9 +64,16 @@ int nwhy_slg_is_s_connected(const nwhy_slinegraph* lg) {
   return lg->impl.is_s_connected() ? 1 : 0;
 }
 
-size_t nwhy_slg_s_degree(const nwhy_slinegraph* lg, uint32_t v) { return lg->impl.s_degree(v); }
+// The C++ point queries throw std::out_of_range on invalid ids; the C ABI
+// maps that to its existing sentinels (0 / NWHY_NULL_ID) instead of letting
+// an exception cross the language boundary.
+size_t nwhy_slg_s_degree(const nwhy_slinegraph* lg, uint32_t v) {
+  if (v >= lg->impl.num_vertices()) return 0;
+  return lg->impl.s_degree(v);
+}
 
 size_t nwhy_slg_s_neighbors(const nwhy_slinegraph* lg, uint32_t v, uint32_t* out) {
+  if (v >= lg->impl.num_vertices()) return 0;
   auto nbrs = lg->impl.s_neighbors(v);
   if (out != nullptr) std::copy(nbrs.begin(), nbrs.end(), out);
   return nbrs.size();
@@ -78,11 +85,13 @@ void nwhy_slg_s_connected_components(const nwhy_slinegraph* lg, uint32_t* out) {
 }
 
 uint32_t nwhy_slg_s_distance(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest) {
+  if (src >= lg->impl.num_vertices() || dest >= lg->impl.num_vertices()) return NWHY_NULL_ID;
   auto d = lg->impl.s_distance(src, dest);
   return d ? static_cast<uint32_t>(*d) : NWHY_NULL_ID;
 }
 
 size_t nwhy_slg_s_path(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest, uint32_t* out) {
+  if (src >= lg->impl.num_vertices() || dest >= lg->impl.num_vertices()) return 0;
   auto path = lg->impl.s_path(src, dest);
   if (out != nullptr) std::copy(path.begin(), path.end(), out);
   return path.size();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nwgraph/concepts.hpp"
+#include "nwobs/counters.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/atomics.hpp"
 #include "nwutil/bitmap.hpp"
@@ -114,6 +115,9 @@ std::vector<vertex_id_t> bfs_direction_optimizing(const Graph& g, vertex_id_t so
   std::size_t              frontier_size   = 1;
 
   while (frontier_size > 0) {
+    NWOBS_COUNT("graph_bfs.levels", 0, 1);
+    NWOBS_COUNT("graph_bfs.frontier_total", 0, frontier_size);
+    NWOBS_GAUGE_MAX("graph_bfs.frontier_peak", frontier_size);
     if (!bottom_up) {
       // Estimate the frontier's outgoing work to decide on a switch.
       std::size_t frontier_edges = 0;
@@ -122,14 +126,18 @@ std::vector<vertex_id_t> bfs_direction_optimizing(const Graph& g, vertex_id_t so
         front_bm.clear();
         for (auto u : frontier) front_bm.set(u);
         bottom_up = true;
+        NWOBS_COUNT("graph_bfs.direction_switches", 0, 1);
       } else {
+        NWOBS_COUNT("graph_bfs.steps_top_down", 0, 1);
         std::size_t scanned = bfs_top_down_step(g, frontier, next, parents);
+        NWOBS_COUNT("graph_bfs.edges_relaxed", 0, scanned);
         edges_remaining -= std::min(edges_remaining, scanned);
         frontier.swap(next);
         frontier_size = frontier.size();
         continue;
       }
     }
+    NWOBS_COUNT("graph_bfs.steps_bottom_up", 0, 1);
     std::size_t added = bfs_bottom_up_step(g, front_bm, next_bm, parents);
     front_bm.swap(next_bm);
     frontier_size = added;
@@ -140,6 +148,7 @@ std::vector<vertex_id_t> bfs_direction_optimizing(const Graph& g, vertex_id_t so
         if (front_bm.get(v)) frontier.push_back(static_cast<vertex_id_t>(v));
       }
       bottom_up = false;
+      NWOBS_COUNT("graph_bfs.direction_switches", 0, 1);
     }
   }
   return parents;

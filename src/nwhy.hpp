@@ -9,6 +9,11 @@
 #include "nwutil/stats.hpp"
 #include "nwutil/timer.hpp"
 
+// Observability (counters, phase timers, JSON profiles)
+#include "nwobs/counters.hpp"
+#include "nwobs/profile.hpp"
+#include "nwobs/scope_timer.hpp"
+
 // Parallel runtime (oneTBB substitute)
 #include "nwpar/parallel_for.hpp"
 #include "nwpar/parallel_sort.hpp"

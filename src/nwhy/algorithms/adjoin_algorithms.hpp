@@ -16,6 +16,8 @@
 #include "nwgraph/algorithms/bfs.hpp"
 #include "nwgraph/algorithms/connected_components.hpp"
 #include "nwhy/adjoin.hpp"
+#include "nwobs/counters.hpp"
+#include "nwobs/scope_timer.hpp"
 #include "nwutil/defs.hpp"
 
 namespace nw::hypergraph {
@@ -28,6 +30,12 @@ struct adjoin_bfs_result {
 /// BFS from hyperedge `source_edge` via direction-optimizing graph BFS.
 inline adjoin_bfs_result adjoin_bfs(const adjoin_graph& g, vertex_id_t source_edge) {
   NW_ASSERT(source_edge < g.nrealedges, "adjoin_bfs source must be a hyperedge id");
+  // The per-level counters (frontier sizes, direction switches, edges
+  // relaxed) are emitted by the underlying engine under "graph_bfs.*";
+  // this wrapper contributes the phase timer and run count so profiles can
+  // attribute those engine counters to AdjoinBFS invocations.
+  NWOBS_SCOPE_TIMER("adjoin_bfs");
+  NWOBS_COUNT("adjoin_bfs.runs", 0, 1);
   auto parents = nw::graph::bfs_direction_optimizing(g.graph, source_edge);
   auto [pe, pn] = split_results(parents, g.nrealedges);
   return {std::move(pe), std::move(pn)};
@@ -52,6 +60,7 @@ enum class adjoin_cc_engine { afforest, label_propagation };
 /// receive the same label.
 inline adjoin_cc_result adjoin_cc(const adjoin_graph&           g,
                                   adjoin_cc_engine engine = adjoin_cc_engine::afforest) {
+  NWOBS_SCOPE_TIMER("adjoin_cc");
   std::vector<vertex_id_t> labels = engine == adjoin_cc_engine::afforest
                                         ? nw::graph::cc_afforest(g.graph)
                                         : nw::graph::cc_label_propagation(g.graph);

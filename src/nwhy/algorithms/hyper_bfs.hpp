@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "nwhy/biadjacency.hpp"
+#include "nwobs/counters.hpp"
+#include "nwobs/scope_timer.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/atomics.hpp"
 #include "nwutil/bitmap.hpp"
@@ -48,15 +50,18 @@ std::vector<vertex_id_t> expand_top_down(const Graph& graph,
                                          vertex_id_t level) {
   par::per_thread<std::vector<vertex_id_t>> next_local;
   par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
-    vertex_id_t u = frontier[i];
+    vertex_id_t u       = frontier[i];
+    std::size_t scanned = 0;
     for (auto&& e : graph[u]) {
       vertex_id_t v = target(e);
+      ++scanned;
       if (atomic_load(parents_target[v]) == null_vertex<> &&
           compare_and_swap(parents_target[v], null_vertex<>, u)) {
         dist_target[v] = level;
         next_local.local(tid).push_back(v);
       }
     }
+    NWOBS_COUNT("hyper_bfs.edges_relaxed", tid, scanned);
   });
   return par::merge_thread_vectors(next_local);
 }
@@ -71,8 +76,10 @@ std::vector<vertex_id_t> expand_bottom_up(const Graph& graph_target_side, const 
   par::per_thread<std::vector<vertex_id_t>> next_local;
   par::parallel_for(0, graph_target_side.size(), [&](unsigned tid, std::size_t v) {
     if (parents_target[v] != null_vertex<>) return;
+    std::size_t scanned = 0;
     for (auto&& e : graph_target_side[v]) {
       vertex_id_t u = target(e);
+      ++scanned;
       if (frontier.get(u)) {
         parents_target[v] = u;
         dist_target[v]    = level;
@@ -80,8 +87,18 @@ std::vector<vertex_id_t> expand_bottom_up(const Graph& graph_target_side, const 
         break;
       }
     }
+    NWOBS_COUNT("hyper_bfs.edges_relaxed", tid, scanned);
   });
   return par::merge_thread_vectors(next_local);
+}
+
+/// Record one BFS half-step (level) and its frontier size into the
+/// observability registry.  No-op under -DNWHY_OBS=0.
+inline void record_level(std::size_t frontier_size) {
+  (void)frontier_size;
+  NWOBS_COUNT("hyper_bfs.levels", 0, 1);
+  NWOBS_COUNT("hyper_bfs.frontier_total", 0, frontier_size);
+  NWOBS_GAUGE_MAX("hyper_bfs.frontier_peak", frontier_size);
 }
 
 }  // namespace detail
@@ -98,14 +115,17 @@ hyper_bfs_result hyper_bfs_top_down(const biadjacency<0, Attributes...>& hypered
   r.dist_node.assign(hypernodes.size(), null_vertex<>);
   if (hyperedges.size() == 0) return r;
 
+  NWOBS_SCOPE_TIMER("hyper_bfs_top_down");
   r.parents_edge[source] = source;
   r.dist_edge[source]    = 0;
   std::vector<vertex_id_t> edge_frontier{source};
   vertex_id_t              level = 0;
   while (!edge_frontier.empty()) {
+    detail::record_level(edge_frontier.size());
     auto node_frontier =
         detail::expand_top_down(hyperedges, edge_frontier, r.parents_node, r.dist_node, ++level);
     if (node_frontier.empty()) break;
+    detail::record_level(node_frontier.size());
     edge_frontier =
         detail::expand_top_down(hypernodes, node_frontier, r.parents_edge, r.dist_edge, ++level);
   }
@@ -124,6 +144,7 @@ hyper_bfs_result hyper_bfs_bottom_up(const biadjacency<0, Attributes...>& hypere
   r.dist_node.assign(hypernodes.size(), null_vertex<>);
   if (hyperedges.size() == 0) return r;
 
+  NWOBS_SCOPE_TIMER("hyper_bfs_bottom_up");
   r.parents_edge[source] = source;
   r.dist_edge[source]    = 0;
   bitmap edge_bm(hyperedges.size()), node_bm(hypernodes.size());
@@ -131,12 +152,14 @@ hyper_bfs_result hyper_bfs_bottom_up(const biadjacency<0, Attributes...>& hypere
   vertex_id_t level         = 0;
   std::size_t frontier_size = 1;
   while (frontier_size > 0) {
+    detail::record_level(frontier_size);
     // Hypernode side scans its incident hyperedges for frontier members.
     auto nodes_added =
         detail::expand_bottom_up(hypernodes, edge_bm, r.parents_node, r.dist_node, ++level);
     node_bm.clear();
     for (auto v : nodes_added) node_bm.set(v);
     if (nodes_added.empty()) break;
+    detail::record_level(nodes_added.size());
     auto edges_added =
         detail::expand_bottom_up(hyperedges, node_bm, r.parents_edge, r.dist_edge, ++level);
     edge_bm.clear();
@@ -181,16 +204,29 @@ hyper_bfs_result hyper_bfs(const biadjacency<0, Attributes...>& hyperedges,
   r.dist_node.assign(hypernodes.size(), null_vertex<>);
   if (hyperedges.size() == 0) return r;
 
+  NWOBS_SCOPE_TIMER("hyper_bfs");
   r.parents_edge[source] = source;
   r.dist_edge[source]    = 0;
   std::vector<vertex_id_t> frontier{source};
   bitmap                   frontier_bm(std::max(hyperedges.size(), hypernodes.size()));
   bool                     edge_side = true;  // class of ids currently in `frontier`
+  bool                     prev_bottom_up = false;
   vertex_id_t              level     = 0;
 
   while (!frontier.empty()) {
     std::size_t target_side = edge_side ? hypernodes.size() : hyperedges.size();
     bool        go_bottom_up = frontier.size() > target_side / denominator;
+    detail::record_level(frontier.size());
+    // Two call sites on purpose: NWOBS_COUNT caches its counter per site.
+    if (go_bottom_up) {
+      NWOBS_COUNT("hyper_bfs.steps_bottom_up", 0, 1);
+    } else {
+      NWOBS_COUNT("hyper_bfs.steps_top_down", 0, 1);
+    }
+    if (go_bottom_up != prev_bottom_up) {
+      NWOBS_COUNT("hyper_bfs.direction_switches", 0, 1);
+      prev_bottom_up = go_bottom_up;
+    }
     ++level;
     std::vector<vertex_id_t> next;
     if (edge_side) {

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "nwhy/biadjacency.hpp"
+#include "nwobs/counters.hpp"
+#include "nwobs/scope_timer.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/defs.hpp"
 #include "nwutil/flat_hashmap.hpp"
@@ -25,6 +27,7 @@ namespace nw::hypergraph {
 template <class... Attributes>
 std::vector<vertex_id_t> toplexes(const biadjacency<0, Attributes...>& hyperedges,
                                   const biadjacency<1, Attributes...>& hypernodes) {
+  NWOBS_SCOPE_TIMER("toplex");
   const std::size_t ne = hyperedges.size();
   std::vector<char> dominated(ne, 0);
 
@@ -57,12 +60,21 @@ std::vector<vertex_id_t> toplexes(const biadjacency<0, Attributes...>& hyperedge
         if (ej != ei) overlap.increment(ej);
       }
     }
-    bool dom = false;
+    bool        dom     = false;
+    std::size_t checks  = 0;  // candidates whose containment test actually ran
+    std::size_t skipped = 0;  // candidates skipped (dominator already found, or
+                              // pruned because |e_i ∩ e_j| < |e_i|)
     overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
-      if (dom || n < di) return;  // |e_i ∩ e_j| == |e_i|  ⇒  e_i ⊆ e_j
+      if (dom || n < di) {  // |e_i ∩ e_j| == |e_i|  ⇒  e_i ⊆ e_j
+        ++skipped;
+        return;
+      }
+      ++checks;
       std::size_t dj = hyperedges.degree(ej);
       if (dj > di || (dj == di && ej < ei)) dom = true;
     });
+    NWOBS_COUNT("toplex.dominance_checks", tid, checks);
+    NWOBS_COUNT("toplex.dominance_checks_skipped", tid, skipped);
     dominated[i] = dom ? 1 : 0;
   });
 

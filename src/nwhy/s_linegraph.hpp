@@ -18,6 +18,8 @@
 #include <algorithm>
 #include <iterator>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nwgraph/adjacency.hpp"
@@ -61,10 +63,15 @@ public:
   [[nodiscard]] bool is_active(vertex_id_t v) const { return active_[v]; }
 
   /// Listing 5 `s_degree(v)`: number of s-adjacent hyperedges.
-  [[nodiscard]] std::size_t s_degree(vertex_id_t v) const { return graph_.degree(v); }
+  /// Throws std::out_of_range for ids outside [0, num_vertices()).
+  [[nodiscard]] std::size_t s_degree(vertex_id_t v) const {
+    check_vertex(v, "s_degree");
+    return graph_.degree(v);
+  }
 
   /// Listing 5 `s_neighbors(v)`: the s-adjacent hyperedge ids.
   [[nodiscard]] std::vector<vertex_id_t> s_neighbors(vertex_id_t v) const {
+    check_vertex(v, "s_neighbors");
     auto                     nbrs = graph_[v];
     std::vector<vertex_id_t> out(nbrs.begin(), nbrs.end());
     return out;
@@ -97,8 +104,12 @@ public:
   }
 
   /// Listing 5 `s_distance(src, dest)`: hop distance in the s-line graph;
-  /// nullopt when unreachable.
+  /// nullopt when unreachable.  Throws std::out_of_range on invalid ids
+  /// (mirroring the adjoin_bfs "hyperedge id" guard — BFS arrays would
+  /// otherwise be indexed out of bounds).
   [[nodiscard]] std::optional<std::size_t> s_distance(vertex_id_t src, vertex_id_t dest) const {
+    check_vertex(src, "s_distance");
+    check_vertex(dest, "s_distance");
     auto dist = nw::graph::bfs_distances(graph_, src);
     if (dist[dest] == null_vertex<>) return std::nullopt;
     return static_cast<std::size_t>(dist[dest]);
@@ -107,6 +118,8 @@ public:
   /// Listing 5 `s_path(src, dest)`: one shortest s-walk between two
   /// hyperedges (sequence of hyperedge ids); empty when unreachable.
   [[nodiscard]] std::vector<vertex_id_t> s_path(vertex_id_t src, vertex_id_t dest) const {
+    check_vertex(src, "s_path");
+    check_vertex(dest, "s_path");
     auto parents = nw::graph::bfs_top_down(graph_, src);
     if (parents[dest] == null_vertex<>) return {};
     std::vector<vertex_id_t> path{dest};
@@ -128,24 +141,52 @@ public:
   [[nodiscard]] std::vector<double> s_closeness_centrality() const {
     return nw::graph::closeness_centrality(graph_);
   }
+  /// Single-vertex overload: one BFS from `v` (O(n + m)), not the
+  /// all-sources sweep (O(n·(n + m))) indexed at one element.  The
+  /// aggregation mirrors nw::graph::closeness_centrality exactly, so the
+  /// two spellings agree (asserted by tests/test_smetrics.cpp).
   [[nodiscard]] double s_closeness_centrality(vertex_id_t v) const {
-    return nw::graph::closeness_centrality(graph_)[v];
+    check_vertex(v, "s_closeness_centrality");
+    auto        dist      = nw::graph::bfs_distances(graph_, v);
+    double      total     = 0.0;
+    std::size_t reachable = 0;
+    for (auto d : dist) {
+      if (d != null_vertex<> && d != 0) {
+        total += static_cast<double>(d);
+        ++reachable;
+      }
+    }
+    return total > 0 ? static_cast<double>(reachable) / total : 0.0;
   }
 
   /// Listing 5 `s_harmonic_closeness_centrality(v)`.
   [[nodiscard]] std::vector<double> s_harmonic_closeness_centrality() const {
     return nw::graph::harmonic_closeness_centrality(graph_);
   }
+  /// Single-vertex overload: one BFS from `v` instead of n of them.
   [[nodiscard]] double s_harmonic_closeness_centrality(vertex_id_t v) const {
-    return nw::graph::harmonic_closeness_centrality(graph_)[v];
+    check_vertex(v, "s_harmonic_closeness_centrality");
+    auto   dist  = nw::graph::bfs_distances(graph_, v);
+    double total = 0.0;
+    for (auto d : dist) {
+      if (d != null_vertex<> && d != 0) total += 1.0 / static_cast<double>(d);
+    }
+    return total;
   }
 
   /// Listing 5 `s_eccentricity(v)`.
   [[nodiscard]] std::vector<vertex_id_t> s_eccentricity() const {
     return nw::graph::eccentricity(graph_);
   }
+  /// Single-vertex overload: one BFS from `v` instead of n of them.
   [[nodiscard]] vertex_id_t s_eccentricity(vertex_id_t v) const {
-    return nw::graph::eccentricity(graph_)[v];
+    check_vertex(v, "s_eccentricity");
+    auto        dist = nw::graph::bfs_distances(graph_, v);
+    vertex_id_t ecc  = 0;
+    for (auto d : dist) {
+      if (d != null_vertex<>) ecc = std::max(ecc, d);
+    }
+    return ecc;
   }
 
   /// s-diameter: the largest eccentricity among active entities (the
@@ -222,6 +263,16 @@ public:
   }
 
 private:
+  /// Point queries index graph_/BFS arrays directly; an out-of-range id is
+  /// UB there, so every public (vertex_id_t) entry point validates first.
+  void check_vertex(vertex_id_t v, const char* what) const {
+    if (v >= graph_.size()) {
+      throw std::out_of_range(std::string(what) + ": vertex id " + std::to_string(v) +
+                              " out of range (line graph has " +
+                              std::to_string(graph_.size()) + " vertices)");
+    }
+  }
+
   std::size_t            s_;
   std::vector<char>      active_;
   nw::graph::adjacency<> graph_;

@@ -40,6 +40,8 @@
 
 #include "nwgraph/concepts.hpp"
 #include "nwgraph/edge_list.hpp"
+#include "nwobs/counters.hpp"
+#include "nwobs/scope_timer.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwpar/partitioners.hpp"
 #include "nwpar/range_adaptors.hpp"
@@ -95,16 +97,22 @@ nw::graph::edge_list<> to_two_graph_naive(const EGraph& edges, const NGraph& nod
                                           const std::vector<std::size_t>& edge_degrees,
                                           std::size_t s) {
   (void)nodes;
+  NWOBS_SCOPE_TIMER("slinegraph.naive");
   const std::size_t                           ne = edges.size();
   par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
   par::parallel_for(0, ne, [&](unsigned tid, std::size_t i) {
     if (edge_degrees[i] < s) return;
+    std::size_t candidates = 0, emitted = 0;
     for (std::size_t j = i + 1; j < ne; ++j) {
       if (edge_degrees[j] < s) continue;
+      ++candidates;
       if (intersection_size(edges[i], edges[j], s) >= s) {
         out.local(tid).push_back({static_cast<vertex_id_t>(i), static_cast<vertex_id_t>(j)});
+        ++emitted;
       }
     }
+    NWOBS_COUNT("slinegraph.candidate_pairs", tid, candidates);
+    NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
   });
   auto                   pairs = par::merge_thread_vectors(out);
   nw::graph::edge_list<> result(ne);
@@ -123,6 +131,7 @@ nw::graph::edge_list<> to_two_graph_intersection(const EGraph& edges, const NGra
                                                  const std::vector<std::size_t>& edge_degrees,
                                                  std::size_t s, std::size_t id_bound = 0,
                                                  Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.intersection");
   const std::size_t ne    = edges.size();
   const std::size_t bound = id_bound != 0 ? id_bound : ne;
   par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
@@ -135,6 +144,7 @@ nw::graph::edge_list<> to_two_graph_intersection(const EGraph& edges, const NGra
         if (edge_degrees[i] < s) return;
         auto&       seen = stamps.local(tid);
         vertex_id_t ei   = static_cast<vertex_id_t>(i);
+        std::size_t candidates = 0, emitted = 0;
         for (auto&& ev : edges[i]) {
           vertex_id_t v = target(ev);
           for (auto&& ve : nodes[v]) {
@@ -142,11 +152,15 @@ nw::graph::edge_list<> to_two_graph_intersection(const EGraph& edges, const NGra
             if (ej <= ei || edge_degrees[ej] < s) continue;
             if (seen[ej] == ei) continue;  // pair already verified via another shared node
             seen[ej] = ei;
+            ++candidates;
             if (intersection_size(edges[ei], edges[ej], s) >= s) {
               out.local(tid).push_back({ei, ej});
+              ++emitted;
             }
           }
         }
+        NWOBS_COUNT("slinegraph.candidate_pairs", tid, candidates);
+        NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
       },
       part);
   auto                   pairs = par::merge_thread_vectors(out);
@@ -161,23 +175,37 @@ namespace detail {
 /// Shared kernel of the hashmap-counting algorithms: process one hyperedge
 /// `ei`, counting overlaps with every larger-id hyperedge reachable through
 /// a shared hypernode, then emit pairs whose count reaches s.
+/// `tid` is the worker id, used only for the observability counters
+/// (hashmap probes, candidate pairs = distinct keys counted, pairs emitted).
 template <class EGraph, class NGraph>
 void hashmap_process_edge(const EGraph& edges, const NGraph& nodes,
                           const std::vector<std::size_t>& edge_degrees, std::size_t s,
-                          vertex_id_t ei, counting_hashmap<>& overlap,
+                          vertex_id_t ei, unsigned tid, counting_hashmap<>& overlap,
                           std::vector<std::pair<vertex_id_t, vertex_id_t>>& out) {
+  (void)tid;
   if (edge_degrees[ei] < s) return;
   overlap.clear();
+  std::size_t probes = 0;
   for (auto&& ev : edges[ei]) {
     vertex_id_t v = target(ev);
     for (auto&& ve : nodes[v]) {
       vertex_id_t ej = target(ve);
-      if (ej > ei && edge_degrees[ej] >= s) overlap.increment(ej);
+      if (ej > ei && edge_degrees[ej] >= s) {
+        overlap.increment(ej);
+        ++probes;
+      }
     }
   }
+  std::size_t emitted = 0;
   overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
-    if (n >= s) out.push_back({ei, ej});
+    if (n >= s) {
+      out.push_back({ei, ej});
+      ++emitted;
+    }
   });
+  NWOBS_COUNT("slinegraph.hashmap_probes", tid, probes);
+  NWOBS_COUNT("slinegraph.candidate_pairs", tid, overlap.size());
+  NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
 }
 
 }  // namespace detail
@@ -188,6 +216,7 @@ template <class EGraph, class NGraph, class Partition = par::blocked>
 nw::graph::edge_list<> to_two_graph_hashmap(const EGraph& edges, const NGraph& nodes,
                                             const std::vector<std::size_t>& edge_degrees,
                                             std::size_t s, Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.hashmap");
   const std::size_t ne = edges.size();
   par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
   par::per_thread<counting_hashmap<>>                               maps;
@@ -195,7 +224,7 @@ nw::graph::edge_list<> to_two_graph_hashmap(const EGraph& edges, const NGraph& n
       0, ne,
       [&](unsigned tid, std::size_t i) {
         detail::hashmap_process_edge(edges, nodes, edge_degrees, s,
-                                     static_cast<vertex_id_t>(i), maps.local(tid),
+                                     static_cast<vertex_id_t>(i), tid, maps.local(tid),
                                      out.local(tid));
       },
       part);
@@ -217,13 +246,15 @@ nw::graph::edge_list<> to_two_graph_queue_hashmap(std::span<const vertex_id_t> q
                                                   const std::vector<std::size_t>& edge_degrees,
                                                   std::size_t s, std::size_t id_bound,
                                                   Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.queue_hashmap");
+  NWOBS_GAUGE_MAX("slinegraph.alg1_queue_occupancy", queue.size());
   par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
   par::per_thread<counting_hashmap<>>                               maps;
   par::parallel_for(
       0, queue.size(),
       [&](unsigned tid, std::size_t qi) {
-        detail::hashmap_process_edge(edges, nodes, edge_degrees, s, queue[qi], maps.local(tid),
-                                     out.local(tid));
+        detail::hashmap_process_edge(edges, nodes, edge_degrees, s, queue[qi], tid,
+                                     maps.local(tid), out.local(tid));
       },
       part);
   auto                   pairs = par::merge_thread_vectors(out);
@@ -243,6 +274,8 @@ nw::graph::edge_list<> to_two_graph_queue_intersection(
     std::span<const vertex_id_t> queue, const EGraph& edges, const NGraph& nodes,
     const std::vector<std::size_t>& edge_degrees, std::size_t s, std::size_t id_bound,
     Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.queue_intersection");
+  NWOBS_GAUGE_MAX("slinegraph.alg2_queue_occupancy", queue.size());
   using pair_t = std::pair<vertex_id_t, vertex_id_t>;
   // Phase 1: enqueue candidate pairs.
   par::per_thread<std::vector<pair_t>>      pair_queues;
@@ -267,6 +300,10 @@ nw::graph::edge_list<> to_two_graph_queue_intersection(
       },
       part);
   auto pairs = par::merge_thread_vectors(pair_queues);
+  // Phase-2 work-queue occupancy and the candidate population (pairs that
+  // survived phase-1 discovery and must now be verified).
+  NWOBS_GAUGE_MAX("slinegraph.alg2_pair_queue_occupancy", pairs.size());
+  NWOBS_COUNT("slinegraph.candidate_pairs", 0, pairs.size());
 
   // Phase 2: one flat loop of early-exit set intersections.
   par::per_thread<std::vector<pair_t>> out;
@@ -276,6 +313,7 @@ nw::graph::edge_list<> to_two_graph_queue_intersection(
         auto [ei, ej] = pairs[k];
         if (intersection_size(edges[ei], edges[ej], s) >= s) {
           out.local(tid).push_back({ei, ej});
+          NWOBS_COUNT("slinegraph.pairs_emitted", tid, 1);
         }
       },
       part);
@@ -293,6 +331,7 @@ template <class EGraph, class NGraph, class Partition = par::blocked>
 std::vector<nw::graph::edge_list<>> to_two_graph_ensemble(
     const EGraph& edges, const NGraph& nodes, const std::vector<std::size_t>& edge_degrees,
     const std::vector<std::size_t>& s_values, Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.ensemble");
   const std::size_t ne    = edges.size();
   std::size_t       s_min = static_cast<std::size_t>(-1);
   for (auto s : s_values) s_min = std::min(s_min, s);
@@ -352,6 +391,7 @@ template <class EGraph, class NGraph>
 nw::graph::edge_list<> to_two_graph_neighbor_range(const EGraph& edges, const NGraph& nodes,
                                                    const std::vector<std::size_t>& edge_degrees,
                                                    std::size_t s, std::size_t num_bins = 0) {
+  NWOBS_SCOPE_TIMER("slinegraph.neighbor_range");
   const std::size_t ne = edges.size();
   par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
   par::per_thread<counting_hashmap<>>                               maps;

@@ -1,0 +1,135 @@
+// nwobs/profile.hpp
+//
+// JSON serialization of the observability registry.  Schema (pinned by
+// tests/test_nwobs.cpp and documented in DESIGN.md):
+//
+//   {
+//     "counters": { "<family>.<metric>": <uint>, ... },   // counters + gauges
+//     "timers":   { "<phase>": {"count": n, "total_ms": x, "max_ms": y}, ... },
+//     "env":      { "NWHY_NUM_THREADS": "8" | null, ... },
+//     "threads":  <default pool concurrency>
+//   }
+//
+// The profile is what makes a perf regression diagnosable from counter
+// deltas instead of wall-clock alone: two runs of the same binary on the
+// same input should produce identical counters, so a timing change with
+// unchanged counters is a machine/codegen effect, while changed counters
+// point at the algorithmic phase that diverged.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "nwobs/counters.hpp"
+#include "nwpar/thread_pool.hpp"
+
+namespace nw::obs {
+
+/// Escape a string for embedding in a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace detail {
+
+inline void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+/// Environment knobs recorded in every profile: the ones that change what
+/// the process measured.
+inline constexpr const char* recorded_env[] = {
+    "NWHY_NUM_THREADS",  "NWHY_OBS",           "NWHY_BENCH_SCALE",
+    "NWHY_BENCH_REPS",   "NWHY_BENCH_THREADS", "NWHY_BENCH_PROFILE",
+};
+
+}  // namespace detail
+
+/// Serialize the full registry (counters+gauges, timers, env, threads).
+inline std::string profile_json() {
+  const registry& reg = registry::get();
+  std::string     out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : reg.counters_snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& [name, t] : reg.timers_snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " + std::to_string(t.count) +
+           ", \"total_ms\": ";
+    detail::append_number(out, t.total_ms);
+    out += ", \"max_ms\": ";
+    detail::append_number(out, t.max_ms);
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"env\": {";
+  first = true;
+  for (const char* name : detail::recorded_env) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const char* v = std::getenv(name);
+    out += "    \"" + std::string(name) + "\": ";
+    out += v ? "\"" + json_escape(v) + "\"" : std::string("null");
+  }
+  out += "\n  },\n";
+  out += "  \"threads\": " +
+         std::to_string(nw::par::thread_pool::default_pool().concurrency()) + "\n}\n";
+  return out;
+}
+
+/// Write the profile to `path`.  Returns false (and prints to stderr) on
+/// I/O failure; never throws — callers are CLI tools and atexit hooks.
+inline bool write_profile(const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "nwobs: cannot open profile output '%s'\n", path.c_str());
+    return false;
+  }
+  f << profile_json();
+  return f.good();
+}
+
+/// Zero every counter/gauge and drop timer aggregates.
+inline void reset_profile() { registry::get().reset(); }
+
+/// Runtime enable check for *export* sites (the instrumentation itself is
+/// compile-time gated): NWHY_OBS=0 in the environment suppresses profile
+/// dumping without a rebuild.
+inline bool runtime_enabled() {
+  const char* v = std::getenv("NWHY_OBS");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+}  // namespace nw::obs

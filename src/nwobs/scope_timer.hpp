@@ -1,0 +1,46 @@
+// nwobs/scope_timer.hpp
+//
+// RAII phase timer feeding the process-wide nw::obs::registry.  Wrap a
+// whole algorithm phase (one BFS run, one line-graph construction) — the
+// record path takes the registry mutex, so this is for coarse scopes, not
+// inner loops.  Use the NWOBS_SCOPE_TIMER macro so -DNWHY_OBS=0 removes the
+// timer entirely.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "nwobs/counters.hpp"
+
+namespace nw::obs {
+
+class scope_timer {
+  using clock = std::chrono::steady_clock;
+
+public:
+  explicit scope_timer(std::string_view name) : name_(name), start_(clock::now()) {}
+
+  scope_timer(const scope_timer&)            = delete;
+  scope_timer& operator=(const scope_timer&) = delete;
+
+  ~scope_timer() {
+    double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+    registry::get().record_timer(name_, ms);
+  }
+
+private:
+  std::string       name_;
+  clock::time_point start_;
+};
+
+}  // namespace nw::obs
+
+#if NWHY_OBS
+/// Time the rest of the enclosing scope under timer `name`.
+#define NWOBS_SCOPE_TIMER(name) \
+  ::nw::obs::scope_timer nwobs_scope_timer_ { name }
+#else
+#define NWOBS_SCOPE_TIMER(name) ((void)0)
+#endif

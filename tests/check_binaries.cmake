@@ -1,0 +1,37 @@
+# tests/check_binaries.cmake — ctest registration guard (run via `cmake -P`).
+#
+# gtest_discover_tests degrades quietly when a test executable fails to
+# compile: the suite's cases are replaced by a single <target>_NOT_BUILT
+# placeholder, and a casual reading of the ctest tail ("N% tests passed")
+# can miss that hundreds of assertions silently vanished.  This script is
+# registered as the `test_binaries_present` ctest entry: it receives the
+# expected path of every test executable and fails loudly, naming each
+# missing binary, if any of them was not produced by the build.
+#
+# Usage (see tests/CMakeLists.txt):
+#   cmake "-DBINARIES=<path1>;<path2>;..." -P check_binaries.cmake
+
+if(NOT DEFINED BINARIES)
+  message(FATAL_ERROR "check_binaries.cmake: pass -DBINARIES=<semicolon-separated paths>")
+endif()
+
+set(missing "")
+set(present 0)
+foreach(bin IN LISTS BINARIES)
+  if(EXISTS "${bin}")
+    math(EXPR present "${present} + 1")
+  else()
+    list(APPEND missing "${bin}")
+  endif()
+endforeach()
+
+if(missing)
+  list(LENGTH missing n)
+  string(REPLACE ";" "\n  " pretty "${missing}")
+  message(FATAL_ERROR
+      "${n} test binar(y/ies) missing — the build failed for them and their "
+      "test cases were never registered (look for *_NOT_BUILT in the ctest "
+      "output):\n  ${pretty}")
+endif()
+
+message(STATUS "all ${present} test binaries present")

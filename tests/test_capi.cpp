@@ -115,3 +115,22 @@ TEST(CApi, DualDirectionSCliqueGraph) {
   EXPECT_EQ(nwhy_slg_num_vertices(cg.p), 3u);
   EXPECT_EQ(nwhy_slg_num_edges(cg.p), 3u);  // triangle among v0, v1, v2
 }
+
+TEST(CApi, OutOfRangeIdsMapToSentinelsNotExceptions) {
+  // The C++ point queries now throw std::out_of_range; the C ABI must keep
+  // its sentinel contract (0 / NWHY_NULL_ID) — no exception may cross the
+  // language boundary.
+  std::vector<uint32_t> edges{0, 0, 1, 1};
+  std::vector<uint32_t> nodes{0, 1, 1, 2};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  lg_ptr lg{nwhy_s_linegraph(hg.p, 1, 1)};
+  uint32_t bad = static_cast<uint32_t>(nwhy_slg_num_vertices(lg.p));
+  EXPECT_EQ(nwhy_slg_s_degree(lg.p, bad), 0u);
+  EXPECT_EQ(nwhy_slg_s_neighbors(lg.p, bad, nullptr), 0u);
+  EXPECT_EQ(nwhy_slg_s_distance(lg.p, bad, 0), NWHY_NULL_ID);
+  EXPECT_EQ(nwhy_slg_s_distance(lg.p, 0, bad), NWHY_NULL_ID);
+  EXPECT_EQ(nwhy_slg_s_path(lg.p, bad, 0, nullptr), 0u);
+  EXPECT_EQ(nwhy_slg_s_path(lg.p, 0, bad, nullptr), 0u);
+  // Valid queries keep working on the same handle afterwards.
+  EXPECT_EQ(nwhy_slg_s_distance(lg.p, 0, 1), 1u);
+}

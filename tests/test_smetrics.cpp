@@ -220,3 +220,58 @@ TEST(SCliqueGraph, DualOfDualIsOriginal) {
   auto b = hg.make_s_linegraph(1, /*edges=*/false);
   EXPECT_EQ(a.num_edges(), b.num_edges());
 }
+
+// --- single-vertex overloads: agreement with the all-vertices sweeps ----------------
+//
+// The (v) overloads used to be the O(n·(n+m)) all-sources sweep indexed at
+// one element; they are now one BFS from v.  These tests pin the contract
+// that both spellings agree everywhere, on a hypergraph with several
+// components and inactive vertices (s=2 disconnects parts of it).
+
+TEST(SMetricsSingleVertex, AgreesWithFullSweepOnGeneratedHypergraph) {
+  NWHypergraph hg(gen::powerlaw_hypergraph(50, 40, 12, 1.5, 1.0, 0xC105));
+  for (std::size_t s : {1, 2}) {
+    auto lg  = hg.make_s_linegraph(s);
+    auto cl  = lg.s_closeness_centrality();
+    auto hc  = lg.s_harmonic_closeness_centrality();
+    auto ecc = lg.s_eccentricity();
+    ASSERT_EQ(cl.size(), lg.num_vertices());
+    for (vertex_id_t v = 0; v < lg.num_vertices(); ++v) {
+      EXPECT_NEAR(lg.s_closeness_centrality(v), cl[v], 1e-12) << "v=" << v << " s=" << s;
+      EXPECT_NEAR(lg.s_harmonic_closeness_centrality(v), hc[v], 1e-12) << "v=" << v << " s=" << s;
+      EXPECT_EQ(lg.s_eccentricity(v), ecc[v]) << "v=" << v << " s=" << s;
+    }
+  }
+}
+
+TEST(SMetricsSingleVertex, IsolatedVertexValues) {
+  auto lg = figure1().make_s_linegraph(10);  // edgeless line graph
+  EXPECT_DOUBLE_EQ(lg.s_closeness_centrality(0), 0.0);
+  EXPECT_DOUBLE_EQ(lg.s_harmonic_closeness_centrality(0), 0.0);
+  EXPECT_EQ(lg.s_eccentricity(0), 0u);
+}
+
+// --- bounds checking: point queries reject out-of-range ids -------------------------
+
+TEST(SMetricsBounds, PointQueriesThrowOutOfRange) {
+  auto lg  = figure1().make_s_linegraph(1);  // 4 vertices: ids 0..3
+  auto bad = static_cast<vertex_id_t>(lg.num_vertices());
+  EXPECT_THROW((void)lg.s_degree(bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_neighbors(bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_distance(bad, 0), std::out_of_range);
+  EXPECT_THROW((void)lg.s_distance(0, bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_path(bad, 0), std::out_of_range);
+  EXPECT_THROW((void)lg.s_path(0, bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_closeness_centrality(bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_harmonic_closeness_centrality(bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_eccentricity(bad), std::out_of_range);
+  EXPECT_THROW((void)lg.s_degree(nw::null_vertex<>), std::out_of_range);
+}
+
+TEST(SMetricsBounds, InRangeIdsDoNotThrow) {
+  auto lg = figure1().make_s_linegraph(1);
+  EXPECT_NO_THROW((void)lg.s_degree(3));
+  EXPECT_NO_THROW((void)lg.s_neighbors(3));
+  EXPECT_NO_THROW((void)lg.s_distance(3, 0));
+  EXPECT_NO_THROW((void)lg.s_eccentricity(3));
+}

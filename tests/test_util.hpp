@@ -1,12 +1,24 @@
 // tests/test_util.hpp — shared fixtures and canonicalization helpers.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "nwhy.hpp"
+
+// GoogleTest compatibility: GTEST_FLAG_SET was introduced in GTest 1.12, but
+// conda toolchains commonly resolve find_package(GTest) to 1.11 (the
+// GTest_DIR cache entry records which one won).  Death-test files use
+// GTEST_FLAG_SET(death_test_style, ...), so provide the 1.12 definition when
+// the installed GTest predates it.  The expansion below is byte-for-byte the
+// one GTest >= 1.12 ships in gtest-port.h.
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value) (void)(::testing::GTEST_FLAG(name) = value)
+#endif
 
 namespace nwtest {
 

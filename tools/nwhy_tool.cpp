@@ -15,11 +15,20 @@
 //   nwhy_tool collapse   <file>                 duplicate-hyperedge collapse
 //   nwhy_tool convert    <in> <out.bin|out.mtx> format conversion
 //   nwhy_tool generate   <name> <scale> <out>   emit a Table-I analog dataset
+//   nwhy_tool profile    <file> [s]             run all three instrumented
+//                                               algorithm families (BFS,
+//                                               s-line construction, toplexes)
+//
+// Any command accepts `--profile out.json` anywhere on the line: after the
+// command finishes, the observability registry (counters, phase timers,
+// env, thread count — see DESIGN.md for the schema) is written to out.json.
+// Setting NWHY_OBS=0 in the environment suppresses the dump.
 //
 // Thread count: NWHY_NUM_THREADS (default: hardware concurrency).
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "nwhy.hpp"
 
@@ -213,6 +222,49 @@ int cmd_toplexes(const std::string& path) {
   return 0;
 }
 
+/// Exercise every instrumented algorithm family once, so a single
+/// invocation produces a profile covering BFS (levels, direction switches,
+/// edges relaxed), s-line-graph construction (candidate vs. emitted pairs,
+/// hashmap probes, queue occupancy for Algorithms 1-2), and toplex mining
+/// (dominance checks performed vs. skipped).
+int cmd_profile(const std::string& path, std::size_t s) {
+  NWHypergraph hg(load(path));
+  const auto&  he  = hg.hyperedges();
+  const auto&  hn  = hg.hypernodes();
+  const auto&  deg = hg.edge_sizes();
+
+  // Family 1: BFS — direction-optimizing HyperBFS and AdjoinBFS.
+  vertex_id_t src = 0;
+  for (std::size_t e = 1; e < deg.size(); ++e) {
+    if (deg[e] > deg[src]) src = static_cast<vertex_id_t>(e);
+  }
+  auto hbfs = hg.bfs(src);
+  auto abfs = hg.bfs_adjoin(src);
+  std::size_t reached = 0;
+  for (auto d : hbfs.dist_edge) reached += d != nw::null_vertex<>;
+  std::printf("hyper_bfs/adjoin_bfs from e%u: reached %zu/%zu hyperedges\n", src, reached,
+              hg.num_hyperedges());
+  (void)abfs;
+
+  // Family 2: s-line-graph construction — both queue algorithms (1 and 2)
+  // plus the hashmap baseline they generalize.
+  std::vector<vertex_id_t> queue(hg.num_hyperedges());
+  for (std::size_t i = 0; i < queue.size(); ++i) queue[i] = static_cast<vertex_id_t>(i);
+  auto lg1 = to_two_graph_queue_hashmap(queue, he, hn, deg, s, he.size());
+  auto lg2 = to_two_graph_queue_intersection(queue, he, hn, deg, s, he.size());
+  auto lg3 = to_two_graph_hashmap(he, hn, deg, s);
+  std::printf("slinegraph s=%zu: %zu edges (Alg1) / %zu (Alg2) / %zu (hashmap)\n", s,
+              lg1.size(), lg2.size(), lg3.size());
+
+  // Family 3: toplexes.
+  auto tops = hg.toplexes();
+  std::printf("toplex: %zu toplexes among %zu hyperedges\n", tops.size(),
+              hg.num_hyperedges());
+
+  std::printf("profiled families: hyper_bfs, graph_bfs (adjoin), slinegraph, toplex\n");
+  return 0;
+}
+
 int cmd_collapse(const std::string& path) {
   auto el = load(path);
   el.sort_and_unique();
@@ -239,7 +291,7 @@ int cmd_convert(const std::string& in, const std::string& out) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: nwhy_tool <command> <file> [args]\n"
+               "usage: nwhy_tool <command> <file> [args] [--profile out.json]\n"
                "  stats      <file>\n"
                "  components <file>\n"
                "  bfs        <file> <edge-id>\n"
@@ -249,36 +301,68 @@ void usage() {
                "  toplexes   <file>\n"
                "  collapse   <file>\n"
                "  convert    <in> <out.bin|out.mtx>\n"
-               "  generate   <dataset-name> <scale> <out.bin|out.mtx>\n");
+               "  generate   <dataset-name> <scale> <out.bin|out.mtx>\n"
+               "  profile    <file> [s]\n"
+               "  --profile out.json   write observability counters/timers as JSON\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  // Extract `--profile <path>` (allowed anywhere) before positional parsing.
+  std::string              profile_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) {
     usage();
     return 2;
   }
-  std::string cmd = argv[1], path = argv[2];
-  if (cmd == "stats") return cmd_stats(path);
-  if (cmd == "components") return cmd_components(path);
-  if (cmd == "bfs" && argc >= 4) return cmd_bfs(path, static_cast<vertex_id_t>(std::atol(argv[3])));
-  if (cmd == "slinegraph" && argc >= 4) {
-    return cmd_slinegraph(path, static_cast<std::size_t>(std::atol(argv[3])),
-                          argc >= 5 ? argv[4] : nullptr);
+  const std::string& cmd  = args[0];
+  const std::string& path = args[1];
+  auto arg = [&](std::size_t i) -> const char* {
+    return args.size() > i ? args[i].c_str() : nullptr;
+  };
+
+  int rc = 2;
+  if (cmd == "stats") {
+    rc = cmd_stats(path);
+  } else if (cmd == "components") {
+    rc = cmd_components(path);
+  } else if (cmd == "bfs" && args.size() >= 3) {
+    rc = cmd_bfs(path, static_cast<vertex_id_t>(std::atol(arg(2))));
+  } else if (cmd == "slinegraph" && args.size() >= 3) {
+    rc = cmd_slinegraph(path, static_cast<std::size_t>(std::atol(arg(2))), arg(3));
+  } else if (cmd == "smetrics" && args.size() >= 3) {
+    rc = cmd_smetrics(path, static_cast<std::size_t>(std::atol(arg(2))));
+  } else if (cmd == "slcompare" && args.size() >= 3) {
+    rc = cmd_slcompare(path, static_cast<std::size_t>(std::atol(arg(2))));
+  } else if (cmd == "toplexes") {
+    rc = cmd_toplexes(path);
+  } else if (cmd == "collapse") {
+    rc = cmd_collapse(path);
+  } else if (cmd == "convert" && args.size() >= 3) {
+    rc = cmd_convert(path, arg(2));
+  } else if (cmd == "generate" && args.size() >= 4) {
+    rc = cmd_generate(path, static_cast<std::size_t>(std::atol(arg(2))), arg(3));
+  } else if (cmd == "profile") {
+    rc = cmd_profile(path, args.size() >= 3 ? static_cast<std::size_t>(std::atol(arg(2))) : 1);
+  } else {
+    usage();
+    return 2;
   }
-  if (cmd == "smetrics" && argc >= 4) {
-    return cmd_smetrics(path, static_cast<std::size_t>(std::atol(argv[3])));
+
+  if (rc == 0 && !profile_out.empty() && nw::obs::runtime_enabled()) {
+    if (nw::obs::write_profile(profile_out)) {
+      std::printf("wrote profile %s\n", profile_out.c_str());
+    } else {
+      rc = 1;
+    }
   }
-  if (cmd == "slcompare" && argc >= 4) {
-    return cmd_slcompare(path, static_cast<std::size_t>(std::atol(argv[3])));
-  }
-  if (cmd == "toplexes") return cmd_toplexes(path);
-  if (cmd == "collapse") return cmd_collapse(path);
-  if (cmd == "convert" && argc >= 4) return cmd_convert(path, argv[3]);
-  if (cmd == "generate" && argc >= 5) {
-    return cmd_generate(path, static_cast<std::size_t>(std::atol(argv[3])), argv[4]);
-  }
-  usage();
-  return 2;
+  return rc;
 }
