@@ -10,6 +10,7 @@
 //                      process exit, landing next to the timing output
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -91,6 +92,24 @@ inline double time_min_ms(const std::function<void()>& fn) {
     best = std::min(best, t.elapsed_ms());
   }
   return best;
+}
+
+/// Wall-clock median over NWHY_BENCH_REPS runs of `fn`, in milliseconds —
+/// the statistic bench_snapshot.sh records, since the median is robust to
+/// both one-off stalls and one-off lucky cache states.
+inline double time_median_ms(const std::function<void()>& fn) {
+  std::size_t         reps = env_size("NWHY_BENCH_REPS", 3);
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    nw::timer t;
+    fn();
+    samples.push_back(t.elapsed_ms());
+  }
+  std::sort(samples.begin(), samples.end());
+  std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
 }
 
 /// Install the NWHY_BENCH_PROFILE export hook (idempotent).  When the env

@@ -11,8 +11,15 @@
 //   NWHY_BENCH_SVALUES  comma list of s values (default "2,8")
 //   NWHY_FIG9_FULL      set to 1 to sweep all 6 configs per algorithm
 //                       (default sweeps blocked/cyclic x {none, desc})
+//   NWHY_BENCH_JSON     path; when set the harness skips the Figure-9 table
+//                       and instead writes a machine-readable sweep
+//                       (dataset x algorithm x s x threads, median ms and
+//                       pairs emitted) for scripts/bench_snapshot.sh
+//   NWHY_BENCH_DATASETS comma list of dataset names to include in the JSON
+//                       sweep (default: all six)
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "nwgraph/relabel.hpp"
@@ -110,9 +117,83 @@ double best_time(algo a, const std::vector<labeled_view>& views, std::size_t s) 
   return best;
 }
 
+/// NWHY_BENCH_JSON mode: the machine-readable sweep bench_snapshot.sh
+/// freezes into BENCH_slinegraph.json.  One record per dataset x algorithm
+/// x s x thread-count: {"dataset", "algorithm", "s", "threads",
+/// "median_ms", "pairs"}.  Thread counts come from NWHY_BENCH_THREADS; the
+/// default pool is resized for each count and restored afterwards.
+int run_json_mode(const char* path) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return 1;
+  }
+  const unsigned restore = nw::par::num_threads();
+  const std::pair<const char*, algo> named[] = {
+      {"hashmap", algo::hashmap},
+      {"intersection", algo::intersection},
+      {"queue_hashmap", algo::queue_hashmap},
+      {"queue_intersection", algo::queue_intersection},
+  };
+  // Optional dataset filter: exact-name comma list (default: everything).
+  auto selected = [](const std::string& name) {
+    const char* v = std::getenv("NWHY_BENCH_DATASETS");
+    if (v == nullptr || *v == '\0') return true;
+    std::string s = v;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t next = s.find(',', pos);
+      if (next == std::string::npos) next = s.size();
+      if (s.substr(pos, next - pos) == name) return true;
+      pos = next + 1;
+    }
+    return false;
+  };
+  std::fprintf(out, "[");
+  bool first = true;
+  for (const auto& d : suite()) {
+    if (!selected(d->name)) continue;
+    labeled_view v = make_view(*d, nw::graph::degree_order::descending, false);
+    for (std::size_t s : env_svalues()) {
+      for (unsigned threads : env_threads()) {
+        nw::par::thread_pool::set_default_concurrency(threads);
+        auto emit = [&](const char* name, std::size_t pairs, double ms) {
+          std::fprintf(out,
+                       "%s\n  {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"s\": %zu, "
+                       "\"threads\": %u, \"median_ms\": %.4f, \"pairs\": %zu}",
+                       first ? "" : ",", d->name.c_str(), name, s, threads, ms, pairs);
+          first = false;
+        };
+        for (auto [name, a] : named) {
+          std::size_t pairs = 0;
+          double      ms    = time_median_ms([&] { pairs = run_algo(a, v, s, nw::par::blocked{}); });
+          emit(name, pairs, ms);
+        }
+        // The direct per-thread-buffers -> CSR pipeline (no edge_list
+        // round-trip); pairs = undirected edge count of the symmetric CSR.
+        std::size_t csr_pairs = 0;
+        double      csr_ms    = time_median_ms([&] {
+          auto csr  = to_two_graph_hashmap_csr(*v.hyperedges, *v.hypernodes, v.degrees, s);
+          csr_pairs = csr.num_edges() / 2;
+        });
+        emit("hashmap_csr", csr_pairs, csr_ms);
+      }
+    }
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  nw::par::thread_pool::set_default_concurrency(restore);
+  std::fprintf(stderr, "[bench] wrote slinegraph sweep to %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
+  if (const char* json = std::getenv("NWHY_BENCH_JSON"); json != nullptr && *json != '\0') {
+    setenv("NWHY_BENCH_REPS", "3", /*overwrite=*/0);
+    return run_json_mode(json);
+  }
   // Construction costs dwarf run-to-run noise here; default to one rep so
   // the full harness stays in the minutes range on one core.
   setenv("NWHY_BENCH_REPS", "1", /*overwrite=*/0);

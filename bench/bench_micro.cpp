@@ -1,10 +1,14 @@
 // bench/bench_micro.cpp — microbenchmarks of the performance-critical
 // building blocks: the epoch-clearing counting hashmap against
 // std::unordered_map (the data structure choice behind the hashmap s-line
-// algorithm), early-exit set intersection, and parallel sort.
+// algorithm), early-exit set intersection, parallel sort, and the
+// materialization pipeline (parallel thread-buffer merge, bulk SoA
+// edge-list append, direct per-thread-buffers -> CSR build) whose thread
+// scaling bench_snapshot.sh snapshots into BENCH_slinegraph.json.
 #include <benchmark/benchmark.h>
 
 #include <unordered_map>
+#include <utility>
 
 #include "nwhy.hpp"
 
@@ -97,6 +101,104 @@ void BM_StdSort(benchmark::State& state) {
   }
 }
 
+// --- materialization pipeline kernels --------------------------------------
+//
+// Deterministic unique unordered pairs via a bijection: pair p maps to
+// (a = p / K, b = a + 1 + p % K), so every unordered pair appears exactly
+// once and ids stay < P / K + K + 1 — exactly the precondition of
+// adjacency::from_unique_undirected_pairs.
+
+constexpr std::size_t kPairs   = std::size_t{1} << 20;
+constexpr std::size_t kStride  = 64;  // K in the bijection above
+constexpr std::size_t kIdBound = kPairs / kStride + kStride + 1;
+
+using pair_t = std::pair<vertex_id_t, vertex_id_t>;
+
+/// Fill per-thread buffers with the benchmark pair set, split evenly.
+void fill_pair_buffers(nw::par::per_thread<std::vector<pair_t>>& buffers) {
+  const std::size_t slots = buffers.size();
+  for (std::size_t t = 0; t < slots; ++t) {
+    auto& buf = buffers.local(static_cast<unsigned>(t));
+    buf.clear();
+    for (std::size_t p = t; p < kPairs; p += slots) {
+      auto a = static_cast<vertex_id_t>(p / kStride);
+      auto b = static_cast<vertex_id_t>(a + 1 + p % kStride);
+      buf.push_back({a, b});
+    }
+  }
+}
+
+/// Parallel thread-buffer merge (the concat step every construction
+/// algorithm and implicit traversal funnels through).  Arg = threads.
+void BM_MergeThreadVectors(benchmark::State& state) {
+  nw::par::thread_pool pool(static_cast<unsigned>(state.range(0)));
+  nw::par::per_thread<std::vector<pair_t>> buffers(pool);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fill_pair_buffers(buffers);
+    state.ResumeTiming();
+    auto merged = nw::par::merge_thread_vectors(buffers, nw::par::merge_capacity::keep, pool);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kPairs));
+}
+
+/// Bulk SoA materialization: per-thread buffers -> edge_list in one
+/// scan + parallel scatter (no per-element push_back).  Arg = threads.
+void BM_EdgeListFromBuffers(benchmark::State& state) {
+  nw::par::thread_pool pool(static_cast<unsigned>(state.range(0)));
+  nw::par::per_thread<std::vector<pair_t>> buffers(pool);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fill_pair_buffers(buffers);
+    state.ResumeTiming();
+    auto el = nw::graph::edge_list<>::from_thread_buffers(buffers, kIdBound,
+                                                          nw::par::merge_capacity::keep, pool);
+    benchmark::DoNotOptimize(el.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kPairs));
+}
+
+/// Legacy per-element materialization the bulk API replaced: serial merge,
+/// element-wise push_back, symmetrize, global sort.  The baseline for
+/// BM_CsrFromBuffers.  Arg = threads (used only by the final CSR ctor's
+/// internal sort; the funnel itself is serial — that is the point).
+void BM_CsrLegacyRoundtrip(benchmark::State& state) {
+  nw::par::thread_pool pool(static_cast<unsigned>(state.range(0)));
+  nw::par::per_thread<std::vector<pair_t>> buffers(pool);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fill_pair_buffers(buffers);
+    state.ResumeTiming();
+    nw::graph::edge_list<> el(kIdBound);
+    buffers.for_each([&](std::vector<pair_t>& buf) {
+      for (auto [a, b] : buf) el.push_back(a, b);
+    });
+    el.symmetrize();
+    el.sort_and_unique();
+    nw::graph::adjacency<> csr(el, kIdBound);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kPairs));
+}
+
+/// Direct per-thread-buffers -> symmetric CSR (degree histogram, scan,
+/// scatter, per-row sort) — skips the edge_list round-trip entirely.
+/// Arg = threads.
+void BM_CsrFromBuffers(benchmark::State& state) {
+  nw::par::thread_pool pool(static_cast<unsigned>(state.range(0)));
+  nw::par::per_thread<std::vector<pair_t>> buffers(pool);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fill_pair_buffers(buffers);
+    state.ResumeTiming();
+    auto csr = nw::graph::adjacency<>::from_unique_undirected_pairs(
+        buffers, kIdBound, nw::par::merge_capacity::keep, pool);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kPairs));
+}
+
 }  // namespace
 
 BENCHMARK(BM_CountingHashmap)->Unit(benchmark::kMillisecond);
@@ -105,5 +207,9 @@ BENCHMARK(BM_IntersectionFull)->Arg(1 << 10)->Arg(1 << 14);
 BENCHMARK(BM_IntersectionEarlyExit)->Arg(1 << 10)->Arg(1 << 14);
 BENCHMARK(BM_ParallelSort)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StdSort)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeThreadVectors)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EdgeListFromBuffers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CsrLegacyRoundtrip)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CsrFromBuffers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# scripts/bench_snapshot.sh — freeze a machine-readable performance baseline
+# for the s-line-graph materialization pipeline into BENCH_slinegraph.json.
+#
+# Two sections are merged into one JSON document:
+#   construction — bench_fig9_slinegraph in NWHY_BENCH_JSON mode: one record
+#                  per dataset x algorithm x s x thread-count with the
+#                  median-of-reps wall time and the number of line-graph
+#                  pairs emitted (the hashmap_csr rows exercise the direct
+#                  per-thread-buffers -> CSR pipeline)
+#   micro        — bench_micro's materialization kernels
+#                  (BM_MergeThreadVectors, BM_EdgeListFromBuffers,
+#                  BM_CsrFromBuffers, BM_CsrLegacyRoundtrip), whose /N
+#                  argument is the thread count, showing merge + build
+#                  scaling
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
+#   defaults: build BENCH_slinegraph.json
+#
+# Knobs (defaults chosen so a snapshot completes in minutes on a laptop):
+#   NWHY_BENCH_THREADS   thread counts for the construction sweep (1,2,4)
+#   NWHY_BENCH_SVALUES   s values (2,8)
+#   NWHY_BENCH_REPS      repetitions, median reported (3)
+#   NWHY_BENCH_DATASETS  dataset subset (Friendster-sim,Rand1-sim); set to
+#                        "" to sweep the full Table-I suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+OUT=${2:-BENCH_slinegraph.json}
+
+export NWHY_BENCH_THREADS="${NWHY_BENCH_THREADS:-1,2,4}"
+export NWHY_BENCH_SVALUES="${NWHY_BENCH_SVALUES:-2,8}"
+export NWHY_BENCH_REPS="${NWHY_BENCH_REPS:-3}"
+export NWHY_BENCH_DATASETS="${NWHY_BENCH_DATASETS-Friendster-sim,Rand1-sim}"
+
+cmake --build "$BUILD" --target bench_fig9_slinegraph bench_micro -j "$(nproc)"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+NWHY_BENCH_JSON="$TMP/construction.json" "$BUILD/bench/bench_fig9_slinegraph"
+
+"$BUILD/bench/bench_micro" \
+  --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip' \
+  --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
+  --benchmark_repetitions="$NWHY_BENCH_REPS" --benchmark_report_aggregates_only=true
+
+python3 - "$TMP/construction.json" "$TMP/micro.json" "$OUT" <<'PY'
+import json, sys
+
+construction = json.load(open(sys.argv[1]))
+
+gb = json.load(open(sys.argv[2]))
+micro = []
+for b in gb.get("benchmarks", []):
+    # With repetitions we keep only the median aggregate.
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+        continue
+    name = b["name"].split("/")           # e.g. BM_CsrFromBuffers/4_median
+    kernel = name[0]
+    threads = int(name[1].split("_")[0]) if len(name) > 1 else 1
+    ms = b["real_time"]
+    if b.get("time_unit") == "ns":
+        ms /= 1e6
+    elif b.get("time_unit") == "us":
+        ms /= 1e3
+    micro.append({"kernel": kernel, "threads": threads, "median_ms": round(ms, 4)})
+
+doc = {
+    "schema": "nwhy-bench-slinegraph-v1",
+    "context": {k: gb.get("context", {}).get(k) for k in ("date", "num_cpus", "library_build_type")},
+    "construction": construction,
+    "micro": micro,
+}
+json.dump(doc, open(sys.argv[3], "w"), indent=1)
+open(sys.argv[3], "a").write("\n")
+print(f"bench_snapshot.sh: wrote {sys.argv[3]} "
+      f"({len(construction)} construction records, {len(micro)} micro records)")
+PY

@@ -10,11 +10,13 @@
 // bottom of this header.
 #pragma once
 
+#include <algorithm>
 #include <iterator>
 #include <numeric>
 #include <ranges>
 #include <span>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "nwgraph/concepts.hpp"
@@ -106,6 +108,88 @@ public:
   adjacency(const edge_list<Attributes...>& el, std::size_t n_sources, std::size_t n_targets)
       : adjacency(el, n_sources, check_targets_tag{false}) {
     (void)n_targets;
+  }
+
+  /// Direct materialization of a *symmetric* CSR from per-thread buffers of
+  /// unique undirected {lo, hi} pairs — the s-line-graph fast path.  Skips
+  /// the edge_list round-trip (append + symmetrize + sort_and_unique +
+  /// counting-sort rebuild) entirely:
+  ///
+  ///   1. parallel degree histogram over the pair buffers (atomic
+  ///      fetch_add, both endpoints)
+  ///   2. parallel exclusive scan of the degrees -> row offsets
+  ///   3. parallel scatter of both directions of every pair
+  ///   4. parallel per-row sort (ascending neighbor ids, the order
+  ///      sort_and_unique used to establish)
+  ///
+  /// Precondition: each unordered pair appears in the buffers exactly once
+  /// (what every construction algorithm in slinegraph/construction.hpp
+  /// guarantees); self-loops are allowed but counted twice like the legacy
+  /// symmetrize path would.  Only available for the unattributed CSR.
+  /// `cap` controls per-thread buffer reuse, as in merge_thread_vectors.
+  static adjacency from_unique_undirected_pairs(
+      par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>>& buffers,
+      std::size_t n, par::merge_capacity cap = par::merge_capacity::release,
+      par::thread_pool& pool = par::thread_pool::default_pool())
+    requires(sizeof...(Attributes) == 0)
+  {
+    adjacency g;
+    g.n_ = n;
+    std::vector<std::size_t> sizes(buffers.size());
+    for (std::size_t b = 0; b < buffers.size(); ++b) sizes[b] = buffers.local(b).size();
+    std::size_t total  = 0;
+    auto        chunks = par::detail::plan_block_copies(sizes, 0, total, pool);
+    const std::size_t m = 2 * total;
+
+    // 1. degree histogram (both endpoints of every pair).
+    std::vector<offset_t> cursor(n, 0);
+    par::parallel_for(
+        0, chunks.size(),
+        [&](std::size_t c) {
+          const auto& ck  = chunks[c];
+          const auto& src = buffers.local(ck.buf);
+          for (std::size_t i = ck.src_begin; i < ck.src_begin + ck.len; ++i) {
+            auto [a, b] = src[i];
+            NW_ASSERT(a < n && b < n, "pair endpoint out of declared vertex range");
+            nw::fetch_add(cursor[a], offset_t{1});
+            nw::fetch_add(cursor[b], offset_t{1});
+          }
+        },
+        par::blocked{}, pool);
+
+    // 2. offsets; cursor then doubles as the per-row write cursor.
+    par::parallel_exclusive_scan(cursor, pool);
+    g.indices_.resize(n + 1);
+    par::parallel_for(0, n, [&](std::size_t v) { g.indices_[v] = cursor[v]; }, par::blocked{},
+                      pool);
+    g.indices_[n] = m;
+
+    // 3. scatter both directions.
+    g.targets_.resize(m);
+    par::parallel_for(
+        0, chunks.size(),
+        [&](std::size_t c) {
+          const auto& ck  = chunks[c];
+          const auto& src = buffers.local(ck.buf);
+          for (std::size_t i = ck.src_begin; i < ck.src_begin + ck.len; ++i) {
+            auto [a, b] = src[i];
+            g.targets_[nw::fetch_add(cursor[a], offset_t{1})] = b;
+            g.targets_[nw::fetch_add(cursor[b], offset_t{1})] = a;
+          }
+        },
+        par::blocked{}, pool);
+
+    // 4. sorted neighbor lists (intersection/triangle kernels rely on it).
+    par::parallel_for(
+        0, n,
+        [&](std::size_t v) {
+          std::sort(g.targets_.begin() + static_cast<std::ptrdiff_t>(g.indices_[v]),
+                    g.targets_.begin() + static_cast<std::ptrdiff_t>(g.indices_[v + 1]));
+        },
+        par::blocked{}, pool);
+
+    par::detail::reset_buffers(buffers, cap);
+    return g;
   }
 
 private:

@@ -163,9 +163,11 @@ std::vector<vertex_id_t> bfs_distances(const Graph& g, vertex_id_t source) {
   dist[source] = 0;
   std::vector<vertex_id_t> frontier{source}, next;
   vertex_id_t              level = 0;
+  // Hoisted out of the level loop; the keep-capacity merge recycles the
+  // per-thread frontier buffers across levels.
+  par::per_thread<std::vector<vertex_id_t>> next_local;
   while (!frontier.empty()) {
     ++level;
-    par::per_thread<std::vector<vertex_id_t>> next_local;
     par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
       for (auto&& e : g[frontier[i]]) {
         vertex_id_t v = target(e);
@@ -175,7 +177,7 @@ std::vector<vertex_id_t> bfs_distances(const Graph& g, vertex_id_t source) {
         }
       }
     });
-    next = par::merge_thread_vectors(next_local);
+    next = par::merge_thread_vectors(next_local, par::merge_capacity::keep);
     frontier.swap(next);
   }
   return dist;

@@ -7,9 +7,13 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "nwpar/parallel_for.hpp"
+#include "nwpar/parallel_scan.hpp"
 #include "nwpar/parallel_sort.hpp"
 #include "nwutil/defs.hpp"
 
@@ -18,6 +22,14 @@ namespace nw::graph {
 template <class... Attributes>
 class edge_list {
 public:
+  /// The element type bulk appends consume: a bare (source, destination)
+  /// pair when there are no attribute columns, otherwise a tuple carrying
+  /// the payload — exactly what the s-line-graph construction kernels
+  /// accumulate in their per-thread buffers.
+  using value_type =
+      std::conditional_t<sizeof...(Attributes) == 0, std::pair<vertex_id_t, vertex_id_t>,
+                         std::tuple<vertex_id_t, vertex_id_t, Attributes...>>;
+
   edge_list() = default;
 
   /// Pre-declare the vertex count (ids must then be < n); if 0, the count
@@ -34,6 +46,49 @@ public:
     src_.push_back(u);
     dst_.push_back(v);
     push_attrs(std::index_sequence_for<Attributes...>{}, attrs...);
+  }
+
+  /// Bulk SoA append: splice a contiguous block of AoS edges into the
+  /// struct-of-arrays columns with one resize plus a parallel transform.
+  /// Replaces the element-at-a-time `for (auto [a, b] : pairs) push_back`
+  /// loops on the s-line-graph materialization tail.
+  void append_bulk(std::span<const value_type> items,
+                   par::thread_pool& pool = par::thread_pool::default_pool()) {
+    const std::size_t old = src_.size();
+    resize_columns(old + items.size());
+    par::parallel_for(
+        0, items.size(), [&](std::size_t i) { scatter_value(old + i, items[i]); },
+        par::blocked{}, pool);
+  }
+
+  /// Zero-copy-style materialization of per-thread construction buffers:
+  /// per-buffer sizes -> parallel exclusive scan -> one parallel pass that
+  /// scatters every buffer block straight into the SoA columns.  There is
+  /// no intermediate merged vector and no serial per-element loop.  `cap`
+  /// decides whether the drained buffers keep their capacity for the next
+  /// construction call (bench loops, ensemble, implicit s-BFS).
+  static edge_list from_thread_buffers(par::per_thread<std::vector<value_type>>& buffers,
+                                       std::size_t        num_vertices,
+                                       par::merge_capacity cap = par::merge_capacity::release,
+                                       par::thread_pool&   pool = par::thread_pool::default_pool()) {
+    edge_list out(num_vertices);
+    std::vector<std::size_t> sizes(buffers.size());
+    for (std::size_t b = 0; b < buffers.size(); ++b) sizes[b] = buffers.local(b).size();
+    std::size_t total  = 0;
+    auto        chunks = par::detail::plan_block_copies(sizes, 0, total, pool);
+    out.resize_columns(total);
+    par::parallel_for(
+        0, chunks.size(),
+        [&](std::size_t c) {
+          const auto& ck  = chunks[c];
+          const auto& src = buffers.local(ck.buf);
+          for (std::size_t i = 0; i < ck.len; ++i) {
+            out.scatter_value(ck.dst_begin + i, src[ck.src_begin + i]);
+          }
+        },
+        par::blocked{}, pool);
+    par::detail::reset_buffers(buffers, cap);
+    return out;
   }
 
   [[nodiscard]] std::size_t size() const { return src_.size(); }
@@ -78,23 +133,39 @@ public:
   }
 
   /// Canonicalize: sort lexicographically by (source, destination) and drop
-  /// exact duplicate (source, destination) pairs (first attribute wins).
+  /// exact duplicate (source, destination) pairs (first attribute wins,
+  /// "first" meaning first in the sorted permutation — the historical
+  /// semantics).  The output gather is parallel: survivor flags -> parallel
+  /// exclusive scan of destination slots -> parallel scatter into the new
+  /// columns; no serial per-element loop over the output.
   void sort_and_unique() {
-    std::vector<std::size_t> order(size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const std::size_t n = size();
+    std::vector<std::size_t> order(n);
+    par::parallel_for(0, n, [&](std::size_t i) { order[i] = i; });
     par::parallel_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return src_[a] != src_[b] ? src_[a] < src_[b] : dst_[a] < dst_[b];
     });
+    // slot[k] = 1 when order[k] starts a new (source, destination) value;
+    // after the scan, slot[k] is the destination index of that survivor.
+    auto differs = [&](std::size_t a, std::size_t b) {
+      return src_[a] != src_[b] || dst_[a] != dst_[b];
+    };
+    std::vector<std::size_t> slot(n);
+    par::parallel_for(0, n, [&](std::size_t k) {
+      slot[k] = (k == 0 || differs(order[k], order[k - 1])) ? 1 : 0;
+    });
+    const std::size_t kept = par::parallel_exclusive_scan(slot);
     edge_list out(declared_vertices_);
-    out.reserve(size());
-    for (std::size_t k = 0; k < order.size(); ++k) {
-      std::size_t i = order[k];
-      if (k > 0) {
-        std::size_t p = order[k - 1];
-        if (src_[p] == src_[i] && dst_[p] == dst_[i]) continue;
-      }
-      std::apply([&](const auto&... col) { out.push_back(src_[i], dst_[i], col[i]...); }, attrs_);
-    }
+    out.resize_columns(kept);
+    par::parallel_for(0, n, [&](std::size_t k) {
+      if (k != 0 && !differs(order[k], order[k - 1])) return;  // duplicate: dropped
+      std::size_t i = order[k], d = slot[k];
+      out.src_[d] = src_[i];
+      out.dst_[d] = dst_[i];
+      std::apply([&](auto&... ocol) {
+        std::apply([&](const auto&... icol) { ((ocol[d] = icol[i]), ...); }, attrs_);
+      }, out.attrs_);
+    });
     *this = std::move(out);
   }
 
@@ -110,6 +181,28 @@ private:
   template <std::size_t... Is>
   void push_attrs(std::index_sequence<Is...>, const Attributes&... attrs) {
     (std::get<Is>(attrs_).push_back(attrs), ...);
+  }
+
+  void resize_columns(std::size_t n) {
+    src_.resize(n);
+    dst_.resize(n);
+    std::apply([n](auto&... col) { (col.resize(n), ...); }, attrs_);
+  }
+
+  /// Write one AoS element into row `k` of the SoA columns.
+  void scatter_value(std::size_t k, const value_type& item) {
+    if constexpr (sizeof...(Attributes) == 0) {
+      src_[k] = item.first;
+      dst_[k] = item.second;
+    } else {
+      src_[k] = std::get<0>(item);
+      dst_[k] = std::get<1>(item);
+      scatter_value_attrs(k, item, std::index_sequence_for<Attributes...>{});
+    }
+  }
+  template <std::size_t... Is>
+  void scatter_value_attrs(std::size_t k, const value_type& item, std::index_sequence<Is...>) {
+    ((std::get<Is>(attrs_)[k] = std::get<Is + 2>(item)), ...);
   }
 
   std::vector<vertex_id_t>               src_;

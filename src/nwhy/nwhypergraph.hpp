@@ -84,13 +84,15 @@ public:
 
   /// Listing 5 `s_linegraph(s, edges)`: the s-line graph over hyperedges
   /// (edges == true) or the s-clique graph over hypernodes (edges == false).
+  /// Uses the direct per-thread-buffers -> CSR materialization pipeline:
+  /// no intermediate edge_list, no symmetrize, no global sort.
   [[nodiscard]] s_linegraph make_s_linegraph(std::size_t s, bool edges = true) const {
     if (edges) {
-      auto pairs = to_two_graph_hashmap(hyperedges_, hypernodes_, edge_degrees_, s);
-      return s_linegraph(std::move(pairs), hyperedges_.size(), edge_degrees_, s);
+      return s_linegraph(to_two_graph_hashmap_csr(hyperedges_, hypernodes_, edge_degrees_, s),
+                         edge_degrees_, s);
     }
-    auto pairs = to_two_graph_hashmap(hypernodes_, hyperedges_, node_degrees_, s);
-    return s_linegraph(std::move(pairs), hypernodes_.size(), node_degrees_, s);
+    return s_linegraph(to_two_graph_hashmap_csr(hypernodes_, hyperedges_, node_degrees_, s),
+                       node_degrees_, s);
   }
 
   /// s-connected components / s-distance computed *without* materializing
@@ -132,13 +134,10 @@ public:
   }
 
   /// Clique-expansion graph (Sec. III-B.3): graph over hypernodes replacing
-  /// every hyperedge by a clique.
+  /// every hyperedge by a clique.  Materialized through the direct
+  /// per-thread-buffers -> CSR pipeline.
   [[nodiscard]] nw::graph::adjacency<> clique_expansion_graph() const {
-    auto pairs = clique_expansion(hypernodes_, hyperedges_, node_degrees_);
-    pairs.set_num_vertices(hypernodes_.size());
-    pairs.symmetrize();
-    pairs.sort_and_unique();
-    return nw::graph::adjacency<>(pairs, hypernodes_.size());
+    return clique_expansion_csr(hypernodes_, hyperedges_, node_degrees_);
   }
 
   // --- exact algorithms -----------------------------------------------------

@@ -55,6 +55,18 @@ public:
     }
   }
 
+  /// Direct-CSR path: adopt an already-symmetric, sorted adjacency (the
+  /// output of to_two_graph_*_csr / adjacency<>::from_unique_undirected_pairs)
+  /// without any edge_list round-trip.  The entity count is the adjacency's
+  /// vertex count.
+  s_linegraph(nw::graph::adjacency<> graph, const std::vector<std::size_t>& entity_sizes,
+              std::size_t s)
+      : s_(s), active_(graph.size(), false), graph_(std::move(graph)) {
+    for (std::size_t e = 0; e < active_.size(); ++e) {
+      active_[e] = entity_sizes.size() > e && entity_sizes[e] >= s_;
+    }
+  }
+
   [[nodiscard]] std::size_t s() const { return s_; }
   [[nodiscard]] std::size_t num_vertices() const { return graph_.size(); }
   /// Number of s-line-graph edges (each counted once).

@@ -33,11 +33,26 @@
 // use.  Neighbor lists must be sorted ascending (the intersection variants
 // rely on it); biadjacency built from a sort_and_unique'd biedgelist
 // satisfies this.
+//
+// Materialization pipeline (this header's tail): every algorithm fills
+// per-thread pair buffers, which are drained by one of two parallel bulk
+// paths — edge_list::from_thread_buffers (size scan + parallel SoA
+// scatter) for the edge-list-returning entry points, or
+// adjacency<>::from_unique_undirected_pairs (parallel degree histogram +
+// scan + scatter + per-row sort) for the *_csr entry points that skip the
+// edge_list round-trip entirely.  Both run under the `slinegraph.merge` /
+// `slinegraph.csr_build` phase timers, and both leave the (process-wide,
+// reused) per-thread buffers with their capacity intact so bench loops,
+// the ensemble and implicit s-BFS do not re-fault pages every call.
 #pragma once
 
+#include <memory>
+#include <numeric>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "nwgraph/adjacency.hpp"
 #include "nwgraph/concepts.hpp"
 #include "nwgraph/edge_list.hpp"
 #include "nwobs/counters.hpp"
@@ -83,8 +98,55 @@ namespace detail {
 /// Default work list: all hyperedge ids [0, n).
 inline std::vector<vertex_id_t> iota_queue(std::size_t n) {
   std::vector<vertex_id_t> q(n);
-  for (std::size_t i = 0; i < n; ++i) q[i] = static_cast<vertex_id_t>(i);
+  std::iota(q.begin(), q.end(), vertex_id_t{0});
   return q;
+}
+
+/// Fill an externally-owned queue in place (no allocation, no copy):
+/// callers that already hold storage — a bench harness's scratch array, a
+/// pybind-provided buffer — pass a span instead of copying into a fresh
+/// vector.  Ids start at `first`.
+inline void iota_queue(std::span<vertex_id_t> q, vertex_id_t first = 0) {
+  std::iota(q.begin(), q.end(), first);
+}
+
+using pair_t = std::pair<vertex_id_t, vertex_id_t>;
+
+/// Process-wide reusable per-thread pair buffers for the construction
+/// algorithms.  Construction calls are serial at the top level (the thread
+/// pool's fork-join dispatch is not reentrant, so two constructions never
+/// run concurrently) — which makes a per-process scratch safe and lets
+/// repeated calls reuse the grown thread-local allocations instead of
+/// re-faulting pages every benchmark iteration.  Slot 0 is the emit
+/// buffer; slot 1 is Algorithm 2's phase-1 candidate queue (alive at the
+/// same time as slot 0).  Rebuilt when the default pool is resized.
+inline par::per_thread<std::vector<pair_t>>& pair_buffers(unsigned slot) {
+  static std::unique_ptr<par::per_thread<std::vector<pair_t>>> scratch[2];
+  auto& pool = par::thread_pool::default_pool();
+  auto& s    = scratch[slot];
+  if (!s || s->size() != pool.concurrency()) {
+    s = std::make_unique<par::per_thread<std::vector<pair_t>>>(pool);
+  }
+  s->for_each([](std::vector<pair_t>& v) { v.clear(); });  // stay clear even after exceptions
+  return *s;
+}
+
+/// Parallel bulk materialization of per-thread pair buffers into an
+/// edge_list (no serial per-element loop; buffers keep their capacity).
+inline nw::graph::edge_list<> materialize_edge_list(par::per_thread<std::vector<pair_t>>& out,
+                                                    std::size_t id_bound) {
+  NWOBS_SCOPE_TIMER("slinegraph.merge");
+  return nw::graph::edge_list<>::from_thread_buffers(out, id_bound,
+                                                     par::merge_capacity::keep);
+}
+
+/// Parallel direct CSR materialization: per-thread pair buffers ->
+/// symmetric sorted adjacency, skipping the edge_list round-trip.
+inline nw::graph::adjacency<> materialize_csr(par::per_thread<std::vector<pair_t>>& out,
+                                              std::size_t id_bound) {
+  NWOBS_SCOPE_TIMER("slinegraph.csr_build");
+  return nw::graph::adjacency<>::from_unique_undirected_pairs(out, id_bound,
+                                                              par::merge_capacity::keep);
 }
 
 }  // namespace detail
@@ -98,8 +160,8 @@ nw::graph::edge_list<> to_two_graph_naive(const EGraph& edges, const NGraph& nod
                                           std::size_t s) {
   (void)nodes;
   NWOBS_SCOPE_TIMER("slinegraph.naive");
-  const std::size_t                           ne = edges.size();
-  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
+  const std::size_t ne  = edges.size();
+  auto&             out = detail::pair_buffers(0);
   par::parallel_for(0, ne, [&](unsigned tid, std::size_t i) {
     if (edge_degrees[i] < s) return;
     std::size_t candidates = 0, emitted = 0;
@@ -114,12 +176,45 @@ nw::graph::edge_list<> to_two_graph_naive(const EGraph& edges, const NGraph& nod
     NWOBS_COUNT("slinegraph.candidate_pairs", tid, candidates);
     NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
   });
-  auto                   pairs = par::merge_thread_vectors(out);
-  nw::graph::edge_list<> result(ne);
-  result.reserve(pairs.size());
-  for (auto [a, b] : pairs) result.push_back(a, b);
-  return result;
+  return detail::materialize_edge_list(out, ne);
 }
+
+namespace detail {
+
+/// Shared discovery kernel of the intersection-style algorithms: fill the
+/// per-thread buffers with every candidate/verified pair of `ei` seen
+/// through a shared hypernode.  `Verify` decides whether to run the
+/// early-exit intersection before emitting.
+template <bool Verify, class EGraph, class NGraph>
+void intersect_process_edge(const EGraph& edges, const NGraph& nodes,
+                            const std::vector<std::size_t>& edge_degrees, std::size_t s,
+                            vertex_id_t ei, unsigned tid, std::vector<vertex_id_t>& seen,
+                            std::vector<pair_t>& out) {
+  if (edge_degrees[ei] < s) return;
+  std::size_t candidates = 0, emitted = 0;
+  for (auto&& ev : edges[ei]) {
+    vertex_id_t v = target(ev);
+    for (auto&& ve : nodes[v]) {
+      vertex_id_t ej = target(ve);
+      if (ej <= ei || edge_degrees[ej] < s) continue;
+      if (seen[ej] == ei) continue;  // pair already handled via another shared node
+      seen[ej] = ei;
+      ++candidates;
+      if constexpr (Verify) {
+        if (intersection_size(edges[ei], edges[ej], s) >= s) {
+          out.push_back({ei, ej});
+          ++emitted;
+        }
+      } else {
+        out.push_back({ei, ej});
+      }
+    }
+  }
+  NWOBS_COUNT("slinegraph.candidate_pairs", tid, candidates);
+  if constexpr (Verify) NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
+}
+
+}  // namespace detail
 
 /// HiPC'21 set-intersection heuristic with the indirection pattern
 /// "for each e_i, for each v in e_i, for each e_j in v": candidate
@@ -134,40 +229,19 @@ nw::graph::edge_list<> to_two_graph_intersection(const EGraph& edges, const NGra
   NWOBS_SCOPE_TIMER("slinegraph.intersection");
   const std::size_t ne    = edges.size();
   const std::size_t bound = id_bound != 0 ? id_bound : ne;
-  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
-  par::per_thread<std::vector<vertex_id_t>>                         stamps;
+  auto&             out   = detail::pair_buffers(0);
+  par::per_thread<std::vector<vertex_id_t>> stamps;
   stamps.for_each([&](std::vector<vertex_id_t>& v) { v.assign(bound, nw::null_vertex<>); });
 
   par::parallel_for(
       0, ne,
       [&](unsigned tid, std::size_t i) {
-        if (edge_degrees[i] < s) return;
-        auto&       seen = stamps.local(tid);
-        vertex_id_t ei   = static_cast<vertex_id_t>(i);
-        std::size_t candidates = 0, emitted = 0;
-        for (auto&& ev : edges[i]) {
-          vertex_id_t v = target(ev);
-          for (auto&& ve : nodes[v]) {
-            vertex_id_t ej = target(ve);
-            if (ej <= ei || edge_degrees[ej] < s) continue;
-            if (seen[ej] == ei) continue;  // pair already verified via another shared node
-            seen[ej] = ei;
-            ++candidates;
-            if (intersection_size(edges[ei], edges[ej], s) >= s) {
-              out.local(tid).push_back({ei, ej});
-              ++emitted;
-            }
-          }
-        }
-        NWOBS_COUNT("slinegraph.candidate_pairs", tid, candidates);
-        NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
+        detail::intersect_process_edge<true>(edges, nodes, edge_degrees, s,
+                                             static_cast<vertex_id_t>(i), tid,
+                                             stamps.local(tid), out.local(tid));
       },
       part);
-  auto                   pairs = par::merge_thread_vectors(out);
-  nw::graph::edge_list<> result(bound);
-  result.reserve(pairs.size());
-  for (auto [a, b] : pairs) result.push_back(a, b);
-  return result;
+  return detail::materialize_edge_list(out, bound);
 }
 
 namespace detail {
@@ -208,6 +282,26 @@ void hashmap_process_edge(const EGraph& edges, const NGraph& nodes,
   NWOBS_COUNT("slinegraph.pairs_emitted", tid, emitted);
 }
 
+/// Counting phase of the hashmap algorithm: fills (and returns) the
+/// process-wide per-thread pair buffers.  Shared by the edge-list and
+/// direct-CSR entry points.
+template <class EGraph, class NGraph, class Partition>
+par::per_thread<std::vector<pair_t>>& hashmap_collect(
+    const EGraph& edges, const NGraph& nodes, const std::vector<std::size_t>& edge_degrees,
+    std::size_t s, Partition part) {
+  const std::size_t ne  = edges.size();
+  auto&             out = pair_buffers(0);
+  par::per_thread<counting_hashmap<>> maps;
+  par::parallel_for(
+      0, ne,
+      [&](unsigned tid, std::size_t i) {
+        hashmap_process_edge(edges, nodes, edge_degrees, s, static_cast<vertex_id_t>(i), tid,
+                             maps.local(tid), out.local(tid));
+      },
+      part);
+  return out;
+}
+
 }  // namespace detail
 
 /// IPDPS'22 hashmap-counting algorithm: iterates hyperedges [0, nE)
@@ -217,22 +311,21 @@ nw::graph::edge_list<> to_two_graph_hashmap(const EGraph& edges, const NGraph& n
                                             const std::vector<std::size_t>& edge_degrees,
                                             std::size_t s, Partition part = {}) {
   NWOBS_SCOPE_TIMER("slinegraph.hashmap");
-  const std::size_t ne = edges.size();
-  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
-  par::per_thread<counting_hashmap<>>                               maps;
-  par::parallel_for(
-      0, ne,
-      [&](unsigned tid, std::size_t i) {
-        detail::hashmap_process_edge(edges, nodes, edge_degrees, s,
-                                     static_cast<vertex_id_t>(i), tid, maps.local(tid),
-                                     out.local(tid));
-      },
-      part);
-  auto                   pairs = par::merge_thread_vectors(out);
-  nw::graph::edge_list<> result(ne);
-  result.reserve(pairs.size());
-  for (auto [a, b] : pairs) result.push_back(a, b);
-  return result;
+  auto& out = detail::hashmap_collect(edges, nodes, edge_degrees, s, part);
+  return detail::materialize_edge_list(out, edges.size());
+}
+
+/// Hashmap algorithm materialized straight to the symmetric CSR the
+/// s_linegraph object wants — no intermediate edge_list, no symmetrize, no
+/// global sort.  Identical edge set to
+/// adjacency<>(sort_and_unique(symmetrize(to_two_graph_hashmap(...)))).
+template <class EGraph, class NGraph, class Partition = par::blocked>
+nw::graph::adjacency<> to_two_graph_hashmap_csr(const EGraph& edges, const NGraph& nodes,
+                                                const std::vector<std::size_t>& edge_degrees,
+                                                std::size_t s, Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.hashmap");
+  auto& out = detail::hashmap_collect(edges, nodes, edge_degrees, s, part);
+  return detail::materialize_csr(out, edges.size());
 }
 
 /// **Algorithm 1** (paper): single-phase queue-based hashmap counting.  The
@@ -248,8 +341,8 @@ nw::graph::edge_list<> to_two_graph_queue_hashmap(std::span<const vertex_id_t> q
                                                   Partition part = {}) {
   NWOBS_SCOPE_TIMER("slinegraph.queue_hashmap");
   NWOBS_GAUGE_MAX("slinegraph.alg1_queue_occupancy", queue.size());
-  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
-  par::per_thread<counting_hashmap<>>                               maps;
+  auto& out = detail::pair_buffers(0);
+  par::per_thread<counting_hashmap<>> maps;
   par::parallel_for(
       0, queue.size(),
       [&](unsigned tid, std::size_t qi) {
@@ -257,11 +350,7 @@ nw::graph::edge_list<> to_two_graph_queue_hashmap(std::span<const vertex_id_t> q
                                      maps.local(tid), out.local(tid));
       },
       part);
-  auto                   pairs = par::merge_thread_vectors(out);
-  nw::graph::edge_list<> result(id_bound);
-  result.reserve(pairs.size());
-  for (auto [a, b] : pairs) result.push_back(a, b);
-  return result;
+  return detail::materialize_edge_list(out, id_bound);
 }
 
 /// **Algorithm 2** (paper): two-phase queue-based set intersection.
@@ -276,37 +365,26 @@ nw::graph::edge_list<> to_two_graph_queue_intersection(
     Partition part = {}) {
   NWOBS_SCOPE_TIMER("slinegraph.queue_intersection");
   NWOBS_GAUGE_MAX("slinegraph.alg2_queue_occupancy", queue.size());
-  using pair_t = std::pair<vertex_id_t, vertex_id_t>;
-  // Phase 1: enqueue candidate pairs.
-  par::per_thread<std::vector<pair_t>>      pair_queues;
+  // Phase 1: enqueue candidate pairs.  Candidate discovery is attributed to
+  // the worker that found it (per-thread counts, merged on read) — the
+  // intersect kernel's candidate counter covers this.
+  auto& pair_queues = detail::pair_buffers(1);
   par::per_thread<std::vector<vertex_id_t>> stamps;
   stamps.for_each([&](std::vector<vertex_id_t>& v) { v.assign(id_bound, nw::null_vertex<>); });
   par::parallel_for(
       0, queue.size(),
       [&](unsigned tid, std::size_t qi) {
-        vertex_id_t ei = queue[qi];
-        if (edge_degrees[ei] < s) return;
-        auto& seen = stamps.local(tid);
-        for (auto&& ev : edges[ei]) {
-          vertex_id_t v = target(ev);
-          for (auto&& ve : nodes[v]) {
-            vertex_id_t ej = target(ve);
-            if (ej <= ei || edge_degrees[ej] < s) continue;
-            if (seen[ej] == ei) continue;
-            seen[ej] = ei;
-            pair_queues.local(tid).push_back({ei, ej});
-          }
-        }
+        detail::intersect_process_edge<false>(edges, nodes, edge_degrees, s, queue[qi], tid,
+                                              stamps.local(tid), pair_queues.local(tid));
       },
       part);
-  auto pairs = par::merge_thread_vectors(pair_queues);
-  // Phase-2 work-queue occupancy and the candidate population (pairs that
-  // survived phase-1 discovery and must now be verified).
+  auto pairs = par::merge_thread_vectors(pair_queues, par::merge_capacity::keep);
+  // Phase-2 work-queue occupancy (pairs that survived phase-1 discovery and
+  // must now be verified).
   NWOBS_GAUGE_MAX("slinegraph.alg2_pair_queue_occupancy", pairs.size());
-  NWOBS_COUNT("slinegraph.candidate_pairs", 0, pairs.size());
 
   // Phase 2: one flat loop of early-exit set intersections.
-  par::per_thread<std::vector<pair_t>> out;
+  auto& out = detail::pair_buffers(0);
   par::parallel_for(
       0, pairs.size(),
       [&](unsigned tid, std::size_t k) {
@@ -317,11 +395,7 @@ nw::graph::edge_list<> to_two_graph_queue_intersection(
         }
       },
       part);
-  auto                   kept = par::merge_thread_vectors(out);
-  nw::graph::edge_list<> result(id_bound);
-  result.reserve(kept.size());
-  for (auto [a, b] : kept) result.push_back(a, b);
-  return result;
+  return detail::materialize_edge_list(out, id_bound);
 }
 
 /// IPDPS'22 ensemble algorithm: one counting pass over the hypergraph
@@ -368,17 +442,20 @@ std::vector<nw::graph::edge_list<>> to_two_graph_ensemble(
       },
       part);
 
+  // Materialize each requested s by buffer-granular bulk appends (each
+  // append_bulk is itself a parallel SoA scatter — no per-element loop).
   std::vector<nw::graph::edge_list<>> results;
   results.reserve(k);
-  for (std::size_t si = 0; si < k; ++si) {
-    std::size_t total = 0;
-    out.for_each([&](const std::vector<std::vector<pair_t>>& v) { total += v[si].size(); });
-    nw::graph::edge_list<> el(ne);
-    el.reserve(total);
-    out.for_each([&](std::vector<std::vector<pair_t>>& v) {
-      for (auto [a, b] : v[si]) el.push_back(a, b);
-    });
-    results.push_back(std::move(el));
+  {
+    NWOBS_SCOPE_TIMER("slinegraph.merge");
+    for (std::size_t si = 0; si < k; ++si) {
+      std::size_t total = 0;
+      out.for_each([&](const std::vector<std::vector<pair_t>>& v) { total += v[si].size(); });
+      nw::graph::edge_list<> el(ne);
+      el.reserve(total);
+      out.for_each([&](std::vector<std::vector<pair_t>>& v) { el.append_bulk(v[si]); });
+      results.push_back(std::move(el));
+    }
   }
   return results;
 }
@@ -392,9 +469,9 @@ nw::graph::edge_list<> to_two_graph_neighbor_range(const EGraph& edges, const NG
                                                    const std::vector<std::size_t>& edge_degrees,
                                                    std::size_t s, std::size_t num_bins = 0) {
   NWOBS_SCOPE_TIMER("slinegraph.neighbor_range");
-  const std::size_t ne = edges.size();
-  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> out;
-  par::per_thread<counting_hashmap<>>                               maps;
+  const std::size_t ne  = edges.size();
+  auto&             out = detail::pair_buffers(0);
+  par::per_thread<counting_hashmap<>> maps;
   par::for_each_cyclic_neighborhood(
       edges, num_bins, [&](unsigned tid, std::size_t i, auto&& neighborhood) {
         vertex_id_t ei = static_cast<vertex_id_t>(i);
@@ -411,11 +488,7 @@ nw::graph::edge_list<> to_two_graph_neighbor_range(const EGraph& edges, const NG
           if (n >= s) out.local(tid).push_back({ei, ej});
         });
       });
-  auto                   pairs = par::merge_thread_vectors(out);
-  nw::graph::edge_list<> result(ne);
-  result.reserve(pairs.size());
-  for (auto [a, b] : pairs) result.push_back(a, b);
-  return result;
+  return detail::materialize_edge_list(out, ne);
 }
 
 /// Paper Listing 2 convenience spelling: the hashmap algorithm with the
@@ -438,6 +511,14 @@ template <class NGraph, class EGraph>
 nw::graph::edge_list<> clique_expansion(const NGraph& nodes, const EGraph& edges,
                                         const std::vector<std::size_t>& node_degrees) {
   return to_two_graph_hashmap(nodes, edges, node_degrees, 1);
+}
+
+/// Clique expansion materialized straight to a symmetric CSR (the
+/// representation every consumer wants) through the direct pipeline.
+template <class NGraph, class EGraph>
+nw::graph::adjacency<> clique_expansion_csr(const NGraph& nodes, const EGraph& edges,
+                                            const std::vector<std::size_t>& node_degrees) {
+  return to_two_graph_hashmap_csr(nodes, edges, node_degrees, 1);
 }
 
 }  // namespace nw::hypergraph

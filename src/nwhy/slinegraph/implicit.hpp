@@ -60,13 +60,16 @@ std::vector<vertex_id_t> s_connected_components_implicit(
   std::vector<vertex_id_t> comp(ne, null_vertex<>);
   std::vector<vertex_id_t> frontier, next;
   par::per_thread<counting_hashmap<>> maps;
+  // One set of per-thread frontier buffers for the whole flood: the
+  // keep-capacity merge clears them but retains their allocations, so each
+  // BFS level (and each seed) reuses the grown buffers.
+  par::per_thread<std::vector<vertex_id_t>> next_local;
 
   for (std::size_t seed = 0; seed < ne; ++seed) {
     if (edge_degrees[seed] < s || comp[seed] != null_vertex<>) continue;
     comp[seed] = static_cast<vertex_id_t>(seed);
     frontier.assign(1, static_cast<vertex_id_t>(seed));
     while (!frontier.empty()) {
-      par::per_thread<std::vector<vertex_id_t>> next_local;
       par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
         detail::for_each_s_neighbor(edges, nodes, edge_degrees, s, frontier[i], maps.local(tid),
                                     [&](vertex_id_t ej) {
@@ -77,7 +80,7 @@ std::vector<vertex_id_t> s_connected_components_implicit(
                                       }
                                     });
       });
-      next = par::merge_thread_vectors(next_local);
+      next = par::merge_thread_vectors(next_local, par::merge_capacity::keep);
       frontier.swap(next);
     }
   }
@@ -98,11 +101,12 @@ std::optional<std::size_t> s_distance_implicit(const EGraph& edges, const NGraph
   dist[src] = 0;
   std::vector<vertex_id_t>            frontier{src}, next;
   par::per_thread<counting_hashmap<>> maps;
+  // Hoisted out of the level loop; the keep-capacity merge recycles them.
+  par::per_thread<std::vector<vertex_id_t>> next_local;
   vertex_id_t                         level = 0;
   while (!frontier.empty()) {
     ++level;
-    std::atomic<bool>                         found{false};
-    par::per_thread<std::vector<vertex_id_t>> next_local;
+    std::atomic<bool> found{false};
     par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
       detail::for_each_s_neighbor(edges, nodes, edge_degrees, s, frontier[i], maps.local(tid),
                                   [&](vertex_id_t ej) {
@@ -114,7 +118,7 @@ std::optional<std::size_t> s_distance_implicit(const EGraph& edges, const NGraph
                                   });
     });
     if (found.load()) return static_cast<std::size_t>(level);
-    next = par::merge_thread_vectors(next_local);
+    next = par::merge_thread_vectors(next_local, par::merge_capacity::keep);
     frontier.swap(next);
   }
   return std::nullopt;

@@ -25,8 +25,10 @@ template <class EGraph, class NGraph, class Partition = par::blocked>
 nw::graph::edge_list<std::uint32_t> to_two_graph_weighted(
     const EGraph& edges, const NGraph& nodes, const std::vector<std::size_t>& edge_degrees,
     std::size_t s, Partition part = {}) {
+  NWOBS_SCOPE_TIMER("slinegraph.weighted");
   const std::size_t ne = edges.size();
-  using entry = std::tuple<vertex_id_t, vertex_id_t, std::uint32_t>;
+  // entry == edge_list<uint32_t>::value_type: (e_i, e_j, |e_i ∩ e_j|).
+  using entry = nw::graph::edge_list<std::uint32_t>::value_type;
   par::per_thread<std::vector<entry>>  out;
   par::per_thread<counting_hashmap<>>  maps;
   par::parallel_for(
@@ -47,11 +49,12 @@ nw::graph::edge_list<std::uint32_t> to_two_graph_weighted(
         });
       },
       part);
-  auto entries = par::merge_thread_vectors(out);
-  nw::graph::edge_list<std::uint32_t> result(ne);
-  result.reserve(entries.size());
-  for (auto [a, b, w] : entries) result.push_back(a, b, w);
-  return result;
+  // Bulk SoA materialization (parallel scan + scatter; the weight column
+  // rides along with the endpoints).
+  {
+    NWOBS_SCOPE_TIMER("slinegraph.merge");
+    return nw::graph::edge_list<std::uint32_t>::from_thread_buffers(out, ne);
+  }
 }
 
 /// Threshold a weighted 1-line edge list into the (unweighted) s-line edge

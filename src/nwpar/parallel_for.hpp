@@ -10,12 +10,14 @@
 // parallel_reduce additionally folds a per-thread accumulator.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <concepts>
 #include <cstddef>
 #include <type_traits>
 #include <vector>
 
+#include "nwpar/parallel_scan.hpp"
 #include "nwpar/partitioners.hpp"
 #include "nwpar/thread_pool.hpp"
 
@@ -161,19 +163,87 @@ private:
   std::vector<padded> slots_;
 };
 
+/// What to do with the per-thread source buffers after a merge:
+///   release — clear() + shrink_to_fit(): give the memory back (one-shot use)
+///   keep    — clear() only: repeated construction calls (bench loops,
+///             ensemble passes, implicit s-BFS levels) reuse the grown
+///             thread-local allocations instead of re-faulting pages.
+enum class merge_capacity { release, keep };
+
+namespace detail {
+
+/// One contiguous block copy: buffer `buf`, elements
+/// [src_begin, src_begin + len) land at `dst_begin` of the merged output.
+struct copy_chunk {
+  unsigned    buf;
+  std::size_t src_begin;
+  std::size_t len;
+  std::size_t dst_begin;
+};
+
+/// Turn per-buffer sizes into destination offsets (parallel exclusive scan)
+/// and a block-copy plan.  Buffers are split into chunks of at most
+/// `target_chunk` elements so one giant per-thread buffer still spreads
+/// across the whole pool; `total` receives the merged element count.
+inline std::vector<copy_chunk> plan_block_copies(const std::vector<std::size_t>& sizes,
+                                                 std::size_t target_chunk, std::size_t& total,
+                                                 thread_pool& pool) {
+  std::vector<std::size_t> offsets(sizes);
+  total = parallel_exclusive_scan(offsets, pool);
+  if (target_chunk == 0) {
+    target_chunk = std::max<std::size_t>(std::size_t{4096},
+                                         total / (8 * std::size_t{pool.concurrency()} + 1));
+  }
+  std::vector<copy_chunk> chunks;
+  for (unsigned b = 0; b < sizes.size(); ++b) {
+    for (std::size_t off = 0; off < sizes[b]; off += target_chunk) {
+      std::size_t len = std::min(target_chunk, sizes[b] - off);
+      chunks.push_back({b, off, len, offsets[b] + off});
+    }
+  }
+  return chunks;
+}
+
+/// Reset source buffers after their contents were copied out.
+template <class T>
+void reset_buffers(per_thread<std::vector<T>>& buffers, merge_capacity cap) {
+  buffers.for_each([&](std::vector<T>& v) {
+    v.clear();
+    if (cap == merge_capacity::release) v.shrink_to_fit();
+  });
+}
+
+}  // namespace detail
+
 /// Merge per-thread vectors into one, preserving per-thread order.  This is
 /// the "L_s(H) <- L_s(H) ∪ every L_t(H)" step of Algorithms 1 and 2.
+///
+/// Fully parallel: per-buffer sizes -> parallel_exclusive_scan offsets ->
+/// parallel block copies (std::copy over contiguous ranges, i.e. memmove
+/// for trivially copyable T).  No serial per-element loop over the merged
+/// output.  `cap` controls whether the drained per-thread buffers keep
+/// their capacity for the next call (merge_capacity::keep) or return it
+/// (merge_capacity::release, the default and historical behaviour).
 template <class T>
-std::vector<T> merge_thread_vectors(per_thread<std::vector<T>>& buffers) {
-  std::size_t total = 0;
-  buffers.for_each([&](const std::vector<T>& v) { total += v.size(); });
-  std::vector<T> merged;
-  merged.reserve(total);
-  buffers.for_each([&](std::vector<T>& v) {
-    merged.insert(merged.end(), v.begin(), v.end());
-    v.clear();
-    v.shrink_to_fit();
-  });
+std::vector<T> merge_thread_vectors(per_thread<std::vector<T>>& buffers,
+                                    merge_capacity cap = merge_capacity::release,
+                                    thread_pool&   pool = thread_pool::default_pool()) {
+  std::vector<std::size_t> sizes(buffers.size());
+  for (std::size_t b = 0; b < buffers.size(); ++b) sizes[b] = buffers.local(b).size();
+  std::size_t total  = 0;
+  auto        chunks = detail::plan_block_copies(sizes, 0, total, pool);
+  std::vector<T> merged(total);
+  parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) {
+        const auto& ck  = chunks[c];
+        const auto& src = buffers.local(ck.buf);
+        std::copy(src.begin() + static_cast<std::ptrdiff_t>(ck.src_begin),
+                  src.begin() + static_cast<std::ptrdiff_t>(ck.src_begin + ck.len),
+                  merged.begin() + static_cast<std::ptrdiff_t>(ck.dst_begin));
+      },
+      blocked{}, pool);
+  detail::reset_buffers(buffers, cap);
   return merged;
 }
 
