@@ -146,6 +146,22 @@ namespace detail {
 inline const bool profile_export_auto = (install_profile_export(), true);
 }  // namespace detail
 
+/// Exact-name dataset filter for the NWHY_BENCH_JSON sweep modes: true when
+/// NWHY_BENCH_DATASETS is unset/empty or contains `name` in its comma list.
+inline bool dataset_selected(const std::string& name) {
+  const char* v = std::getenv("NWHY_BENCH_DATASETS");
+  if (v == nullptr || *v == '\0') return true;
+  std::string s   = v;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    if (s.substr(pos, next - pos) == name) return true;
+    pos = next + 1;
+  }
+  return false;
+}
+
 /// The highest-degree hyperedge: the standard BFS source (largest component
 /// coverage, deterministic).
 inline nw::vertex_id_t bfs_source(const dataset& d) {

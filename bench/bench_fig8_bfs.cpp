@@ -1,8 +1,14 @@
 // bench/bench_fig8_bfs.cpp — reproduces Figure 8: strong scaling of
 // hypergraph breadth-first search from the highest-degree hyperedge.
 // Series: HyperBFS (direction-optimizing on the bipartite form), AdjoinBFS
-// (direction-optimizing on the adjoin form), and the top-down HygraBFS
-// comparator.
+// (direction-optimizing on the adjoin form), and the Hygra comparator
+// (direction-optimizing edgeMap).
+//
+//   NWHY_BENCH_JSON     path; when set the harness skips the Figure-8 table
+//                       and writes a machine-readable sweep (dataset x
+//                       algorithm x threads, median ms and hyperedges
+//                       reached) for scripts/bench_snapshot.sh
+//   NWHY_BENCH_DATASETS comma list of dataset names for the JSON sweep
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -10,7 +16,71 @@
 
 using namespace bench;
 
+namespace {
+
+std::size_t count_reached(const std::vector<nw::vertex_id_t>& parents) {
+  std::size_t reached = 0;
+  for (auto p : parents) reached += p != nw::null_vertex<>;
+  return reached;
+}
+
+/// NWHY_BENCH_JSON mode: one record per dataset x algorithm x thread-count:
+/// {"dataset", "algorithm", "threads", "median_ms", "reached"} where
+/// `reached` counts hyperedges discovered from the source (a cross-engine
+/// sanity invariant as much as a payload).
+int run_json_mode(const char* path) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return 1;
+  }
+  const unsigned restore = nw::par::num_threads();
+  std::fprintf(out, "[");
+  bool first = true;
+  for (const auto& d : suite()) {
+    if (!dataset_selected(d->name)) continue;
+    nw::vertex_id_t src = bfs_source(*d);
+    for (unsigned threads : env_threads()) {
+      nw::par::thread_pool::set_default_concurrency(threads);
+      auto emit = [&](const char* name, double ms, std::size_t reached) {
+        std::fprintf(out,
+                     "%s\n  {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"threads\": %u, "
+                     "\"median_ms\": %.4f, \"reached\": %zu}",
+                     first ? "" : ",", d->name.c_str(), name, threads, ms, reached);
+        first = false;
+      };
+      std::size_t reached = 0;
+      double      ms      = time_median_ms([&] {
+        auto r  = hyper_bfs(d->hyperedges, d->hypernodes, src);
+        reached = count_reached(r.parents_edge);
+      });
+      emit("HyperBFS", ms, reached);
+      ms = time_median_ms([&] {
+        auto r  = adjoin_bfs(d->adjoin, src);
+        reached = count_reached(r.parents_edge);
+      });
+      emit("AdjoinBFS", ms, reached);
+      ms = time_median_ms([&] {
+        auto r  = nw::hygra::hygra_bfs(d->hyperedges, d->hypernodes, src);
+        reached = count_reached(r.parents_edge);
+      });
+      emit("HygraBFS", ms, reached);
+    }
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  nw::par::thread_pool::set_default_concurrency(restore);
+  std::fprintf(stderr, "[bench] wrote BFS sweep to %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
 int main() {
+  if (const char* json = std::getenv("NWHY_BENCH_JSON"); json != nullptr && *json != '\0') {
+    setenv("NWHY_BENCH_REPS", "3", /*overwrite=*/0);
+    return run_json_mode(json);
+  }
   std::printf("Figure 8 — strong scaling, BFS (time in ms, min of %zu reps)\n",
               env_size("NWHY_BENCH_REPS", 3));
   std::printf("%-18s %8s %12s %12s %12s\n", "dataset", "threads", "HyperBFS", "AdjoinBFS",
@@ -34,8 +104,7 @@ int main() {
       std::printf("%-18s %8u %12.2f %12.2f %12.2f\n", d->name.c_str(), t, hyper, adjoin, hygra);
     }
     auto r       = adjoin_bfs(d->adjoin, src);
-    std::size_t reached = 0;
-    for (auto p : r.parents_edge) reached += p != nw::null_vertex<>;
+    std::size_t reached = count_reached(r.parents_edge);
     std::printf("  -> source e%u reaches %zu of %zu hyperedges\n", src, reached,
                 r.parents_edge.size());
   }

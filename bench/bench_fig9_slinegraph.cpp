@@ -135,24 +135,11 @@ int run_json_mode(const char* path) {
       {"queue_hashmap", algo::queue_hashmap},
       {"queue_intersection", algo::queue_intersection},
   };
-  // Optional dataset filter: exact-name comma list (default: everything).
-  auto selected = [](const std::string& name) {
-    const char* v = std::getenv("NWHY_BENCH_DATASETS");
-    if (v == nullptr || *v == '\0') return true;
-    std::string s = v;
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-      std::size_t next = s.find(',', pos);
-      if (next == std::string::npos) next = s.size();
-      if (s.substr(pos, next - pos) == name) return true;
-      pos = next + 1;
-    }
-    return false;
-  };
   std::fprintf(out, "[");
   bool first = true;
   for (const auto& d : suite()) {
-    if (!selected(d->name)) continue;
+    // Optional dataset filter: exact-name comma list (default: everything).
+    if (!dataset_selected(d->name)) continue;
     labeled_view v = make_view(*d, nw::graph::degree_order::descending, false);
     for (std::size_t s : env_svalues()) {
       for (unsigned threads : env_threads()) {

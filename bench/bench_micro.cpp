@@ -199,6 +199,102 @@ void BM_CsrFromBuffers(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kPairs));
 }
 
+// --- frontier engine kernels ------------------------------------------------
+//
+// The sparse<->dense conversions and the scout (degree-sum) pass behind
+// every direction-optimizing BFS level.  kUniverse bits ~ a mid-size
+// frontier universe; the member pattern is a ~1/8-dense pseudo-random
+// subset (the regime where a real traversal actually converts).
+
+constexpr std::size_t kUniverse = std::size_t{1} << 22;
+
+const std::vector<vertex_id_t>& frontier_members() {
+  static std::vector<vertex_id_t> ids = [] {
+    nw::xoshiro256ss         rng(0xF407);
+    std::vector<vertex_id_t> out;
+    out.reserve(kUniverse / 8);
+    for (std::size_t i = 0; i < kUniverse; ++i) {
+      if ((rng() & 7u) == 0) out.push_back(static_cast<vertex_id_t>(i));
+    }
+    return out;
+  }();
+  return ids;
+}
+
+const nw::bitmap& frontier_bits() {
+  static nw::bitmap bm = [] {
+    nw::bitmap b(kUniverse);
+    for (auto v : frontier_members()) b.set(v);
+    return b;
+  }();
+  return bm;
+}
+
+/// Serial per-bit scan — the dense->sparse conversion every pre-frontier
+/// traversal loop did implicitly (the baseline the parallel conversion
+/// must beat).
+void BM_FrontierDenseToSparseSerial(benchmark::State& state) {
+  const nw::bitmap&        bm = frontier_bits();
+  std::vector<vertex_id_t> out;
+  for (auto _ : state) {
+    out.clear();
+    for (std::size_t i = 0; i < bm.size(); ++i) {
+      if (bm.get(i)) out.push_back(static_cast<vertex_id_t>(i));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kUniverse));
+}
+
+/// Parallel dense->sparse: per-word popcount + scan + scatter.
+/// Arg = threads.
+void BM_FrontierDenseToSparse(benchmark::State& state) {
+  nw::par::thread_pool     pool(static_cast<unsigned>(state.range(0)));
+  const nw::bitmap&        bm = frontier_bits();
+  std::vector<vertex_id_t> out;
+  std::vector<std::size_t> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nw::par::bitmap_to_sparse(bm, out, scratch, pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kUniverse));
+}
+
+/// Parallel sparse->dense: parallel word clear + atomic bit scatter.
+/// Arg = threads.
+void BM_FrontierSparseToDense(benchmark::State& state) {
+  nw::par::thread_pool pool(static_cast<unsigned>(state.range(0)));
+  const auto&          ids = frontier_members();
+  nw::bitmap           bm(kUniverse);
+  for (auto _ : state) {
+    nw::par::bitmap_fill_from(bm, ids, pool);
+    benchmark::DoNotOptimize(bm.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * ids.size()));
+}
+
+/// Scout count (frontier degree sum) as a parallel reduction over the
+/// sparse ids — what the alpha test costs when the fused per-thread
+/// accumulation is NOT available (e.g. a frontier assembled externally).
+/// Arg = threads; Arg 1 doubles as the serial-degree-pass baseline.
+void BM_FrontierScoutCount(benchmark::State& state) {
+  nw::par::thread_pool pool(static_cast<unsigned>(state.range(0)));
+  const auto&          ids = frontier_members();
+  static const std::vector<std::uint32_t> degrees = [] {
+    nw::xoshiro256ss           rng(0xDE6);
+    std::vector<std::uint32_t> d(kUniverse);
+    for (auto& x : d) x = static_cast<std::uint32_t>(rng.bounded(64));
+    return d;
+  }();
+  for (auto _ : state) {
+    std::size_t sum = nw::par::parallel_reduce(
+        0, ids.size(), std::size_t{0},
+        [&](std::size_t acc, std::size_t i) { return acc + degrees[ids[i]]; },
+        [](std::size_t a, std::size_t b) { return a + b; }, pool);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * ids.size()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_CountingHashmap)->Unit(benchmark::kMillisecond);
@@ -211,5 +307,9 @@ BENCHMARK(BM_MergeThreadVectors)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark
 BENCHMARK(BM_EdgeListFromBuffers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CsrLegacyRoundtrip)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CsrFromBuffers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrontierDenseToSparseSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrontierDenseToSparse)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrontierSparseToDense)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrontierScoutCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# scripts/bench_snapshot.sh — freeze a machine-readable performance baseline
-# for the s-line-graph materialization pipeline into BENCH_slinegraph.json.
+# scripts/bench_snapshot.sh — freeze machine-readable performance baselines:
+# the s-line-graph materialization pipeline into BENCH_slinegraph.json and
+# the traversal engines into BENCH_traversal.json.
 #
-# Two sections are merged into one JSON document:
+# BENCH_slinegraph.json merges two sections:
 #   construction — bench_fig9_slinegraph in NWHY_BENCH_JSON mode: one record
 #                  per dataset x algorithm x s x thread-count with the
 #                  median-of-reps wall time and the number of line-graph
@@ -14,12 +15,24 @@
 #                  argument is the thread count, showing merge + build
 #                  scaling
 #
-# Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   defaults: build BENCH_slinegraph.json
+# BENCH_traversal.json merges three sections:
+#   bfs   — bench_fig8_bfs in NWHY_BENCH_JSON mode: dataset x algorithm
+#           (HyperBFS / AdjoinBFS / HygraBFS) x threads, median ms and
+#           hyperedges reached
+#   cc    — bench_fig7_cc in NWHY_BENCH_JSON mode: dataset x algorithm
+#           (HyperCC / AdjoinCC-Aff / AdjoinCC-LP / HygraCC) x threads,
+#           median ms and component count
+#   micro — bench_micro's frontier kernels (BM_FrontierDenseToSparseSerial,
+#           BM_FrontierDenseToSparse, BM_FrontierSparseToDense,
+#           BM_FrontierScoutCount); /N is the thread count, so the sweep
+#           shows where the parallel conversions cross the serial scan
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [slinegraph.json] [traversal.json]
+#   defaults: build BENCH_slinegraph.json BENCH_traversal.json
 #
 # Knobs (defaults chosen so a snapshot completes in minutes on a laptop):
-#   NWHY_BENCH_THREADS   thread counts for the construction sweep (1,2,4)
-#   NWHY_BENCH_SVALUES   s values (2,8)
+#   NWHY_BENCH_THREADS   thread counts for the sweeps (1,2,4)
+#   NWHY_BENCH_SVALUES   s values for the construction sweep (2,8)
 #   NWHY_BENCH_REPS      repetitions, median reported (3)
 #   NWHY_BENCH_DATASETS  dataset subset (Friendster-sim,Rand1-sim); set to
 #                        "" to sweep the full Table-I suite
@@ -27,30 +40,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 OUT=${2:-BENCH_slinegraph.json}
+OUT_TRAVERSAL=${3:-BENCH_traversal.json}
 
 export NWHY_BENCH_THREADS="${NWHY_BENCH_THREADS:-1,2,4}"
 export NWHY_BENCH_SVALUES="${NWHY_BENCH_SVALUES:-2,8}"
 export NWHY_BENCH_REPS="${NWHY_BENCH_REPS:-3}"
 export NWHY_BENCH_DATASETS="${NWHY_BENCH_DATASETS-Friendster-sim,Rand1-sim}"
 
-cmake --build "$BUILD" --target bench_fig9_slinegraph bench_micro -j "$(nproc)"
+cmake --build "$BUILD" --target bench_fig9_slinegraph bench_fig8_bfs bench_fig7_cc bench_micro \
+  -j "$(nproc)"
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 NWHY_BENCH_JSON="$TMP/construction.json" "$BUILD/bench/bench_fig9_slinegraph"
+NWHY_BENCH_JSON="$TMP/bfs.json" "$BUILD/bench/bench_fig8_bfs"
+NWHY_BENCH_JSON="$TMP/cc.json" "$BUILD/bench/bench_fig7_cc"
 
 "$BUILD/bench/bench_micro" \
-  --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip' \
+  --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip|BM_Frontier' \
   --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
   --benchmark_repetitions="$NWHY_BENCH_REPS" --benchmark_report_aggregates_only=true
 
-python3 - "$TMP/construction.json" "$TMP/micro.json" "$OUT" <<'PY'
-import json, sys
+python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" <<'PY'
+import json, os, sys
 
-construction = json.load(open(sys.argv[1]))
+tmp, out_sline, out_traversal = sys.argv[1], sys.argv[2], sys.argv[3]
 
-gb = json.load(open(sys.argv[2]))
+construction = json.load(open(os.path.join(tmp, "construction.json")))
+bfs = json.load(open(os.path.join(tmp, "bfs.json")))
+cc = json.load(open(os.path.join(tmp, "cc.json")))
+
+gb = json.load(open(os.path.join(tmp, "micro.json")))
 micro = []
 for b in gb.get("benchmarks", []):
     # With repetitions we keep only the median aggregate.
@@ -58,6 +79,11 @@ for b in gb.get("benchmarks", []):
         continue
     name = b["name"].split("/")           # e.g. BM_CsrFromBuffers/4_median
     kernel = name[0]
+    # Unparameterized aggregates carry the suffix on the kernel itself
+    # (e.g. BM_FrontierDenseToSparseSerial_median).
+    agg = b.get("aggregate_name")
+    if agg and kernel.endswith("_" + agg):
+        kernel = kernel[: -len(agg) - 1]
     threads = int(name[1].split("_")[0]) if len(name) > 1 else 1
     ms = b["real_time"]
     if b.get("time_unit") == "ns":
@@ -66,14 +92,30 @@ for b in gb.get("benchmarks", []):
         ms /= 1e3
     micro.append({"kernel": kernel, "threads": threads, "median_ms": round(ms, 4)})
 
+context = {k: gb.get("context", {}).get(k) for k in ("date", "num_cpus", "library_build_type")}
+materialize_kernels = ("BM_MergeThreadVectors", "BM_EdgeListFromBuffers",
+                       "BM_CsrFromBuffers", "BM_CsrLegacyRoundtrip")
+
 doc = {
     "schema": "nwhy-bench-slinegraph-v1",
-    "context": {k: gb.get("context", {}).get(k) for k in ("date", "num_cpus", "library_build_type")},
+    "context": context,
     "construction": construction,
-    "micro": micro,
+    "micro": [m for m in micro if m["kernel"] in materialize_kernels],
 }
-json.dump(doc, open(sys.argv[3], "w"), indent=1)
-open(sys.argv[3], "a").write("\n")
-print(f"bench_snapshot.sh: wrote {sys.argv[3]} "
-      f"({len(construction)} construction records, {len(micro)} micro records)")
+json.dump(doc, open(out_sline, "w"), indent=1)
+open(out_sline, "a").write("\n")
+print(f"bench_snapshot.sh: wrote {out_sline} "
+      f"({len(construction)} construction records, {len(doc['micro'])} micro records)")
+
+doc = {
+    "schema": "nwhy-bench-traversal-v1",
+    "context": context,
+    "bfs": bfs,
+    "cc": cc,
+    "micro": [m for m in micro if m["kernel"].startswith("BM_Frontier")],
+}
+json.dump(doc, open(out_traversal, "w"), indent=1)
+open(out_traversal, "a").write("\n")
+print(f"bench_snapshot.sh: wrote {out_traversal} "
+      f"({len(bfs)} bfs records, {len(cc)} cc records, {len(doc['micro'])} micro records)")
 PY

@@ -2,9 +2,11 @@
 //
 // The two comparator algorithms from the paper's evaluation:
 //
-//   HygraBFS — top-down hypergraph BFS (no bottom-up / direction switching),
-//              alternating edgeMap over the two incidence directions
-//   HygraCC  — label-propagation connected components
+//   HygraBFS — hypergraph BFS, alternating edgeMap over the two incidence
+//              directions; the edgeMap is Ligra's direction-optimizing one,
+//              so large frontiers run dense (pull) steps over bitmap-backed
+//              subsets instead of scanning via sparse lists
+//   HygraCC  — label-propagation connected components on the same primitive
 //
 // Implemented in the Ligra frontier idiom on the same bi-adjacency
 // structures as NWHy's own algorithms, so Fig. 7 / Fig. 8 comparisons
@@ -40,14 +42,14 @@ bfs_result hygra_bfs(const nw::hypergraph::biadjacency<0, Attributes...>& hypere
   vertex_subset edge_frontier(source);
   while (!edge_frontier.empty()) {
     vertex_subset node_frontier = edge_map(
-        hyperedges, edge_frontier,
+        hyperedges, hypernodes, edge_frontier,
         [&](vertex_id_t u, vertex_id_t v) {
           return compare_and_swap(r.parents_node[v], null_vertex<>, u);
         },
         [&](vertex_id_t v) { return atomic_load(r.parents_node[v]) == null_vertex<>; });
     if (node_frontier.empty()) break;
     edge_frontier = edge_map(
-        hypernodes, node_frontier,
+        hypernodes, hyperedges, node_frontier,
         [&](vertex_id_t u, vertex_id_t v) {
           return compare_and_swap(r.parents_edge[v], null_vertex<>, u);
         },
@@ -81,14 +83,14 @@ cc_result hygra_cc(const nw::hypergraph::biadjacency<0, Attributes...>& hyperedg
 
   while (!edge_frontier.empty()) {
     vertex_subset node_frontier = edge_map(
-        hyperedges, edge_frontier,
+        hyperedges, hypernodes, edge_frontier,
         [&](vertex_id_t u, vertex_id_t v) {
           return write_min(r.labels_node[v], atomic_load(r.labels_edge[u]));
         },
         [](vertex_id_t) { return true; });
     if (node_frontier.empty()) break;
     edge_frontier = edge_map(
-        hypernodes, node_frontier,
+        hypernodes, hyperedges, node_frontier,
         [&](vertex_id_t u, vertex_id_t v) {
           return write_min(r.labels_edge[v], atomic_load(r.labels_node[u]));
         },

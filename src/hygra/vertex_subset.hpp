@@ -3,33 +3,77 @@
 // A faithful-in-spirit reimplementation of the Ligra/Hygra programming
 // model used as the paper's comparator (Shun, PPoPP'20).  Hygra represents
 // hypergraph frontiers as *vertex subsets* over one of the two index
-// spaces and advances them with edgeMap-style primitives.  We provide the
-// sparse vertex_subset plus the two mapping primitives the HygraBFS /
-// HygraCC algorithms need.
+// spaces and advances them with edgeMap-style primitives.
+//
+// Like Ligra's vertexSubset, the subset is *hybrid*: it may hold a sparse
+// id list, a dense bitmap, or both.  Dense edgeMap steps hand back a
+// bitmap-backed subset directly (no per-element conversion), and the
+// representations are materialized from one another lazily through the
+// parallel conversions in nwpar/frontier.hpp (per-word popcount + scan +
+// scatter one way, parallel bit scatter the other) — never by a serial
+// full-universe scan.
 #pragma once
 
 #include <vector>
 
+#include "nwpar/frontier.hpp"
+#include "nwutil/bitmap.hpp"
 #include "nwutil/defs.hpp"
 
 namespace nw::hygra {
 
-/// Sparse subset of one index space (hyperedges or hypernodes).
+/// Hybrid sparse/dense subset of one index space (hyperedges or
+/// hypernodes).  Value-semantic, like Ligra's vertexSubset.
 class vertex_subset {
 public:
   vertex_subset() = default;
-  explicit vertex_subset(vertex_id_t single) : ids_{single} {}
-  explicit vertex_subset(std::vector<vertex_id_t> ids) : ids_(std::move(ids)) {}
+  explicit vertex_subset(vertex_id_t single) : ids_{single}, size_(1) {}
+  explicit vertex_subset(std::vector<vertex_id_t> ids)
+      : ids_(std::move(ids)), size_(ids_.size()) {}
+  /// Dense subset: `count` must equal the number of set bits.
+  vertex_subset(nw::bitmap bits, std::size_t count)
+      : bits_(std::move(bits)), size_(count), sparse_valid_(false), dense_valid_(true) {}
 
-  [[nodiscard]] std::size_t size() const { return ids_.size(); }
-  [[nodiscard]] bool        empty() const { return ids_.empty(); }
-  [[nodiscard]] const std::vector<vertex_id_t>& ids() const { return ids_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool        empty() const { return size_ == 0; }
+  [[nodiscard]] bool        is_dense() const { return dense_valid_ && !sparse_valid_; }
 
-  [[nodiscard]] auto begin() const { return ids_.begin(); }
-  [[nodiscard]] auto end() const { return ids_.end(); }
+  /// Sparse view (parallel dense->sparse conversion on first use).
+  [[nodiscard]] const std::vector<vertex_id_t>& ids() const {
+    materialize_sparse();
+    return ids_;
+  }
+
+  [[nodiscard]] auto begin() const { return ids().begin(); }
+  [[nodiscard]] auto end() const { return ids().end(); }
+
+  /// Dense view over a universe of `n` entities (parallel sparse->dense
+  /// conversion on first use).
+  [[nodiscard]] const nw::bitmap& bits(std::size_t n) const {
+    materialize_dense(n);
+    return bits_;
+  }
 
 private:
-  std::vector<vertex_id_t> ids_;
+  void materialize_sparse() const {
+    if (sparse_valid_) return;
+    size_         = par::bitmap_to_sparse(bits_, ids_);
+    sparse_valid_ = true;
+  }
+
+  void materialize_dense(std::size_t n) const {
+    if (dense_valid_ && bits_.size() >= n) return;
+    bits_.resize(n);
+    par::bitmap_fill_from(bits_, ids_);
+    dense_valid_ = true;
+  }
+
+  // Lazily materialized representations (logically const).
+  mutable std::vector<vertex_id_t> ids_;
+  mutable nw::bitmap               bits_;
+  mutable std::size_t              size_         = 0;
+  mutable bool                     sparse_valid_ = true;
+  mutable bool                     dense_valid_  = false;
 };
 
 }  // namespace nw::hygra

@@ -7,6 +7,12 @@
 //   * direction-optimizing — switches between the two using the standard
 //                  alpha/beta heuristics (the AdjoinBFS engine of Sec. III-C.2)
 //
+// All engines sit on the par::frontier substrate (nwpar/frontier.hpp):
+// hybrid sparse/dense frontiers with parallel conversions, keep-capacity
+// buffer reuse across levels, and the fused scout count — top-down steps
+// accumulate the next frontier's degree sum per thread while emitting it,
+// so the alpha switch test never runs a separate serial degree pass.
+//
 // All variants return the parent array; parents[source] == source and
 // unreached vertices hold null_vertex.
 #pragma once
@@ -15,6 +21,7 @@
 
 #include "nwgraph/concepts.hpp"
 #include "nwobs/counters.hpp"
+#include "nwpar/frontier.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/atomics.hpp"
 #include "nwutil/bitmap.hpp"
@@ -22,52 +29,77 @@
 
 namespace nw::graph {
 
-/// One top-down step: expand `frontier` into `next`, claiming parents.
-/// Returns the number of edges examined (for the direction heuristic).
+/// What one BFS step reports back to the direction-optimizing loop.
+struct bfs_step_stats {
+  std::size_t added   = 0;  ///< vertices claimed into the next frontier
+  std::size_t scanned = 0;  ///< edges examined (edges_remaining bookkeeping)
+  std::size_t scout   = 0;  ///< fused degree sum of the next frontier
+};
+
+/// One top-down step: expand `front` (sparse) into `next` (sparse), claiming
+/// parents via CAS.  When the graph enumerates degrees, the next frontier's
+/// degree sum is fused into the emission (scout count).
 template <adjacency_list_graph Graph>
-std::size_t bfs_top_down_step(const Graph& g, const std::vector<vertex_id_t>& frontier,
-                              std::vector<vertex_id_t>& next, std::vector<vertex_id_t>& parents) {
-  par::per_thread<std::vector<vertex_id_t>> next_local;
-  par::per_thread<std::size_t>              scanned;
-  par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
-    vertex_id_t u = frontier[i];
+bfs_step_stats bfs_top_down_step(const Graph& g, par::frontier& front, par::frontier& next,
+                                 std::vector<vertex_id_t>& parents) {
+  const auto&                  ids = front.ids();
+  par::per_thread<std::size_t> scanned;
+  par::parallel_for(0, ids.size(), [&](unsigned tid, std::size_t i) {
+    vertex_id_t u     = ids[i];
+    std::size_t local = 0;
     for (auto&& e : g[u]) {
       vertex_id_t v = target(e);
-      ++scanned.local(tid);
+      ++local;
       if (atomic_load(parents[v]) == null_vertex<> &&
           compare_and_swap(parents[v], null_vertex<>, u)) {
-        next_local.local(tid).push_back(v);
+        if constexpr (degree_enumerable_graph<Graph>) {
+          next.emit(tid, v, g.degree(v));
+        } else {
+          next.emit(tid, v);
+        }
       }
     }
+    scanned.local(tid) += local;
   });
-  next = par::merge_thread_vectors(next_local);
-  std::size_t total = 0;
-  scanned.for_each([&](std::size_t s) { total += s; });
-  return total;
+  bfs_step_stats st;
+  st.added = next.commit_sparse();
+  st.scout = next.take_scout();
+  scanned.for_each([&](std::size_t& s) { st.scanned += s; });
+  return st;
 }
 
-/// One bottom-up step: every unvisited vertex looks for any neighbor in the
-/// current frontier bitmap.  Returns the number of vertices added.
+/// One bottom-up step: every unvisited vertex probes the dense `front`
+/// bitmap through its own adjacency; claimed vertices are emitted straight
+/// into `next`'s bitmap (atomic per-word OR), with the scout count fused.
 template <adjacency_list_graph Graph>
-std::size_t bfs_bottom_up_step(const Graph& g, const bitmap& frontier, bitmap& next,
-                               std::vector<vertex_id_t>& parents) {
-  next.clear();
-  par::per_thread<std::size_t> added;
+bfs_step_stats bfs_bottom_up_step(const Graph& g, par::frontier& front, par::frontier& next,
+                                  std::vector<vertex_id_t>& parents) {
+  const nw::bitmap& fb = front.bits();
+  next.begin_dense();
+  par::per_thread<std::size_t> scanned;
   par::parallel_for(0, g.size(), [&](unsigned tid, std::size_t v) {
     if (parents[v] != null_vertex<>) return;
+    std::size_t local = 0;
     for (auto&& e : g[v]) {
       vertex_id_t u = target(e);
-      if (frontier.get(u)) {
+      ++local;
+      if (fb.get(u)) {
         parents[v] = u;
-        next.set_atomic(v);
-        ++added.local(tid);
+        if constexpr (degree_enumerable_graph<Graph>) {
+          next.emit_dense(tid, static_cast<vertex_id_t>(v), g.degree(v));
+        } else {
+          next.emit_dense(tid, static_cast<vertex_id_t>(v));
+        }
         break;
       }
     }
+    scanned.local(tid) += local;
   });
-  std::size_t total = 0;
-  added.for_each([&](std::size_t a) { total += a; });
-  return total;
+  bfs_step_stats st;
+  st.added = next.commit_dense();
+  st.scout = next.take_scout();
+  scanned.for_each([&](std::size_t& s) { st.scanned += s; });
+  return st;
 }
 
 /// Pure top-down BFS (the HygraBFS-style engine).
@@ -76,10 +108,11 @@ std::vector<vertex_id_t> bfs_top_down(const Graph& g, vertex_id_t source) {
   std::vector<vertex_id_t> parents(g.size(), null_vertex<>);
   if (g.size() == 0) return parents;
   parents[source] = source;
-  std::vector<vertex_id_t> frontier{source}, next;
-  while (!frontier.empty()) {
-    bfs_top_down_step(g, frontier, next, parents);
-    frontier.swap(next);
+  par::frontier front(g.size()), next(g.size());
+  front.assign_single(source);
+  while (!front.empty()) {
+    bfs_top_down_step(g, front, next, parents);
+    front.swap(next);
   }
   return parents;
 }
@@ -90,66 +123,60 @@ std::vector<vertex_id_t> bfs_bottom_up(const Graph& g, vertex_id_t source) {
   std::vector<vertex_id_t> parents(g.size(), null_vertex<>);
   if (g.size() == 0) return parents;
   parents[source] = source;
-  bitmap frontier(g.size()), next(g.size());
-  frontier.set(source);
-  while (bfs_bottom_up_step(g, frontier, next, parents) > 0) {
-    frontier.swap(next);
+  par::frontier front(g.size()), next(g.size());
+  front.assign_single(source);
+  while (bfs_bottom_up_step(g, front, next, parents).added > 0) {
+    front.swap(next);
   }
   return parents;
 }
 
 /// Direction-optimizing BFS (Beamer et al.): start top-down, switch to
-/// bottom-up when the frontier's edge work exceeds 1/alpha of the remaining
-/// edges, and back when the frontier shrinks below |V|/beta.
+/// bottom-up when the frontier's fused scout count exceeds 1/alpha of the
+/// remaining edges, and back when the frontier shrinks below |V|/beta.
+/// alpha/beta of 0 take the process defaults (NWHY_BFS_ALPHA/NWHY_BFS_BETA
+/// env overrides, else 15/18).  Both step kinds decrement edges_remaining,
+/// so a later top-down re-switch never sees a stale edge estimate.
 template <degree_enumerable_graph Graph>
 std::vector<vertex_id_t> bfs_direction_optimizing(const Graph& g, vertex_id_t source,
-                                                  std::size_t alpha = 15, std::size_t beta = 18) {
+                                                  std::size_t alpha = 0, std::size_t beta = 0) {
+  if (alpha == 0) alpha = par::bfs_alpha();
+  if (beta == 0) beta = par::bfs_beta();
   std::vector<vertex_id_t> parents(g.size(), null_vertex<>);
   if (g.size() == 0) return parents;
   parents[source] = source;
 
-  std::vector<vertex_id_t> frontier{source}, next;
-  bitmap                   front_bm(g.size()), next_bm(g.size());
-  std::size_t              edges_remaining = g.num_edges();
-  bool                     bottom_up       = false;
-  std::size_t              frontier_size   = 1;
+  par::frontier front(g.size()), next(g.size());
+  front.assign_single(source);
+  std::size_t edges_remaining = g.num_edges();
+  std::size_t scout           = g.degree(source);
+  bool        bottom_up       = false;
 
-  while (frontier_size > 0) {
+  while (!front.empty()) {
     NWOBS_COUNT("graph_bfs.levels", 0, 1);
-    NWOBS_COUNT("graph_bfs.frontier_total", 0, frontier_size);
-    NWOBS_GAUGE_MAX("graph_bfs.frontier_peak", frontier_size);
-    if (!bottom_up) {
-      // Estimate the frontier's outgoing work to decide on a switch.
-      std::size_t frontier_edges = 0;
-      for (auto u : frontier) frontier_edges += g.degree(u);
-      if (frontier_edges * alpha > edges_remaining) {
-        front_bm.clear();
-        for (auto u : frontier) front_bm.set(u);
-        bottom_up = true;
-        NWOBS_COUNT("graph_bfs.direction_switches", 0, 1);
-      } else {
-        NWOBS_COUNT("graph_bfs.steps_top_down", 0, 1);
-        std::size_t scanned = bfs_top_down_step(g, frontier, next, parents);
-        NWOBS_COUNT("graph_bfs.edges_relaxed", 0, scanned);
-        edges_remaining -= std::min(edges_remaining, scanned);
-        frontier.swap(next);
-        frontier_size = frontier.size();
-        continue;
-      }
-    }
-    NWOBS_COUNT("graph_bfs.steps_bottom_up", 0, 1);
-    std::size_t added = bfs_bottom_up_step(g, front_bm, next_bm, parents);
-    front_bm.swap(next_bm);
-    frontier_size = added;
-    if (frontier_size > 0 && frontier_size < g.size() / beta) {
-      // Shrinking frontier: convert the bitmap back to a sparse list.
-      frontier.clear();
-      for (std::size_t v = 0; v < g.size(); ++v) {
-        if (front_bm.get(v)) frontier.push_back(static_cast<vertex_id_t>(v));
-      }
+    NWOBS_COUNT("graph_bfs.frontier_total", 0, front.size());
+    NWOBS_COUNT("graph_bfs.scout_count", 0, scout);
+    NWOBS_GAUGE_MAX("graph_bfs.frontier_peak", front.size());
+    NWOBS_GAUGE_MAX("graph_bfs.frontier_density_permille", front.density_permille());
+    if (!bottom_up && scout * alpha > edges_remaining) {
+      bottom_up = true;
+      NWOBS_COUNT("graph_bfs.direction_switches", 0, 1);
+    } else if (bottom_up && front.size() < g.size() / beta) {
       bottom_up = false;
       NWOBS_COUNT("graph_bfs.direction_switches", 0, 1);
     }
+    bfs_step_stats st;
+    if (bottom_up) {
+      NWOBS_COUNT("graph_bfs.steps_bottom_up", 0, 1);
+      st = bfs_bottom_up_step(g, front, next, parents);
+    } else {
+      NWOBS_COUNT("graph_bfs.steps_top_down", 0, 1);
+      st = bfs_top_down_step(g, front, next, parents);
+    }
+    NWOBS_COUNT("graph_bfs.edges_relaxed", 0, st.scanned);
+    edges_remaining -= std::min(edges_remaining, st.scanned);
+    scout = st.scout;
+    front.swap(next);
   }
   return parents;
 }
@@ -161,24 +188,25 @@ std::vector<vertex_id_t> bfs_distances(const Graph& g, vertex_id_t source) {
   std::vector<vertex_id_t> dist(g.size(), null_vertex<>);
   if (g.size() == 0) return dist;
   dist[source] = 0;
-  std::vector<vertex_id_t> frontier{source}, next;
-  vertex_id_t              level = 0;
-  // Hoisted out of the level loop; the keep-capacity merge recycles the
-  // per-thread frontier buffers across levels.
-  par::per_thread<std::vector<vertex_id_t>> next_local;
-  while (!frontier.empty()) {
+  // Two frontier objects whose id vectors and per-thread emission buffers
+  // all keep capacity across levels.
+  par::frontier front(g.size()), next(g.size());
+  front.assign_single(source);
+  vertex_id_t level = 0;
+  while (!front.empty()) {
     ++level;
-    par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
-      for (auto&& e : g[frontier[i]]) {
+    const auto& ids = front.ids();
+    par::parallel_for(0, ids.size(), [&](unsigned tid, std::size_t i) {
+      for (auto&& e : g[ids[i]]) {
         vertex_id_t v = target(e);
         if (atomic_load(dist[v]) == null_vertex<> &&
             compare_and_swap(dist[v], null_vertex<>, level)) {
-          next_local.local(tid).push_back(v);
+          next.emit(tid, v);
         }
       }
     });
-    next = par::merge_thread_vectors(next_local, par::merge_capacity::keep);
-    frontier.swap(next);
+    next.commit_sparse();
+    front.swap(next);
   }
   return dist;
 }

@@ -15,6 +15,7 @@
 #include "nwobs/scope_timer.hpp"
 
 // Parallel runtime (oneTBB substitute)
+#include "nwpar/frontier.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwpar/parallel_sort.hpp"
 #include "nwpar/partitioners.hpp"

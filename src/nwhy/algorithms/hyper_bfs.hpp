@@ -9,7 +9,14 @@
 // drawback of the bi-adjacency representation the paper calls out.
 //
 // Both a top-down and a bottom-up engine are provided, plus a
-// direction-optimizing combination.
+// direction-optimizing combination driven by the proper Beamer alpha/beta
+// heuristics: each half-step's fused scout count (degree sum of the next
+// frontier in the side it will expand through, accumulated per thread
+// while emitting) feeds the alpha switch test, and bottom-up half-steps
+// emit the next frontier's bitmap directly (atomic word OR) instead of
+// re-setting a merged vector serially.  All frontiers are par::frontier
+// objects — hybrid sparse/dense with parallel conversions and
+// keep-capacity reuse across levels.
 #pragma once
 
 #include <algorithm>
@@ -18,6 +25,7 @@
 #include "nwhy/biadjacency.hpp"
 #include "nwobs/counters.hpp"
 #include "nwobs/scope_timer.hpp"
+#include "nwpar/frontier.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/atomics.hpp"
 #include "nwutil/bitmap.hpp"
@@ -40,56 +48,80 @@ struct hyper_bfs_result {
 
 namespace detail {
 
-/// Top-down expansion of `frontier` (ids in the source class) through
-/// `graph` into the target class.
-template <class Graph>
-std::vector<vertex_id_t> expand_top_down(const Graph& graph,
-                                         const std::vector<vertex_id_t>& frontier,
-                                         std::vector<vertex_id_t>& parents_target,
-                                         std::vector<vertex_id_t>& dist_target,
-                                         vertex_id_t level) {
-  par::per_thread<std::vector<vertex_id_t>> next_local;
-  par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
-    vertex_id_t u       = frontier[i];
-    std::size_t scanned = 0;
+/// What one half-step reports to the direction-optimizing loop.
+struct expand_stats {
+  std::size_t added   = 0;  ///< entities claimed into the next frontier
+  std::size_t scanned = 0;  ///< incidences examined this half-step
+  std::size_t scout   = 0;  ///< fused degree sum of the next frontier
+};
+
+/// Top-down expansion of the sparse `front` (ids in the source class)
+/// through `graph` into the target class, emitting into `next`.
+/// `next_graph` is the incidence the emitted entities will expand through
+/// on the following half-step; its degrees feed the fused scout count.
+template <class Graph, class NextGraph>
+expand_stats expand_top_down(const Graph& graph, const NextGraph& next_graph,
+                             par::frontier& front, par::frontier& next,
+                             std::vector<vertex_id_t>& parents_target,
+                             std::vector<vertex_id_t>& dist_target, vertex_id_t level) {
+  const auto&                  ids = front.ids();
+  par::per_thread<std::size_t> scanned;
+  par::parallel_for(0, ids.size(), [&](unsigned tid, std::size_t i) {
+    vertex_id_t u     = ids[i];
+    std::size_t local = 0;
     for (auto&& e : graph[u]) {
       vertex_id_t v = target(e);
-      ++scanned;
+      ++local;
       if (atomic_load(parents_target[v]) == null_vertex<> &&
           compare_and_swap(parents_target[v], null_vertex<>, u)) {
         dist_target[v] = level;
-        next_local.local(tid).push_back(v);
+        next.emit(tid, v, next_graph.degree(v));
       }
     }
-    NWOBS_COUNT("hyper_bfs.edges_relaxed", tid, scanned);
+    scanned.local(tid) += local;
+    NWOBS_COUNT("hyper_bfs.edges_relaxed", tid, local);
   });
-  return par::merge_thread_vectors(next_local);
+  expand_stats st;
+  st.added = next.commit_sparse();
+  st.scout = next.take_scout();
+  scanned.for_each([&](std::size_t& s) { st.scanned += s; });
+  return st;
 }
 
-/// Bottom-up expansion: every unvisited entity of the target class scans its
-/// own incidence list for a frontier member.
+/// Bottom-up expansion: every unvisited entity of the target class scans
+/// its own incidence list (`graph_target_side`) for a member of the dense
+/// `front` bitmap.  Claimed entities are emitted straight into `next`'s
+/// bitmap — no merged vector, no serial re-set.  `graph_target_side` is
+/// also the incidence the claimed entities expand through next, so its
+/// degrees feed the fused scout count.
 template <class Graph>
-std::vector<vertex_id_t> expand_bottom_up(const Graph& graph_target_side, const bitmap& frontier,
-                                          std::vector<vertex_id_t>& parents_target,
-                                          std::vector<vertex_id_t>& dist_target,
-                                          vertex_id_t level) {
-  par::per_thread<std::vector<vertex_id_t>> next_local;
+expand_stats expand_bottom_up(const Graph& graph_target_side, par::frontier& front,
+                              par::frontier& next, std::vector<vertex_id_t>& parents_target,
+                              std::vector<vertex_id_t>& dist_target, vertex_id_t level) {
+  const nw::bitmap& fb = front.bits();
+  next.begin_dense();
+  par::per_thread<std::size_t> scanned;
   par::parallel_for(0, graph_target_side.size(), [&](unsigned tid, std::size_t v) {
     if (parents_target[v] != null_vertex<>) return;
-    std::size_t scanned = 0;
+    std::size_t local = 0;
     for (auto&& e : graph_target_side[v]) {
       vertex_id_t u = target(e);
-      ++scanned;
-      if (frontier.get(u)) {
+      ++local;
+      if (fb.get(u)) {
         parents_target[v] = u;
         dist_target[v]    = level;
-        next_local.local(tid).push_back(static_cast<vertex_id_t>(v));
+        next.emit_dense(tid, static_cast<vertex_id_t>(v), graph_target_side.degree(v));
         break;
       }
     }
-    NWOBS_COUNT("hyper_bfs.edges_relaxed", tid, scanned);
+    scanned.local(tid) += local;
+    NWOBS_COUNT("hyper_bfs.edges_relaxed", tid, local);
   });
-  return par::merge_thread_vectors(next_local);
+  expand_stats st;
+  st.added = next.commit_dense();
+  st.scout = next.take_scout();
+  scanned.for_each([&](std::size_t& s) { st.scanned += s; });
+  return st;
 }
 
 /// Record one BFS half-step (level) and its frontier size into the
@@ -118,16 +150,18 @@ hyper_bfs_result hyper_bfs_top_down(const biadjacency<0, Attributes...>& hypered
   NWOBS_SCOPE_TIMER("hyper_bfs_top_down");
   r.parents_edge[source] = source;
   r.dist_edge[source]    = 0;
-  std::vector<vertex_id_t> edge_frontier{source};
-  vertex_id_t              level = 0;
-  while (!edge_frontier.empty()) {
-    detail::record_level(edge_frontier.size());
-    auto node_frontier =
-        detail::expand_top_down(hyperedges, edge_frontier, r.parents_node, r.dist_node, ++level);
-    if (node_frontier.empty()) break;
-    detail::record_level(node_frontier.size());
-    edge_frontier =
-        detail::expand_top_down(hypernodes, node_frontier, r.parents_edge, r.dist_edge, ++level);
+  par::frontier f_edge(hyperedges.size()), f_node(hypernodes.size());
+  f_edge.assign_single(source);
+  vertex_id_t level = 0;
+  while (!f_edge.empty()) {
+    detail::record_level(f_edge.size());
+    auto to_nodes =
+        detail::expand_top_down(hyperedges, hypernodes, f_edge, f_node, r.parents_node,
+                                r.dist_node, ++level);
+    if (to_nodes.added == 0) break;
+    detail::record_level(f_node.size());
+    detail::expand_top_down(hypernodes, hyperedges, f_node, f_edge, r.parents_edge, r.dist_edge,
+                            ++level);
   }
   return r;
 }
@@ -147,24 +181,20 @@ hyper_bfs_result hyper_bfs_bottom_up(const biadjacency<0, Attributes...>& hypere
   NWOBS_SCOPE_TIMER("hyper_bfs_bottom_up");
   r.parents_edge[source] = source;
   r.dist_edge[source]    = 0;
-  bitmap edge_bm(hyperedges.size()), node_bm(hypernodes.size());
-  edge_bm.set(source);
-  vertex_id_t level         = 0;
-  std::size_t frontier_size = 1;
-  while (frontier_size > 0) {
-    detail::record_level(frontier_size);
-    // Hypernode side scans its incident hyperedges for frontier members.
-    auto nodes_added =
-        detail::expand_bottom_up(hypernodes, edge_bm, r.parents_node, r.dist_node, ++level);
-    node_bm.clear();
-    for (auto v : nodes_added) node_bm.set(v);
-    if (nodes_added.empty()) break;
-    detail::record_level(nodes_added.size());
-    auto edges_added =
-        detail::expand_bottom_up(hyperedges, node_bm, r.parents_edge, r.dist_edge, ++level);
-    edge_bm.clear();
-    for (auto e : edges_added) edge_bm.set(e);
-    frontier_size = edges_added.size();
+  par::frontier f_edge(hyperedges.size()), f_node(hypernodes.size());
+  f_edge.assign_single(source);
+  vertex_id_t level = 0;
+  while (!f_edge.empty()) {
+    detail::record_level(f_edge.size());
+    // Hypernode side scans its incident hyperedges for frontier members;
+    // the next bitmap is emitted directly, one atomic OR per claim.
+    auto to_nodes = detail::expand_bottom_up(hypernodes, f_edge, f_node, r.parents_node,
+                                             r.dist_node, ++level);
+    if (to_nodes.added == 0) break;
+    detail::record_level(to_nodes.added);
+    auto to_edges = detail::expand_bottom_up(hyperedges, f_node, f_edge, r.parents_edge,
+                                             r.dist_edge, ++level);
+    if (to_edges.added == 0) break;
   }
   return r;
 }
@@ -190,13 +220,19 @@ inline std::vector<vertex_id_t> extract_hyperpath(const hyper_bfs_result& bfs,
   return path;
 }
 
-/// Direction-optimizing HyperBFS: per half-step, choose top-down when the
-/// frontier is small relative to the side being expanded, bottom-up when it
-/// is large (threshold |frontier| > |side| / denominator).
+/// Direction-optimizing HyperBFS: per half-step, choose bottom-up when the
+/// frontier's fused scout count (degree sum in the incidence it is about to
+/// expand through) exceeds 1/alpha of the unexplored incidences, and switch
+/// back to top-down once the frontier shrinks below |target side| / beta —
+/// the same Beamer heuristics as the graph engine, replacing the old crude
+/// |frontier| > |side|/20 rule.  alpha/beta of 0 take the process defaults
+/// (NWHY_BFS_ALPHA / NWHY_BFS_BETA env overrides, else 15/18).
 template <class... Attributes>
 hyper_bfs_result hyper_bfs(const biadjacency<0, Attributes...>& hyperedges,
                            const biadjacency<1, Attributes...>& hypernodes, vertex_id_t source,
-                           std::size_t denominator = 20) {
+                           std::size_t alpha = 0, std::size_t beta = 0) {
+  if (alpha == 0) alpha = par::bfs_alpha();
+  if (beta == 0) beta = par::bfs_beta();
   hyper_bfs_result r;
   r.parents_edge.assign(hyperedges.size(), null_vertex<>);
   r.parents_node.assign(hypernodes.size(), null_vertex<>);
@@ -207,48 +243,53 @@ hyper_bfs_result hyper_bfs(const biadjacency<0, Attributes...>& hyperedges,
   NWOBS_SCOPE_TIMER("hyper_bfs");
   r.parents_edge[source] = source;
   r.dist_edge[source]    = 0;
-  std::vector<vertex_id_t> frontier{source};
-  bitmap                   frontier_bm(std::max(hyperedges.size(), hypernodes.size()));
-  bool                     edge_side = true;  // class of ids currently in `frontier`
-  bool                     prev_bottom_up = false;
-  vertex_id_t              level     = 0;
+  par::frontier f_edge(hyperedges.size()), f_node(hypernodes.size());
+  f_edge.assign_single(source);
+  par::frontier* cur = &f_edge;
+  par::frontier* nxt = &f_node;
 
-  while (!frontier.empty()) {
-    std::size_t target_side = edge_side ? hypernodes.size() : hyperedges.size();
-    bool        go_bottom_up = frontier.size() > target_side / denominator;
-    detail::record_level(frontier.size());
+  // Unexplored incidences across both traversal directions; every
+  // half-step (top-down *and* bottom-up) decrements by what it scanned.
+  std::size_t edges_remaining = hyperedges.num_edges() + hypernodes.num_edges();
+  std::size_t scout           = hyperedges.degree(source);
+  bool        edge_side       = true;  // class of ids currently in `cur`
+  bool        bottom_up       = false;
+  vertex_id_t level           = 0;
+
+  while (!cur->empty()) {
+    detail::record_level(cur->size());
+    NWOBS_COUNT("hyper_bfs.scout_count", 0, scout);
+    NWOBS_GAUGE_MAX("hyper_bfs.frontier_density_permille", cur->density_permille());
+    const std::size_t target_side = edge_side ? hypernodes.size() : hyperedges.size();
+    if (!bottom_up && scout * alpha > edges_remaining) {
+      bottom_up = true;
+      NWOBS_COUNT("hyper_bfs.direction_switches", 0, 1);
+    } else if (bottom_up && cur->size() < target_side / beta) {
+      bottom_up = false;
+      NWOBS_COUNT("hyper_bfs.direction_switches", 0, 1);
+    }
     // Two call sites on purpose: NWOBS_COUNT caches its counter per site.
-    if (go_bottom_up) {
+    if (bottom_up) {
       NWOBS_COUNT("hyper_bfs.steps_bottom_up", 0, 1);
     } else {
       NWOBS_COUNT("hyper_bfs.steps_top_down", 0, 1);
     }
-    if (go_bottom_up != prev_bottom_up) {
-      NWOBS_COUNT("hyper_bfs.direction_switches", 0, 1);
-      prev_bottom_up = go_bottom_up;
-    }
     ++level;
-    std::vector<vertex_id_t> next;
+    detail::expand_stats st;
     if (edge_side) {
-      if (go_bottom_up) {
-        frontier_bm.clear();
-        for (auto u : frontier) frontier_bm.set(u);
-        next = detail::expand_bottom_up(hypernodes, frontier_bm, r.parents_node, r.dist_node,
-                                        level);
-      } else {
-        next = detail::expand_top_down(hyperedges, frontier, r.parents_node, r.dist_node, level);
-      }
+      st = bottom_up ? detail::expand_bottom_up(hypernodes, *cur, *nxt, r.parents_node,
+                                                r.dist_node, level)
+                     : detail::expand_top_down(hyperedges, hypernodes, *cur, *nxt,
+                                               r.parents_node, r.dist_node, level);
     } else {
-      if (go_bottom_up) {
-        frontier_bm.clear();
-        for (auto u : frontier) frontier_bm.set(u);
-        next = detail::expand_bottom_up(hyperedges, frontier_bm, r.parents_edge, r.dist_edge,
-                                        level);
-      } else {
-        next = detail::expand_top_down(hypernodes, frontier, r.parents_edge, r.dist_edge, level);
-      }
+      st = bottom_up ? detail::expand_bottom_up(hyperedges, *cur, *nxt, r.parents_edge,
+                                                r.dist_edge, level)
+                     : detail::expand_top_down(hypernodes, hyperedges, *cur, *nxt,
+                                               r.parents_edge, r.dist_edge, level);
     }
-    frontier  = std::move(next);
+    edges_remaining -= std::min(edges_remaining, st.scanned);
+    scout = st.scout;
+    std::swap(cur, nxt);
     edge_side = !edge_side;
   }
   return r;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "nwhy/slinegraph/construction.hpp"
+#include "nwpar/frontier.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/atomics.hpp"
 #include "nwutil/defs.hpp"
@@ -58,29 +59,29 @@ std::vector<vertex_id_t> s_connected_components_implicit(
     std::size_t s) {
   const std::size_t        ne = edges.size();
   std::vector<vertex_id_t> comp(ne, null_vertex<>);
-  std::vector<vertex_id_t> frontier, next;
   par::per_thread<counting_hashmap<>> maps;
-  // One set of per-thread frontier buffers for the whole flood: the
-  // keep-capacity merge clears them but retains their allocations, so each
-  // BFS level (and each seed) reuses the grown buffers.
-  par::per_thread<std::vector<vertex_id_t>> next_local;
+  // One frontier pair for the whole flood: the par::frontier keeps its id
+  // vector and per-thread emission buffers across levels *and* seeds, so
+  // after the first flood reaches its high-water mark no level allocates.
+  par::frontier frontier(ne), next(ne);
 
   for (std::size_t seed = 0; seed < ne; ++seed) {
     if (edge_degrees[seed] < s || comp[seed] != null_vertex<>) continue;
     comp[seed] = static_cast<vertex_id_t>(seed);
-    frontier.assign(1, static_cast<vertex_id_t>(seed));
+    frontier.assign_single(static_cast<vertex_id_t>(seed));
     while (!frontier.empty()) {
-      par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
-        detail::for_each_s_neighbor(edges, nodes, edge_degrees, s, frontier[i], maps.local(tid),
+      const auto& ids = frontier.ids();
+      par::parallel_for(0, ids.size(), [&](unsigned tid, std::size_t i) {
+        detail::for_each_s_neighbor(edges, nodes, edge_degrees, s, ids[i], maps.local(tid),
                                     [&](vertex_id_t ej) {
                                       if (atomic_load(comp[ej]) == null_vertex<> &&
                                           compare_and_swap(comp[ej], null_vertex<>,
                                                            static_cast<vertex_id_t>(seed))) {
-                                        next_local.local(tid).push_back(ej);
+                                        next.emit(tid, ej);
                                       }
                                     });
       });
-      next = par::merge_thread_vectors(next_local, par::merge_capacity::keep);
+      next.commit_sparse();
       frontier.swap(next);
     }
   }
@@ -99,26 +100,28 @@ std::optional<std::size_t> s_distance_implicit(const EGraph& edges, const NGraph
   const std::size_t        ne = edges.size();
   std::vector<vertex_id_t> dist(ne, null_vertex<>);
   dist[src] = 0;
-  std::vector<vertex_id_t>            frontier{src}, next;
   par::per_thread<counting_hashmap<>> maps;
-  // Hoisted out of the level loop; the keep-capacity merge recycles them.
-  par::per_thread<std::vector<vertex_id_t>> next_local;
-  vertex_id_t                         level = 0;
+  // Hoisted out of the level loop; the frontier's id vector and per-thread
+  // emission buffers keep capacity across levels.
+  par::frontier frontier(ne), next(ne);
+  frontier.assign_single(src);
+  vertex_id_t level = 0;
   while (!frontier.empty()) {
     ++level;
     std::atomic<bool> found{false};
-    par::parallel_for(0, frontier.size(), [&](unsigned tid, std::size_t i) {
-      detail::for_each_s_neighbor(edges, nodes, edge_degrees, s, frontier[i], maps.local(tid),
+    const auto&       ids = frontier.ids();
+    par::parallel_for(0, ids.size(), [&](unsigned tid, std::size_t i) {
+      detail::for_each_s_neighbor(edges, nodes, edge_degrees, s, ids[i], maps.local(tid),
                                   [&](vertex_id_t ej) {
                                     if (atomic_load(dist[ej]) == null_vertex<> &&
                                         compare_and_swap(dist[ej], null_vertex<>, level)) {
                                       if (ej == dst) found.store(true);
-                                      next_local.local(tid).push_back(ej);
+                                      next.emit(tid, ej);
                                     }
                                   });
     });
     if (found.load()) return static_cast<std::size_t>(level);
-    next = par::merge_thread_vectors(next_local, par::merge_capacity::keep);
+    next.commit_sparse();
     frontier.swap(next);
   }
   return std::nullopt;

@@ -247,4 +247,32 @@ std::vector<T> merge_thread_vectors(per_thread<std::vector<T>>& buffers,
   return merged;
 }
 
+/// merge_thread_vectors, but into a caller-owned destination whose capacity
+/// is reused across calls (resize never shrinks capacity).  This is the
+/// level-loop variant: a BFS engine that swaps two frontier vectors can run
+/// an entire traversal without a single per-level allocation once the
+/// buffers have grown to their high-water mark.  Returns the merged size.
+template <class T>
+std::size_t merge_thread_vectors_into(std::vector<T>& out, per_thread<std::vector<T>>& buffers,
+                                      merge_capacity cap  = merge_capacity::keep,
+                                      thread_pool&   pool = thread_pool::default_pool()) {
+  std::vector<std::size_t> sizes(buffers.size());
+  for (std::size_t b = 0; b < buffers.size(); ++b) sizes[b] = buffers.local(b).size();
+  std::size_t total  = 0;
+  auto        chunks = detail::plan_block_copies(sizes, 0, total, pool);
+  out.resize(total);
+  parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) {
+        const auto& ck  = chunks[c];
+        const auto& src = buffers.local(ck.buf);
+        std::copy(src.begin() + static_cast<std::ptrdiff_t>(ck.src_begin),
+                  src.begin() + static_cast<std::ptrdiff_t>(ck.src_begin + ck.len),
+                  out.begin() + static_cast<std::ptrdiff_t>(ck.dst_begin));
+      },
+      blocked{}, pool);
+  detail::reset_buffers(buffers, cap);
+  return total;
+}
+
 }  // namespace nw::par

@@ -3,9 +3,15 @@
 // Fixed-size bitmap with thread-safe set operations.  Used as the frontier
 // representation in bottom-up BFS sweeps and as visited sets in the s-line
 // graph ensemble algorithm.
+//
+// The bitmap itself stays serial and dependency-free; the *parallel*
+// word-granular operations (clear / count / sparse<->dense conversion) live
+// in nwpar/frontier.hpp and reach the storage through the word accessors
+// below.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -14,54 +20,76 @@
 namespace nw {
 
 class bitmap {
-  static constexpr std::size_t kBits = 64;
-
 public:
+  /// Bits per storage word; parallel conversions partition on this.
+  static constexpr std::size_t word_bits = 64;
+
   bitmap() = default;
-  explicit bitmap(std::size_t n) : size_(n), words_((n + kBits - 1) / kBits, 0) {}
+  explicit bitmap(std::size_t n) : size_(n), words_((n + word_bits - 1) / word_bits, 0) {}
 
   [[nodiscard]] std::size_t size() const { return size_; }
 
   void clear() { std::fill(words_.begin(), words_.end(), 0); }
 
+  /// Keep-capacity resize: the map is re-sized to `n` bits, all zero.  The
+  /// word storage is reused (vector::assign never shrinks capacity), so a
+  /// frontier that alternates between levels of the same universe never
+  /// re-faults pages.
   void resize(std::size_t n) {
     size_ = n;
-    words_.assign((n + kBits - 1) / kBits, 0);
+    words_.assign((n + word_bits - 1) / word_bits, 0);
   }
 
   [[nodiscard]] bool get(std::size_t i) const {
     NW_DEBUG_ASSERT(i < size_, "bitmap::get out of range");
-    return (words_[i / kBits] >> (i % kBits)) & 1u;
+    return (words_[i / word_bits] >> (i % word_bits)) & 1u;
   }
 
   /// Non-atomic set; safe only when each bit is written by one thread or
   /// the bitmap is being filled sequentially.
   void set(std::size_t i) {
     NW_DEBUG_ASSERT(i < size_, "bitmap::set out of range");
-    words_[i / kBits] |= (std::uint64_t{1} << (i % kBits));
+    words_[i / word_bits] |= (std::uint64_t{1} << (i % word_bits));
   }
 
   /// Atomic set; returns true if this call flipped the bit from 0 to 1.
   bool set_atomic(std::size_t i) {
     NW_DEBUG_ASSERT(i < size_, "bitmap::set_atomic out of range");
-    std::atomic_ref<std::uint64_t> ref(words_[i / kBits]);
-    std::uint64_t                  mask = std::uint64_t{1} << (i % kBits);
+    std::atomic_ref<std::uint64_t> ref(words_[i / word_bits]);
+    std::uint64_t                  mask = std::uint64_t{1} << (i % word_bits);
     std::uint64_t                  prev = ref.fetch_or(mask, std::memory_order_relaxed);
     return (prev & mask) == 0;
   }
 
   /// Atomic read (for concurrent sweeps over a bitmap being written).
   [[nodiscard]] bool get_atomic(std::size_t i) const {
-    std::atomic_ref<const std::uint64_t> ref(words_[i / kBits]);
-    return (ref.load(std::memory_order_relaxed) >> (i % kBits)) & 1u;
+    std::atomic_ref<const std::uint64_t> ref(words_[i / word_bits]);
+    return (ref.load(std::memory_order_relaxed) >> (i % word_bits)) & 1u;
   }
 
-  /// Population count over the whole map.
+  /// Population count over the whole map (serial; see par::bitmap_count for
+  /// the pool-parallel version).
   [[nodiscard]] std::size_t count() const {
     std::size_t total = 0;
-    for (auto word : words_) total += static_cast<std::size_t>(__builtin_popcountll(word));
+    for (auto word : words_) total += static_cast<std::size_t>(std::popcount(word));
     return total;
   }
+
+  // --- word-granular access (the substrate of the parallel conversions) ----
+
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+  [[nodiscard]] std::uint64_t word(std::size_t w) const {
+    NW_DEBUG_ASSERT(w < words_.size(), "bitmap::word out of range");
+    return words_[w];
+  }
+
+  void set_word(std::size_t w, std::uint64_t value) {
+    NW_DEBUG_ASSERT(w < words_.size(), "bitmap::set_word out of range");
+    words_[w] = value;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
 
   void swap(bitmap& other) noexcept {
     std::swap(size_, other.size_);
