@@ -70,7 +70,9 @@ vertex_subset edge_map_dense(const GraphT& g_target, const vertex_subset& fronti
       if (!cond(static_cast<vertex_id_t>(v))) break;  // Ligra's early exit
     }
     if (hit) {
-      out_bits.set(static_cast<std::size_t>(v));  // one writer per v
+      // One writer per *bit*, but neighbouring bits share a 64-bit word and
+      // chunk boundaries are not word-aligned — the |= must be atomic.
+      out_bits.set_atomic(static_cast<std::size_t>(v));
       ++added.local(tid);
     }
   });

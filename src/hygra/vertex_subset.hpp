@@ -63,6 +63,10 @@ private:
 
   void materialize_dense(std::size_t n) const {
     if (dense_valid_ && bits_.size() >= n) return;
+    // The bitmap is rebuilt from the sparse ids — make sure they exist first
+    // (a dense-only subset widened to a larger universe would otherwise be
+    // silently rebuilt from a stale/empty id list).
+    materialize_sparse();
     bits_.resize(n);
     par::bitmap_fill_from(bits_, ids_);
     dense_valid_ = true;

@@ -252,16 +252,20 @@ public:
     added_.for_each([](std::size_t& a) { a = 0; });
   }
 
-  /// Set bit `v` (atomic) and count it toward this frontier's size.
+  /// Set bit `v` (atomic) and count it toward this frontier's size.  Only a
+  /// 0->1 flip counts, so emitting the same vertex twice in one dense step
+  /// cannot inflate the committed size.
   void emit_dense(unsigned tid, vertex_id_t v) {
-    bits_.set_atomic(v);
-    ++added_.local(tid);
+    if (bits_.set_atomic(v)) ++added_.local(tid);
   }
 
-  /// Dense emission with the fused scout count.
+  /// Dense emission with the fused scout count (degree also only counted on
+  /// a 0->1 flip, matching the size accounting).
   void emit_dense(unsigned tid, vertex_id_t v, std::size_t degree) {
-    emit_dense(tid, v);
-    scout_.local(tid) += degree;
+    if (bits_.set_atomic(v)) {
+      ++added_.local(tid);
+      scout_.local(tid) += degree;
+    }
   }
 
   /// Finish dense emission: folds the per-thread added counters into the

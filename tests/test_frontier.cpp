@@ -189,6 +189,22 @@ TEST(Frontier, DenseEmitCommitRoundTrip) {
   for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i * 5);
 }
 
+TEST(Frontier, DenseEmitDuplicatesDoNotInflateSize) {
+  nw::par::frontier f(128);
+  f.begin_dense();
+  // Every worker emits the same two vertices (both plain and fused-scout
+  // forms): only the 0->1 flips may count toward size and scout.
+  nw::par::parallel_for(0, 64, [&](unsigned tid, std::size_t) {
+    f.emit_dense(tid, 7);
+    f.emit_dense(tid, 9, /*degree=*/3);
+  });
+  EXPECT_EQ(f.commit_dense(), 2u);
+  EXPECT_EQ(f.take_scout(), 3u);
+  auto ids = f.ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<vertex_id_t>{7, 9}));
+}
+
 TEST(Frontier, SwapExchangesMembership) {
   nw::par::frontier a(64), b(64);
   a.assign({1, 2});
@@ -344,6 +360,26 @@ TEST(FrontierBfs, HygraVertexSubsetHybridViews) {
   EXPECT_TRUE(d.is_dense());
   EXPECT_EQ(d.size(), 2u);
   EXPECT_EQ(d.ids(), (std::vector<vertex_id_t>{5, 64}));
+}
+
+TEST(FrontierBfs, HygraVertexSubsetDenseWidening) {
+  // A dense-only subset asked for a *larger* universe must keep its members:
+  // the rebuild path has to materialize the sparse ids from the old bitmap
+  // first, not refill from a stale/empty id list.
+  nw::bitmap bm(100);
+  bm.set(3);
+  bm.set(64);
+  bm.set(99);
+  nw::hygra::vertex_subset d(std::move(bm), 3);
+  ASSERT_TRUE(d.is_dense());  // sparse list not materialized yet
+  const auto& wide = d.bits(500);
+  EXPECT_EQ(wide.size(), 500u);
+  EXPECT_EQ(wide.count(), 3u);
+  EXPECT_TRUE(wide.get(3));
+  EXPECT_TRUE(wide.get(64));
+  EXPECT_TRUE(wide.get(99));
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.ids(), (std::vector<vertex_id_t>{3, 64, 99}));
 }
 
 }  // namespace
