@@ -1,12 +1,32 @@
 #!/usr/bin/env bash
 # Full verification sweep: configure, build, run tests, run every
-# table/figure harness.  Usage: scripts/check.sh [build-dir]
+# table/figure harness.
+#
+# Usage: scripts/check.sh [--differential] [build-dir]
+#
+#   --differential   additionally run the differential harness with a
+#                    bounded seed budget (NWHY_TEST_ITERS, default 12 —
+#                    ~30s) *after* the regular suite; the ctest run above
+#                    already covers the default budget, so this stage is for
+#                    quickly re-fuzzing with a fresh budget or an operator
+#                    override (NWHY_TEST_ITERS=500 scripts/check.sh --differential).
 set -euo pipefail
+
+DIFFERENTIAL=0
+if [ "${1:-}" = "--differential" ]; then
+  DIFFERENTIAL=1
+  shift
+fi
 BUILD=${1:-build}
 
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
+
+if [ "$DIFFERENTIAL" = 1 ]; then
+  echo "===== differential harness (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-12}) ====="
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-12}" "$BUILD"/tests/test_differential
+fi
 
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

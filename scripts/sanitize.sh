@@ -1,10 +1,47 @@
 #!/usr/bin/env bash
-# Build and run the test suite under AddressSanitizer + UBSan.
-# The parallel kernels rely on std::atomic_ref over plain vectors; ASan/UBSan
-# runs catch lifetime and indexing bugs the regular build cannot.
+# Build and run sanitizer sweeps.
+#
+#   scripts/sanitize.sh            # asan (default): full suite under ASan+UBSan
+#   scripts/sanitize.sh asan [dir] # same, explicit
+#   scripts/sanitize.sh tsan [dir] # ThreadSanitizer: build with
+#                                  # -DNWHY_SANITIZE=thread, then run the
+#                                  # differential driver and the frontier /
+#                                  # nwpar suites directly (bounded seed
+#                                  # budget — TSan is ~10x slower)
+#
+# ASan/UBSan catches lifetime and indexing bugs; TSan catches data races in
+# the frontier engine, bitmap conversions and scatter pipelines that review
+# alone keeps missing.  `scripts/sanitize.sh tsan` is the pre-merge gate for
+# any PR touching src/nwpar/ or src/hygra/.
 set -euo pipefail
-BUILD=${1:-build-asan}
 
-cmake -B "$BUILD" -G Ninja -DNWHY_SANITIZE=ON
-cmake --build "$BUILD"
-ctest --test-dir "$BUILD" --output-on-failure
+MODE=${1:-asan}
+
+case "$MODE" in
+  asan)
+    BUILD=${2:-build-asan}
+    cmake -B "$BUILD" -G Ninja -DNWHY_SANITIZE=address
+    cmake --build "$BUILD"
+    ctest --test-dir "$BUILD" --output-on-failure
+    ;;
+  tsan)
+    BUILD=${2:-build-tsan}
+    cmake -B "$BUILD" -G Ninja -DNWHY_SANITIZE=thread
+    cmake --build "$BUILD"
+    # Run the concurrency-heavy binaries directly: the differential driver
+    # (every parallel family at 1/2/4/hw threads against the serial
+    # oracles), the frontier engine suite, and the nwpar runtime suite.
+    # halt_on_error makes the first race fail the gate; the reduced
+    # NWHY_TEST_ITERS bounds wall time (override to go deeper).
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+    export NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-6}"
+    "$BUILD"/tests/test_nwpar
+    "$BUILD"/tests/test_frontier
+    "$BUILD"/tests/test_materialize
+    "$BUILD"/tests/test_differential
+    ;;
+  *)
+    echo "usage: scripts/sanitize.sh [asan|tsan] [build-dir]" >&2
+    exit 2
+    ;;
+esac

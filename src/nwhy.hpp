@@ -56,6 +56,7 @@
 #include "nwhy/io/konect.hpp"
 #include "nwhy/io/matrix_market.hpp"
 #include "nwhy/nwhypergraph.hpp"
+#include "nwhy/ref/ref.hpp"
 #include "nwhy/s_linegraph.hpp"
 #include "nwhy/slinegraph/construction.hpp"
 #include "nwhy/slinegraph/implicit.hpp"

@@ -21,6 +21,14 @@ public:
     return vertex_cardinality_[idx];
   }
 
+  /// Override a partition's declared cardinality.  Two legitimate uses:
+  /// declaring trailing entities with no incidences (empty hyperedges /
+  /// isolated hypernodes), and — in the adversarial generator —
+  /// *shrinking* below the maximum stored id to plant out-of-bounds
+  /// incidences for nwhy/validate.hpp to detect.  Building a CSR container
+  /// from a shrunk edge list is undefined; validate() first.
+  void set_num_vertices(std::size_t idx, std::size_t n) { vertex_cardinality_[idx] = n; }
+
 protected:
   std::array<std::size_t, 2> vertex_cardinality_;
 };

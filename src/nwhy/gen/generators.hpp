@@ -208,4 +208,275 @@ inline biedgelist<> star_hypergraph(std::size_t num_nodes, std::size_t num_small
   return el;
 }
 
+// ---------------------------------------------------------------------------
+// Planted-structure generators (differential-harness ground truth).
+//
+// Each generator below *plants* an invariant with a known exact value —
+// component counts, diameters, toplex sets, defect counts — so the
+// property tests can assert against mathematics instead of against another
+// implementation.  All randomness flows from one uint64_t seed.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Seed-driven Fisher–Yates permutation of [0, n).
+inline std::vector<vertex_id_t> random_permutation(std::size_t n, xoshiro256ss& rng) {
+  std::vector<vertex_id_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<vertex_id_t>(i);
+  for (std::size_t i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  return perm;
+}
+
+}  // namespace detail
+
+/// Output of planted_component_chains: the edge list plus the planted truth.
+struct planted_components_t {
+  biedgelist<> el;
+  std::size_t  num_components = 0;  ///< exact number of s-connected components
+  std::size_t  chain_length   = 0;  ///< hyperedges per component
+  std::size_t  s              = 0;  ///< the s the structure was planted for
+  /// Edge ids of each component in chain order (after id scrambling):
+  /// component c's s-line graph is exactly the path
+  /// component_edges[c][0] — component_edges[c][1] — ... so the s-distance
+  /// between the endpoints is chain_length - 1 (the planted s-diameter).
+  std::vector<std::vector<vertex_id_t>> component_edges;
+};
+
+/// Planted s-connected components: `num_components` chains of
+/// `edges_per_component` hyperedges over pairwise-disjoint hypernode
+/// blocks.  Within a chain, consecutive hyperedges share *exactly* s
+/// hypernodes (edge j covers the s+1 consecutive block nodes [j, j+s]),
+/// and hyperedges two or more steps apart share at most s-1 — so the
+/// s-line graph of each chain is a simple path.  Ground truth:
+///   * exactly num_components s-connected components (all edges active),
+///   * s-diameter of each component = edges_per_component - 1,
+///   * the (s+1)-line graph is empty (no pair overlaps in s+1 nodes).
+/// Edge and node ids are scrambled by a seed-driven permutation so planted
+/// structure never aligns with id order (and never favors the sequential
+/// id-based heuristics of the construction algorithms).
+inline planted_components_t planted_component_chains(std::size_t num_components,
+                                                     std::size_t edges_per_component,
+                                                     std::size_t s, std::uint64_t seed) {
+  NW_ASSERT(num_components > 0 && edges_per_component > 0 && s > 0,
+            "degenerate planted-component parameters");
+  const std::size_t ne = num_components * edges_per_component;
+  const std::size_t nodes_per_block = s + edges_per_component;  // edge j spans [j, j+s]
+  const std::size_t nv = num_components * nodes_per_block;
+
+  xoshiro256ss rng(seed);
+  auto         edge_perm = detail::random_permutation(ne, rng);
+  auto         node_perm = detail::random_permutation(nv, rng);
+
+  planted_components_t out;
+  out.num_components = num_components;
+  out.chain_length   = edges_per_component;
+  out.s              = s;
+  out.el             = biedgelist<>(ne, nv);
+  out.el.reserve(ne * (s + 1));
+  out.component_edges.resize(num_components);
+  for (std::size_t c = 0; c < num_components; ++c) {
+    const std::size_t node_base = c * nodes_per_block;
+    for (std::size_t j = 0; j < edges_per_component; ++j) {
+      vertex_id_t e = edge_perm[c * edges_per_component + j];
+      out.component_edges[c].push_back(e);
+      for (std::size_t k = 0; k <= s; ++k) {
+        out.el.push_back(e, node_perm[node_base + j + k]);
+      }
+    }
+  }
+  return out;
+}
+
+/// Output of planted_toplex_hypergraph: the edge list plus the exact
+/// (sorted) toplex id set.
+struct planted_toplexes_t {
+  biedgelist<>             el;
+  std::vector<vertex_id_t> toplex_ids;  ///< ascending ids of the maximal hyperedges
+};
+
+/// Planted toplexes: `num_toplexes` maximal hyperedges over disjoint
+/// hypernode blocks of `toplex_size` nodes each, plus
+/// `subsets_per_toplex` strict non-empty random subsets of each.  Every
+/// subset is dominated by its (strictly larger) block toplex; blocks are
+/// disjoint, so no cross-block domination — the toplex set is exactly the
+/// planted maximal edges, regardless of duplicate subsets.
+inline planted_toplexes_t planted_toplex_hypergraph(std::size_t num_toplexes,
+                                                    std::size_t subsets_per_toplex,
+                                                    std::size_t toplex_size,
+                                                    std::uint64_t seed) {
+  NW_ASSERT(num_toplexes > 0 && toplex_size >= 2, "degenerate planted-toplex parameters");
+  const std::size_t ne = num_toplexes * (1 + subsets_per_toplex);
+  const std::size_t nv = num_toplexes * toplex_size;
+
+  xoshiro256ss rng(seed);
+  auto         edge_perm = detail::random_permutation(ne, rng);
+
+  planted_toplexes_t out;
+  out.el = biedgelist<>(ne, nv);
+  std::vector<vertex_id_t> block(toplex_size);
+  std::size_t              next_edge = 0;
+  for (std::size_t t = 0; t < num_toplexes; ++t) {
+    const vertex_id_t base = static_cast<vertex_id_t>(t * toplex_size);
+    for (std::size_t k = 0; k < toplex_size; ++k) block[k] = base + static_cast<vertex_id_t>(k);
+    // The maximal edge: the whole block.
+    vertex_id_t top = edge_perm[next_edge++];
+    out.toplex_ids.push_back(top);
+    for (vertex_id_t v : block) out.el.push_back(top, v);
+    // Strict subsets: size in [1, toplex_size - 1], members sampled without
+    // replacement via a partial shuffle of the block.
+    for (std::size_t j = 0; j < subsets_per_toplex; ++j) {
+      vertex_id_t e  = edge_perm[next_edge++];
+      std::size_t sz = 1 + rng.bounded(toplex_size - 1);
+      for (std::size_t k = 0; k < sz; ++k) {
+        std::swap(block[k], block[k + rng.bounded(toplex_size - k)]);
+        out.el.push_back(e, block[k]);
+      }
+    }
+  }
+  std::sort(out.toplex_ids.begin(), out.toplex_ids.end());
+  return out;
+}
+
+/// Output of adversarial_hypergraph: a deliberately *non-canonical* edge
+/// list plus the exact planted defect counts (what nwhy/validate.hpp must
+/// report, number for number).
+struct adversarial_hypergraph_t {
+  biedgelist<> el;                   ///< raw: unsorted, with duplicates / OOB ids
+  std::size_t  empty_hyperedges = 0; ///< declared edges with zero incidences
+  std::size_t  isolated_nodes   = 0; ///< declared nodes with zero incidences
+  std::size_t  duplicates       = 0; ///< incidences repeating an earlier one
+  std::size_t  out_of_bounds    = 0; ///< incidences with an id >= cardinality
+};
+
+/// Adversarial shapes for the validator and (canonicalized) for the
+/// algorithm fuzzers: a word-boundary-sized hypernode universe (63/64/65,
+/// 127/128/129 — the bitmap edge cases), singleton hyperedges, one giant
+/// hyperedge spanning the whole universe, trailing empty hyperedges and
+/// isolated hypernodes, planted duplicate incidences, and (optionally)
+/// planted out-of-bounds ids.  Pass plant_out_of_bounds = false when the
+/// output will be fed to the algorithms rather than the validator — OOB
+/// ids are only meaningful to validate(), and are planted by shrinking the
+/// declared cardinalities *after* the pushes, so the CSR builders must
+/// never see such a list.
+inline adversarial_hypergraph_t adversarial_hypergraph(std::uint64_t seed,
+                                                       bool plant_out_of_bounds = true) {
+  xoshiro256ss rng(seed);
+
+  static constexpr std::size_t kUniverse[] = {63, 64, 65, 127, 128, 129};
+  const std::size_t nv_used = kUniverse[rng.bounded(6)];
+  const std::size_t ne_used = 8 + rng.bounded(24);
+
+  adversarial_hypergraph_t out;
+  // Declared cardinalities include trailing never-used entities.
+  const std::size_t extra_edges = rng.bounded(4);
+  const std::size_t extra_nodes = rng.bounded(6);
+  const std::size_t ne_decl     = ne_used + extra_edges;
+  const std::size_t nv_decl     = nv_used + extra_nodes;
+  out.el = biedgelist<>(ne_decl, nv_decl);
+
+  std::vector<char>                                node_used(nv_decl, 0);
+  std::vector<std::pair<vertex_id_t, vertex_id_t>> base;  // unique incidences
+  auto push_unique = [&](vertex_id_t e, vertex_id_t v) {
+    for (auto [be, bv] : base) {
+      if (be == e && bv == v) return;  // keep `base` duplicate-free
+    }
+    base.push_back({e, v});
+    out.el.push_back(e, v);
+    node_used[v] = 1;
+  };
+
+  // Edge 0: the giant hyperedge over the whole used universe.
+  for (std::size_t v = 0; v < nv_used; ++v) {
+    push_unique(0, static_cast<vertex_id_t>(v));
+  }
+  // Remaining used edges: a mix of singletons and small random edges
+  // (members clustered near word boundaries half of the time).
+  for (std::size_t e = 1; e < ne_used; ++e) {
+    std::size_t sz = 1 + rng.bounded(5);  // 1..5 (1 == singleton edge)
+    for (std::size_t k = 0; k < sz; ++k) {
+      std::size_t v = rng.bounded(2) == 0
+                          ? rng.bounded(nv_used)
+                          : (nv_used >= 4 ? nv_used - 1 - rng.bounded(4) : rng.bounded(nv_used));
+      push_unique(static_cast<vertex_id_t>(e), static_cast<vertex_id_t>(v));
+    }
+  }
+
+  // Planted duplicates: re-push existing incidences (each re-push is one
+  // duplicate, even if the same pair is re-pushed twice).
+  out.duplicates = 1 + rng.bounded(6);
+  for (std::size_t d = 0; d < out.duplicates; ++d) {
+    auto [e, v] = base[rng.bounded(base.size())];
+    out.el.push_back(e, v);
+  }
+
+  // Planted out-of-bounds ids: pushed with ids beyond the declared
+  // cardinalities, which push_back temporarily grows; shrinking the
+  // declared sizes back afterwards turns them into OOB rows.  OOB rows use
+  // an in-bounds *partner* id that is already used elsewhere, so they
+  // perturb neither the empty-edge nor the isolated-node count.
+  if (plant_out_of_bounds) {
+    out.out_of_bounds = 1 + rng.bounded(4);
+    for (std::size_t i = 0; i < out.out_of_bounds; ++i) {
+      // The offset `i` keeps the planted OOB rows pairwise distinct, so they
+      // can never inflate the duplicate count.
+      if (rng.bounded(2) == 0) {
+        // Node id out of range; edge 0 (the giant edge) is certainly used.
+        out.el.push_back(0, static_cast<vertex_id_t>(nv_decl + i));
+      } else {
+        // Edge id out of range; node 0 is covered by the giant edge.
+        out.el.push_back(static_cast<vertex_id_t>(ne_decl + i), 0);
+      }
+    }
+    out.el.set_num_vertices(0, ne_decl);
+    out.el.set_num_vertices(1, nv_decl);
+  }
+
+  out.empty_hyperedges = extra_edges;
+  out.isolated_nodes   = extra_nodes;
+  for (std::size_t v = 0; v < nv_used; ++v) out.isolated_nodes += node_used[v] == 0;
+  return out;
+}
+
+/// Seed-dispatched "arbitrary" hypergraph for the differential fuzzer: the
+/// seed picks a generator family *and* its parameters, covering the
+/// distributional shapes (uniform / power-law / community), the planted
+/// structures (chains, nested, toplex blocks, star), and the adversarial
+/// canonicalizable shapes (duplicates, empty edges, singleton and giant
+/// edges, word-boundary universes).  Always safe to canonicalize and feed
+/// to the algorithms (no out-of-bounds ids).
+inline biedgelist<> arbitrary_hypergraph(std::uint64_t seed) {
+  std::uint64_t state  = seed;
+  std::uint64_t s0     = splitmix64(state);  // family selector
+  std::uint64_t s1     = splitmix64(state);  // parameter stream
+  std::uint64_t sub    = splitmix64(state);  // sub-generator seed
+  xoshiro256ss  rng(s1);
+  switch (s0 % 8) {
+    case 0:
+      return uniform_random_hypergraph(20 + rng.bounded(60), 30 + rng.bounded(90),
+                                       1 + rng.bounded(6), sub);
+    case 1:
+      return powerlaw_hypergraph(20 + rng.bounded(60), 30 + rng.bounded(90),
+                                 2 + rng.bounded(10), 1.0 + rng.uniform(),
+                                 1.0 + rng.uniform(), sub);
+    case 2:
+      return planted_community_hypergraph(20 + rng.bounded(60), 40 + rng.bounded(80),
+                                          5 + rng.bounded(20), 1.0 + rng.uniform(),
+                                          0.3 * rng.uniform(), sub);
+    case 3:
+      return nested_hypergraph(1 + rng.bounded(6), 2 + rng.bounded(6));
+    case 4:
+      return star_hypergraph(10 + rng.bounded(40), rng.bounded(20), sub);
+    case 5:
+      return planted_component_chains(1 + rng.bounded(5), 2 + rng.bounded(8),
+                                      1 + rng.bounded(3), sub)
+          .el;
+    case 6:
+      return planted_toplex_hypergraph(1 + rng.bounded(5), rng.bounded(5),
+                                       2 + rng.bounded(6), sub)
+          .el;
+    default:
+      return adversarial_hypergraph(sub, /*plant_out_of_bounds=*/false).el;
+  }
+}
+
 }  // namespace nw::hypergraph::gen

@@ -1,0 +1,68 @@
+// nwhy/ref/incidence.hpp
+//
+// The input format of the serial reference oracles (nwhy/ref/): a plain
+// vector-of-sorted-vectors incidence structure with *no* dependence on the
+// CSR containers or the parallel runtime.  The oracles are the ground truth
+// of the differential test harness (tests/test_differential.cpp); keeping
+// them on std-only data structures makes them auditable in isolation — a
+// bug would have to be present in both a trivial serial loop *and* the
+// parallel kernel, in exactly the same way, to slip through.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nwhy/biedgelist.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::ref {
+
+/// Bidirectional incidence of a hypergraph as plain nested vectors.
+/// `edges[e]` holds the sorted unique hypernode ids of hyperedge e;
+/// `nodes[v]` holds the sorted unique hyperedge ids incident on v.
+struct incidence {
+  std::vector<std::vector<vertex_id_t>> edges;
+  std::vector<std::vector<vertex_id_t>> nodes;
+
+  [[nodiscard]] std::size_t num_edges() const { return edges.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes.size(); }
+
+  /// Hyperedge sizes (|e| per edge) — the activity criterion of every
+  /// s-metric (an edge with fewer than s members cannot be s-adjacent).
+  [[nodiscard]] std::vector<std::size_t> edge_sizes() const {
+    std::vector<std::size_t> d(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e) d[e] = edges[e].size();
+    return d;
+  }
+};
+
+/// Build the plain incidence structure from a bipartite edge list.
+/// Duplicate incidences collapse; out-of-order input is fine (each list is
+/// sorted afterwards), so the oracle sees the same canonical form the
+/// NWHypergraph facade builds.
+inline incidence from_biedgelist(const biedgelist<>& el) {
+  incidence inc;
+  inc.edges.resize(el.num_vertices(0));
+  inc.nodes.resize(el.num_vertices(1));
+  const auto& e_ids = el.edge_ids();
+  const auto& n_ids = el.node_ids();
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    inc.edges[e_ids[i]].push_back(n_ids[i]);
+    inc.nodes[n_ids[i]].push_back(e_ids[i]);
+  }
+  auto canonicalize = [](std::vector<std::vector<vertex_id_t>>& lists) {
+    for (auto& l : lists) {
+      std::sort(l.begin(), l.end());
+      l.erase(std::unique(l.begin(), l.end()), l.end());
+    }
+  };
+  canonicalize(inc.edges);
+  canonicalize(inc.nodes);
+  return inc;
+}
+
+/// Plain adjacency list (graph counterpart of `incidence`): used by the
+/// oracles that operate on a line graph or any other ordinary graph.
+using adjacency_list = std::vector<std::vector<vertex_id_t>>;
+
+}  // namespace nw::hypergraph::ref

@@ -1,0 +1,15 @@
+// nwhy/ref/ref.hpp — umbrella header of the serial reference oracles.
+//
+// Everything under nwhy/ref/ is intentionally slow and simple: plain
+// vectors, explicit queues, all-pairs loops, zero atomics, zero thread-pool
+// dependence.  The differential harness (tests/test_differential.cpp)
+// pits every parallel algorithm family — at multiple pool sizes and across
+// representations — against these oracles; a disagreement prints the
+// generator seed for one-command replay (NWHY_TEST_SEED=<n>).
+#pragma once
+
+#include "nwhy/ref/incidence.hpp"
+#include "nwhy/ref/serial_kcore.hpp"
+#include "nwhy/ref/serial_slinegraph.hpp"
+#include "nwhy/ref/serial_toplex.hpp"
+#include "nwhy/ref/serial_traversal.hpp"

@@ -1,0 +1,92 @@
+// nwhy/ref/serial_kcore.hpp
+//
+// Serial reference core decompositions.
+//
+//   * kcore_numbers — textbook O(n²) peel on a plain adjacency list: at
+//     every step remove a vertex of minimum remaining degree; its core
+//     number is the running maximum of the degrees seen at removal time.
+//     Oracle for nw::graph::kcore_decomposition (the s-core metric).
+//
+//   * kl_core — hypergraph (k, l)-core fixpoint by whole-round
+//     recomputation: each round recomputes every surviving hyperedge's
+//     live size and every surviving hypernode's live degree from scratch
+//     and peels everything below threshold at once.  The (k, l)-core is
+//     the *greatest* fixpoint, which is unique and independent of peeling
+//     order, so this must agree exactly with the incremental
+//     alternating-peel implementation in nwhy/algorithms/hyper_kcore.hpp.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nwhy/ref/incidence.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::ref {
+
+/// Core number of every vertex of a plain undirected adjacency list.
+inline std::vector<std::size_t> kcore_numbers(const adjacency_list& g) {
+  const std::size_t        n = g.size();
+  std::vector<std::size_t> degree(n), core(n, 0);
+  std::vector<char>        removed(n, 0);
+  for (std::size_t v = 0; v < n; ++v) degree[v] = g[v].size();
+
+  std::size_t running_max = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    // Minimum remaining degree (smallest id breaks ties — irrelevant to
+    // the result, deterministic for debugging).
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!removed[v] && (best == n || degree[v] < degree[best])) best = v;
+    }
+    running_max = std::max(running_max, degree[best]);
+    core[best]  = running_max;
+    removed[best] = 1;
+    for (vertex_id_t u : g[best]) {
+      if (!removed[u]) --degree[u];
+    }
+  }
+  return core;
+}
+
+/// Survivors of the (k, l)-core of a hypergraph: every surviving hypernode
+/// belongs to >= k surviving hyperedges, every surviving hyperedge keeps
+/// >= l surviving members.
+struct kl_core_ref_result {
+  std::vector<char> edge_alive;
+  std::vector<char> node_alive;
+};
+
+inline kl_core_ref_result kl_core(const incidence& h, std::size_t k, std::size_t l) {
+  kl_core_ref_result r;
+  r.edge_alive.assign(h.num_edges(), 1);
+  r.node_alive.assign(h.num_nodes(), 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Recompute every live hyperedge size from scratch, peel below l.
+    for (std::size_t e = 0; e < h.num_edges(); ++e) {
+      if (!r.edge_alive[e]) continue;
+      std::size_t live = 0;
+      for (vertex_id_t v : h.edges[e]) live += r.node_alive[v] != 0;
+      if (live < l) {
+        r.edge_alive[e] = 0;
+        changed         = true;
+      }
+    }
+    // Recompute every live hypernode degree from scratch, peel below k.
+    for (std::size_t v = 0; v < h.num_nodes(); ++v) {
+      if (!r.node_alive[v]) continue;
+      std::size_t live = 0;
+      for (vertex_id_t e : h.nodes[v]) live += r.edge_alive[e] != 0;
+      if (live < k) {
+        r.node_alive[v] = 0;
+        changed         = true;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace nw::hypergraph::ref

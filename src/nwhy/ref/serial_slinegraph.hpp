@@ -1,0 +1,160 @@
+// nwhy/ref/serial_slinegraph.hpp
+//
+// Serial reference s-line-graph construction and s-metrics.  The edge set
+// comes from the *definition* — test every hyperedge pair with a sorted
+// set intersection, no indirection heuristics, no hashmaps, no work queues
+// — so all seven parallel construction algorithms plus the implicit
+// traversals have a common, obviously-correct target.  The s-metric
+// oracles (distance, components, closeness, harmonic closeness,
+// eccentricity) mirror the aggregation order of the parallel
+// implementations exactly: the BFS distance arrays are deterministic, and
+// summing the same doubles in the same index order makes the differential
+// comparison bit-exact, not within-epsilon.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "nwhy/ref/incidence.hpp"
+#include "nwhy/ref/serial_traversal.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::ref {
+
+using line_edge_set = std::vector<std::pair<vertex_id_t, vertex_id_t>>;
+
+/// |a ∩ b| of two sorted unique ranges (full count, no early exit — the
+/// oracle prefers the straightforward spelling over the optimized one).
+inline std::size_t overlap_size(const std::vector<vertex_id_t>& a,
+                                const std::vector<vertex_id_t>& b) {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// The s-line-graph edge set by definition: {e_i, e_j} with i < j whenever
+/// |e_i ∩ e_j| >= s.  Sorted ascending — the canonical comparison form of
+/// the differential harness.
+inline line_edge_set s_line_edges(const incidence& h, std::size_t s) {
+  line_edge_set     out;
+  const std::size_t ne = h.num_edges();
+  for (std::size_t i = 0; i < ne; ++i) {
+    if (h.edges[i].size() < s) continue;
+    for (std::size_t j = i + 1; j < ne; ++j) {
+      if (h.edges[j].size() < s) continue;
+      if (overlap_size(h.edges[i], h.edges[j]) >= s) {
+        out.push_back({static_cast<vertex_id_t>(i), static_cast<vertex_id_t>(j)});
+      }
+    }
+  }
+  // The double loop already emits in sorted order; keep the sort as a
+  // belt-and-braces guarantee of the canonical form.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Expand a unique {lo, hi} pair set into a symmetric sorted adjacency list
+/// over `n` vertices (isolated vertices keep empty lists).
+inline adjacency_list pairs_to_adjacency(const line_edge_set& pairs, std::size_t n) {
+  adjacency_list adj(n);
+  for (auto [a, b] : pairs) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  for (auto& l : adj) std::sort(l.begin(), l.end());
+  return adj;
+}
+
+/// Convenience: the serial s-line graph of `h` as an adjacency list.
+inline adjacency_list s_line_adjacency(const incidence& h, std::size_t s) {
+  return pairs_to_adjacency(s_line_edges(h, s), h.num_edges());
+}
+
+/// s-connected-component labels: flood fill on the serial line graph, with
+/// inactive hyperedges (|e| < s) mapped to null_vertex — matching
+/// s_linegraph::s_connected_components and the implicit engine.
+inline std::vector<vertex_id_t> s_components(const incidence& h, std::size_t s) {
+  auto labels = graph_cc_labels(s_line_adjacency(h, s));
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    if (h.edges[e].size() < s) labels[e] = null_vertex<>;
+  }
+  return labels;
+}
+
+/// s-distance between two hyperedges; nullopt when unreachable or either
+/// endpoint inactive (the s_distance_implicit convention; the materialized
+/// s_linegraph::s_distance agrees because inactive vertices are isolated).
+inline std::optional<std::size_t> s_distance(const incidence& h, std::size_t s, vertex_id_t src,
+                                             vertex_id_t dst) {
+  if (src >= h.num_edges() || dst >= h.num_edges()) return std::nullopt;
+  if (h.edges[src].size() < s || h.edges[dst].size() < s) return std::nullopt;
+  auto dist = graph_bfs_levels(s_line_adjacency(h, s), src);
+  if (dist[dst] == null_vertex<>) return std::nullopt;
+  return static_cast<std::size_t>(dist[dst]);
+}
+
+// --- distance-aggregate centralities on a plain adjacency list ------------
+//
+// These replicate nw::graph::{closeness,harmonic_closeness,eccentricity}
+// serially: one BFS per source, then the identical aggregation expression
+// over the distance array in ascending index order.  Because the distance
+// arrays are integer-exact and the floating-point sums associate in the
+// same order, the parallel results must match bit for bit.
+
+inline std::vector<double> closeness(const adjacency_list& g) {
+  std::vector<double> result(g.size(), 0.0);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    auto        dist      = graph_bfs_levels(g, static_cast<vertex_id_t>(v));
+    double      total     = 0.0;
+    std::size_t reachable = 0;
+    for (auto d : dist) {
+      if (d != null_vertex<> && d != 0) {
+        total += static_cast<double>(d);
+        ++reachable;
+      }
+    }
+    result[v] = total > 0 ? static_cast<double>(reachable) / total : 0.0;
+  }
+  return result;
+}
+
+inline std::vector<double> harmonic_closeness(const adjacency_list& g) {
+  std::vector<double> result(g.size(), 0.0);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    auto   dist  = graph_bfs_levels(g, static_cast<vertex_id_t>(v));
+    double total = 0.0;
+    for (auto d : dist) {
+      if (d != null_vertex<> && d != 0) total += 1.0 / static_cast<double>(d);
+    }
+    result[v] = total;
+  }
+  return result;
+}
+
+inline std::vector<vertex_id_t> eccentricity(const adjacency_list& g) {
+  std::vector<vertex_id_t> result(g.size(), 0);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    auto        dist = graph_bfs_levels(g, static_cast<vertex_id_t>(v));
+    vertex_id_t ecc  = 0;
+    for (auto d : dist) {
+      if (d != null_vertex<>) ecc = std::max(ecc, d);
+    }
+    result[v] = ecc;
+  }
+  return result;
+}
+
+}  // namespace nw::hypergraph::ref

@@ -1,0 +1,41 @@
+// nwhy/ref/serial_toplex.hpp
+//
+// Serial reference toplex computation: an all-pairs subset test applying
+// the dominance rule of the parallel implementation verbatim.  Hyperedge e
+// is *dominated* iff there exists f != e with e ⊆ f and (|f| > |e|, or
+// |f| == |e| and f has the smaller id) — the symmetric tie-break that
+// keeps exactly one representative of each family of duplicate hyperedges.
+// O(nE² · d): fine at oracle scale, obviously correct at any scale.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nwhy/ref/incidence.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::ref {
+
+/// Ids of all toplexes (maximal hyperedges) of `h`, ascending.
+inline std::vector<vertex_id_t> toplexes(const incidence& h) {
+  const std::size_t        ne = h.num_edges();
+  std::vector<vertex_id_t> result;
+  for (std::size_t i = 0; i < ne; ++i) {
+    const auto& ei        = h.edges[i];
+    bool        dominated = false;
+    for (std::size_t j = 0; j < ne && !dominated; ++j) {
+      if (j == i) continue;
+      const auto& ej = h.edges[j];
+      const bool  wins_tie =
+          ej.size() > ei.size() || (ej.size() == ei.size() && j < i);
+      if (!wins_tie) continue;
+      // e_i ⊆ e_j on sorted unique member lists (an empty e_i is a subset
+      // of everything, including another empty hyperedge).
+      if (std::includes(ej.begin(), ej.end(), ei.begin(), ei.end())) dominated = true;
+    }
+    if (!dominated) result.push_back(static_cast<vertex_id_t>(i));
+  }
+  return result;
+}
+
+}  // namespace nw::hypergraph::ref

@@ -1,0 +1,151 @@
+// nwhy/ref/serial_traversal.hpp
+//
+// Serial reference BFS and connected components for the differential test
+// harness.  No atomics, no thread pool, no frontier engine — one explicit
+// FIFO queue each, written to be correct by inspection.  The parallel
+// engines under test (hyper_bfs_* / adjoin_bfs / hyper_cc / adjoin_cc /
+// the nwgraph BFS+CC family) must reproduce these results bit-exactly
+// (distances) or up to label renaming (components).
+#pragma once
+
+#include <vector>
+
+#include "nwhy/ref/incidence.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::ref {
+
+/// BFS level arrays on the bipartite representation: hyperedges at even
+/// depths, hypernodes at odd depths, unreached entries null_vertex —
+/// exactly the dist_edge / dist_node convention of hyper_bfs_result.
+struct bfs_levels_result {
+  std::vector<vertex_id_t> dist_edge;
+  std::vector<vertex_id_t> dist_node;
+};
+
+inline bfs_levels_result bfs_levels(const incidence& h, vertex_id_t source_edge) {
+  bfs_levels_result r;
+  r.dist_edge.assign(h.num_edges(), null_vertex<>);
+  r.dist_node.assign(h.num_nodes(), null_vertex<>);
+  if (h.num_edges() == 0) return r;
+
+  r.dist_edge[source_edge] = 0;
+  std::vector<vertex_id_t> frontier{source_edge};
+  std::vector<vertex_id_t> next;
+  bool        edge_side = true;  // class of the ids currently in `frontier`
+  vertex_id_t level     = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (vertex_id_t u : frontier) {
+      const auto& nbrs = edge_side ? h.edges[u] : h.nodes[u];
+      auto&       dist = edge_side ? r.dist_node : r.dist_edge;
+      for (vertex_id_t v : nbrs) {
+        if (dist[v] == null_vertex<>) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+    edge_side = !edge_side;
+  }
+  return r;
+}
+
+/// Connected-component labels on the bipartite representation: a hyperedge
+/// and a hypernode share a label iff they are connected by an alternating
+/// incidence walk.  Label values follow the hyper_cc convention (flood
+/// label = seed hyperedge id; a hypernode in no hyperedge keeps the unique
+/// label nE + v), but the differential harness only compares partitions.
+struct cc_labels_result {
+  std::vector<vertex_id_t> labels_edge;
+  std::vector<vertex_id_t> labels_node;
+};
+
+inline cc_labels_result cc_labels(const incidence& h) {
+  const std::size_t ne = h.num_edges();
+  const std::size_t nv = h.num_nodes();
+  cc_labels_result  r;
+  r.labels_edge.assign(ne, null_vertex<>);
+  r.labels_node.assign(nv, null_vertex<>);
+
+  std::vector<vertex_id_t> stack;
+  for (std::size_t seed = 0; seed < ne; ++seed) {
+    if (r.labels_edge[seed] != null_vertex<>) continue;
+    const vertex_id_t label = static_cast<vertex_id_t>(seed);
+    r.labels_edge[seed]     = label;
+    stack.assign(1, static_cast<vertex_id_t>(seed));
+    // Shared id space for the flood: edge e is e, node v is ne + v.
+    while (!stack.empty()) {
+      vertex_id_t id = stack.back();
+      stack.pop_back();
+      if (id < ne) {
+        for (vertex_id_t v : h.edges[id]) {
+          if (r.labels_node[v] == null_vertex<>) {
+            r.labels_node[v] = label;
+            stack.push_back(static_cast<vertex_id_t>(ne + v));
+          }
+        }
+      } else {
+        for (vertex_id_t e : h.nodes[id - ne]) {
+          if (r.labels_edge[e] == null_vertex<>) {
+            r.labels_edge[e] = label;
+            stack.push_back(e);
+          }
+        }
+      }
+    }
+  }
+  // Hypernodes in no hyperedge: unique labels above the hyperedge range.
+  for (std::size_t v = 0; v < nv; ++v) {
+    if (r.labels_node[v] == null_vertex<>) {
+      r.labels_node[v] = static_cast<vertex_id_t>(ne + v);
+    }
+  }
+  return r;
+}
+
+/// Serial BFS hop distances on a plain adjacency list (oracle for the
+/// nwgraph BFS engines and the s-line-graph distance metrics).
+inline std::vector<vertex_id_t> graph_bfs_levels(const adjacency_list& g, vertex_id_t source) {
+  std::vector<vertex_id_t> dist(g.size(), null_vertex<>);
+  if (source >= g.size()) return dist;
+  std::vector<vertex_id_t> queue{source};
+  dist[source] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    vertex_id_t u = queue[head];
+    for (vertex_id_t v : g[u]) {
+      if (dist[v] == null_vertex<>) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Serial component labels on a plain adjacency list (label = smallest
+/// vertex id in the component).
+inline std::vector<vertex_id_t> graph_cc_labels(const adjacency_list& g) {
+  std::vector<vertex_id_t> labels(g.size(), null_vertex<>);
+  std::vector<vertex_id_t> stack;
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    if (labels[s] != null_vertex<>) continue;
+    labels[s] = static_cast<vertex_id_t>(s);
+    stack.assign(1, static_cast<vertex_id_t>(s));
+    while (!stack.empty()) {
+      vertex_id_t u = stack.back();
+      stack.pop_back();
+      for (vertex_id_t v : g[u]) {
+        if (labels[v] == null_vertex<>) {
+          labels[v] = static_cast<vertex_id_t>(s);
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace nw::hypergraph::ref

@@ -5,9 +5,17 @@
 // downstream pipeline cares about before handing data to the parallel
 // kernels (which assume canonical form for, e.g., sorted-list
 // intersections).
+//
+// Every defect class is reported as an *exact count*, not just a flag, so
+// the differential harness can assert that the counts match what the
+// adversarial generator planted (gen::adversarial_hypergraph) — a
+// validator that merely says "something is wrong" cannot be
+// differential-tested.
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nwhy/biedgelist.hpp"
@@ -18,7 +26,9 @@ namespace nw::hypergraph {
 struct validation_report {
   bool        ids_in_bounds     = true;  ///< every id < declared cardinality
   bool        canonical_order   = true;  ///< sorted by (edge, node)
-  bool        no_duplicates     = true;  ///< no repeated incidence
+  bool        no_duplicates     = true;  ///< no repeated incidence (any order)
+  std::size_t out_of_bounds     = 0;     ///< incidences with an id out of range
+  std::size_t duplicates        = 0;     ///< incidences repeating an earlier one
   std::size_t empty_hyperedges  = 0;     ///< declared edges with no incidence
   std::size_t isolated_nodes    = 0;     ///< declared nodes with no incidence
 
@@ -28,9 +38,10 @@ struct validation_report {
 
   [[nodiscard]] std::string to_string() const {
     std::string s;
-    s += ids_in_bounds ? "ids in bounds; " : "IDS OUT OF BOUNDS; ";
+    s += ids_in_bounds ? "ids in bounds; "
+                       : std::to_string(out_of_bounds) + " IDS OUT OF BOUNDS; ";
     s += canonical_order ? "sorted; " : "NOT SORTED; ";
-    s += no_duplicates ? "unique; " : "DUPLICATE INCIDENCES; ";
+    s += no_duplicates ? "unique; " : std::to_string(duplicates) + " DUPLICATE INCIDENCES; ";
     s += std::to_string(empty_hyperedges) + " empty hyperedges, ";
     s += std::to_string(isolated_nodes) + " isolated hypernodes";
     return s;
@@ -38,7 +49,9 @@ struct validation_report {
 };
 
 /// Inspect a bipartite edge list; never aborts (unlike the NW_ASSERT-based
-/// reader checks), so callers can report problems to users.
+/// reader checks), so callers can report problems to users.  Duplicates are
+/// counted globally (an incidence equal to *any* earlier one), not just
+/// adjacent repeats, so the count is order-independent.
 inline validation_report validate(const biedgelist<>& el) {
   validation_report r;
   const auto&       edges = el.edge_ids();
@@ -50,6 +63,7 @@ inline validation_report validate(const biedgelist<>& el) {
   for (std::size_t i = 0; i < el.size(); ++i) {
     if (edges[i] >= ne || nodes[i] >= nv) {
       r.ids_in_bounds = false;
+      ++r.out_of_bounds;
       continue;
     }
     edge_seen[edges[i]] = 1;
@@ -59,8 +73,19 @@ inline validation_report validate(const biedgelist<>& el) {
           (edges[i - 1] == edges[i] && nodes[i - 1] > nodes[i])) {
         r.canonical_order = false;
       }
-      if (edges[i - 1] == edges[i] && nodes[i - 1] == nodes[i]) r.no_duplicates = false;
     }
+  }
+  // Exact duplicate count: sort a copy of the pairs, count repeats beyond
+  // the first occurrence.  O(m log m) and order-independent.
+  {
+    std::vector<std::pair<vertex_id_t, vertex_id_t>> pairs;
+    pairs.reserve(el.size());
+    for (std::size_t i = 0; i < el.size(); ++i) pairs.push_back({edges[i], nodes[i]});
+    std::sort(pairs.begin(), pairs.end());
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      if (pairs[i] == pairs[i - 1]) ++r.duplicates;
+    }
+    r.no_duplicates = r.duplicates == 0;
   }
   for (auto s : edge_seen) r.empty_hyperedges += s == 0;
   for (auto s : node_seen) r.isolated_nodes += s == 0;

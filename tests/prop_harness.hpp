@@ -1,0 +1,135 @@
+// tests/prop_harness.hpp — shared machinery of the differential test driver.
+//
+// The differential harness (tests/test_differential.cpp) runs every
+// parallel algorithm family against the serial oracles in nwhy/ref/ over a
+// stream of generated hypergraphs.  This header centralizes the pieces
+// every family test needs:
+//
+//   * seed stream control — `NWHY_TEST_SEED=<n>` pins the run to one seed
+//     (the replay knob printed by failing assertions); `NWHY_TEST_ITERS=<k>`
+//     scales the seed budget (default 24; check.sh --differential and the
+//     TSan gate use smaller budgets to bound wall time);
+//   * `NWHY_SEED_TRACE(seed)` — a SCOPED_TRACE that embeds the seed and the
+//     one-command replay line into every assertion failure below it;
+//   * thread-count sweep — {1, 2, 4, hardware}, deduplicated, plus an RAII
+//     guard restoring the pool to hardware concurrency however the test
+//     exits;
+//   * canonicalization — symmetric CSR / edge_list -> sorted {lo, hi} pair
+//     sets and plain adjacency lists, the common comparison currency
+//     between the parallel outputs and the oracle.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nwhy/ref/ref.hpp"
+#include "nwpar/thread_pool.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nwtest {
+
+using nw::vertex_id_t;
+
+/// Parse an unsigned environment knob; `fallback` when unset or malformed.
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback, bool* present = nullptr) {
+  const char* raw = std::getenv(name);
+  if (present) *present = raw != nullptr;
+  if (!raw || !*raw) return fallback;
+  char*              end = nullptr;
+  unsigned long long v   = std::strtoull(raw, &end, 0);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// The seed stream of a differential run.  `NWHY_TEST_SEED` pins the stream
+/// to a single seed for replay; otherwise `NWHY_TEST_ITERS` (default 24)
+/// consecutive seeds starting at `base`.  Each test family passes its own
+/// `base` so a family's seed i never aliases another family's seed i.
+inline std::vector<std::uint64_t> differential_seeds(std::uint64_t base) {
+  bool pinned   = false;
+  auto pin_seed = env_u64("NWHY_TEST_SEED", 0, &pinned);
+  if (pinned) return {pin_seed};
+  auto iters = env_u64("NWHY_TEST_ITERS", 24);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(iters);
+  for (std::uint64_t i = 0; i < iters; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+/// Thread counts every parallel family is swept over: 1 (serial execution
+/// of the parallel code path), 2, 4, and the hardware concurrency —
+/// deduplicated and ascending, so machines with <= 4 cores don't run a
+/// configuration twice.
+inline std::vector<unsigned> differential_thread_counts() {
+  std::vector<unsigned> counts{1, 2, 4, std::max(1u, std::thread::hardware_concurrency())};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+/// The replay line embedded in every differential assertion failure.
+inline std::string replay_hint(std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         "  replay: NWHY_TEST_SEED=" + std::to_string(seed) + " ./tests/test_differential";
+}
+
+/// RAII: restore the default pool to hardware concurrency no matter how the
+/// enclosing test exits (assertion failure included).
+struct concurrency_guard {
+  concurrency_guard() = default;
+  ~concurrency_guard() {
+    nw::par::thread_pool::set_default_concurrency(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+};
+
+/// Canonical sorted unique {lo, hi} pair set of a *symmetric* CSR (each
+/// undirected edge stored in both directions; self-loops never occur in
+/// line graphs).
+template <class Adjacency>
+std::vector<std::pair<vertex_id_t, vertex_id_t>> csr_pairs(const Adjacency& g) {
+  std::vector<std::pair<vertex_id_t, vertex_id_t>> pairs;
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (auto&& e : g[u]) {
+      vertex_id_t v = nw::graph::target(e);
+      if (u < v) pairs.push_back({static_cast<vertex_id_t>(u), v});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+/// A CSR graph as the plain adjacency list the ref:: oracles consume.
+template <class Adjacency>
+nw::hypergraph::ref::adjacency_list csr_to_adjacency(const Adjacency& g) {
+  nw::hypergraph::ref::adjacency_list adj(g.size());
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (auto&& e : g[u]) adj[u].push_back(nw::graph::target(e));
+    std::sort(adj[u].begin(), adj[u].end());
+  }
+  return adj;
+}
+
+/// Count the distinct non-null labels of a component-label array.
+inline std::size_t distinct_labels(const std::vector<vertex_id_t>& labels) {
+  std::vector<vertex_id_t> seen;
+  for (auto l : labels) {
+    if (l != nw::null_vertex<>) seen.push_back(l);
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return seen.size();
+}
+
+}  // namespace nwtest
+
+/// Embed the seed + replay command in every assertion below this statement.
+#define NWHY_SEED_TRACE(seed) SCOPED_TRACE(::nwtest::replay_hint(seed))

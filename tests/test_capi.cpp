@@ -134,3 +134,54 @@ TEST(CApi, OutOfRangeIdsMapToSentinelsNotExceptions) {
   // Valid queries keep working on the same handle afterwards.
   EXPECT_EQ(nwhy_slg_s_distance(lg.p, 0, 1), 1u);
 }
+
+TEST(CApi, EmptyHypergraphLineGraphAnswersWithSentinels) {
+  // A zero-size hypergraph is valid; every query on it (and on its s-line
+  // graph) must answer with the documented sentinels, never crash or throw.
+  hg_ptr hg{nwhy_hypergraph_create(nullptr, nullptr, nullptr, 0)};
+  ASSERT_NE(hg.p, nullptr);
+  EXPECT_EQ(nwhy_num_hyperedges(hg.p), 0u);
+  EXPECT_EQ(nwhy_num_hypernodes(hg.p), 0u);
+  EXPECT_EQ(nwhy_num_incidences(hg.p), 0u);
+  EXPECT_EQ(nwhy_toplexes(hg.p, nullptr), 0u);
+
+  lg_ptr lg{nwhy_s_linegraph(hg.p, 1, 1)};
+  ASSERT_NE(lg.p, nullptr);
+  EXPECT_EQ(nwhy_slg_num_vertices(lg.p), 0u);
+  EXPECT_EQ(nwhy_slg_num_edges(lg.p), 0u);
+  EXPECT_EQ(nwhy_slg_is_s_connected(lg.p), 0);  // no active entity
+  // Every id is out of range on an empty line graph: sentinels, not traps.
+  EXPECT_EQ(nwhy_slg_s_degree(lg.p, 0), 0u);
+  EXPECT_EQ(nwhy_slg_s_neighbors(lg.p, 0, nullptr), 0u);
+  EXPECT_EQ(nwhy_slg_s_distance(lg.p, 0, 0), NWHY_NULL_ID);
+  EXPECT_EQ(nwhy_slg_s_path(lg.p, 0, 0, nullptr), 0u);
+}
+
+TEST(CApi, OversizedSLeavesEveryEntityInactive) {
+  // s far above the largest overlap: the line graph is edgeless and every
+  // hyperedge is inactive — components report NWHY_NULL_ID across the board
+  // and the graph is not s-connected.
+  std::vector<uint32_t> edges{0, 0, 1, 1};
+  std::vector<uint32_t> nodes{0, 1, 1, 2};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  lg_ptr lg{nwhy_s_linegraph(hg.p, 99, 1)};
+  ASSERT_NE(lg.p, nullptr);
+  EXPECT_EQ(nwhy_slg_num_edges(lg.p), 0u);
+  EXPECT_EQ(nwhy_slg_is_s_connected(lg.p), 0);
+  std::vector<uint32_t> labels(nwhy_slg_num_vertices(lg.p), 0);
+  nwhy_slg_s_connected_components(lg.p, labels.data());
+  for (auto l : labels) EXPECT_EQ(l, NWHY_NULL_ID);
+}
+
+TEST(CApi, CountOnlyQueriesAcceptNullOutputBuffers) {
+  // Two-phase query protocol: a NULL out pointer means "count only" — the
+  // implementation must not write through it.
+  std::vector<uint32_t> edges{0, 0, 0, 1, 2};
+  std::vector<uint32_t> nodes{0, 1, 2, 1, 2};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  size_t count = nwhy_toplexes(hg.p, nullptr);
+  EXPECT_GE(count, 1u);
+  lg_ptr lg{nwhy_s_linegraph(hg.p, 1, 1)};
+  EXPECT_EQ(nwhy_slg_s_neighbors(lg.p, 0, nullptr), nwhy_slg_s_degree(lg.p, 0));
+  EXPECT_EQ(nwhy_slg_s_path(lg.p, 0, 1, nullptr), 2u);  // e0 — e1 share v1
+}

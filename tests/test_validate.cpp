@@ -125,3 +125,53 @@ TEST_P(BrandesExhaustive, MatchesBruteForceOnSmallGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BrandesExhaustive,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- differential: planted defect counts (gen::adversarial_hypergraph) --------------
+//
+// The adversarial generator *plants* exact defect counts; the validator
+// must report them number for number.  This is the contract that makes the
+// validator differential-testable — a boolean "something is wrong" flag
+// could pass these cases while miscounting wildly.
+
+#include "nwhy/gen/generators.hpp"
+#include "prop_harness.hpp"
+
+TEST(Validate, AdversarialPlantedDefectCountsReportedExactly) {
+  for (auto seed : nwtest::differential_seeds(0x0BAD'0000)) {
+    NWHY_SEED_TRACE(seed);
+    auto a = gen::adversarial_hypergraph(seed);
+    auto r = validate(a.el);
+    EXPECT_EQ(r.out_of_bounds, a.out_of_bounds);
+    EXPECT_EQ(r.duplicates, a.duplicates);
+    EXPECT_EQ(r.empty_hyperedges, a.empty_hyperedges);
+    EXPECT_EQ(r.isolated_nodes, a.isolated_nodes);
+    EXPECT_EQ(r.ids_in_bounds, a.out_of_bounds == 0);
+    EXPECT_FALSE(r.no_duplicates);  // the generator always plants >= 1
+    EXPECT_FALSE(r.canonical());
+    // The report string carries the counts for human triage.
+    auto s = r.to_string();
+    EXPECT_NE(s.find("DUPLICATE"), std::string::npos);
+    if (a.out_of_bounds > 0) {
+      EXPECT_NE(s.find("OUT OF BOUNDS"), std::string::npos);
+    }
+  }
+}
+
+TEST(Validate, AdversarialShapesCanonicalizeCleanWithoutPlantedOob) {
+  // Without planted out-of-bounds ids the adversarial list is legal input:
+  // sort_and_unique must absorb every planted duplicate, and the empty /
+  // isolated counts survive canonicalization untouched (they are declared
+  // cardinalities, not incidences).
+  for (auto seed : nwtest::differential_seeds(0x0BAD'8000)) {
+    NWHY_SEED_TRACE(seed);
+    auto a  = gen::adversarial_hypergraph(seed, /*plant_out_of_bounds=*/false);
+    auto el = a.el;
+    el.sort_and_unique();
+    auto r = validate(el);
+    EXPECT_TRUE(r.canonical()) << r.to_string();
+    EXPECT_EQ(r.duplicates, 0u);
+    EXPECT_EQ(r.out_of_bounds, 0u);
+    EXPECT_EQ(r.empty_hyperedges, a.empty_hyperedges);
+    EXPECT_EQ(r.isolated_nodes, a.isolated_nodes);
+  }
+}
