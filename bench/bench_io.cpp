@@ -1,0 +1,215 @@
+// bench/bench_io.cpp — the I/O subsystem under measurement: parallel text
+// ingest vs the two snapshot load paths.
+//
+// The harness synthesizes one Rand1-style hypergraph with >= 1M incidences
+// (NWHY_BENCH_SCALE multiplies it), serializes it once into every on-disk
+// format, then times the loads:
+//
+//   parse-mm      parallel MatrixMarket ingest (parse_matrix_market), swept
+//                 over NWHY_BENCH_THREADS — the scaling series
+//   read-bin      NWHYBIN1 legacy binary (serial stream read)
+//   read-nwcsr    NWHYCSR2 streamed read (pipe-safe path, verifies all
+//                 section checksums)
+//   mmap-nwcsr    NWHYCSR2 zero-copy mmap load; the timed region includes a
+//                 first-touch sweep over every mapped section so page-fault
+//                 cost is charged to the load, not to the first algorithm
+//
+// The footer prints the headline acceptance ratio: mmap load vs 1-thread
+// text parse (the paper-motivated "don't re-parse what you already
+// canonicalized" argument).
+//
+//   NWHY_BENCH_JSON  path; when set the harness skips the table and writes
+//                    machine-readable records for scripts/bench_snapshot.sh:
+//                    schema nwhy-bench-io-v1, one record per operation x
+//                    thread-count: {"dataset", "operation", "threads",
+//                    "median_ms", "incidences", "bytes"}
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct corpus {
+  std::string  name;
+  biedgelist<> el;
+  std::string  mtx_path, bin_path, nwcsr_path;
+  std::size_t  mtx_bytes = 0, bin_bytes = 0, nwcsr_bytes = 0;
+};
+
+/// Build the benchmark hypergraph (>= 1M incidences at scale 1) and
+/// serialize it into all three on-disk formats under a scratch directory.
+corpus make_corpus(const std::filesystem::path& dir) {
+  std::size_t scale = env_size("NWHY_BENCH_SCALE", 1);
+  corpus      c;
+  c.name = "Rand-io";
+  c.el   = gen::uniform_random_hypergraph(/*num_edges=*/120000 * scale,
+                                          /*num_nodes=*/120000 * scale,
+                                          /*edge_size=*/10, /*seed=*/0x10C0FFEE);
+  c.el.sort_and_unique();
+
+  c.mtx_path   = (dir / "bench_io.mtx").string();
+  c.bin_path   = (dir / "bench_io.bin").string();
+  c.nwcsr_path = (dir / "bench_io.nwcsr").string();
+
+  write_matrix_market(c.mtx_path, c.el);
+  write_binary(c.bin_path, c.el);
+  biadjacency<0> edges(c.el);
+  biadjacency<1> nodes(c.el);
+  write_csr_snapshot(c.nwcsr_path, edges, nodes);
+
+  c.mtx_bytes   = std::filesystem::file_size(c.mtx_path);
+  c.bin_bytes   = std::filesystem::file_size(c.bin_path);
+  c.nwcsr_bytes = std::filesystem::file_size(c.nwcsr_path);
+  return c;
+}
+
+/// First-touch every mapped section so the mmap timing charges page faults
+/// to the load.  Returns a checksum-ish value to defeat dead-code
+/// elimination.
+std::uint64_t touch_all(const csr_snapshot& snap) {
+  std::uint64_t acc = 0;
+  auto          sweep = [&](const auto& csr) {
+    for (auto v : csr.indices()) acc += v;
+    for (auto v : csr.targets()) acc += v;
+  };
+  sweep(snap.edges.csr());
+  sweep(snap.nodes.csr());
+  if (snap.adjoin) sweep(snap.adjoin->graph);
+  return acc;
+}
+
+struct sample {
+  std::string operation;
+  unsigned    threads;
+  double      median_ms;
+  std::size_t incidences;
+  std::size_t bytes;
+};
+
+/// Run the full measurement matrix once; both output modes render it.
+std::vector<sample> measure(const corpus& c) {
+  std::vector<sample> out;
+  const unsigned      restore = nw::par::num_threads();
+
+  // Parallel MatrixMarket ingest, swept over the thread counts.  The slurp
+  // is inside the timed region: "load this text file" is the user-visible
+  // operation being compared against the snapshot loads.
+  for (unsigned t : env_threads()) {
+    nw::par::thread_pool::set_default_concurrency(t);
+    std::size_t m  = 0;
+    double      ms = time_median_ms([&] {
+      auto el = graph_reader(c.mtx_path);
+      m       = el.size();
+    });
+    out.push_back({"parse-mm", t, ms, m, c.mtx_bytes});
+  }
+  nw::par::thread_pool::set_default_concurrency(restore);
+
+  {  // NWHYBIN1 legacy binary (serial).
+    std::size_t m  = 0;
+    double      ms = time_median_ms([&] {
+      auto el = read_binary(c.bin_path);
+      m       = el.size();
+    });
+    out.push_back({"read-bin", 1, ms, m, c.bin_bytes});
+  }
+  {  // NWHYCSR2 streamed read (always verifies checksums).
+    std::size_t m  = 0;
+    double      ms = time_median_ms([&] {
+      std::ifstream in(c.nwcsr_path, std::ios::binary);
+      auto          snap = read_csr_snapshot(in, c.nwcsr_path);
+      m                  = snap.m;
+    });
+    out.push_back({"read-nwcsr", 1, ms, m, c.nwcsr_bytes});
+  }
+  {  // NWHYCSR2 zero-copy mmap load + first-touch sweep.
+    std::size_t            m   = 0;
+    volatile std::uint64_t acc = 0;
+    double                 ms  = time_median_ms([&] {
+      auto snap = load_csr_snapshot(c.nwcsr_path);
+      acc       = acc + touch_all(snap);
+      m         = snap.m;
+    });
+    out.push_back({"mmap-nwcsr", 1, ms, m, c.nwcsr_bytes});
+  }
+  return out;
+}
+
+double find_ms(const std::vector<sample>& rows, const std::string& op, unsigned threads) {
+  for (const auto& r : rows) {
+    if (r.operation == op && r.threads == threads) return r.median_ms;
+  }
+  return 0;
+}
+
+int run_json_mode(const char* path, const corpus& c, const std::vector<sample>& rows) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "[");
+  bool first = true;
+  for (const auto& r : rows) {
+    std::fprintf(out,
+                 "%s\n  {\"dataset\": \"%s\", \"operation\": \"%s\", \"threads\": %u, "
+                 "\"median_ms\": %.4f, \"incidences\": %zu, \"bytes\": %zu}",
+                 first ? "" : ",", c.name.c_str(), r.operation.c_str(), r.threads, r.median_ms,
+                 r.incidences, r.bytes);
+    first = false;
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] wrote I/O sweep to %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  install_profile_export();
+
+  std::error_code       ec;
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("nwhy_bench_io." + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[bench] cannot create scratch dir %s\n", dir.string().c_str());
+    return 1;
+  }
+
+  corpus c    = make_corpus(dir);
+  auto   rows = measure(c);
+
+  int rc = 0;
+  if (const char* json = std::getenv("NWHY_BENCH_JSON"); json != nullptr && *json != '\0') {
+    rc = run_json_mode(json, c, rows);
+  } else {
+    std::printf("I/O subsystem — load times (median of %zu reps)\n",
+                env_size("NWHY_BENCH_REPS", 3));
+    std::printf("dataset %s: %zu incidences; %.1f MB text, %.1f MB bin, %.1f MB nwcsr\n",
+                c.name.c_str(), c.el.size(), c.mtx_bytes / 1e6, c.bin_bytes / 1e6,
+                c.nwcsr_bytes / 1e6);
+    std::printf("%-14s %8s %12s %14s\n", "operation", "threads", "median ms", "MB/s");
+    for (const auto& r : rows) {
+      double mbps = r.median_ms > 0 ? (r.bytes / 1e6) / (r.median_ms / 1e3) : 0;
+      std::printf("%-14s %8u %12.2f %14.1f\n", r.operation.c_str(), r.threads, r.median_ms, mbps);
+    }
+    double parse1 = find_ms(rows, "parse-mm", env_threads().front());
+    double mm     = find_ms(rows, "mmap-nwcsr", 1);
+    if (parse1 > 0 && mm > 0) {
+      std::printf("  -> mmap snapshot load is %.1fx faster than %u-thread text parse\n",
+                  parse1 / mm, env_threads().front());
+    }
+  }
+
+  std::filesystem::remove_all(dir, ec);
+  return rc;
+}

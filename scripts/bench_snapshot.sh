@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # scripts/bench_snapshot.sh — freeze machine-readable performance baselines:
-# the s-line-graph materialization pipeline into BENCH_slinegraph.json and
-# the traversal engines into BENCH_traversal.json.
+# the s-line-graph materialization pipeline into BENCH_slinegraph.json, the
+# traversal engines into BENCH_traversal.json, and the I/O load paths into
+# BENCH_io.json.
 #
 # BENCH_slinegraph.json merges two sections:
 #   construction — bench_fig9_slinegraph in NWHY_BENCH_JSON mode: one record
@@ -27,8 +28,15 @@
 #           BM_FrontierScoutCount); /N is the thread count, so the sweep
 #           shows where the parallel conversions cross the serial scan
 #
-# Usage: scripts/bench_snapshot.sh [build-dir] [slinegraph.json] [traversal.json]
-#   defaults: build BENCH_slinegraph.json BENCH_traversal.json
+# BENCH_io.json has one section:
+#   io — bench_io in NWHY_BENCH_JSON mode: one record per load operation x
+#        thread-count (parse-mm swept over NWHY_BENCH_THREADS; read-bin /
+#        read-nwcsr / mmap-nwcsr serial) with the median wall time, the
+#        incidence count parsed/loaded, and the on-disk byte size — the
+#        mmap-vs-parse ratio is the headline this file freezes
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [slinegraph.json] [traversal.json] [io.json]
+#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json
 #
 # Knobs (defaults chosen so a snapshot completes in minutes on a laptop):
 #   NWHY_BENCH_THREADS   thread counts for the sweeps (1,2,4)
@@ -41,6 +49,7 @@ cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 OUT=${2:-BENCH_slinegraph.json}
 OUT_TRAVERSAL=${3:-BENCH_traversal.json}
+OUT_IO=${4:-BENCH_io.json}
 
 export NWHY_BENCH_THREADS="${NWHY_BENCH_THREADS:-1,2,4}"
 export NWHY_BENCH_SVALUES="${NWHY_BENCH_SVALUES:-2,8}"
@@ -48,7 +57,7 @@ export NWHY_BENCH_REPS="${NWHY_BENCH_REPS:-3}"
 export NWHY_BENCH_DATASETS="${NWHY_BENCH_DATASETS-Friendster-sim,Rand1-sim}"
 
 cmake --build "$BUILD" --target bench_fig9_slinegraph bench_fig8_bfs bench_fig7_cc bench_micro \
-  -j "$(nproc)"
+  bench_io -j "$(nproc)"
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -56,20 +65,22 @@ trap 'rm -rf "$TMP"' EXIT
 NWHY_BENCH_JSON="$TMP/construction.json" "$BUILD/bench/bench_fig9_slinegraph"
 NWHY_BENCH_JSON="$TMP/bfs.json" "$BUILD/bench/bench_fig8_bfs"
 NWHY_BENCH_JSON="$TMP/cc.json" "$BUILD/bench/bench_fig7_cc"
+NWHY_BENCH_JSON="$TMP/io.json" "$BUILD/bench/bench_io"
 
 "$BUILD/bench/bench_micro" \
   --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip|BM_Frontier' \
   --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
   --benchmark_repetitions="$NWHY_BENCH_REPS" --benchmark_report_aggregates_only=true
 
-python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" <<'PY'
+python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" <<'PY'
 import json, os, sys
 
-tmp, out_sline, out_traversal = sys.argv[1], sys.argv[2], sys.argv[3]
+tmp, out_sline, out_traversal, out_io = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
 
 construction = json.load(open(os.path.join(tmp, "construction.json")))
 bfs = json.load(open(os.path.join(tmp, "bfs.json")))
 cc = json.load(open(os.path.join(tmp, "cc.json")))
+io_records = json.load(open(os.path.join(tmp, "io.json")))
 
 gb = json.load(open(os.path.join(tmp, "micro.json")))
 micro = []
@@ -118,4 +129,18 @@ json.dump(doc, open(out_traversal, "w"), indent=1)
 open(out_traversal, "a").write("\n")
 print(f"bench_snapshot.sh: wrote {out_traversal} "
       f"({len(bfs)} bfs records, {len(cc)} cc records, {len(doc['micro'])} micro records)")
+
+doc = {
+    "schema": "nwhy-bench-io-v1",
+    "context": context,
+    "io": io_records,
+}
+json.dump(doc, open(out_io, "w"), indent=1)
+open(out_io, "a").write("\n")
+parse1 = next((r["median_ms"] for r in io_records
+               if r["operation"] == "parse-mm" and r["threads"] == 1), None)
+mmap = next((r["median_ms"] for r in io_records
+             if r["operation"] == "mmap-nwcsr"), None)
+ratio = f", mmap {parse1 / mmap:.1f}x vs 1-thread parse" if parse1 and mmap else ""
+print(f"bench_snapshot.sh: wrote {out_io} ({len(io_records)} io records{ratio})")
 PY

@@ -2,7 +2,7 @@
 # Full verification sweep: configure, build, run tests, run every
 # table/figure harness.
 #
-# Usage: scripts/check.sh [--differential] [build-dir]
+# Usage: scripts/check.sh [--differential] [--io] [build-dir]
 #
 #   --differential   additionally run the differential harness with a
 #                    bounded seed budget (NWHY_TEST_ITERS, default 12 —
@@ -10,13 +10,22 @@
 #                    already covers the default budget, so this stage is for
 #                    quickly re-fuzzing with a fresh budget or an operator
 #                    override (NWHY_TEST_ITERS=500 scripts/check.sh --differential).
+#   --io             additionally re-fuzz the I/O subsystem: the parallel
+#                    parser + snapshot round-trip suites with a boosted seed
+#                    budget, then the bench_io load-path comparison (which
+#                    asserts nothing but prints the mmap-vs-parse ratio the
+#                    acceptance bar watches).
 set -euo pipefail
 
 DIFFERENTIAL=0
-if [ "${1:-}" = "--differential" ]; then
-  DIFFERENTIAL=1
-  shift
-fi
+IO=0
+while :; do
+  case "${1:-}" in
+    --differential) DIFFERENTIAL=1; shift ;;
+    --io)           IO=1; shift ;;
+    *)              break ;;
+  esac
+done
 BUILD=${1:-build}
 
 cmake -B "$BUILD" -G Ninja
@@ -26,6 +35,13 @@ ctest --test-dir "$BUILD" --output-on-failure
 if [ "$DIFFERENTIAL" = 1 ]; then
   echo "===== differential harness (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-12}) ====="
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-12}" "$BUILD"/tests/test_differential
+fi
+
+if [ "$IO" = 1 ]; then
+  echo "===== I/O stage (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-48}) ====="
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_io
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_io_snapshot
+  "$BUILD"/bench/bench_io
 fi
 
 for b in "$BUILD"/bench/*; do

@@ -30,7 +30,8 @@ case "$MODE" in
     cmake --build "$BUILD"
     # Run the concurrency-heavy binaries directly: the differential driver
     # (every parallel family at 1/2/4/hw threads against the serial
-    # oracles), the frontier engine suite, and the nwpar runtime suite.
+    # oracles), the frontier engine suite, the nwpar runtime suite, and the
+    # parallel-ingest / snapshot suites (thread-sweeped parser merges).
     # halt_on_error makes the first race fail the gate; the reduced
     # NWHY_TEST_ITERS bounds wall time (override to go deeper).
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -38,6 +39,8 @@ case "$MODE" in
     "$BUILD"/tests/test_nwpar
     "$BUILD"/tests/test_frontier
     "$BUILD"/tests/test_materialize
+    "$BUILD"/tests/test_io
+    "$BUILD"/tests/test_io_snapshot
     "$BUILD"/tests/test_differential
     ;;
   *)

@@ -8,6 +8,16 @@
 // std::ranges::random_access_range; each inner neighborhood is a
 // forward_range (contiguous, in fact).  Checked by static_asserts at the
 // bottom of this header.
+//
+// Storage is span-backed: all readers go through `std::span<const ...>`
+// views (`indices_` / `targets_`) that normally point at the owned vectors
+// (`indices_store_` / `targets_store_`), but can instead alias external
+// read-only memory — the NWHYCSR2 mmap loader (nwhy/io/csr_snapshot.hpp)
+// hands file-backed spans straight in via `from_csr_spans`, making snapshot
+// load O(page faults) with zero copies.  Lifetime of external memory is the
+// caller's contract (the snapshot loader parks a keepalive next to the
+// graph).  Copying an adjacency always deep-copies into owned storage, so a
+// copy of a view is a plain owning CSR.
 #pragma once
 
 #include <algorithm>
@@ -92,7 +102,7 @@ public:
   using inner_range = std::conditional_t<sizeof...(Attributes) == 0, std::span<const vertex_id_t>,
                                          detail::attributed_span<Attributes...>>;
 
-  adjacency() : indices_(1, 0) {}
+  adjacency() : indices_store_(1, 0) { rebind(); }
 
   /// Build CSR from an edge list.  Edges are grouped by source; the order
   /// of neighbors within a group follows the edge-list order.  `n` overrides
@@ -109,6 +119,104 @@ public:
       : adjacency(el, n_sources, check_targets_tag{false}) {
     (void)n_targets;
   }
+
+  /// Copying always materializes owned storage: a copy of an mmap-backed
+  /// view is a plain in-memory CSR (deep copy of whatever the spans see).
+  adjacency(const adjacency& other)
+      : n_(other.n_),
+        indices_store_(other.indices_.begin(), other.indices_.end()),
+        targets_store_(other.targets_.begin(), other.targets_.end()),
+        attrs_(other.attrs_) {
+    rebind();
+  }
+
+  adjacency& operator=(const adjacency& other) {
+    if (this != &other) {
+      n_ = other.n_;
+      indices_store_.assign(other.indices_.begin(), other.indices_.end());
+      targets_store_.assign(other.targets_.begin(), other.targets_.end());
+      attrs_ = other.attrs_;
+      rebind();
+    }
+    return *this;
+  }
+
+  /// Moves transfer the owned heap buffers (spans into them stay valid) or,
+  /// for external views, just the span handles.  The source is reset to the
+  /// empty owning state.
+  adjacency(adjacency&& other) noexcept
+      : n_(other.n_),
+        indices_store_(std::move(other.indices_store_)),
+        targets_store_(std::move(other.targets_store_)),
+        external_(other.external_),
+        attrs_(std::move(other.attrs_)) {
+    if (external_) {
+      indices_ = other.indices_;
+      targets_ = other.targets_;
+    } else {
+      rebind();
+    }
+    other.reset_to_empty();
+  }
+
+  adjacency& operator=(adjacency&& other) noexcept {
+    if (this != &other) {
+      n_             = other.n_;
+      indices_store_ = std::move(other.indices_store_);
+      targets_store_ = std::move(other.targets_store_);
+      external_      = other.external_;
+      attrs_         = std::move(other.attrs_);
+      if (external_) {
+        indices_ = other.indices_;
+        targets_ = other.targets_;
+      } else {
+        rebind();
+      }
+      other.reset_to_empty();
+    }
+    return *this;
+  }
+
+  ~adjacency() = default;
+
+  /// Zero-copy view over externally owned CSR arrays (the NWHYCSR2 mmap
+  /// path).  Preconditions: `indices.size() == n + 1`, `indices[n] ==
+  /// targets.size()`, offsets non-decreasing.  The caller owns the backing
+  /// memory and must keep it alive for the view's lifetime.  Only available
+  /// for the unattributed CSR.
+  static adjacency from_csr_spans(std::span<const offset_t>    indices,
+                                  std::span<const vertex_id_t> targets, std::size_t n)
+    requires(sizeof...(Attributes) == 0)
+  {
+    NW_ASSERT(indices.size() == n + 1, "from_csr_spans: indices must have n+1 entries");
+    adjacency g;
+    g.n_        = n;
+    g.external_ = true;
+    g.indices_store_.clear();
+    g.targets_store_.clear();
+    g.indices_ = indices;
+    g.targets_ = targets;
+    return g;
+  }
+
+  /// Adopt pre-built CSR vectors without a per-element pass (the streamed
+  /// snapshot reader path).  Same preconditions as from_csr_spans.
+  static adjacency from_csr_vectors(std::vector<offset_t>    indices,
+                                    std::vector<vertex_id_t> targets, std::size_t n)
+    requires(sizeof...(Attributes) == 0)
+  {
+    NW_ASSERT(indices.size() == n + 1, "from_csr_vectors: indices must have n+1 entries");
+    adjacency g;
+    g.n_             = n;
+    g.indices_store_ = std::move(indices);
+    g.targets_store_ = std::move(targets);
+    g.rebind();
+    return g;
+  }
+
+  /// True when the spans alias external (e.g. mmap'd) memory instead of the
+  /// owned vectors.
+  [[nodiscard]] bool is_external() const { return external_; }
 
   /// Direct materialization of a *symmetric* CSR from per-thread buffers of
   /// unique undirected {lo, hi} pairs — the s-line-graph fast path.  Skips
@@ -159,13 +267,13 @@ public:
 
     // 2. offsets; cursor then doubles as the per-row write cursor.
     par::parallel_exclusive_scan(cursor, pool);
-    g.indices_.resize(n + 1);
-    par::parallel_for(0, n, [&](std::size_t v) { g.indices_[v] = cursor[v]; }, par::blocked{},
-                      pool);
-    g.indices_[n] = m;
+    g.indices_store_.resize(n + 1);
+    par::parallel_for(0, n, [&](std::size_t v) { g.indices_store_[v] = cursor[v]; },
+                      par::blocked{}, pool);
+    g.indices_store_[n] = m;
 
     // 3. scatter both directions.
-    g.targets_.resize(m);
+    g.targets_store_.resize(m);
     par::parallel_for(
         0, chunks.size(),
         [&](std::size_t c) {
@@ -173,8 +281,8 @@ public:
           const auto& src = buffers.local(ck.buf);
           for (std::size_t i = ck.src_begin; i < ck.src_begin + ck.len; ++i) {
             auto [a, b] = src[i];
-            g.targets_[nw::fetch_add(cursor[a], offset_t{1})] = b;
-            g.targets_[nw::fetch_add(cursor[b], offset_t{1})] = a;
+            g.targets_store_[nw::fetch_add(cursor[a], offset_t{1})] = b;
+            g.targets_store_[nw::fetch_add(cursor[b], offset_t{1})] = a;
           }
         },
         par::blocked{}, pool);
@@ -183,12 +291,14 @@ public:
     par::parallel_for(
         0, n,
         [&](std::size_t v) {
-          std::sort(g.targets_.begin() + static_cast<std::ptrdiff_t>(g.indices_[v]),
-                    g.targets_.begin() + static_cast<std::ptrdiff_t>(g.indices_[v + 1]));
+          std::sort(g.targets_store_.begin() + static_cast<std::ptrdiff_t>(g.indices_store_[v]),
+                    g.targets_store_.begin() +
+                        static_cast<std::ptrdiff_t>(g.indices_store_[v + 1]));
         },
         par::blocked{}, pool);
 
     par::detail::reset_buffers(buffers, cap);
+    g.rebind();
     return g;
   }
 
@@ -207,7 +317,7 @@ private:
       NW_ASSERT(src[i] < n_, "edge source out of declared vertex range");
       NW_ASSERT(dst[i] < n_ || !check_targets, "edge target out of declared vertex range");
     }
-    targets_.resize(m);
+    targets_store_.resize(m);
     resize_attrs(m);
 
     auto&          pool    = par::thread_pool::default_pool();
@@ -217,6 +327,7 @@ private:
     } else {
       build_parallel(el, m, pool, threads);
     }
+    rebind();
   }
 
   /// Serial stable counting sort into CSR.
@@ -226,10 +337,10 @@ private:
     std::vector<offset_t> counts(n_ + 1, 0);
     for (std::size_t i = 0; i < m; ++i) ++counts[src[i] + 1];
     std::partial_sum(counts.begin(), counts.end(), counts.begin());
-    indices_ = counts;  // counts becomes the write cursor below
+    indices_store_ = counts;  // counts becomes the write cursor below
     for (std::size_t i = 0; i < m; ++i) {
-      offset_t slot  = counts[src[i]]++;
-      targets_[slot] = dst[i];
+      offset_t slot        = counts[src[i]]++;
+      targets_store_[slot] = dst[i];
       scatter_attrs(el, i, slot, std::index_sequence_for<Attributes...>{});
     }
   }
@@ -254,15 +365,15 @@ private:
       }
     });
     par::parallel_exclusive_scan(cursors, pool);
-    indices_.resize(n_ + 1);
-    par::parallel_for(0, n_, [&](std::size_t v) { indices_[v] = cursors[v * threads]; },
+    indices_store_.resize(n_ + 1);
+    par::parallel_for(0, n_, [&](std::size_t v) { indices_store_[v] = cursors[v * threads]; },
                       par::blocked{}, pool);
-    indices_[n_] = m;
+    indices_store_[n_] = m;
     pool.run([&](unsigned tid) {
       std::size_t lo = tid * chunk, hi = std::min(lo + chunk, m);
       for (std::size_t i = lo; i < hi; ++i) {
-        offset_t slot  = cursors[static_cast<std::size_t>(src[i]) * threads + tid]++;
-        targets_[slot] = dst[i];
+        offset_t slot        = cursors[static_cast<std::size_t>(src[i]) * threads + tid]++;
+        targets_store_[slot] = dst[i];
         scatter_attrs(el, i, slot, std::index_sequence_for<Attributes...>{});
       }
     });
@@ -341,11 +452,27 @@ public:
   [[nodiscard]] const_iterator begin() const { return {this, 0}; }
   [[nodiscard]] const_iterator end() const { return {this, n_}; }
 
-  /// Raw CSR access for kernels that want pointer arithmetic.
-  [[nodiscard]] const std::vector<offset_t>&    indices() const { return indices_; }
-  [[nodiscard]] const std::vector<vertex_id_t>& targets() const { return targets_; }
+  /// Raw CSR access for kernels that want pointer arithmetic.  These are
+  /// views: they alias either the owned vectors or, for snapshot-backed
+  /// graphs, external mmap'd memory.
+  [[nodiscard]] std::span<const offset_t>    indices() const { return indices_; }
+  [[nodiscard]] std::span<const vertex_id_t> targets() const { return targets_; }
 
 private:
+  /// Point the read spans at the owned vectors.
+  void rebind() {
+    external_ = false;
+    indices_  = std::span<const offset_t>(indices_store_.data(), indices_store_.size());
+    targets_  = std::span<const vertex_id_t>(targets_store_.data(), targets_store_.size());
+  }
+
+  void reset_to_empty() {
+    n_ = 0;
+    indices_store_.assign(1, 0);
+    targets_store_.clear();
+    rebind();
+  }
+
   template <std::size_t... Is>
   void scatter_attrs([[maybe_unused]] const edge_list<Attributes...>& el,
                      [[maybe_unused]] std::size_t i, [[maybe_unused]] offset_t slot,
@@ -357,8 +484,11 @@ private:
   }
 
   std::size_t                            n_ = 0;
-  std::vector<offset_t>                  indices_;
-  std::vector<vertex_id_t>               targets_;
+  std::vector<offset_t>                  indices_store_;
+  std::vector<vertex_id_t>               targets_store_;
+  std::span<const offset_t>              indices_;
+  std::span<const vertex_id_t>           targets_;
+  bool                                   external_ = false;
   std::tuple<std::vector<Attributes>...> attrs_;
 };
 

@@ -16,6 +16,7 @@
 
 // Parallel runtime (oneTBB substitute)
 #include "nwpar/frontier.hpp"
+#include "nwpar/line_split.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwpar/parallel_sort.hpp"
 #include "nwpar/partitioners.hpp"
@@ -53,8 +54,11 @@
 #include "nwhy/gen/dataset_suite.hpp"
 #include "nwhy/gen/generators.hpp"
 #include "nwhy/io/binary.hpp"
+#include "nwhy/io/csr_snapshot.hpp"
+#include "nwhy/io/io_error.hpp"
 #include "nwhy/io/konect.hpp"
 #include "nwhy/io/matrix_market.hpp"
+#include "nwhy/io/text_input.hpp"
 #include "nwhy/nwhypergraph.hpp"
 #include "nwhy/ref/ref.hpp"
 #include "nwhy/s_linegraph.hpp"

@@ -56,6 +56,22 @@ public:
     csr_ = nw::graph::adjacency<Attributes...>(flat, num_sources(), num_targets());
   }
 
+  /// Adopt a pre-built CSR (the NWHYCSR2 snapshot path, see
+  /// nwhy/io/csr_snapshot.hpp): no biedgelist round-trip, no per-element
+  /// loop.  `csr` must have `n_sources` rows and target ids < `n_targets`
+  /// (partition `1 - idx`); it may be a zero-copy mmap-backed view, in which
+  /// case the caller keeps the backing storage alive.
+  static biadjacency from_csr(nw::graph::adjacency<Attributes...> csr, std::size_t n_sources,
+                              std::size_t n_targets) {
+    NW_ASSERT(csr.num_vertices() == n_sources,
+              "from_csr: CSR row count must match the declared source cardinality");
+    biadjacency g;
+    g.vertex_cardinality_[idx]     = n_sources;
+    g.vertex_cardinality_[1 - idx] = n_targets;
+    g.csr_                         = std::move(csr);
+    return g;
+  }
+
   /// Cardinality of this structure's outer index space.
   [[nodiscard]] std::size_t num_sources() const { return vertex_cardinality_[idx]; }
   /// Cardinality of the opposite index space (the inner ids).

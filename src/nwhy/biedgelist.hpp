@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "nwhy/bipartite_graph_base.hpp"
+#include "nwpar/parallel_for.hpp"
 #include "nwutil/defs.hpp"
 
 namespace nw::hypergraph {
@@ -19,6 +21,66 @@ template <class... Attributes>
 class biedgelist : public bipartite_graph_base {
 public:
   explicit biedgelist(std::size_t n0 = 0, std::size_t n1 = 0) : bipartite_graph_base(n0, n1) {}
+
+  /// Adopt pre-built parallel id columns (the CSR-snapshot row-expansion
+  /// path): no per-element loop, no reallocation.  Precondition: the two
+  /// columns have equal length and every id is < its declared cardinality.
+  /// Only available for the unattributed list.
+  biedgelist(std::vector<nw::vertex_id_t> edge_ids, std::vector<nw::vertex_id_t> node_ids,
+             std::size_t n0, std::size_t n1)
+    requires(sizeof...(Attributes) == 0)
+      : bipartite_graph_base(n0, n1),
+        edge_ids_(std::move(edge_ids)),
+        node_ids_(std::move(node_ids)) {
+    NW_ASSERT(edge_ids_.size() == node_ids_.size(),
+              "biedgelist columns must have equal length");
+  }
+
+  /// Materialize per-thread parse buffers of (hyperedge, hypernode) pairs
+  /// into one SoA edge list: per-buffer sizes -> parallel exclusive scan ->
+  /// one parallel pass scattering every buffer block into the two columns.
+  /// Buffer order is preserved (buffer 0 first), so a parser that fills
+  /// buffer t with byte-range t of the input reproduces the serial parse
+  /// order exactly.  `n0`/`n1` are the declared cardinalities (they still
+  /// grow if an id exceeds them — mirroring push_back's growth rule).
+  /// `cap` controls per-thread buffer reuse, as in merge_thread_vectors.
+  static biedgelist from_thread_buffers(
+      par::per_thread<std::vector<std::pair<nw::vertex_id_t, nw::vertex_id_t>>>& buffers,
+      std::size_t n0, std::size_t n1, par::merge_capacity cap = par::merge_capacity::release,
+      par::thread_pool& pool = par::thread_pool::default_pool())
+    requires(sizeof...(Attributes) == 0)
+  {
+    std::vector<std::size_t> sizes(buffers.size());
+    for (std::size_t b = 0; b < buffers.size(); ++b) sizes[b] = buffers.local(b).size();
+    std::size_t total  = 0;
+    auto        chunks = par::detail::plan_block_copies(sizes, 0, total, pool);
+    std::vector<nw::vertex_id_t> edge_ids(total), node_ids(total);
+    par::parallel_for(
+        0, chunks.size(),
+        [&](std::size_t c) {
+          const auto& ck  = chunks[c];
+          const auto& src = buffers.local(ck.buf);
+          for (std::size_t i = 0; i < ck.len; ++i) {
+            edge_ids[ck.dst_begin + i] = src[ck.src_begin + i].first;
+            node_ids[ck.dst_begin + i] = src[ck.src_begin + i].second;
+          }
+        },
+        par::blocked{}, pool);
+    par::detail::reset_buffers(buffers, cap);
+    // Cardinalities: declared sizes, grown to cover any larger id (parallel
+    // max-reduction over the merged columns).
+    auto max_id = [&](const std::vector<nw::vertex_id_t>& ids) {
+      return par::parallel_reduce(
+          std::size_t{0}, ids.size(), std::size_t{0},
+          [&](std::size_t acc, std::size_t i) {
+            return std::max(acc, static_cast<std::size_t>(ids[i]) + 1);
+          },
+          [](std::size_t a, std::size_t b) { return std::max(a, b); }, pool);
+    };
+    std::size_t grown0 = std::max(n0, max_id(edge_ids));
+    std::size_t grown1 = std::max(n1, max_id(node_ids));
+    return biedgelist(std::move(edge_ids), std::move(node_ids), grown0, grown1);
+  }
 
   void reserve(std::size_t n) {
     edge_ids_.reserve(n);

@@ -1,16 +1,28 @@
 // nwhy/io/binary.hpp
 //
-// Binary snapshot format for bipartite edge lists, so the benchmark suite
-// can cache generated datasets between runs.  Layout (little-endian):
+// Legacy binary snapshot format NWHYBIN1 for bipartite edge lists, so the
+// benchmark suite can cache generated datasets between runs.  Layout
+// (little-endian):
 //   magic "NWHYBIN1" | u64 n0 | u64 n1 | u64 m | m x u32 edge ids | m x u32 node ids
+//
+// NWHYBIN1 stores only the raw edge list, so even a "binary" load pays the
+// full parallel CSR construction afterwards.  New code should prefer the
+// NWHYCSR2 snapshot format (nwhy/io/csr_snapshot.hpp), which serializes
+// the built CSRs and loads zero-copy via mmap; see docs/IO_FORMATS.md for
+// the migration note.  NWHYBIN1 stays readable/writable indefinitely.
+//
+// Malformed input throws nw::hypergraph::io_error (byte-offset context);
+// nothing here aborts the process.
 #pragma once
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "nwhy/biedgelist.hpp"
+#include "nwhy/io/io_error.hpp"
 #include "nwutil/defs.hpp"
 
 namespace nw::hypergraph {
@@ -29,26 +41,35 @@ inline void write_binary(std::ostream& out, const biedgelist<>& el) {
 
 inline void write_binary(const std::string& path, const biedgelist<>& el) {
   std::ofstream out(path, std::ios::binary);
-  NW_ASSERT(out.is_open(), "cannot open binary output file");
+  if (!out.is_open()) throw io_error("cannot open binary output file", path);
   write_binary(out, el);
 }
 
-inline biedgelist<> read_binary(std::istream& in) {
+inline biedgelist<> read_binary(std::istream& in, const std::string& origin = {}) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  NW_ASSERT(in.good() && std::memcmp(magic, binary_magic, sizeof(magic)) == 0,
-            "not an NWHy binary snapshot");
+  if (!in.good() || std::memcmp(magic, binary_magic, sizeof(magic)) != 0) {
+    throw io_error("not an NWHYBIN1 snapshot (bad magic)", origin, 0, 0);
+  }
   std::uint64_t header[3];
   in.read(reinterpret_cast<char*>(header), sizeof(header));
-  NW_ASSERT(in.good(), "truncated binary snapshot header");
-  const std::size_t        m = header[2];
+  if (!in.good()) throw io_error("truncated NWHYBIN1 header", origin, 0, sizeof(magic));
+  const std::uint64_t n0 = header[0], n1 = header[1], m = header[2];
+  const std::uint64_t id_limit = std::numeric_limits<vertex_id_t>::max();  // sentinel reserved
+  if (n0 > id_limit || n1 > id_limit) {
+    throw io_error("NWHYBIN1 cardinality overflows the 32-bit id space", origin, 0,
+                   sizeof(magic));
+  }
   std::vector<vertex_id_t> edges(m), nodes(m);
   in.read(reinterpret_cast<char*>(edges.data()),
           static_cast<std::streamsize>(m * sizeof(vertex_id_t)));
   in.read(reinterpret_cast<char*>(nodes.data()),
           static_cast<std::streamsize>(m * sizeof(vertex_id_t)));
-  NW_ASSERT(in.good(), "truncated binary snapshot body");
-  biedgelist<> el(header[0], header[1]);
+  if (!in.good()) {
+    throw io_error("truncated NWHYBIN1 body (declares " + std::to_string(m) + " incidences)",
+                   origin, 0, sizeof(magic) + sizeof(header));
+  }
+  biedgelist<> el(n0, n1);
   el.reserve(m);
   for (std::size_t i = 0; i < m; ++i) el.push_back(edges[i], nodes[i]);
   return el;
@@ -56,8 +77,8 @@ inline biedgelist<> read_binary(std::istream& in) {
 
 inline biedgelist<> read_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  NW_ASSERT(in.is_open(), "cannot open binary snapshot");
-  return read_binary(in);
+  if (!in.is_open()) throw io_error("cannot open binary snapshot", path);
+  return read_binary(in, path);
 }
 
 }  // namespace nw::hypergraph

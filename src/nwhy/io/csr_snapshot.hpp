@@ -1,0 +1,698 @@
+// nwhy/io/csr_snapshot.hpp
+//
+// NWHYCSR2: the versioned binary snapshot of a hypergraph's *built* CSR
+// structures.  Where NWHYBIN1 (nwhy/io/binary.hpp) caches the raw edge list
+// and pays the full parallel CSR construction on every load, NWHYCSR2
+// serializes both bi-adjacency CSRs (and optionally the adjoin CSR), so a
+// load is just a validation pass plus — on the mmap path — zero copies:
+// `map_csr_snapshot` hands file-backed `std::span`s straight into
+// `biadjacency` / `adjoin_graph`, making load time O(page faults).
+//
+// Byte-level layout (little-endian throughout; docs/IO_FORMATS.md is the
+// normative spec — keep the two in sync):
+//
+//   offset size  field
+//   ------ ----  -----------------------------------------------------------
+//        0    8  magic "NWHYCSR2"
+//        8    4  u32 version (currently 1)
+//       12    4  u32 flags: bit0 HAS_ADJOIN, bit1 CANONICAL
+//       16    8  u64 n0   (hyperedge cardinality)
+//       24    8  u64 n1   (hypernode cardinality)
+//       32    8  u64 m    (incidence count)
+//       40    4  u32 section_count
+//       44    4  u32 reserved (0)
+//       48    8  u64 file_size (end of last section payload)
+//       56    8  u64 header_checksum: FNV-1a-64 over bytes [0,56) ++ the
+//                 whole section table
+//       64  32k  section table: section_count entries of 32 bytes each
+//                   u32 kind | u32 elem_size | u64 offset | u64 length |
+//                   u64 checksum (FNV-1a-64 over the payload bytes)
+//
+// Section kinds (elem_size in parentheses):
+//   1 E2N_INDICES    (8)  (n0+1) x u64   hyperedge->hypernode row offsets
+//   2 E2N_TARGETS    (4)  m x u32        hypernode ids
+//   3 N2E_INDICES    (8)  (n1+1) x u64   hypernode->hyperedge row offsets
+//   4 N2E_TARGETS    (4)  m x u32        hyperedge ids
+//   5 ADJOIN_INDICES (8)  (n0+n1+1) x u64  [HAS_ADJOIN only]
+//   6 ADJOIN_TARGETS (4)  adjoin edge count x u32  [HAS_ADJOIN only]
+//
+// Every payload starts at a 64-byte-aligned offset (zero padding between
+// sections); table order equals file order (strictly increasing offsets).
+// CANONICAL means the CSRs came from a sort_and_unique'd edge list with
+// sorted neighbor rows — NWHypergraph adopts such snapshots wholesale and
+// rebuilds from scratch otherwise.
+//
+// Validation policy: both readers reject bad magic, unsupported versions,
+// truncation, out-of-bounds/misaligned sections, u32 id overflow and
+// header-checksum mismatch with io_error (never abort).  The streamed
+// reader always verifies per-section checksums; the mmap loader verifies
+// them only when asked (`verify_checksums`), because touching every page to
+// hash it would defeat the O(page faults) load.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NWHY_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define NWHY_HAS_MMAP 0
+#endif
+
+#include "nwhy/adjoin.hpp"
+#include "nwhy/biadjacency.hpp"
+#include "nwhy/biedgelist.hpp"
+#include "nwhy/io/io_error.hpp"
+#include "nwobs/counters.hpp"
+#include "nwobs/scope_timer.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+static_assert(std::endian::native == std::endian::little,
+              "NWHYCSR2 snapshots assume a little-endian host");
+static_assert(sizeof(nw::offset_t) == 8 && sizeof(nw::vertex_id_t) == 4,
+              "NWHYCSR2 section layout is fixed to u64 offsets / u32 ids");
+
+inline constexpr char          csr_snapshot_magic[8] = {'N', 'W', 'H', 'Y', 'C', 'S', 'R', '2'};
+inline constexpr std::uint32_t csr_snapshot_version  = 1;
+
+/// Header flag bits.
+inline constexpr std::uint32_t csr_flag_has_adjoin = 1u << 0;
+inline constexpr std::uint32_t csr_flag_canonical  = 1u << 1;
+
+/// Section kinds.
+inline constexpr std::uint32_t csr_sec_e2n_indices    = 1;
+inline constexpr std::uint32_t csr_sec_e2n_targets    = 2;
+inline constexpr std::uint32_t csr_sec_n2e_indices    = 3;
+inline constexpr std::uint32_t csr_sec_n2e_targets    = 4;
+inline constexpr std::uint32_t csr_sec_adjoin_indices = 5;
+inline constexpr std::uint32_t csr_sec_adjoin_targets = 6;
+
+namespace csr_detail {
+
+inline constexpr std::size_t header_bytes        = 64;
+inline constexpr std::size_t checksummed_header  = 56;  ///< header bytes under the checksum
+inline constexpr std::size_t table_entry_bytes   = 32;
+inline constexpr std::size_t section_alignment   = 64;
+inline constexpr std::size_t max_section_count   = 16;  ///< sanity bound for v1 readers
+
+inline constexpr std::uint64_t fnv_basis = 14695981039346656037ull;
+inline constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+/// FNV-1a-64 over a byte run, chainable via `h`.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t h = fnv_basis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= fnv_prime;
+  }
+  return h;
+}
+
+inline void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+inline void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+inline std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+struct section_entry {
+  std::uint32_t kind      = 0;
+  std::uint32_t elem_size = 0;
+  std::uint64_t offset    = 0;
+  std::uint64_t length    = 0;  ///< payload bytes (excludes alignment padding)
+  std::uint64_t checksum  = 0;
+};
+
+/// Everything parsed and validated out of header + table (no payloads).
+struct parsed_header {
+  std::uint32_t              version = 0;
+  std::uint32_t              flags   = 0;
+  std::uint64_t              n0 = 0, n1 = 0, m = 0;
+  std::uint64_t              file_size = 0;
+  std::vector<section_entry> sections;
+
+  [[nodiscard]] const section_entry* find(std::uint32_t kind) const {
+    for (const auto& s : sections) {
+      if (s.kind == kind) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Expected elem_size per kind (0 = unknown kind, tolerated for forward
+/// compatibility as long as the bounds hold).
+inline std::uint32_t expected_elem_size(std::uint32_t kind) {
+  switch (kind) {
+    case csr_sec_e2n_indices:
+    case csr_sec_n2e_indices:
+    case csr_sec_adjoin_indices: return 8;
+    case csr_sec_e2n_targets:
+    case csr_sec_n2e_targets:
+    case csr_sec_adjoin_targets: return 4;
+    default: return 0;
+  }
+}
+
+/// Parse + structurally validate header and section table from a byte
+/// buffer holding at least the header+table prefix.  `available` is how
+/// many bytes of the file are actually present (mmap: the mapping size;
+/// stream: claimed file_size once the prefix is read).  Throws io_error.
+inline parsed_header parse_header(const unsigned char* data, std::uint64_t available,
+                                  const std::string& origin) {
+  if (available < header_bytes) {
+    throw io_error("truncated NWHYCSR2 snapshot (no room for the 64-byte header)", origin, 0,
+                   available);
+  }
+  if (std::memcmp(data, csr_snapshot_magic, sizeof(csr_snapshot_magic)) != 0) {
+    throw io_error("not an NWHYCSR2 snapshot (bad magic)", origin, 0, 0);
+  }
+  parsed_header h;
+  h.version = get_u32(data + 8);
+  h.flags   = get_u32(data + 12);
+  if (h.version != csr_snapshot_version) {
+    throw io_error("unsupported NWHYCSR2 version " + std::to_string(h.version) +
+                       " (this reader understands version 1)",
+                   origin, 0, 8);
+  }
+  h.n0 = get_u64(data + 16);
+  h.n1 = get_u64(data + 24);
+  h.m  = get_u64(data + 32);
+  const std::uint32_t count = get_u32(data + 40);
+  h.file_size               = get_u64(data + 48);
+  if (count == 0 || count > max_section_count) {
+    throw io_error("NWHYCSR2 section count " + std::to_string(count) + " out of range [1, " +
+                       std::to_string(max_section_count) + "]",
+                   origin, 0, 40);
+  }
+  const std::uint64_t table_end = header_bytes + std::uint64_t{count} * table_entry_bytes;
+  if (available < table_end || h.file_size < table_end) {
+    throw io_error("truncated NWHYCSR2 snapshot (section table cut short)", origin, 0,
+                   header_bytes);
+  }
+  if (h.file_size > available) {
+    throw io_error("truncated NWHYCSR2 snapshot (header declares " +
+                       std::to_string(h.file_size) + " bytes, file has " +
+                       std::to_string(available) + ")",
+                   origin, 0, 48);
+  }
+  const std::uint64_t stored = get_u64(data + 56);
+  std::uint64_t       actual = fnv1a64(data, checksummed_header);
+  actual = fnv1a64(data + header_bytes, table_end - header_bytes, actual);
+  if (stored != actual) {
+    throw io_error("NWHYCSR2 header checksum mismatch (file corrupt?)", origin, 0, 56);
+  }
+
+  // u32 id space: ids must fit vertex_id_t with the null sentinel reserved.
+  const std::uint64_t id_limit = std::numeric_limits<nw::vertex_id_t>::max();
+  if (h.n0 > id_limit || h.n1 > id_limit ||
+      ((h.flags & csr_flag_has_adjoin) && h.n0 + h.n1 > id_limit)) {
+    throw io_error("NWHYCSR2 cardinality overflows the 32-bit id space", origin, 0, 16);
+  }
+
+  h.sections.resize(count);
+  std::uint64_t prev_end = table_end;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const unsigned char* e  = data + header_bytes + std::size_t{i} * table_entry_bytes;
+    auto&                s  = h.sections[i];
+    s.kind      = get_u32(e + 0);
+    s.elem_size = get_u32(e + 4);
+    s.offset    = get_u64(e + 8);
+    s.length    = get_u64(e + 16);
+    s.checksum  = get_u64(e + 24);
+    const std::size_t entry_off = header_bytes + std::size_t{i} * table_entry_bytes;
+    if (s.offset % section_alignment != 0) {
+      throw io_error("NWHYCSR2 section " + std::to_string(i) + " payload is not 64-byte aligned",
+                     origin, 0, entry_off);
+    }
+    if (s.offset < prev_end || s.length > h.file_size || s.offset > h.file_size - s.length) {
+      throw io_error("NWHYCSR2 section " + std::to_string(i) +
+                         " out of bounds (offset " + std::to_string(s.offset) + ", length " +
+                         std::to_string(s.length) + ", file size " +
+                         std::to_string(h.file_size) + ")",
+                     origin, 0, entry_off);
+    }
+    const std::uint32_t want = expected_elem_size(s.kind);
+    if (want != 0 && s.elem_size != want) {
+      throw io_error("NWHYCSR2 section kind " + std::to_string(s.kind) +
+                         " has elem_size " + std::to_string(s.elem_size) + ", expected " +
+                         std::to_string(want),
+                     origin, 0, entry_off);
+    }
+    if (s.elem_size != 0 && s.length % s.elem_size != 0) {
+      throw io_error("NWHYCSR2 section " + std::to_string(i) +
+                         " length is not a multiple of its element size",
+                     origin, 0, entry_off);
+    }
+    prev_end = s.offset + s.length;
+  }
+  return h;
+}
+
+/// Locate a required section and check its exact payload length.
+inline const section_entry& require_section(const parsed_header& h, std::uint32_t kind,
+                                            std::uint64_t expect_bytes,
+                                            const std::string& origin) {
+  const section_entry* s = h.find(kind);
+  if (s == nullptr) {
+    throw io_error("NWHYCSR2 snapshot is missing required section kind " + std::to_string(kind),
+                   origin, 0, header_bytes);
+  }
+  if (s->length != expect_bytes) {
+    throw io_error("NWHYCSR2 section kind " + std::to_string(kind) + " has " +
+                       std::to_string(s->length) + " bytes, expected " +
+                       std::to_string(expect_bytes),
+                   origin, 0, header_bytes);
+  }
+  return *s;
+}
+
+/// Cheap O(1)-page invariants on an index section: starts at 0, ends at the
+/// declared element count of the paired targets section.
+inline void check_index_extents(std::span<const nw::offset_t> idx, std::uint64_t want_end,
+                                const char* what, const std::string& origin) {
+  if (idx.empty() || idx.front() != 0 || idx.back() != want_end) {
+    throw io_error(std::string("NWHYCSR2 ") + what +
+                       " index section is inconsistent with its targets section",
+                   origin, 0, header_bytes);
+  }
+}
+
+}  // namespace csr_detail
+
+/// A loaded snapshot: the two bi-adjacency CSRs, the optional adjoin CSR,
+/// and — on the mmap path — the keepalive owning the mapped bytes every
+/// span points into.  Move `storage` along with the CSRs (NWHypergraph's
+/// snapshot constructor does).
+struct csr_snapshot {
+  std::uint32_t version = csr_snapshot_version;
+  std::uint32_t flags   = 0;
+  std::uint64_t n0 = 0, n1 = 0, m = 0;
+
+  biadjacency<0>              edges;   ///< hyperedge -> hypernodes CSR
+  biadjacency<1>              nodes;   ///< hypernode -> hyperedges CSR
+  std::optional<adjoin_graph> adjoin;  ///< present iff HAS_ADJOIN was set
+
+  /// Owns the mmap'd file for zero-copy loads; null for streamed loads.
+  std::shared_ptr<const void> storage;
+
+  [[nodiscard]] bool canonical() const { return (flags & csr_flag_canonical) != 0; }
+  [[nodiscard]] bool zero_copy() const { return storage != nullptr; }
+
+  /// Expand the E2N CSR back into the canonical incidence list (parallel
+  /// over hyperedge rows; output order = row-major CSR order, which for a
+  /// CANONICAL snapshot is exactly sort_and_unique order).
+  [[nodiscard]] biedgelist<> to_biedgelist(
+      par::thread_pool& pool = par::thread_pool::default_pool()) const {
+    auto idx = edges.csr().indices();
+    auto tgt = edges.csr().targets();
+    std::vector<nw::vertex_id_t> edge_ids(tgt.size()), node_ids(tgt.size());
+    par::parallel_for(
+        0, edges.num_sources(),
+        [&](std::size_t e) {
+          for (nw::offset_t k = idx[e]; k < idx[e + 1]; ++k) {
+            edge_ids[k] = static_cast<nw::vertex_id_t>(e);
+            node_ids[k] = tgt[k];
+          }
+        },
+        par::blocked{}, pool);
+    return biedgelist<>(std::move(edge_ids), std::move(node_ids), n0, n1);
+  }
+};
+
+// --------------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------------
+
+/// Serialize built CSRs as an NWHYCSR2 snapshot.  `canonical` asserts the
+/// CSRs came from a sort_and_unique'd edge list (what NWHypergraph
+/// guarantees); loaders only adopt the structures wholesale when it is set.
+inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes,
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true) {
+  namespace d = csr_detail;
+  NWOBS_SCOPE_TIMER("io.snapshot_write");
+  NW_ASSERT(edges.num_edges() == nodes.num_edges(),
+            "bi-adjacency pair disagrees on the incidence count");
+  NW_ASSERT(edges.num_sources() == nodes.num_targets() &&
+                edges.num_targets() == nodes.num_sources(),
+            "bi-adjacency pair disagrees on the partition cardinalities");
+  const std::uint64_t n0 = edges.num_sources();
+  const std::uint64_t n1 = nodes.num_sources();
+  const std::uint64_t m  = edges.num_edges();
+  if (adjoin != nullptr) {
+    NW_ASSERT(adjoin->nrealedges == n0 && adjoin->nrealnodes == n1,
+              "adjoin partition sizes disagree with the bi-adjacency pair");
+  }
+
+  struct raw_section {
+    std::uint32_t kind;
+    std::uint32_t elem_size;
+    const void*   data;
+    std::uint64_t length;
+  };
+  std::vector<raw_section> raws;
+  auto add_csr = [&](const nw::graph::adjacency<>& csr, std::uint32_t idx_kind,
+                     std::uint32_t tgt_kind) {
+    auto idx = csr.indices();
+    auto tgt = csr.targets();
+    raws.push_back({idx_kind, 8, idx.data(), idx.size() * sizeof(nw::offset_t)});
+    raws.push_back({tgt_kind, 4, tgt.data(), tgt.size() * sizeof(nw::vertex_id_t)});
+  };
+  add_csr(edges.csr(), csr_sec_e2n_indices, csr_sec_e2n_targets);
+  add_csr(nodes.csr(), csr_sec_n2e_indices, csr_sec_n2e_targets);
+  std::uint32_t flags = canonical ? csr_flag_canonical : 0;
+  if (adjoin != nullptr) {
+    flags |= csr_flag_has_adjoin;
+    add_csr(adjoin->graph, csr_sec_adjoin_indices, csr_sec_adjoin_targets);
+  }
+
+  // Lay out payloads at 64-byte-aligned offsets past header + table.
+  const std::uint32_t count     = static_cast<std::uint32_t>(raws.size());
+  const std::uint64_t table_end = d::header_bytes + std::uint64_t{count} * d::table_entry_bytes;
+  std::vector<d::section_entry> entries(count);
+  std::uint64_t                 off = d::align_up(table_end, d::section_alignment);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    entries[i].kind      = raws[i].kind;
+    entries[i].elem_size = raws[i].elem_size;
+    entries[i].offset    = off;
+    entries[i].length    = raws[i].length;
+    entries[i].checksum  = d::fnv1a64(raws[i].data, raws[i].length);
+    off                  = d::align_up(off + raws[i].length, d::section_alignment);
+  }
+  const std::uint64_t file_size =
+      count == 0 ? table_end : entries[count - 1].offset + entries[count - 1].length;
+
+  // Serialize header + table, checksum them together, and emit.
+  std::vector<unsigned char> prefix(table_end, 0);
+  std::memcpy(prefix.data(), csr_snapshot_magic, sizeof(csr_snapshot_magic));
+  d::put_u32(prefix.data() + 8, csr_snapshot_version);
+  d::put_u32(prefix.data() + 12, flags);
+  d::put_u64(prefix.data() + 16, n0);
+  d::put_u64(prefix.data() + 24, n1);
+  d::put_u64(prefix.data() + 32, m);
+  d::put_u32(prefix.data() + 40, count);
+  d::put_u32(prefix.data() + 44, 0);  // reserved
+  d::put_u64(prefix.data() + 48, file_size);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    unsigned char* e = prefix.data() + d::header_bytes + std::size_t{i} * d::table_entry_bytes;
+    d::put_u32(e + 0, entries[i].kind);
+    d::put_u32(e + 4, entries[i].elem_size);
+    d::put_u64(e + 8, entries[i].offset);
+    d::put_u64(e + 16, entries[i].length);
+    d::put_u64(e + 24, entries[i].checksum);
+  }
+  std::uint64_t hsum = d::fnv1a64(prefix.data(), d::checksummed_header);
+  hsum = d::fnv1a64(prefix.data() + d::header_bytes, table_end - d::header_bytes, hsum);
+  d::put_u64(prefix.data() + 56, hsum);
+
+  out.write(reinterpret_cast<const char*>(prefix.data()),
+            static_cast<std::streamsize>(prefix.size()));
+  std::uint64_t                    pos = table_end;
+  static constexpr char            zeros[d::section_alignment] = {};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NW_ASSERT(entries[i].offset >= pos, "snapshot sections must be laid out in order");
+    std::uint64_t pad = entries[i].offset - pos;
+    while (pad > 0) {
+      std::uint64_t chunk = std::min<std::uint64_t>(pad, sizeof(zeros));
+      out.write(zeros, static_cast<std::streamsize>(chunk));
+      pad -= chunk;
+    }
+    out.write(static_cast<const char*>(raws[i].data),
+              static_cast<std::streamsize>(raws[i].length));
+    pos = entries[i].offset + entries[i].length;
+  }
+  NWOBS_COUNT("io.snapshot_bytes_written", 0, file_size);
+}
+
+inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes,
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) throw io_error("cannot open snapshot output file", path);
+  write_csr_snapshot(out, edges, nodes, adjoin, canonical);
+  out.flush();
+  if (!out.good()) throw io_error("write failure while emitting NWHYCSR2 snapshot", path);
+}
+
+// --------------------------------------------------------------------------
+// Readers
+// --------------------------------------------------------------------------
+
+namespace csr_detail {
+
+/// Assemble a csr_snapshot from a validated header plus a base pointer to
+/// the full file image (mmap'd or slurped).  Span-based: zero copies.
+inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned char* base,
+                                        bool verify_checksums, const std::string& origin,
+                                        std::shared_ptr<const void> storage) {
+  auto section_span = [&](const section_entry& s, auto tag) {
+    using elem_t = decltype(tag);
+    if (verify_checksums && fnv1a64(base + s.offset, s.length) != s.checksum) {
+      throw io_error("NWHYCSR2 section checksum mismatch (kind " + std::to_string(s.kind) + ")",
+                     origin, 0, s.offset);
+    }
+    return std::span<const elem_t>(reinterpret_cast<const elem_t*>(base + s.offset),
+                                   s.length / sizeof(elem_t));
+  };
+  auto load_csr = [&](std::uint32_t idx_kind, std::uint32_t tgt_kind, std::uint64_t n,
+                      std::uint64_t expect_targets, bool exact_targets, const char* what) {
+    const auto& si = require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
+    const auto* st = h.find(tgt_kind);
+    if (st == nullptr) {
+      throw io_error("NWHYCSR2 snapshot is missing required section kind " +
+                         std::to_string(tgt_kind),
+                     origin, 0, header_bytes);
+    }
+    if (exact_targets && st->length != expect_targets * sizeof(nw::vertex_id_t)) {
+      throw io_error("NWHYCSR2 section kind " + std::to_string(tgt_kind) + " has " +
+                         std::to_string(st->length) + " bytes, expected " +
+                         std::to_string(expect_targets * sizeof(nw::vertex_id_t)),
+                     origin, 0, header_bytes);
+    }
+    auto idx = section_span(si, nw::offset_t{});
+    auto tgt = section_span(*st, nw::vertex_id_t{});
+    check_index_extents(idx, tgt.size(), what, origin);
+    return nw::graph::adjacency<>::from_csr_spans(idx, tgt, n);
+  };
+
+  csr_snapshot snap;
+  snap.version = h.version;
+  snap.flags   = h.flags;
+  snap.n0      = h.n0;
+  snap.n1      = h.n1;
+  snap.m       = h.m;
+  snap.edges   = biadjacency<0>::from_csr(
+      load_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, "E2N"), h.n0, h.n1);
+  snap.nodes = biadjacency<1>::from_csr(
+      load_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, "N2E"), h.n1, h.n0);
+  if ((h.flags & csr_flag_has_adjoin) != 0) {
+    snap.adjoin = adjoin_graph{
+        load_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
+                 "adjoin"),
+        static_cast<std::size_t>(h.n0), static_cast<std::size_t>(h.n1)};
+  }
+  snap.storage = std::move(storage);
+  return snap;
+}
+
+}  // namespace csr_detail
+
+#if NWHY_HAS_MMAP
+/// Zero-copy loader: mmap the file read-only and point the CSR spans
+/// straight at the mapping.  Load cost is header/table validation plus the
+/// page faults the algorithms actually incur.  `verify_checksums` opts into
+/// hashing every section (touches every page — use for integrity audits,
+/// not hot loads).  The returned snapshot's `storage` member owns the
+/// mapping; keep it alive as long as any span is in use.
+inline csr_snapshot map_csr_snapshot(const std::string& path, bool verify_checksums = false) {
+  namespace d = csr_detail;
+  NWOBS_SCOPE_TIMER("io.mmap");
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw io_error("cannot open snapshot", path);
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw io_error("cannot stat snapshot", path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw io_error("truncated NWHYCSR2 snapshot (empty file)", path, 0, 0);
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base == MAP_FAILED) throw io_error("mmap failed on snapshot", path);
+  std::shared_ptr<const void> storage(base, [size](const void* p) {
+    ::munmap(const_cast<void*>(p), size);
+  });
+  NWOBS_COUNT("io.mapped_bytes", 0, size);
+
+  const auto* bytes = static_cast<const unsigned char*>(base);
+  auto        h     = d::parse_header(bytes, size, path);
+  return d::snapshot_from_image(h, bytes, verify_checksums, path, std::move(storage));
+}
+#endif  // NWHY_HAS_MMAP
+
+/// Streamed reader (pipes, sockets, non-mmap platforms): reads the whole
+/// snapshot through the istream into owned vectors.  Always verifies every
+/// section checksum — a stream has no later chance to fault pages in.
+inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origin = {}) {
+  namespace d = csr_detail;
+  NWOBS_SCOPE_TIMER("io.snapshot_read");
+  unsigned char prefix[d::header_bytes];
+  in.read(reinterpret_cast<char*>(prefix), sizeof(prefix));
+  if (!in.good()) {
+    throw io_error("truncated NWHYCSR2 snapshot (no room for the 64-byte header)", origin, 0,
+                   static_cast<std::size_t>(in.gcount()));
+  }
+  // Peek the section count to size the table read, then let parse_header do
+  // all validation on the assembled prefix.
+  if (std::memcmp(prefix, csr_snapshot_magic, sizeof(csr_snapshot_magic)) != 0) {
+    throw io_error("not an NWHYCSR2 snapshot (bad magic)", origin, 0, 0);
+  }
+  const std::uint32_t count = d::get_u32(prefix + 40);
+  if (count == 0 || count > d::max_section_count) {
+    throw io_error("NWHYCSR2 section count " + std::to_string(count) + " out of range [1, " +
+                       std::to_string(d::max_section_count) + "]",
+                   origin, 0, 40);
+  }
+  const std::uint64_t table_end = d::header_bytes + std::uint64_t{count} * d::table_entry_bytes;
+  std::vector<unsigned char> head(table_end);
+  std::memcpy(head.data(), prefix, sizeof(prefix));
+  in.read(reinterpret_cast<char*>(head.data() + d::header_bytes),
+          static_cast<std::streamsize>(table_end - d::header_bytes));
+  if (!in.good()) {
+    throw io_error("truncated NWHYCSR2 snapshot (section table cut short)", origin, 0,
+                   d::header_bytes);
+  }
+  // A stream cannot be sized up front; trust file_size for bounds checking
+  // and let the payload reads catch actual truncation.
+  const std::uint64_t claimed = d::get_u64(head.data() + 48);
+  auto                h       = d::parse_header(head.data(), claimed, origin);
+
+  // Payloads arrive in table order (parse_header enforced increasing
+  // offsets); skip alignment padding between them.
+  std::uint64_t pos = table_end;
+  auto read_section = [&](const d::section_entry& s, unsigned char* dst) {
+    NW_ASSERT(s.offset >= pos, "sections must be read in file order");
+    for (std::uint64_t skip = s.offset - pos; skip > 0;) {
+      char          sink[64];
+      std::uint64_t chunk = std::min<std::uint64_t>(skip, sizeof(sink));
+      in.read(sink, static_cast<std::streamsize>(chunk));
+      skip -= chunk;
+    }
+    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(s.length));
+    if (!in.good()) {
+      throw io_error("truncated NWHYCSR2 snapshot (section kind " + std::to_string(s.kind) +
+                         " cut short)",
+                     origin, 0, s.offset);
+    }
+    if (d::fnv1a64(dst, s.length) != s.checksum) {
+      throw io_error("NWHYCSR2 section checksum mismatch (kind " + std::to_string(s.kind) + ")",
+                     origin, 0, s.offset);
+    }
+    pos = s.offset + s.length;
+  };
+
+  // Read every listed section in file order into typed owned vectors.
+  std::vector<std::vector<nw::offset_t>>    idx_store(h.sections.size());
+  std::vector<std::vector<nw::vertex_id_t>> tgt_store(h.sections.size());
+  for (std::size_t i = 0; i < h.sections.size(); ++i) {
+    const auto& s = h.sections[i];
+    if (s.elem_size == 8) {
+      idx_store[i].resize(s.length / sizeof(nw::offset_t));
+      read_section(s, reinterpret_cast<unsigned char*>(idx_store[i].data()));
+    } else {
+      tgt_store[i].resize(s.length / sizeof(nw::vertex_id_t));
+      read_section(s, reinterpret_cast<unsigned char*>(tgt_store[i].data()));
+    }
+  }
+  auto take_csr = [&](std::uint32_t idx_kind, std::uint32_t tgt_kind, std::uint64_t n,
+                      std::uint64_t expect_targets, bool exact_targets, const char* what) {
+    (void)require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
+    std::vector<nw::offset_t>    idx;
+    std::vector<nw::vertex_id_t> tgt;
+    bool                         have_tgt = false;
+    for (std::size_t i = 0; i < h.sections.size(); ++i) {
+      if (h.sections[i].kind == idx_kind) idx = std::move(idx_store[i]);
+      if (h.sections[i].kind == tgt_kind) {
+        tgt      = std::move(tgt_store[i]);
+        have_tgt = true;
+      }
+    }
+    if (!have_tgt) {
+      throw io_error("NWHYCSR2 snapshot is missing required section kind " +
+                         std::to_string(tgt_kind),
+                     origin, 0, d::header_bytes);
+    }
+    if (exact_targets && tgt.size() != expect_targets) {
+      throw io_error("NWHYCSR2 section kind " + std::to_string(tgt_kind) + " has " +
+                         std::to_string(tgt.size() * sizeof(nw::vertex_id_t)) +
+                         " bytes, expected " +
+                         std::to_string(expect_targets * sizeof(nw::vertex_id_t)),
+                     origin, 0, d::header_bytes);
+    }
+    d::check_index_extents(std::span<const nw::offset_t>(idx), tgt.size(), what, origin);
+    return nw::graph::adjacency<>::from_csr_vectors(std::move(idx), std::move(tgt), n);
+  };
+
+  csr_snapshot snap;
+  snap.version = h.version;
+  snap.flags   = h.flags;
+  snap.n0      = h.n0;
+  snap.n1      = h.n1;
+  snap.m       = h.m;
+  snap.edges   = biadjacency<0>::from_csr(
+      take_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, "E2N"), h.n0, h.n1);
+  snap.nodes = biadjacency<1>::from_csr(
+      take_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, "N2E"), h.n1, h.n0);
+  if ((h.flags & csr_flag_has_adjoin) != 0) {
+    snap.adjoin = adjoin_graph{
+        take_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
+                 "adjoin"),
+        static_cast<std::size_t>(h.n0), static_cast<std::size_t>(h.n1)};
+  }
+  NWOBS_COUNT("io.snapshot_bytes_read", 0, h.file_size);
+  return snap;
+}
+
+/// Path-based load: mmap zero-copy where the platform supports it,
+/// streamed otherwise.
+inline csr_snapshot load_csr_snapshot(const std::string& path, bool verify_checksums = false) {
+#if NWHY_HAS_MMAP
+  return map_csr_snapshot(path, verify_checksums);
+#else
+  (void)verify_checksums;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw io_error("cannot open snapshot", path);
+  return read_csr_snapshot(in, path);
+#endif
+}
+
+}  // namespace nw::hypergraph

@@ -1,0 +1,87 @@
+// nwhy/io/io_error.hpp
+//
+// Recoverable, context-carrying error type for the I/O subsystem.  The
+// historical readers killed the process through NW_ASSERT on any malformed
+// input; a production ingest path must instead surface *where* the input is
+// broken (file, line, byte offset) and leave the process healthy, so the
+// caller — nwhy_tool, a binding, a service loop — can report the defect and
+// move on.  Every reader under nwhy/io/ throws io_error; nothing in this
+// subsystem aborts on bad data (programming errors still NW_ASSERT).
+//
+// what() renders the full context in one line:
+//
+//   data.mtx:17: MatrixMarket entry out of declared bounds (byte 212)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nw::hypergraph {
+
+class io_error : public std::runtime_error {
+public:
+  /// `npos` marks "no byte offset" (e.g. a failed open carries no position).
+  static constexpr std::uint64_t npos = static_cast<std::uint64_t>(-1);
+
+  explicit io_error(std::string message, std::string file = {}, std::size_t line = 0,
+                    std::uint64_t byte_offset = npos)
+      : std::runtime_error(render(message, file, line, byte_offset)),
+        message_(std::move(message)),
+        file_(std::move(file)),
+        line_(line),
+        byte_offset_(byte_offset) {}
+
+  /// The bare defect description, without location prefix.
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  /// Originating file path, or empty for in-memory streams.
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  /// 1-based line number in the source text; 0 when not line-addressable
+  /// (binary formats report byte offsets only).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  /// Byte offset of the defect from the start of the input; npos if unknown.
+  [[nodiscard]] std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+
+private:
+  static std::string render(const std::string& message, const std::string& file,
+                            std::size_t line, std::uint64_t byte_offset) {
+    std::string out;
+    if (!file.empty()) {
+      out += file;
+      out += ':';
+    }
+    if (line != 0) {
+      out += std::to_string(line);
+      out += ':';
+    }
+    if (!out.empty()) out += ' ';
+    out += message;
+    if (byte_offset != npos) {
+      out += " (byte ";
+      out += std::to_string(byte_offset);
+      out += ')';
+    }
+    return out;
+  }
+
+  std::string   message_;
+  std::string   file_;
+  std::size_t   line_;
+  std::uint64_t byte_offset_;
+};
+
+namespace io_detail {
+
+/// 1-based line number of `offset` within `text` — computed lazily, only on
+/// the error path, so the parsers never pay per-line bookkeeping.
+inline std::size_t line_number_at(std::string_view text, std::uint64_t offset) {
+  if (offset > text.size()) offset = text.size();
+  std::size_t line = 1;
+  for (std::uint64_t i = 0; i < offset; ++i) line += text[i] == '\n';
+  return line;
+}
+
+}  // namespace io_detail
+
+}  // namespace nw::hypergraph

@@ -1,39 +1,101 @@
 // nwhy/io/konect.hpp
 //
 // Reader for KONECT-style bipartite TSV files (the format of orkut-groups,
-// Web and LiveJournal in the paper's Table I): '%'-prefixed comment lines,
-// then one "<left> <right> [weight [timestamp]]" incidence per line,
+// Web and LiveJournal in the paper's Table I): '%'- or '#'-prefixed comment
+// lines, then one "<left> <right> [weight [timestamp]]" incidence per line,
 // 1-based ids.  Left column = hyperedge (group / page), right column =
 // hypernode (member / user).
+//
+// Like the MatrixMarket reader there are two engines over one grammar
+// (docs/IO_FORMATS.md): a streaming serial reader for istreams, and a
+// parallel byte-range engine (`parse_konect_bipartite`) behind the
+// path-based entry point.  Rows that are not two integers are skipped (the
+// real KONECT corpora carry stray metadata rows); ids < 1 are a hard
+// defect and throw io_error with file/line/byte context.
 #pragma once
 
 #include <fstream>
-#include <sstream>
+#include <istream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "nwhy/biedgelist.hpp"
+#include "nwhy/io/io_error.hpp"
+#include "nwhy/io/matrix_market.hpp"  // detail::parse_defect / throw_first_defect
+#include "nwhy/io/text_input.hpp"
+#include "nwobs/scope_timer.hpp"
+#include "nwpar/line_split.hpp"
 #include "nwutil/defs.hpp"
 
 namespace nw::hypergraph {
 
-inline biedgelist<> read_konect_bipartite(std::istream& in) {
+/// Streaming serial engine (pipe-friendly fallback).
+inline biedgelist<> read_konect_bipartite(std::istream& in, const std::string& origin = {}) {
+  NWOBS_SCOPE_TIMER("io.parse");
   biedgelist<> el;
   std::string  line;
+  std::size_t  lineno = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
-    std::istringstream row(line);
-    long long          left = 0, right = 0;
-    if (!(row >> left >> right)) continue;  // tolerate stray blank/garbage rows
-    NW_ASSERT(left >= 1 && right >= 1, "KONECT ids are 1-based");
+    ++lineno;
+    auto content = io_detail::line_content(line, 0, line.size());
+    if (content.empty() || content[0] == '%' || content[0] == '#') continue;
+    io_detail::field_cursor f{content.data(), content.data() + content.size()};
+    std::int64_t            left = 0, right = 0;
+    if (!f.parse_i64(left) || !f.parse_i64(right)) continue;  // tolerate stray metadata rows
+    if (left < 1 || right < 1) throw io_error("KONECT ids are 1-based", origin, lineno);
     el.push_back(static_cast<vertex_id_t>(left - 1), static_cast<vertex_id_t>(right - 1));
   }
   return el;
 }
 
+/// Parallel KONECT parse of an in-memory text: line-aligned byte ranges,
+/// one pool worker per range, thread-local pair buffers merged in file
+/// order — bit-identical to the streaming reader at any thread count.
+inline biedgelist<> parse_konect_bipartite(std::string_view text,
+                                           const std::string& origin = "<memory>",
+                                           par::thread_pool& pool = par::thread_pool::default_pool()) {
+  NWOBS_SCOPE_TIMER("io.parse");
+  auto ranges = par::split_line_ranges(text, 0, text.size(), pool.concurrency());
+
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> buffers(pool);
+  par::per_thread<detail::parse_defect>                             defects(pool);
+  pool.run([&](unsigned tid) {
+    if (tid >= ranges.size()) return;
+    auto&             out       = buffers.local(tid);
+    auto&             bad       = defects.local(tid);
+    std::size_t       pos       = ranges[tid].begin;
+    const std::size_t range_end = ranges[tid].end;
+    while (pos < range_end) {
+      std::size_t line_begin = pos;
+      std::size_t line_end   = text.find('\n', pos);
+      if (line_end == std::string_view::npos || line_end > range_end) line_end = range_end;
+      pos          = line_end == range_end ? range_end : line_end + 1;
+      auto content = io_detail::line_content(text, line_begin, line_end);
+      if (content.empty() || content[0] == '%' || content[0] == '#') continue;
+      io_detail::field_cursor f{content.data(), content.data() + content.size()};
+      std::int64_t            left = 0, right = 0;
+      if (!f.parse_i64(left) || !f.parse_i64(right)) continue;  // stray metadata row
+      if (left < 1 || right < 1) {
+        bad.record(line_begin, "KONECT ids are 1-based");
+        return;
+      }
+      out.push_back({static_cast<vertex_id_t>(left - 1), static_cast<vertex_id_t>(right - 1)});
+    }
+  });
+  for (std::size_t t = 0; t < defects.size(); ++t) {
+    if (defects.local(static_cast<unsigned>(t)).offset != io_error::npos) {
+      detail::throw_first_defect(defects, text, origin);
+    }
+  }
+  return biedgelist<>::from_thread_buffers(buffers, 0, 0, par::merge_capacity::release, pool);
+}
+
+/// Path-based entry point: slurps the file once, parses in parallel.
 inline biedgelist<> read_konect_bipartite(const std::string& path) {
-  std::ifstream in(path);
-  NW_ASSERT(in.is_open(), "cannot open KONECT file");
-  return read_konect_bipartite(in);
+  auto text = io_detail::read_file_to_string(path);
+  return parse_konect_bipartite(text, path);
 }
 
 }  // namespace nw::hypergraph

@@ -10,15 +10,38 @@
 //                                               (hypernode ids shifted by nE)
 //
 // Only the "matrix coordinate {pattern|real|integer} general" dialect is
-// supported, which covers the hypergraph corpora the paper uses.
+// supported, which covers the hypergraph corpora the paper uses; the exact
+// accepted grammar (line-based, CRLF-tolerant, comments and blank lines
+// anywhere) is specified in docs/IO_FORMATS.md.
+//
+// Two parse engines share that grammar:
+//
+//   * a serial, streaming engine (`graph_reader(std::istream&)`) for pipes
+//     and in-memory strings;
+//   * a parallel engine (`parse_matrix_market`) used by every path-based
+//     entry point: the body is split into line-aligned byte ranges
+//     (par::split_line_ranges), each pool worker parses its range into a
+//     thread-local pair buffer with std::from_chars, and the buffers merge
+//     through biedgelist::from_thread_buffers — so ingest scales with
+//     cores and the result is bit-identical to the serial parse.
+//
+// All defects throw nw::hypergraph::io_error with file/line/byte context;
+// nothing here aborts the process.
 #pragma once
 
 #include <fstream>
-#include <sstream>
+#include <istream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "nwgraph/edge_list.hpp"
 #include "nwhy/biedgelist.hpp"
+#include "nwhy/io/io_error.hpp"
+#include "nwhy/io/text_input.hpp"
+#include "nwobs/scope_timer.hpp"
+#include "nwpar/line_split.hpp"
 #include "nwutil/defs.hpp"
 
 namespace nw::hypergraph {
@@ -30,51 +53,207 @@ struct mm_header {
   bool        pattern = true;
 };
 
-inline mm_header read_mm_header(std::istream& in) {
+inline void check_mm_banner(std::string_view banner, const std::string& origin,
+                            mm_header& h) {
+  if (banner.rfind("%%MatrixMarket", 0) != 0) {
+    throw io_error("missing MatrixMarket banner", origin, 1, 0);
+  }
+  h.pattern = banner.find("pattern") != std::string_view::npos;
+  if (banner.find("coordinate") == std::string_view::npos) {
+    throw io_error("only coordinate MatrixMarket files are supported", origin, 1, 0);
+  }
+  if (banner.find("general") == std::string_view::npos && !h.pattern) {
+    throw io_error("only 'general' symmetry is supported", origin, 1, 0);
+  }
+}
+
+inline mm_header read_mm_header(std::istream& in, const std::string& origin = {}) {
   std::string line;
-  NW_ASSERT(static_cast<bool>(std::getline(in, line)), "empty MatrixMarket stream");
-  NW_ASSERT(line.rfind("%%MatrixMarket", 0) == 0, "missing MatrixMarket banner");
+  if (!std::getline(in, line)) throw io_error("empty MatrixMarket stream", origin, 1, 0);
   mm_header h;
-  h.pattern = line.find("pattern") != std::string::npos;
-  NW_ASSERT(line.find("coordinate") != std::string::npos,
-            "only coordinate MatrixMarket files are supported");
-  NW_ASSERT(line.find("general") != std::string::npos || h.pattern,
-            "only 'general' symmetry is supported");
+  check_mm_banner(line, origin, h);
+  std::size_t lineno = 1;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '%') continue;
-    std::istringstream dims(line);
-    NW_ASSERT(static_cast<bool>(dims >> h.rows >> h.cols >> h.nnz),
-              "malformed MatrixMarket size line");
+    ++lineno;
+    auto content = io_detail::line_content(line, 0, line.size());
+    if (content.empty() || content[0] == '%') continue;
+    io_detail::field_cursor f{content.data(), content.data() + content.size()};
+    std::uint64_t           r = 0, c = 0, nnz = 0;
+    if (!f.parse_u64(r) || !f.parse_u64(c) || !f.parse_u64(nnz)) {
+      throw io_error("malformed MatrixMarket size line", origin, lineno);
+    }
+    h.rows = r;
+    h.cols = c;
+    h.nnz  = nnz;
     return h;
   }
-  NW_ASSERT(false, "MatrixMarket stream ended before the size line");
-  return h;
+  throw io_error("MatrixMarket stream ended before the size line", origin, lineno);
+}
+
+/// Parse the banner + size line out of an in-memory MatrixMarket text.
+/// Returns the header and sets `body_begin` to the byte offset of the first
+/// entry line.
+inline mm_header parse_mm_header(std::string_view text, const std::string& origin,
+                                 std::size_t& body_begin) {
+  mm_header   h;
+  std::size_t pos = 0;
+  // Banner line.
+  std::size_t nl = text.find('\n');
+  if (text.empty()) throw io_error("empty MatrixMarket stream", origin, 1, 0);
+  check_mm_banner(text.substr(0, nl == std::string_view::npos ? text.size() : nl), origin,
+                  h);
+  pos = nl == std::string_view::npos ? text.size() : nl + 1;
+  // Comments, then the size line.
+  while (pos < text.size()) {
+    std::size_t line_begin = pos;
+    std::size_t line_end   = text.find('\n', pos);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    pos          = line_end == text.size() ? line_end : line_end + 1;
+    auto content = io_detail::line_content(text, line_begin, line_end);
+    if (content.empty() || content[0] == '%') continue;
+    io_detail::field_cursor f{content.data(), content.data() + content.size()};
+    std::uint64_t           r = 0, c = 0, nnz = 0;
+    if (!f.parse_u64(r) || !f.parse_u64(c) || !f.parse_u64(nnz)) {
+      throw io_error("malformed MatrixMarket size line", origin,
+                     io_detail::line_number_at(text, line_begin), line_begin);
+    }
+    h.rows     = r;
+    h.cols     = c;
+    h.nnz      = nnz;
+    body_begin = pos;
+    return h;
+  }
+  throw io_error("MatrixMarket stream ended before the size line", origin,
+                 io_detail::line_number_at(text, text.size()), text.size());
+}
+
+/// First-defect slot of one parse worker: the lowest byte offset wins when
+/// workers race, so the reported error is deterministic (file order).
+struct parse_defect {
+  std::uint64_t offset = io_error::npos;
+  const char*   msg    = nullptr;
+
+  void record(std::uint64_t off, const char* m) {
+    if (offset == io_error::npos) {
+      offset = off;
+      msg    = m;
+    }
+  }
+};
+
+[[noreturn]] inline void throw_first_defect(par::per_thread<parse_defect>& defects,
+                                            std::string_view text, const std::string& origin) {
+  parse_defect first;
+  for (std::size_t t = 0; t < defects.size(); ++t) {
+    const auto& d = defects.local(static_cast<unsigned>(t));
+    if (d.offset < first.offset) first = d;
+  }
+  throw io_error(first.msg != nullptr ? first.msg : "parse error", origin,
+                 io_detail::line_number_at(text, first.offset), first.offset);
 }
 
 }  // namespace detail
 
+/// Parallel MatrixMarket parse of an in-memory text.  `origin` labels
+/// errors (file path or "<memory>").  Bit-identical to the streaming
+/// `graph_reader(std::istream&)` at any thread count.
+inline biedgelist<> parse_matrix_market(std::string_view text,
+                                        const std::string& origin = "<memory>",
+                                        par::thread_pool& pool = par::thread_pool::default_pool()) {
+  NWOBS_SCOPE_TIMER("io.parse");
+  std::size_t body_begin = 0;
+  auto        h          = detail::parse_mm_header(text, origin, body_begin);
+  auto ranges = par::split_line_ranges(text, body_begin, text.size(), pool.concurrency());
+
+  par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> buffers(pool);
+  par::per_thread<detail::parse_defect>                             defects(pool);
+  pool.run([&](unsigned tid) {
+    if (tid >= ranges.size()) return;
+    auto& out = buffers.local(tid);
+    auto& bad = defects.local(tid);
+    out.reserve(h.nnz / std::max<std::size_t>(ranges.size(), 1) + 16);
+    std::size_t pos = ranges[tid].begin;
+    const std::size_t range_end = ranges[tid].end;
+    while (pos < range_end) {
+      std::size_t line_begin = pos;
+      std::size_t line_end   = text.find('\n', pos);
+      if (line_end == std::string_view::npos || line_end > range_end) line_end = range_end;
+      pos          = line_end == range_end ? range_end : line_end + 1;
+      auto content = io_detail::line_content(text, line_begin, line_end);
+      if (content.empty() || content[0] == '%') continue;
+      io_detail::field_cursor f{content.data(), content.data() + content.size()};
+      std::uint64_t           r = 0, c = 0;
+      if (!f.parse_u64(r) || !f.parse_u64(c)) {
+        bad.record(line_begin, "malformed MatrixMarket entry");
+        return;
+      }
+      if (r < 1 || r > h.rows || c < 1 || c > h.cols) {
+        bad.record(line_begin, "MatrixMarket entry out of declared bounds");
+        return;
+      }
+      // Values (real/integer dialects) and any trailing fields are ignored;
+      // the incidence structure is all the hypergraph needs.
+      out.push_back({static_cast<vertex_id_t>(r - 1), static_cast<vertex_id_t>(c - 1)});
+    }
+  });
+  for (std::size_t t = 0; t < defects.size(); ++t) {
+    if (defects.local(static_cast<unsigned>(t)).offset != io_error::npos) {
+      detail::throw_first_defect(defects, text, origin);
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < buffers.size(); ++t) total += buffers.local(static_cast<unsigned>(t)).size();
+  if (total != h.nnz) {
+    throw io_error("MatrixMarket declares " + std::to_string(h.nnz) + " entries but file contains " +
+                       std::to_string(total),
+                   origin, io_detail::line_number_at(text, text.size()), text.size());
+  }
+  auto el = biedgelist<>::from_thread_buffers(buffers, h.rows, h.cols,
+                                              par::merge_capacity::release, pool);
+  return el;
+}
+
 /// Read an incidence matrix as a bipartite edge list: entry (r, c) means
 /// hyperedge r-1 is incident on hypernode c-1 (MatrixMarket is 1-based).
-inline biedgelist<> graph_reader(std::istream& in) {
-  auto         h = detail::read_mm_header(in);
+/// Streaming serial engine — the pipe-friendly fallback.
+inline biedgelist<> graph_reader(std::istream& in, const std::string& origin = {}) {
+  NWOBS_SCOPE_TIMER("io.parse");
+  auto         h = detail::read_mm_header(in, origin);
   biedgelist<> el(h.rows, h.cols);
   el.reserve(h.nnz);
-  std::size_t r = 0, c = 0;
-  double      val = 0;
-  for (std::size_t i = 0; i < h.nnz; ++i) {
-    NW_ASSERT(static_cast<bool>(in >> r >> c), "truncated MatrixMarket entries");
-    if (!h.pattern) in >> val;
-    NW_ASSERT(r >= 1 && r <= h.rows && c >= 1 && c <= h.cols,
-              "MatrixMarket entry out of declared bounds");
+  std::string line;
+  std::size_t lineno = 0, parsed = 0;
+  // The header reader consumed up to (and including) the size line; body
+  // line numbers are best-effort for the stream API (exact for the
+  // path-based parallel engine).
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto content = io_detail::line_content(line, 0, line.size());
+    if (content.empty() || content[0] == '%') continue;
+    io_detail::field_cursor f{content.data(), content.data() + content.size()};
+    std::uint64_t           r = 0, c = 0;
+    if (!f.parse_u64(r) || !f.parse_u64(c)) {
+      throw io_error("malformed MatrixMarket entry", origin, lineno);
+    }
+    if (r < 1 || r > h.rows || c < 1 || c > h.cols) {
+      throw io_error("MatrixMarket entry out of declared bounds", origin, lineno);
+    }
     el.push_back(static_cast<vertex_id_t>(r - 1), static_cast<vertex_id_t>(c - 1));
+    ++parsed;
+  }
+  if (parsed != h.nnz) {
+    throw io_error("MatrixMarket declares " + std::to_string(h.nnz) +
+                       " entries but stream contains " + std::to_string(parsed),
+                   origin, lineno);
   }
   return el;
 }
 
+/// Path-based entry point: slurps the file once and parses it in parallel
+/// on the default pool.
 inline biedgelist<> graph_reader(const std::string& path) {
-  std::ifstream in(path);
-  NW_ASSERT(in.is_open(), "cannot open MatrixMarket file");
-  return graph_reader(in);
+  auto text = io_detail::read_file_to_string(path);
+  return parse_matrix_market(text, path);
 }
 
 /// Read directly into the adjoin (single index set) form: hyperedges keep
@@ -83,31 +262,41 @@ inline biedgelist<> graph_reader(const std::string& path) {
 /// partition sizes through the two reference parameters, matching the
 /// paper's `graph_reader_adjoin(mm_file, nrealedges, nrealnodes)` call.
 inline nw::graph::edge_list<> graph_reader_adjoin(std::istream& in, std::size_t& nrealedges,
-                                                  std::size_t& nrealnodes) {
-  auto h     = detail::read_mm_header(in);
-  nrealedges = h.rows;
-  nrealnodes = h.cols;
-  nw::graph::edge_list<> el(h.rows + h.cols);
-  el.reserve(2 * h.nnz);
-  std::size_t r = 0, c = 0;
-  double      val = 0;
-  for (std::size_t i = 0; i < h.nnz; ++i) {
-    NW_ASSERT(static_cast<bool>(in >> r >> c), "truncated MatrixMarket entries");
-    if (!h.pattern) in >> val;
-    auto e = static_cast<vertex_id_t>(r - 1);
-    auto v = static_cast<vertex_id_t>(h.rows + c - 1);
-    el.push_back(e, v);
-    el.push_back(v, e);
+                                                  std::size_t& nrealnodes,
+                                                  const std::string& origin = {}) {
+  auto el    = graph_reader(in, origin);
+  nrealedges = el.num_vertices(0);
+  nrealnodes = el.num_vertices(1);
+  nw::graph::edge_list<> flat(nrealedges + nrealnodes);
+  flat.reserve(2 * el.size());
+  const auto& e_ids = el.edge_ids();
+  const auto& n_ids = el.node_ids();
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    auto e = e_ids[i];
+    auto v = static_cast<vertex_id_t>(n_ids[i] + nrealedges);
+    flat.push_back(e, v);
+    flat.push_back(v, e);
   }
-  return el;
+  return flat;
 }
 
 inline nw::graph::edge_list<> graph_reader_adjoin(const std::string& path,
                                                   std::size_t&       nrealedges,
                                                   std::size_t&       nrealnodes) {
-  std::ifstream in(path);
-  NW_ASSERT(in.is_open(), "cannot open MatrixMarket file");
-  return graph_reader_adjoin(in, nrealedges, nrealnodes);
+  auto el    = graph_reader(path);  // parallel parse
+  nrealedges = el.num_vertices(0);
+  nrealnodes = el.num_vertices(1);
+  nw::graph::edge_list<> flat(nrealedges + nrealnodes);
+  flat.reserve(2 * el.size());
+  const auto& e_ids = el.edge_ids();
+  const auto& n_ids = el.node_ids();
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    auto e = e_ids[i];
+    auto v = static_cast<vertex_id_t>(n_ids[i] + nrealedges);
+    flat.push_back(e, v);
+    flat.push_back(v, e);
+  }
+  return flat;
 }
 
 /// Write a biedgelist as a pattern MatrixMarket incidence matrix.
@@ -123,7 +312,7 @@ inline void write_matrix_market(std::ostream& out, const biedgelist<>& el) {
 
 inline void write_matrix_market(const std::string& path, const biedgelist<>& el) {
   std::ofstream out(path);
-  NW_ASSERT(out.is_open(), "cannot open output file");
+  if (!out.is_open()) throw io_error("cannot open output file", path);
   write_matrix_market(out, el);
 }
 

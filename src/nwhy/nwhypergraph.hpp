@@ -18,6 +18,7 @@
 #include "nwhy/algorithms/toplex.hpp"
 #include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
+#include "nwhy/io/csr_snapshot.hpp"
 #include "nwgraph/relabel.hpp"
 #include "nwhy/s_linegraph.hpp"
 #include "nwhy/slinegraph/construction.hpp"
@@ -42,6 +43,34 @@ public:
 
   /// Construct from an already-populated bipartite edge list.
   explicit NWHypergraph(biedgelist<> el) { init(std::move(el)); }
+
+  /// Construct from a loaded NWHYCSR2 snapshot.  CANONICAL snapshots are
+  /// adopted wholesale: the two CSRs (possibly zero-copy mmap views) become
+  /// the live bi-adjacency structures, the edge list is re-expanded in
+  /// parallel from the E2N rows, and a cached adjoin section is installed
+  /// directly.  Non-canonical snapshots fall back to the full
+  /// sort_and_unique + rebuild pipeline.
+  explicit NWHypergraph(csr_snapshot snap) {
+    if (snap.canonical()) {
+      el_           = snap.to_biedgelist();
+      hyperedges_   = std::move(snap.edges);
+      hypernodes_   = std::move(snap.nodes);
+      edge_degrees_ = hyperedges_.degrees();
+      node_degrees_ = hypernodes_.degrees();
+      if (snap.adjoin) adjoin_ = std::make_unique<adjoin_graph>(std::move(*snap.adjoin));
+      io_keepalive_ = std::move(snap.storage);
+    } else {
+      init(snap.to_biedgelist());
+    }
+  }
+
+  /// Serialize this hypergraph as a CANONICAL NWHYCSR2 snapshot.
+  /// `with_adjoin` additionally embeds the (lazily built) adjoin CSR so a
+  /// later load skips that construction too.
+  void save_csr_snapshot(const std::string& path, bool with_adjoin = false) const {
+    write_csr_snapshot(path, hyperedges_, hypernodes_, with_adjoin ? &adjoin() : nullptr,
+                       /*canonical=*/true);
+  }
 
   // --- representation accessors -------------------------------------------
 
@@ -182,6 +211,8 @@ private:
   std::vector<std::size_t>              edge_degrees_;
   std::vector<std::size_t>              node_degrees_;
   mutable std::unique_ptr<adjoin_graph> adjoin_;
+  /// Owns the mmap'd snapshot bytes when the CSRs are zero-copy views.
+  std::shared_ptr<const void>           io_keepalive_;
 };
 
 }  // namespace nw::hypergraph

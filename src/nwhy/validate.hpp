@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
 #include "nwutil/defs.hpp"
 
@@ -89,6 +90,83 @@ inline validation_report validate(const biedgelist<>& el) {
   }
   for (auto s : edge_seen) r.empty_hyperedges += s == 0;
   for (auto s : node_seen) r.isolated_nodes += s == 0;
+  return r;
+}
+
+/// Cross-consistency report for a bi-adjacency pair (what `nwhy_tool
+/// inspect` runs against a loaded NWHYCSR2 snapshot): the two CSRs must be
+/// exact transposes of each other and each row sorted.  Exact defect
+/// counts, same philosophy as validate() above.
+struct csr_consistency_report {
+  std::size_t incidences_e2n    = 0;  ///< |E2N| target count
+  std::size_t incidences_n2e    = 0;  ///< |N2E| target count
+  std::size_t out_of_bounds     = 0;  ///< targets outside the opposite partition
+  std::size_t unsorted_rows     = 0;  ///< rows whose neighbor list is not ascending
+  std::size_t transpose_misses  = 0;  ///< (e,v) in E2N without matching (v,e) in N2E
+
+  [[nodiscard]] bool consistent() const {
+    return incidences_e2n == incidences_n2e && out_of_bounds == 0 && unsorted_rows == 0 &&
+           transpose_misses == 0;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s;
+    if (incidences_e2n != incidences_n2e) {
+      s += "INCIDENCE COUNTS DISAGREE (" + std::to_string(incidences_e2n) + " vs " +
+           std::to_string(incidences_n2e) + "); ";
+    } else {
+      s += std::to_string(incidences_e2n) + " incidences agree; ";
+    }
+    s += out_of_bounds == 0 ? "targets in bounds; "
+                            : std::to_string(out_of_bounds) + " TARGETS OUT OF BOUNDS; ";
+    s += unsorted_rows == 0 ? "rows sorted; "
+                            : std::to_string(unsorted_rows) + " UNSORTED ROWS; ";
+    s += transpose_misses == 0 ? "transpose exact"
+                               : std::to_string(transpose_misses) + " TRANSPOSE MISSES";
+    return s;
+  }
+};
+
+/// Check that `edges` (E2N) and `nodes` (N2E) describe the same incidence
+/// set.  Binary-searches each (e, v) of E2N in N2E's row v — valid because
+/// canonical rows are sorted; unsorted N2E rows are counted separately and
+/// also probed linearly so the miss count stays exact.
+inline csr_consistency_report validate_csr_pair(const biadjacency<0>& edges,
+                                                const biadjacency<1>& nodes) {
+  csr_consistency_report r;
+  r.incidences_e2n = edges.num_edges();
+  r.incidences_n2e = nodes.num_edges();
+  const std::size_t ne = edges.num_sources();
+  const std::size_t nv = nodes.num_sources();
+
+  std::vector<char> n2e_sorted(nv, 1);
+  for (std::size_t v = 0; v < nv; ++v) {
+    auto row = nodes[v];
+    if (!std::is_sorted(row.begin(), row.end())) {
+      ++r.unsorted_rows;
+      n2e_sorted[v] = 0;
+    }
+    for (auto e : row) {
+      if (e >= ne) ++r.out_of_bounds;
+    }
+  }
+  for (std::size_t e = 0; e < ne; ++e) {
+    auto row = edges[e];
+    if (!std::is_sorted(row.begin(), row.end())) ++r.unsorted_rows;
+    for (auto v : row) {
+      if (v >= nv) {
+        ++r.out_of_bounds;
+        continue;
+      }
+      auto back = nodes[v];
+      bool hit  = n2e_sorted[v]
+                      ? std::binary_search(back.begin(), back.end(),
+                                           static_cast<vertex_id_t>(e))
+                      : std::find(back.begin(), back.end(), static_cast<vertex_id_t>(e)) !=
+                            back.end();
+      if (!hit) ++r.transpose_misses;
+    }
+  }
   return r;
 }
 

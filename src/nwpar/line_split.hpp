@@ -1,0 +1,72 @@
+// nwpar/line_split.hpp
+//
+// Line-boundary byte-range splitter — the front half of every parallel text
+// ingest path.  A text file is divided into ~equal byte ranges, and each
+// tentative boundary is advanced to just past the next '\n' so no line is
+// ever split across two workers.  The returned ranges are contiguous,
+// non-overlapping, in file order, and cover [begin, end) exactly, so a
+// per-range parse followed by an in-order merge reproduces the serial parse
+// bit-for-bit.
+//
+// The splitter is format-agnostic (it only knows about '\n'); CRLF inputs
+// work unchanged because "\r\n" still ends in '\n'.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace nw::par {
+
+/// One half-open byte range [begin, end) of a text buffer.
+struct byte_range {
+  std::size_t begin = 0;
+  std::size_t end   = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool        empty() const { return begin >= end; }
+
+  friend bool operator==(const byte_range&, const byte_range&) = default;
+};
+
+/// Split text[begin, end) into at most `parts` ranges whose internal
+/// boundaries fall immediately after a '\n'.  Guarantees:
+///
+///   * ranges are returned in order, contiguous, and cover [begin, end);
+///   * every range except possibly the last ends just past a '\n';
+///   * a line longer than (end - begin) / parts lands entirely in one range
+///     (following ranges may be empty and are dropped);
+///   * parts == 0 is treated as 1.
+///
+/// The final range ends at `end` even when the text lacks a trailing
+/// newline, so the last (unterminated) line is still parsed.
+inline std::vector<byte_range> split_line_ranges(std::string_view text, std::size_t begin,
+                                                 std::size_t end, std::size_t parts) {
+  if (end > text.size()) end = text.size();
+  if (begin > end) begin = end;
+  std::vector<byte_range> out;
+  if (begin == end) return out;
+  if (parts <= 1 || end - begin < 2 * parts) {
+    out.push_back({begin, end});
+    return out;
+  }
+  const std::size_t target = (end - begin) / parts;
+  std::size_t       cursor = begin;
+  for (std::size_t p = 0; p < parts && cursor < end; ++p) {
+    std::size_t stop = (p + 1 == parts) ? end : begin + (p + 1) * target;
+    if (stop <= cursor) stop = cursor;  // a long line swallowed this part's budget
+    if (stop < end) {
+      // Advance to just past the next '\n' so the boundary is line-aligned.
+      const char* nl = static_cast<const char*>(
+          std::memchr(text.data() + stop, '\n', end - stop));
+      stop = nl != nullptr ? static_cast<std::size_t>(nl - text.data()) + 1 : end;
+    }
+    if (stop > cursor) out.push_back({cursor, stop});
+    cursor = stop;
+  }
+  if (cursor < end) out.push_back({cursor, end});  // defensive; unreachable in practice
+  return out;
+}
+
+}  // namespace nw::par

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "nwgraph/concepts.hpp"  // nw::graph::target for the CSR canonicalizers
 #include "nwhy/ref/ref.hpp"
 #include "nwpar/thread_pool.hpp"
 #include "nwutil/defs.hpp"

@@ -1,13 +1,22 @@
 // tests/test_io.cpp — MatrixMarket (bipartite + adjoin readers), KONECT
-// bipartite TSV, and the binary snapshot format.
+// bipartite TSV, and the binary snapshot format.  Covers both parse
+// engines: the streaming serial readers and the parallel byte-range
+// engines behind the path-based entry points, which must agree
+// bit-for-bit at every thread count (including on CRLF, comment-heavy and
+// blank-line corpora).  All defects surface as nw::hypergraph::io_error
+// with context — never a process abort.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "nwhy/gen/generators.hpp"
 #include "nwhy/io/binary.hpp"
+#include "nwhy/io/io_error.hpp"
 #include "nwhy/io/konect.hpp"
 #include "nwhy/io/matrix_market.hpp"
+#include "nwpar/line_split.hpp"
+#include "prop_harness.hpp"
 #include "test_util.hpp"
 
 using namespace nw::hypergraph;
@@ -76,18 +85,68 @@ TEST(MatrixMarket, RealValuedEntriesAccepted) {
 }
 
 TEST(MatrixMarket, RejectsGarbage) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
   std::istringstream in("this is not a matrix\n1 2 3\n");
-  EXPECT_DEATH(graph_reader(in), "banner");
+  EXPECT_THROW(
+      {
+        try {
+          graph_reader(in);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("banner"), std::string::npos);
+          EXPECT_EQ(e.line(), 1u);
+          throw;
+        }
+      },
+      io_error);
 }
 
 TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
   std::istringstream in(
       "%%MatrixMarket matrix coordinate pattern general\n"
       "2 2 1\n"
       "3 1\n");
-  EXPECT_DEATH(graph_reader(in), "bounds");
+  EXPECT_THROW(
+      {
+        try {
+          graph_reader(in);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("bounds"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+}
+
+TEST(MatrixMarket, ParallelRejectsOutOfBoundsWithLineContext) {
+  // Same defect through the parallel engine: deterministic (first defect in
+  // file order) and carrying exact line/byte context.
+  std::string text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "3 1\n";
+  EXPECT_THROW(
+      {
+        try {
+          parse_matrix_market(text);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("bounds"), std::string::npos);
+          EXPECT_EQ(e.line(), 4u);
+          EXPECT_NE(e.byte_offset(), io_error::npos);
+          throw;
+        }
+      },
+      io_error);
+}
+
+TEST(MatrixMarket, RejectsEntryCountMismatch) {
+  std::string text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 5\n"
+      "1 1\n"
+      "2 2\n";
+  EXPECT_THROW(parse_matrix_market(text), io_error);
+  std::istringstream in(text);
+  EXPECT_THROW(graph_reader(in), io_error);
 }
 
 TEST(MatrixMarket, AdjoinReaderShiftsNodeIds) {
@@ -157,9 +216,28 @@ TEST(Binary, RoundTrip) {
 }
 
 TEST(Binary, RejectsWrongMagic) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
   std::istringstream in("NOTMAGIC followed by junk", std::ios::binary);
-  EXPECT_DEATH(read_binary(in), "snapshot");
+  EXPECT_THROW(
+      {
+        try {
+          read_binary(in);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("snapshot"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+}
+
+TEST(Binary, RejectsTruncatedBody) {
+  auto el = nwtest::figure1_hypergraph();
+  el.sort_and_unique();
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, el);
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 5);  // chop the tail of the node-id column
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(read_binary(in), io_error);
 }
 
 TEST(Binary, EmptyHypergraphRoundTrips) {
@@ -181,4 +259,132 @@ TEST(Binary, RoundTripLargeRandom) {
   auto               back = read_binary(in);
   ASSERT_EQ(back.size(), el.size());
   for (std::size_t i = 0; i < el.size(); i += 97) EXPECT_EQ(back[i], el[i]);
+}
+
+// --- parallel vs. serial parse agreement ------------------------------------
+
+namespace {
+
+void expect_same_list(const biedgelist<>& a, const biedgelist<>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.num_vertices(0), b.num_vertices(0));
+  EXPECT_EQ(a.num_vertices(1), b.num_vertices(1));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "incidence " << i << " differs";
+  }
+}
+
+/// A deliberately awkward MatrixMarket corpus: CRLF line endings, comment
+/// and blank lines scattered through the body, trailing value fields, no
+/// final newline.
+std::string awkward_mm_corpus() {
+  auto        el = gen::uniform_random_hypergraph(60, 40, 5, 0xA11CE);
+  std::string text =
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% comment before the size line\r\n"
+      "\r\n";
+  text += std::to_string(el.num_vertices(0)) + " " + std::to_string(el.num_vertices(1)) + " " +
+          std::to_string(el.size()) + "\r\n";
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    auto [e, v] = el[i];
+    if (i % 7 == 0) text += "% body comment\r\n";
+    if (i % 11 == 0) text += "\r\n";
+    text += std::to_string(e + 1) + " " + std::to_string(v + 1) + " 1.0";
+    if (i + 1 != el.size()) text += "\r\n";
+  }
+  return text;
+}
+
+std::string awkward_konect_corpus() {
+  auto        el = gen::uniform_random_hypergraph(50, 70, 4, 0xBEEF1);
+  std::string text = "% bip metadata header\n# hash comment\n";
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    auto [e, v] = el[i];
+    if (i % 9 == 0) text += "\n";
+    if (i % 13 == 0) text += "stray metadata row\n";
+    text += std::to_string(e + 1) + "\t" + std::to_string(v + 1);
+    if (i % 5 == 0) text += " 3 1700000000";  // weight + timestamp columns
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace
+
+TEST(ParallelParse, MatrixMarketMatchesSerialAtAllThreadCounts) {
+  nwtest::concurrency_guard guard;
+  auto               text = awkward_mm_corpus();
+  std::istringstream in(text);
+  auto               serial = graph_reader(in);
+  for (unsigned threads : nwtest::differential_thread_counts()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    nw::par::thread_pool::set_default_concurrency(threads);
+    auto parallel = parse_matrix_market(text);
+    expect_same_list(serial, parallel);
+  }
+}
+
+TEST(ParallelParse, KonectMatchesSerialAtAllThreadCounts) {
+  nwtest::concurrency_guard guard;
+  auto               text = awkward_konect_corpus();
+  std::istringstream in(text);
+  auto               serial = read_konect_bipartite(in);
+  for (unsigned threads : nwtest::differential_thread_counts()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    nw::par::thread_pool::set_default_concurrency(threads);
+    auto parallel = parse_konect_bipartite(text);
+    expect_same_list(serial, parallel);
+  }
+}
+
+TEST(ParallelParse, EmptyBodyAndCommentOnlyCorpora) {
+  nwtest::concurrency_guard guard;
+  std::string mm =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 0\n"
+      "% nothing else\n"
+      "\n";
+  std::string konect = "% only comments\n# and hashes\n\n";
+  for (unsigned threads : nwtest::differential_thread_counts()) {
+    nw::par::thread_pool::set_default_concurrency(threads);
+    auto el = parse_matrix_market(mm);
+    EXPECT_EQ(el.size(), 0u);
+    EXPECT_EQ(el.num_vertices(0), 3u);
+    EXPECT_EQ(el.num_vertices(1), 4u);
+    auto kel = parse_konect_bipartite(konect);
+    EXPECT_EQ(kel.size(), 0u);
+  }
+}
+
+TEST(ParallelParse, KonectRejectsZeroBasedIdsDeterministically) {
+  nwtest::concurrency_guard guard;
+  std::string text = "1 1\n2 2\n0 3\n4 4\n0 5\n";  // two defects; first wins
+  for (unsigned threads : nwtest::differential_thread_counts()) {
+    nw::par::thread_pool::set_default_concurrency(threads);
+    EXPECT_THROW(
+        {
+          try {
+            parse_konect_bipartite(text);
+          } catch (const io_error& e) {
+            EXPECT_EQ(e.line(), 3u) << "first defect in file order must win";
+            throw;
+          }
+        },
+        io_error);
+  }
+}
+
+TEST(ParallelParse, SplitLineRangesCoverAndAlign) {
+  std::string text = "aa\nbbbb\nc\n\ndddddd\nee";
+  for (std::size_t parts : {1u, 2u, 3u, 8u}) {
+    auto ranges = nw::par::split_line_ranges(text, 0, text.size(), parts);
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_EQ(ranges.front().begin, 0u);
+    EXPECT_EQ(ranges.back().end, text.size());
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);  // contiguous
+      // Every interior boundary sits just past a newline.
+      EXPECT_EQ(text[ranges[i].begin - 1], '\n');
+    }
+  }
 }

@@ -1,0 +1,343 @@
+// tests/test_io_snapshot.cpp — NWHYCSR2 CSR snapshots: mmap zero-copy and
+// streamed round-trips, corruption/truncation rejection, and adoption into
+// NWHypergraph.
+//
+// The round-trip property runs over the differential seed stream
+// (NWHY_TEST_SEED / NWHY_TEST_ITERS, see prop_harness.hpp) and the
+// {1, 2, 4, hw} thread sweep: write -> mmap-read -> bit-exact CSR equality
+// must hold at every thread count, because the parallel pieces (biedgelist
+// re-expansion, degree computation) must not depend on scheduling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nwhy/gen/generators.hpp"
+#include "nwhy/io/csr_snapshot.hpp"
+#include "nwhy/io/io_error.hpp"
+#include "nwhy/nwhypergraph.hpp"
+#include "nwhy/validate.hpp"
+#include "prop_harness.hpp"
+#include "test_util.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+namespace {
+
+/// A unique scratch path per test, removed on destruction.
+struct scratch_file {
+  std::string path;
+  explicit scratch_file(const std::string& tag) {
+    static int counter = 0;
+    path = (std::filesystem::temp_directory_path() /
+            ("nwhy_snap_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++) + ".nwcsr"))
+               .string();
+  }
+  ~scratch_file() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream s;
+  s << in.rdbuf();
+  return s.str();
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <class A, class B>
+void expect_same_csr(const A& a, const B& b) {
+  auto ai = a.indices();
+  auto bi = b.indices();
+  auto at = a.targets();
+  auto bt = b.targets();
+  ASSERT_EQ(ai.size(), bi.size());
+  ASSERT_EQ(at.size(), bt.size());
+  for (std::size_t i = 0; i < ai.size(); ++i) ASSERT_EQ(ai[i], bi[i]) << "offset row " << i;
+  for (std::size_t i = 0; i < at.size(); ++i) ASSERT_EQ(at[i], bt[i]) << "target slot " << i;
+}
+
+/// Recompute and patch the header checksum after a deliberate header/table
+/// mutation, so a test can reach past the checksum to the semantic check
+/// behind it (e.g. version rejection).
+void refresh_header_checksum(std::string& bytes) {
+  namespace d = csr_detail;
+  auto* p     = reinterpret_cast<unsigned char*>(bytes.data());
+  const std::uint32_t count     = d::get_u32(p + 40);
+  const std::size_t   table_end = d::header_bytes + std::size_t{count} * d::table_entry_bytes;
+  std::uint64_t       h         = d::fnv1a64(p, d::checksummed_header);
+  h = d::fnv1a64(p + d::header_bytes, table_end - d::header_bytes, h);
+  d::put_u64(p + 56, h);
+}
+
+}  // namespace
+
+TEST(CsrSnapshot, MmapRoundTripIsBitExactAcrossSeedsAndThreads) {
+  nwtest::concurrency_guard guard;
+  for (auto seed : nwtest::differential_seeds(0x5A90)) {
+    NWHY_SEED_TRACE(seed);
+    NWHypergraph hg(gen::arbitrary_hypergraph(seed));
+    scratch_file f("roundtrip");
+    hg.save_csr_snapshot(f.path);
+    for (unsigned threads : nwtest::differential_thread_counts()) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      nw::par::thread_pool::set_default_concurrency(threads);
+      auto snap = load_csr_snapshot(f.path, /*verify_checksums=*/true);
+      EXPECT_TRUE(snap.canonical());
+      EXPECT_EQ(snap.n0, hg.num_hyperedges());
+      EXPECT_EQ(snap.n1, hg.num_hypernodes());
+      EXPECT_EQ(snap.m, hg.num_incidences());
+      expect_same_csr(snap.edges.csr(), hg.hyperedges().csr());
+      expect_same_csr(snap.nodes.csr(), hg.hypernodes().csr());
+      // Re-expanded incidence list == the canonical edge list.
+      auto el = snap.to_biedgelist();
+      ASSERT_EQ(el.size(), hg.edge_list().size());
+      for (std::size_t i = 0; i < el.size(); ++i) ASSERT_EQ(el[i], hg.edge_list()[i]);
+      // The CSR pair must still be exact mutual transposes.
+      auto cons = validate_csr_pair(snap.edges, snap.nodes);
+      EXPECT_TRUE(cons.consistent()) << cons.to_string();
+    }
+  }
+}
+
+TEST(CsrSnapshot, StreamAndMmapReadersAgree) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0xCAFE));
+  scratch_file f("stream");
+  hg.save_csr_snapshot(f.path);
+#if NWHY_HAS_MMAP
+  auto mapped = map_csr_snapshot(f.path, /*verify_checksums=*/true);
+  EXPECT_TRUE(mapped.zero_copy());
+  EXPECT_TRUE(mapped.edges.csr().is_external());
+#endif
+  std::ifstream in(f.path, std::ios::binary);
+  auto          streamed = read_csr_snapshot(in, f.path);
+  EXPECT_FALSE(streamed.zero_copy());
+  EXPECT_FALSE(streamed.edges.csr().is_external());
+#if NWHY_HAS_MMAP
+  expect_same_csr(mapped.edges.csr(), streamed.edges.csr());
+  expect_same_csr(mapped.nodes.csr(), streamed.nodes.csr());
+#endif
+  expect_same_csr(streamed.edges.csr(), hg.hyperedges().csr());
+}
+
+TEST(CsrSnapshot, PipeStyleStringStreamRoundTrip) {
+  NWHypergraph       hg(nwtest::figure1_hypergraph());
+  std::ostringstream out(std::ios::binary);
+  write_csr_snapshot(out, hg.hyperedges(), hg.hypernodes());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto               snap = read_csr_snapshot(in);
+  expect_same_csr(snap.edges.csr(), hg.hyperedges().csr());
+  expect_same_csr(snap.nodes.csr(), hg.hypernodes().csr());
+}
+
+TEST(CsrSnapshot, AdjoinSectionRoundTrips) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0xADA0));
+  scratch_file f("adjoin");
+  hg.save_csr_snapshot(f.path, /*with_adjoin=*/true);
+  auto snap = load_csr_snapshot(f.path, /*verify_checksums=*/true);
+  ASSERT_TRUE(snap.adjoin.has_value());
+  EXPECT_EQ(snap.adjoin->nrealedges, hg.num_hyperedges());
+  EXPECT_EQ(snap.adjoin->nrealnodes, hg.num_hypernodes());
+  expect_same_csr(snap.adjoin->graph, hg.adjoin().graph);
+  // Adoption installs the cached adjoin without a rebuild.
+  NWHypergraph loaded(std::move(snap));
+  expect_same_csr(loaded.adjoin().graph, hg.adjoin().graph);
+}
+
+TEST(CsrSnapshot, NWHypergraphAdoptionPreservesAlgorithms) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0xBF5));
+  scratch_file f("adopt");
+  hg.save_csr_snapshot(f.path);
+  NWHypergraph loaded(load_csr_snapshot(f.path));
+  EXPECT_EQ(loaded.num_hyperedges(), hg.num_hyperedges());
+  EXPECT_EQ(loaded.num_hypernodes(), hg.num_hypernodes());
+  EXPECT_EQ(loaded.num_incidences(), hg.num_incidences());
+  EXPECT_EQ(loaded.edge_sizes(), hg.edge_sizes());
+  EXPECT_EQ(loaded.node_degrees(), hg.node_degrees());
+  auto cc1 = hg.connected_components();
+  auto cc2 = loaded.connected_components();
+  EXPECT_TRUE(nwtest::same_partition(cc1.labels_edge, cc2.labels_edge));
+  EXPECT_TRUE(nwtest::same_partition(cc1.labels_node, cc2.labels_node));
+  if (hg.num_hyperedges() > 0) {
+    auto b1 = hg.bfs(0);
+    auto b2 = loaded.bfs(0);
+    EXPECT_EQ(b1.dist_edge, b2.dist_edge);
+    EXPECT_EQ(b1.dist_node, b2.dist_node);
+  }
+}
+
+TEST(CsrSnapshot, EmptyHypergraphRoundTrips) {
+  NWHypergraph hg(biedgelist<>(5, 7));
+  scratch_file f("empty");
+  hg.save_csr_snapshot(f.path);
+  auto snap = load_csr_snapshot(f.path, /*verify_checksums=*/true);
+  EXPECT_EQ(snap.n0, 5u);
+  EXPECT_EQ(snap.n1, 7u);
+  EXPECT_EQ(snap.m, 0u);
+  EXPECT_EQ(snap.edges.num_edges(), 0u);
+  auto el = snap.to_biedgelist();
+  EXPECT_EQ(el.size(), 0u);
+  EXPECT_EQ(el.num_vertices(0), 5u);
+  EXPECT_EQ(el.num_vertices(1), 7u);
+}
+
+TEST(CsrSnapshot, NonCanonicalSnapshotTriggersRebuild) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0xDEC0));
+  scratch_file f("noncanon");
+  write_csr_snapshot(f.path, hg.hyperedges(), hg.hypernodes(), nullptr, /*canonical=*/false);
+  auto snap = load_csr_snapshot(f.path);
+  EXPECT_FALSE(snap.canonical());
+  NWHypergraph rebuilt(std::move(snap));  // falls back to sort_and_unique + rebuild
+  expect_same_csr(rebuilt.hyperedges().csr(), hg.hyperedges().csr());
+}
+
+// --- rejection paths --------------------------------------------------------
+
+TEST(CsrSnapshot, RejectsBadMagic) {
+  scratch_file f("badmagic");
+  dump(f.path, "NOTNWHY2 plus whatever follows, padded well past sixty-four bytes......");
+  EXPECT_THROW(
+      {
+        try {
+          load_csr_snapshot(f.path);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+  std::istringstream in("NOTNWHY2 short", std::ios::binary);
+  EXPECT_THROW(read_csr_snapshot(in), io_error);
+}
+
+TEST(CsrSnapshot, RejectsTruncationAtEveryLayer) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  scratch_file f("trunc");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  ASSERT_GT(bytes.size(), 128u);
+  // Chop inside: header, section table, first payload, last payload.
+  for (std::size_t keep : {std::size_t{10}, std::size_t{70}, std::size_t{200},
+                           bytes.size() - 3}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    scratch_file cut("trunc_cut");
+    dump(cut.path, bytes.substr(0, keep));
+    EXPECT_THROW(load_csr_snapshot(cut.path), io_error);
+    std::istringstream in(bytes.substr(0, keep), std::ios::binary);
+    EXPECT_THROW(read_csr_snapshot(in), io_error);
+  }
+}
+
+TEST(CsrSnapshot, RejectsHeaderCorruption) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  scratch_file f("hdrcorrupt");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  bytes[17] ^= 0x40;  // flip a bit inside n0
+  scratch_file bad("hdrcorrupt_bad");
+  dump(bad.path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          load_csr_snapshot(bad.path);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+}
+
+TEST(CsrSnapshot, RejectsPayloadCorruption) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0xC0DE));
+  scratch_file f("paycorrupt");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  bytes[bytes.size() - 1] ^= 0x01;  // flip a bit in the last payload
+  // The streamed reader always verifies checksums...
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(read_csr_snapshot(in), io_error);
+  scratch_file bad("paycorrupt_bad");
+  dump(bad.path, bytes);
+  // ...the mmap loader only when asked (zero-copy loads stay O(page faults)).
+  EXPECT_THROW(load_csr_snapshot(bad.path, /*verify_checksums=*/true), io_error);
+}
+
+TEST(CsrSnapshot, RejectsUnsupportedVersion) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  scratch_file f("version");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  csr_detail::put_u32(reinterpret_cast<unsigned char*>(bytes.data()) + 8, 99);
+  refresh_header_checksum(bytes);
+  scratch_file bad("version_bad");
+  dump(bad.path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          load_csr_snapshot(bad.path);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+}
+
+TEST(CsrSnapshot, RejectsOutOfBoundsSection) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  scratch_file f("oob");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  // Push the first section's offset past the declared file size.
+  namespace d = csr_detail;
+  auto* entry = reinterpret_cast<unsigned char*>(bytes.data()) + d::header_bytes;
+  d::put_u64(entry + 8, 1u << 30);
+  refresh_header_checksum(bytes);
+  scratch_file bad("oob_bad");
+  dump(bad.path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          load_csr_snapshot(bad.path);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("bounds"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+}
+
+TEST(CsrSnapshot, CopyOfMmapViewIsOwningDeepCopy) {
+#if NWHY_HAS_MMAP
+  NWHypergraph hg(gen::arbitrary_hypergraph(0xD33D));
+  scratch_file f("deepcopy");
+  hg.save_csr_snapshot(f.path);
+  nw::graph::adjacency<> copy;
+  {
+    auto snap = map_csr_snapshot(f.path);
+    ASSERT_TRUE(snap.edges.csr().is_external());
+    copy = snap.edges.csr();  // deep copy into owned storage
+    EXPECT_FALSE(copy.is_external());
+  }  // snapshot + mapping destroyed here
+  // The copy must survive the unmap.
+  expect_same_csr(copy, hg.hyperedges().csr());
+#else
+  GTEST_SKIP() << "no mmap on this platform";
+#endif
+}

@@ -2,8 +2,9 @@
 //
 // Command-line front end to the framework — the quickest way to run NWHy
 // on your own data without writing C++.  Input formats: MatrixMarket
-// incidence matrices (.mtx), KONECT bipartite TSV (.tsv), or NWHy binary
-// snapshots (.bin).
+// incidence matrices (.mtx), KONECT bipartite TSV (.tsv), NWHy legacy
+// binary snapshots (.bin, NWHYBIN1), or zero-copy CSR snapshots (.nwcsr,
+// NWHYCSR2 — see docs/IO_FORMATS.md).
 //
 //   nwhy_tool stats      <file>                 Table-I style characteristics
 //   nwhy_tool components <file>                 exact CC (both engines, timed)
@@ -13,11 +14,22 @@
 //   nwhy_tool smetrics   <file> <s>             connectivity/centrality summary
 //   nwhy_tool toplexes   <file>                 maximal hyperedges
 //   nwhy_tool collapse   <file>                 duplicate-hyperedge collapse
-//   nwhy_tool convert    <in> <out.bin|out.mtx> format conversion
+//   nwhy_tool convert    <in> <out> [--adjoin]  format conversion (.bin, .mtx,
+//                                               .nwcsr; --adjoin embeds the
+//                                               adjoin CSR in .nwcsr output)
+//   nwhy_tool inspect    <file>                 validate + report: snapshot
+//                                               header/section layout and CSR
+//                                               cross-consistency for .nwcsr,
+//                                               edge-list canonicality checks
+//                                               for every other format
 //   nwhy_tool generate   <name> <scale> <out>   emit a Table-I analog dataset
 //   nwhy_tool profile    <file> [s]             run all three instrumented
 //                                               algorithm families (BFS,
 //                                               s-line construction, toplexes)
+//
+// Malformed input never aborts: every reader throws nw::hypergraph::io_error
+// with file/line/byte context, which main() turns into an `error:` line on
+// stderr and a nonzero exit.
 //
 // Any command accepts `--profile out.json` anywhere on the line: after the
 // command finishes, the observability registry (counters, phase timers,
@@ -37,18 +49,28 @@ using nw::vertex_id_t;
 
 namespace {
 
+bool has_suffix(const std::string& path, const char* suffix) {
+  std::size_t n = std::strlen(suffix);
+  return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+}
+
 biedgelist<> load(const std::string& path) {
-  auto ends_with = [&](const char* suffix) {
-    std::size_t n = std::strlen(suffix);
-    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
-  };
+  auto ends_with = [&](const char* suffix) { return has_suffix(path, suffix); };
+  if (ends_with(".nwcsr")) return load_csr_snapshot(path).to_biedgelist();
   if (ends_with(".bin")) return read_binary(path);
   if (ends_with(".tsv") || ends_with(".konect")) return read_konect_bipartite(path);
   return graph_reader(path);  // MatrixMarket by default
 }
 
+/// Build the hypergraph facade; .nwcsr snapshots are adopted zero-copy
+/// (CANONICAL CSRs become the live bi-adjacency, no rebuild).
+NWHypergraph load_hypergraph(const std::string& path) {
+  if (has_suffix(path, ".nwcsr")) return NWHypergraph(load_csr_snapshot(path));
+  return NWHypergraph(load(path));
+}
+
 int cmd_stats(const std::string& path) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   auto es = nw::compute_degree_stats(std::span<const std::size_t>(hg.edge_sizes()));
   auto ns = nw::compute_degree_stats(std::span<const std::size_t>(hg.node_degrees()));
   std::printf("hyperedges   : %zu\n", hg.num_hyperedges());
@@ -67,7 +89,7 @@ int cmd_stats(const std::string& path) {
 }
 
 int cmd_components(const std::string& path) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   nw::timer    t1;
   auto         exact = hg.connected_components();
   double       ms1   = t1.elapsed_ms();
@@ -87,7 +109,7 @@ int cmd_components(const std::string& path) {
 }
 
 int cmd_bfs(const std::string& path, vertex_id_t source) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   if (source >= hg.num_hyperedges()) {
     std::fprintf(stderr, "error: source %u out of range (%zu hyperedges)\n", source,
                  hg.num_hyperedges());
@@ -112,7 +134,7 @@ int cmd_bfs(const std::string& path, vertex_id_t source) {
 }
 
 int cmd_slinegraph(const std::string& path, std::size_t s, const char* out) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   nw::timer    t;
   auto         lg = hg.make_s_linegraph(s);
   std::printf("L_%zu(H): %zu vertices, %zu edges (%.2f ms)\n", s, lg.num_vertices(),
@@ -137,7 +159,7 @@ int cmd_slinegraph(const std::string& path, std::size_t s, const char* out) {
 }
 
 int cmd_smetrics(const std::string& path, std::size_t s) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   auto         lg = hg.make_s_linegraph(s);
   std::printf("s = %zu: %zu line edges, %s\n", s, lg.num_edges(),
               lg.is_s_connected() ? "s-connected" : "not s-connected");
@@ -160,7 +182,7 @@ int cmd_smetrics(const std::string& path, std::size_t s) {
 }
 
 int cmd_slcompare(const std::string& path, std::size_t s) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   const auto&  he = hg.hyperedges();
   const auto&  hn = hg.hypernodes();
   const auto&  deg = hg.edge_sizes();
@@ -206,7 +228,7 @@ int cmd_generate(const std::string& name, std::size_t scale, const std::string& 
 }
 
 int cmd_toplexes(const std::string& path) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   nw::timer    t;
   auto         tops = hg.toplexes();
   std::printf("%zu toplexes among %zu hyperedges (%.2f ms)\n", tops.size(),
@@ -228,7 +250,7 @@ int cmd_toplexes(const std::string& path) {
 /// hashmap probes, queue occupancy for Algorithms 1-2), and toplex mining
 /// (dominance checks performed vs. skipped).
 int cmd_profile(const std::string& path, std::size_t s) {
-  NWHypergraph hg(load(path));
+  NWHypergraph hg = load_hypergraph(path);
   const auto&  he  = hg.hyperedges();
   const auto&  hn  = hg.hypernodes();
   const auto&  deg = hg.edge_sizes();
@@ -277,15 +299,58 @@ int cmd_collapse(const std::string& path) {
   return 0;
 }
 
-int cmd_convert(const std::string& in, const std::string& out) {
+int cmd_convert(const std::string& in, const std::string& out, bool with_adjoin) {
+  if (has_suffix(out, ".nwcsr")) {
+    NWHypergraph hg = load_hypergraph(in);
+    hg.save_csr_snapshot(out, with_adjoin);
+    std::printf("wrote %s (%zu incidences, canonical CSR snapshot%s)\n", out.c_str(),
+                hg.num_incidences(), with_adjoin ? ", with adjoin" : "");
+    return 0;
+  }
   auto el = load(in);
   el.sort_and_unique();
-  if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
+  if (has_suffix(out, ".bin")) {
     write_binary(out, el);
   } else {
     write_matrix_market(out, el);
   }
   std::printf("wrote %s (%zu incidences)\n", out.c_str(), el.size());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  if (has_suffix(path, ".nwcsr")) {
+    // Full integrity audit: checksum every section, then cross-check the
+    // two CSRs against each other.
+    auto snap = load_csr_snapshot(path, /*verify_checksums=*/true);
+    std::printf("NWHYCSR2 snapshot: %s\n", path.c_str());
+    std::printf("  version      : %u\n", snap.version);
+    std::printf("  flags        : 0x%x (%s%s)\n", snap.flags,
+                snap.canonical() ? "canonical" : "non-canonical",
+                snap.adjoin ? ", has-adjoin" : "");
+    std::printf("  hyperedges   : %llu\n", static_cast<unsigned long long>(snap.n0));
+    std::printf("  hypernodes   : %llu\n", static_cast<unsigned long long>(snap.n1));
+    std::printf("  incidences   : %llu\n", static_cast<unsigned long long>(snap.m));
+    std::printf("  load path    : %s\n", snap.zero_copy() ? "mmap (zero-copy)" : "streamed");
+    if (snap.adjoin) {
+      std::printf("  adjoin CSR   : %zu ids, %zu directed edges\n", snap.adjoin->num_ids(),
+                  snap.adjoin->graph.num_edges());
+    }
+    auto cons = validate_csr_pair(snap.edges, snap.nodes);
+    std::printf("  checksums    : ok (all sections verified)\n");
+    std::printf("  consistency  : %s\n", cons.to_string().c_str());
+    if (!cons.consistent()) {
+      std::fprintf(stderr, "error: snapshot CSRs are not mutual transposes\n");
+      return 1;
+    }
+    return 0;
+  }
+  auto el = load(path);
+  auto r  = validate(el);
+  std::printf("%s: %zu hyperedges, %zu hypernodes, %zu incidences\n", path.c_str(),
+              el.num_vertices(0), el.num_vertices(1), el.size());
+  std::printf("  validation   : %s\n", r.to_string().c_str());
+  std::printf("  canonical    : %s\n", r.canonical() ? "yes" : "no (sort_and_unique required)");
   return 0;
 }
 
@@ -300,7 +365,8 @@ void usage() {
                "  smetrics   <file> <s>\n"
                "  toplexes   <file>\n"
                "  collapse   <file>\n"
-               "  convert    <in> <out.bin|out.mtx>\n"
+               "  convert    <in> <out.bin|out.mtx|out.nwcsr> [--adjoin]\n"
+               "  inspect    <file>\n"
                "  generate   <dataset-name> <scale> <out.bin|out.mtx>\n"
                "  profile    <file> [s]\n"
                "  --profile out.json   write observability counters/timers as JSON\n");
@@ -309,12 +375,16 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract `--profile <path>` (allowed anywhere) before positional parsing.
+  // Extract `--profile <path>` and `--adjoin` (allowed anywhere) before
+  // positional parsing.
   std::string              profile_out;
+  bool                     with_adjoin = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--adjoin") == 0) {
+      with_adjoin = true;
     } else {
       args.emplace_back(argv[i]);
     }
@@ -330,6 +400,7 @@ int main(int argc, char** argv) {
   };
 
   int rc = 2;
+  try {
   if (cmd == "stats") {
     rc = cmd_stats(path);
   } else if (cmd == "components") {
@@ -347,7 +418,9 @@ int main(int argc, char** argv) {
   } else if (cmd == "collapse") {
     rc = cmd_collapse(path);
   } else if (cmd == "convert" && args.size() >= 3) {
-    rc = cmd_convert(path, arg(2));
+    rc = cmd_convert(path, arg(2), with_adjoin);
+  } else if (cmd == "inspect") {
+    rc = cmd_inspect(path);
   } else if (cmd == "generate" && args.size() >= 4) {
     rc = cmd_generate(path, static_cast<std::size_t>(std::atol(arg(2))), arg(3));
   } else if (cmd == "profile") {
@@ -355,6 +428,12 @@ int main(int argc, char** argv) {
   } else {
     usage();
     return 2;
+  }
+  } catch (const nw::hypergraph::io_error& e) {
+    // Recoverable ingest defects: readable one-liner with file/line/byte
+    // context, nonzero exit, no abort.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
   if (rc == 0 && !profile_out.empty() && nw::obs::runtime_enabled()) {
