@@ -14,7 +14,7 @@
 // (`indices_store_` / `targets_store_`), but can instead alias external
 // read-only memory — the NWHYCSR2 mmap loader (nwhy/io/csr_snapshot.hpp)
 // hands file-backed spans straight in via `from_csr_spans`, making snapshot
-// load O(page faults) with zero copies.  Lifetime of external memory is the
+// load a zero-copy validation scan.  Lifetime of external memory is the
 // caller's contract (the snapshot loader parks a keepalive next to the
 // graph).  Copying an adjacency always deep-copies into owned storage, so a
 // copy of a view is a plain owning CSR.
@@ -466,12 +466,24 @@ private:
     targets_  = std::span<const vertex_id_t>(targets_store_.data(), targets_store_.size());
   }
 
-  void reset_to_empty() {
+  /// Reset to the canonical empty CSR *without allocating*, so the noexcept
+  /// moves really are noexcept: the indices span aliases a static zero
+  /// offset (infinite lifetime) instead of a freshly allocated {0} vector,
+  /// preserving the `indices().size() == size() + 1` contract for
+  /// moved-from objects at zero cost.  The object behaves like an external
+  /// view of that sentinel; copying or assigning into it materializes owned
+  /// storage as usual.
+  void reset_to_empty() noexcept {
     n_ = 0;
-    indices_store_.assign(1, 0);
+    indices_store_.clear();
     targets_store_.clear();
-    rebind();
+    external_ = true;
+    indices_  = std::span<const offset_t>(&empty_indices_sentinel_, 1);
+    targets_  = {};
   }
+
+  /// The one row offset of an empty CSR (`indices() == {0}`).
+  static constexpr offset_t empty_indices_sentinel_ = 0;
 
   template <std::size_t... Is>
   void scatter_attrs([[maybe_unused]] const edge_list<Attributes...>& el,

@@ -6,7 +6,8 @@
 // serializes both bi-adjacency CSRs (and optionally the adjoin CSR), so a
 // load is just a validation pass plus — on the mmap path — zero copies:
 // `map_csr_snapshot` hands file-backed `std::span`s straight into
-// `biadjacency` / `adjoin_graph`, making load time O(page faults).
+// `biadjacency` / `adjoin_graph`, making load one streaming scan of the
+// file with no parsing, hashing, or construction.
 //
 // Byte-level layout (little-endian throughout; docs/IO_FORMATS.md is the
 // normative spec — keep the two in sync):
@@ -44,12 +45,20 @@
 //
 // Validation policy: both readers reject bad magic, unsupported versions,
 // truncation, out-of-bounds/misaligned sections, u32 id overflow and
-// header-checksum mismatch with io_error (never abort).  The streamed
+// header-checksum mismatch with io_error (never abort).  Both readers also
+// run a full structural pass over every adopted CSR — row offsets must be
+// monotonically non-decreasing and every target id must index the opposite
+// partition — because checksums are forgeable and a crafted snapshot must
+// never be able to drive to_biedgelist or the algorithms out of bounds.
+// That pass is O(n + m) parallel integer compares (memory-bandwidth bound,
+// a tiny fraction of what re-parsing text would cost), so the mmap load is
+// "one streaming read" rather than strictly O(page faults).  The streamed
 // reader always verifies per-section checksums; the mmap loader verifies
-// them only when asked (`verify_checksums`), because touching every page to
-// hash it would defeat the O(page faults) load.
+// them only when asked (`verify_checksums`), since hashing is much slower
+// than the structural compare pass.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -57,7 +66,10 @@
 #include <istream>
 #include <limits>
 #include <memory>
+#include <new>
 #include <optional>
+#include <stdexcept>
+#include <type_traits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -303,6 +315,46 @@ inline void check_index_extents(std::span<const nw::offset_t> idx, std::uint64_t
   }
 }
 
+/// Full structural validation of one CSR section pair before it is adopted:
+/// row offsets must be monotonically non-decreasing (together with the
+/// extents check this pins every offset into [0, tgt.size()]), and every
+/// target id must index the opposite partition (`target_bound`
+/// exclusive).  Checksums are forgeable — and the mmap path skips them by
+/// default — so this pass is what stands between a corrupt or crafted
+/// .nwcsr and out-of-bounds reads/writes in to_biedgelist and every
+/// algorithm that walks the CSR.  O(n + m) parallel integer compares.
+inline void check_csr_structure(std::span<const nw::offset_t>    idx,
+                                std::span<const nw::vertex_id_t> tgt,
+                                std::uint64_t target_bound, const char* what,
+                                const std::string& origin,
+                                par::thread_pool& pool = par::thread_pool::default_pool()) {
+  check_index_extents(idx, tgt.size(), what, origin);
+  std::atomic<bool> bad_idx{false};
+  par::parallel_for(
+      0, idx.size() - 1,
+      [&](std::size_t i) {
+        if (idx[i] > idx[i + 1]) bad_idx.store(true, std::memory_order_relaxed);
+      },
+      par::blocked{}, pool);
+  if (bad_idx.load(std::memory_order_relaxed)) {
+    throw io_error(std::string("NWHYCSR2 ") + what +
+                       " index section is not monotonically non-decreasing",
+                   origin, 0, header_bytes);
+  }
+  std::atomic<bool> bad_tgt{false};
+  par::parallel_for(
+      0, tgt.size(),
+      [&](std::size_t k) {
+        if (tgt[k] >= target_bound) bad_tgt.store(true, std::memory_order_relaxed);
+      },
+      par::blocked{}, pool);
+  if (bad_tgt.load(std::memory_order_relaxed)) {
+    throw io_error(std::string("NWHYCSR2 ") + what +
+                       " targets section holds ids outside the opposite partition",
+                   origin, 0, header_bytes);
+  }
+}
+
 }  // namespace csr_detail
 
 /// A loaded snapshot: the two bi-adjacency CSRs, the optional adjoin CSR,
@@ -481,7 +533,8 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
                                    s.length / sizeof(elem_t));
   };
   auto load_csr = [&](std::uint32_t idx_kind, std::uint32_t tgt_kind, std::uint64_t n,
-                      std::uint64_t expect_targets, bool exact_targets, const char* what) {
+                      std::uint64_t expect_targets, bool exact_targets,
+                      std::uint64_t target_bound, const char* what) {
     const auto& si = require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
     const auto* st = h.find(tgt_kind);
     if (st == nullptr) {
@@ -497,7 +550,7 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
     }
     auto idx = section_span(si, nw::offset_t{});
     auto tgt = section_span(*st, nw::vertex_id_t{});
-    check_index_extents(idx, tgt.size(), what, origin);
+    check_csr_structure(idx, tgt, target_bound, what, origin);
     return nw::graph::adjacency<>::from_csr_spans(idx, tgt, n);
   };
 
@@ -508,13 +561,15 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
   snap.n1      = h.n1;
   snap.m       = h.m;
   snap.edges   = biadjacency<0>::from_csr(
-      load_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, "E2N"), h.n0, h.n1);
+      load_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
+      h.n1);
   snap.nodes = biadjacency<1>::from_csr(
-      load_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, "N2E"), h.n1, h.n0);
+      load_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
+      h.n0);
   if ((h.flags & csr_flag_has_adjoin) != 0) {
     snap.adjoin = adjoin_graph{
         load_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
-                 "adjoin"),
+                 h.n0 + h.n1, "adjoin"),
         static_cast<std::size_t>(h.n0), static_cast<std::size_t>(h.n1)};
   }
   snap.storage = std::move(storage);
@@ -525,11 +580,13 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
 
 #if NWHY_HAS_MMAP
 /// Zero-copy loader: mmap the file read-only and point the CSR spans
-/// straight at the mapping.  Load cost is header/table validation plus the
-/// page faults the algorithms actually incur.  `verify_checksums` opts into
-/// hashing every section (touches every page — use for integrity audits,
-/// not hot loads).  The returned snapshot's `storage` member owns the
-/// mapping; keep it alive as long as any span is in use.
+/// straight at the mapping.  Load cost is header/table validation plus one
+/// streaming structural pass over the CSR sections (monotonic offsets,
+/// in-range targets — see check_csr_structure); no bytes are copied or
+/// hashed.  `verify_checksums` opts into additionally hashing every section
+/// (use for integrity audits, not hot loads).  The returned snapshot's
+/// `storage` member owns the mapping; keep it alive as long as any span is
+/// in use.
 inline csr_snapshot map_csr_snapshot(const std::string& path, bool verify_checksums = false) {
   namespace d = csr_detail;
   NWOBS_SCOPE_TIMER("io.mmap");
@@ -599,7 +656,7 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
   // Payloads arrive in table order (parse_header enforced increasing
   // offsets); skip alignment padding between them.
   std::uint64_t pos = table_end;
-  auto read_section = [&](const d::section_entry& s, unsigned char* dst) {
+  auto skip_to = [&](const d::section_entry& s) {
     NW_ASSERT(s.offset >= pos, "sections must be read in file order");
     for (std::uint64_t skip = s.offset - pos; skip > 0;) {
       char          sink[64];
@@ -607,34 +664,90 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
       in.read(sink, static_cast<std::streamsize>(chunk));
       skip -= chunk;
     }
-    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(s.length));
-    if (!in.good()) {
-      throw io_error("truncated NWHYCSR2 snapshot (section kind " + std::to_string(s.kind) +
-                         " cut short)",
-                     origin, 0, s.offset);
+  };
+  // Stage a known section into a typed owned vector *incrementally*: the
+  // header's section lengths are only bounded by its own claimed
+  // file_size, which a stream cannot verify, so a crafted header could
+  // declare near-2^64 bytes.  Growing the buffer a bounded chunk at a time
+  // means memory is only committed for bytes the stream actually delivers
+  // — a lying length dies on honest truncation ("cut short") after one
+  // chunk, never on a giant up-front allocation.  The checksum is chained
+  // across chunks.
+  auto read_section = [&](const d::section_entry& s, auto& vec) {
+    using elem_t = typename std::remove_reference_t<decltype(vec)>::value_type;
+    skip_to(s);
+    const std::uint64_t     total_elems = s.length / sizeof(elem_t);
+    constexpr std::uint64_t chunk_elems = (std::uint64_t{4} << 20) / sizeof(elem_t);  // 4 MiB
+    std::uint64_t           got         = 0;
+    std::uint64_t           sum         = d::fnv_basis;
+    while (got < total_elems) {
+      const std::uint64_t n = std::min(chunk_elems, total_elems - got);
+      try {
+        vec.resize(static_cast<std::size_t>(got + n));
+      } catch (const std::bad_alloc&) {
+        throw io_error("NWHYCSR2 section kind " + std::to_string(s.kind) + " declares " +
+                           std::to_string(s.length) + " bytes, too large to stage in memory",
+                       origin, 0, s.offset);
+      }
+      in.read(reinterpret_cast<char*>(vec.data() + got),
+              static_cast<std::streamsize>(n * sizeof(elem_t)));
+      if (!in.good()) {
+        throw io_error("truncated NWHYCSR2 snapshot (section kind " + std::to_string(s.kind) +
+                           " cut short)",
+                       origin, 0, s.offset);
+      }
+      sum = d::fnv1a64(vec.data() + got, static_cast<std::size_t>(n * sizeof(elem_t)), sum);
+      got += n;
     }
-    if (d::fnv1a64(dst, s.length) != s.checksum) {
+    if (sum != s.checksum) {
       throw io_error("NWHYCSR2 section checksum mismatch (kind " + std::to_string(s.kind) + ")",
                      origin, 0, s.offset);
     }
     pos = s.offset + s.length;
   };
-
-  // Read every listed section in file order into typed owned vectors.
+  // Stream an unknown-kind section through a fixed sink without
+  // materializing it: its elem_size is untrusted (v1 only pins elem_size
+  // for known kinds), so no staging buffer may ever be sized from it.  The
+  // checksum is still chained and verified along the way.
+  auto skip_section = [&](const d::section_entry& s) {
+    skip_to(s);
+    std::uint64_t sum = d::fnv_basis;
+    for (std::uint64_t left = s.length; left > 0;) {
+      char          sink[4096];
+      std::uint64_t chunk = std::min<std::uint64_t>(left, sizeof(sink));
+      in.read(sink, static_cast<std::streamsize>(chunk));
+      if (!in.good()) {
+        throw io_error("truncated NWHYCSR2 snapshot (section kind " + std::to_string(s.kind) +
+                           " cut short)",
+                       origin, 0, s.offset);
+      }
+      sum = d::fnv1a64(sink, static_cast<std::size_t>(chunk), sum);
+      left -= chunk;
+    }
+    if (sum != s.checksum) {
+      throw io_error("NWHYCSR2 section checksum mismatch (kind " + std::to_string(s.kind) + ")",
+                     origin, 0, s.offset);
+    }
+    pos = s.offset + s.length;
+  };
+  // Read every listed section in file order.  Known kinds stage into typed
+  // owned vectors (their elem_size was pinned by parse_header, so length is
+  // a multiple of the element width); unknown kinds — tolerated for
+  // forward compatibility — are checksum-verified and dropped, and their
+  // untrusted elem_size never sizes a buffer.
   std::vector<std::vector<nw::offset_t>>    idx_store(h.sections.size());
   std::vector<std::vector<nw::vertex_id_t>> tgt_store(h.sections.size());
   for (std::size_t i = 0; i < h.sections.size(); ++i) {
     const auto& s = h.sections[i];
-    if (s.elem_size == 8) {
-      idx_store[i].resize(s.length / sizeof(nw::offset_t));
-      read_section(s, reinterpret_cast<unsigned char*>(idx_store[i].data()));
-    } else {
-      tgt_store[i].resize(s.length / sizeof(nw::vertex_id_t));
-      read_section(s, reinterpret_cast<unsigned char*>(tgt_store[i].data()));
+    switch (d::expected_elem_size(s.kind)) {
+      case 8: read_section(s, idx_store[i]); break;
+      case 4: read_section(s, tgt_store[i]); break;
+      default: skip_section(s); break;
     }
   }
   auto take_csr = [&](std::uint32_t idx_kind, std::uint32_t tgt_kind, std::uint64_t n,
-                      std::uint64_t expect_targets, bool exact_targets, const char* what) {
+                      std::uint64_t expect_targets, bool exact_targets,
+                      std::uint64_t target_bound, const char* what) {
     (void)require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
     std::vector<nw::offset_t>    idx;
     std::vector<nw::vertex_id_t> tgt;
@@ -658,7 +771,8 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
                          std::to_string(expect_targets * sizeof(nw::vertex_id_t)),
                      origin, 0, d::header_bytes);
     }
-    d::check_index_extents(std::span<const nw::offset_t>(idx), tgt.size(), what, origin);
+    d::check_csr_structure(std::span<const nw::offset_t>(idx),
+                           std::span<const nw::vertex_id_t>(tgt), target_bound, what, origin);
     return nw::graph::adjacency<>::from_csr_vectors(std::move(idx), std::move(tgt), n);
   };
 
@@ -669,13 +783,15 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
   snap.n1      = h.n1;
   snap.m       = h.m;
   snap.edges   = biadjacency<0>::from_csr(
-      take_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, "E2N"), h.n0, h.n1);
+      take_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
+      h.n1);
   snap.nodes = biadjacency<1>::from_csr(
-      take_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, "N2E"), h.n1, h.n0);
+      take_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
+      h.n0);
   if ((h.flags & csr_flag_has_adjoin) != 0) {
     snap.adjoin = adjoin_graph{
         take_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
-                 "adjoin"),
+                 h.n0 + h.n1, "adjoin"),
         static_cast<std::size_t>(h.n0), static_cast<std::size_t>(h.n1)};
   }
   NWOBS_COUNT("io.snapshot_bytes_read", 0, h.file_size);

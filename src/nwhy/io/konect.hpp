@@ -10,12 +10,15 @@
 // (docs/IO_FORMATS.md): a streaming serial reader for istreams, and a
 // parallel byte-range engine (`parse_konect_bipartite`) behind the
 // path-based entry point.  Rows that are not two integers are skipped (the
-// real KONECT corpora carry stray metadata rows); ids < 1 are a hard
-// defect and throw io_error with file/line/byte context.
+// real KONECT corpora carry stray metadata rows); ids < 1 — or ids past
+// the 32-bit vertex_id_t space, which would otherwise truncate silently —
+// are a hard defect and throw io_error with file/line/byte context.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -31,6 +34,14 @@
 
 namespace nw::hypergraph {
 
+namespace io_detail {
+/// Largest acceptable 1-based KONECT id: after the -1 shift the id must fit
+/// vertex_id_t, i.e. the implied partition cardinality (= max id) must stay
+/// within the 32-bit id space — mirroring the NWHYCSR2 reader's check.
+inline constexpr std::int64_t konect_id_limit =
+    static_cast<std::int64_t>(std::numeric_limits<vertex_id_t>::max());
+}  // namespace io_detail
+
 /// Streaming serial engine (pipe-friendly fallback).
 inline biedgelist<> read_konect_bipartite(std::istream& in, const std::string& origin = {}) {
   NWOBS_SCOPE_TIMER("io.parse");
@@ -45,6 +56,9 @@ inline biedgelist<> read_konect_bipartite(std::istream& in, const std::string& o
     std::int64_t            left = 0, right = 0;
     if (!f.parse_i64(left) || !f.parse_i64(right)) continue;  // tolerate stray metadata rows
     if (left < 1 || right < 1) throw io_error("KONECT ids are 1-based", origin, lineno);
+    if (left > io_detail::konect_id_limit || right > io_detail::konect_id_limit) {
+      throw io_error("KONECT id overflows the 32-bit id space", origin, lineno);
+    }
     el.push_back(static_cast<vertex_id_t>(left - 1), static_cast<vertex_id_t>(right - 1));
   }
   return el;
@@ -79,6 +93,10 @@ inline biedgelist<> parse_konect_bipartite(std::string_view text,
       if (!f.parse_i64(left) || !f.parse_i64(right)) continue;  // stray metadata row
       if (left < 1 || right < 1) {
         bad.record(line_begin, "KONECT ids are 1-based");
+        return;
+      }
+      if (left > io_detail::konect_id_limit || right > io_detail::konect_id_limit) {
+        bad.record(line_begin, "KONECT id overflows the 32-bit id space");
         return;
       }
       out.push_back({static_cast<vertex_id_t>(left - 1), static_cast<vertex_id_t>(right - 1)});

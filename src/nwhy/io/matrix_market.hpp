@@ -29,8 +29,10 @@
 // nothing here aborts the process.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -52,6 +54,18 @@ struct mm_header {
   std::size_t rows = 0, cols = 0, nnz = 0;
   bool        pattern = true;
 };
+
+/// Declared dimensions bound every entry id (entries are 1-based, so a
+/// dimension is also the partition cardinality); they must fit the 32-bit
+/// vertex_id_t space or every later static_cast would truncate silently.
+/// Mirrors the NWHYCSR2 reader's cardinality check.
+inline constexpr const char* mm_dim_overflow_msg =
+    "MatrixMarket dimensions overflow the 32-bit id space";
+
+[[nodiscard]] inline bool mm_dimensions_overflow(std::uint64_t rows, std::uint64_t cols) {
+  constexpr std::uint64_t id_limit = std::numeric_limits<vertex_id_t>::max();
+  return rows > id_limit || cols > id_limit;
+}
 
 inline void check_mm_banner(std::string_view banner, const std::string& origin,
                             mm_header& h) {
@@ -82,6 +96,7 @@ inline mm_header read_mm_header(std::istream& in, const std::string& origin = {}
     if (!f.parse_u64(r) || !f.parse_u64(c) || !f.parse_u64(nnz)) {
       throw io_error("malformed MatrixMarket size line", origin, lineno);
     }
+    if (mm_dimensions_overflow(r, c)) throw io_error(mm_dim_overflow_msg, origin, lineno);
     h.rows = r;
     h.cols = c;
     h.nnz  = nnz;
@@ -116,6 +131,10 @@ inline mm_header parse_mm_header(std::string_view text, const std::string& origi
     if (!f.parse_u64(r) || !f.parse_u64(c) || !f.parse_u64(nnz)) {
       throw io_error("malformed MatrixMarket size line", origin,
                      io_detail::line_number_at(text, line_begin), line_begin);
+    }
+    if (mm_dimensions_overflow(r, c)) {
+      throw io_error(mm_dim_overflow_msg, origin, io_detail::line_number_at(text, line_begin),
+                     line_begin);
     }
     h.rows     = r;
     h.cols     = c;

@@ -3,6 +3,7 @@
 
 #include <ranges>
 #include <set>
+#include <type_traits>
 
 #include "nwgraph/adjacency.hpp"
 #include "nwgraph/edge_list.hpp"
@@ -246,4 +247,64 @@ TEST(Relabel, RelabeledGraphPreservesDegreeMultiset) {
   auto sorted_new = rd;
   std::sort(sorted_new.begin(), sorted_new.end());
   EXPECT_EQ(sorted_old, sorted_new);
+}
+
+// --- move semantics ---------------------------------------------------------
+//
+// Moves are declared noexcept, so the moved-from reset must never allocate
+// (an allocation could throw and std::terminate the program).  The reset
+// parks the indices span on a static zero sentinel: the moved-from object
+// is the canonical empty CSR (indices() == {0}) and stays fully usable.
+
+static_assert(std::is_nothrow_move_constructible_v<adjacency<>>);
+static_assert(std::is_nothrow_move_assignable_v<adjacency<>>);
+
+TEST(Adjacency, MovedFromIsCanonicalEmptyCsr) {
+  edge_list<> el(3);
+  el.push_back(0, 1);
+  el.push_back(1, 2);
+  adjacency<> g(el);
+  adjacency<> sink(std::move(g));
+  // Destination got the structure...
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.num_edges(), 2u);
+  // ...and the source is the canonical empty CSR, with the n+1 == 1
+  // indices contract intact and every accessor safe.
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  ASSERT_EQ(g.indices().size(), 1u);
+  EXPECT_EQ(g.indices()[0], 0u);
+  EXPECT_TRUE(g.targets().empty());
+  EXPECT_EQ(g.begin(), g.end());
+  // Moving a moved-from object is fine (spans alias static storage).
+  adjacency<> again(std::move(g));
+  EXPECT_EQ(again.size(), 0u);
+  ASSERT_EQ(again.indices().size(), 1u);
+  EXPECT_EQ(again.indices()[0], 0u);
+  // Copying a moved-from object materializes an owned empty CSR.
+  adjacency<> copy(g);
+  ASSERT_EQ(copy.indices().size(), 1u);
+  EXPECT_EQ(copy.indices()[0], 0u);
+  // The moved-from object is reusable through assignment.
+  g = sink;
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  auto n0 = g[0];
+  EXPECT_EQ(std::vector<vertex_id_t>(n0.begin(), n0.end()), (std::vector<vertex_id_t>{1}));
+}
+
+TEST(Adjacency, MoveAssignIntoPopulatedReleasesAndResets) {
+  edge_list<> a(2);
+  a.push_back(0, 1);
+  edge_list<> b(4);
+  b.push_back(2, 3);
+  b.push_back(3, 2);
+  adjacency<> ga(a);
+  adjacency<> gb(b);
+  ga = std::move(gb);
+  EXPECT_EQ(ga.size(), 4u);
+  EXPECT_EQ(ga.num_edges(), 2u);
+  EXPECT_EQ(gb.size(), 0u);
+  ASSERT_EQ(gb.indices().size(), 1u);
+  EXPECT_EQ(gb.indices()[0], 0u);
 }

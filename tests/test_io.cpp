@@ -388,3 +388,56 @@ TEST(ParallelParse, SplitLineRangesCoverAndAlign) {
     }
   }
 }
+
+// --- 32-bit id space enforcement --------------------------------------------
+//
+// vertex_id_t is u32.  Text ids (KONECT) and declared dimensions
+// (MatrixMarket) arrive as 64-bit integers; anything past the u32 id space
+// must be a hard io_error, never a silent truncation into a wrong-but-
+// plausible hypergraph.
+
+TEST(Konect, RejectsIdPastU32Space) {
+  // 4294967295 (= 0xFFFFFFFF) is the largest legal 1-based id; one past it
+  // overflows.  Exercise both columns and both engines.
+  const std::string ok       = "4294967295 1\n";
+  const std::string bad_left = "4294967296 1\n";
+  const std::string bad_right = "% c\n1 4294967296\n";
+  {
+    std::istringstream in(ok);
+    EXPECT_EQ(read_konect_bipartite(in).size(), 1u);
+  }
+  for (const auto* text : {&bad_left, &bad_right}) {
+    std::istringstream in(*text);
+    EXPECT_THROW(
+        {
+          try {
+            read_konect_bipartite(in);
+          } catch (const io_error& e) {
+            EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos);
+            throw;
+          }
+        },
+        io_error);
+    EXPECT_THROW(parse_konect_bipartite(*text), io_error);
+  }
+}
+
+TEST(MatrixMarket, RejectsDimensionsPastU32Space) {
+  const std::string banner  = "%%MatrixMarket matrix coordinate pattern general\n";
+  const std::string bad_rows = banner + "4294967296 3 1\n1 1\n";
+  const std::string bad_cols = banner + "3 4294967296 1\n1 1\n";
+  for (const auto* text : {&bad_rows, &bad_cols}) {
+    std::istringstream in(*text);
+    EXPECT_THROW(
+        {
+          try {
+            graph_reader(in, "<mem>");
+          } catch (const io_error& e) {
+            EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+            throw;
+          }
+        },
+        io_error);
+    EXPECT_THROW(parse_matrix_market(*text), io_error);
+  }
+}

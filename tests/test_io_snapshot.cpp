@@ -9,7 +9,9 @@
 // re-expansion, degree computation) must not depend on scheduling.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -83,6 +85,80 @@ void refresh_header_checksum(std::string& bytes) {
   std::uint64_t       h         = d::fnv1a64(p, d::checksummed_header);
   h = d::fnv1a64(p + d::header_bytes, table_end - d::header_bytes, h);
   d::put_u64(p + 56, h);
+}
+
+/// Recompute section `sec`'s payload checksum (after a deliberate payload
+/// mutation) and then the header checksum, producing a file whose checksums
+/// all verify — exactly what a *crafted* (rather than bit-rotted) snapshot
+/// looks like, which is why structural validation cannot lean on checksums.
+void refresh_section_checksum(std::string& bytes, std::size_t sec) {
+  namespace d = csr_detail;
+  auto* p     = reinterpret_cast<unsigned char*>(bytes.data());
+  auto* e     = p + d::header_bytes + sec * d::table_entry_bytes;
+  const std::uint64_t off = d::get_u64(e + 8);
+  const std::uint64_t len = d::get_u64(e + 16);
+  d::put_u64(e + 24, d::fnv1a64(p + off, len));
+  refresh_header_checksum(bytes);
+}
+
+/// Byte offset of section `sec`'s payload.
+std::uint64_t section_offset(const std::string& bytes, std::size_t sec) {
+  namespace d = csr_detail;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  return d::get_u64(p + d::header_bytes + sec * d::table_entry_bytes + 8);
+}
+
+/// Hand-assemble a tiny but fully valid NWHYCSR2 file (n0 = n1 = m = 1)
+/// plus, optionally, a trailing unknown-kind section with `elem_size` 0 and
+/// a length that is a multiple of nothing — bytes the committed writer
+/// never produces, exercising the reader's forward-compatibility path at
+/// the byte level (per docs/IO_FORMATS.md §4.5, unknown kinds are
+/// checksum-verified and dropped, and their elem_size is never trusted).
+std::string build_tiny_snapshot(bool with_unknown_section) {
+  namespace d = csr_detail;
+  const std::uint64_t idx[2] = {0, 1};
+  const std::uint32_t tgt[1] = {0};
+  struct sec {
+    std::uint32_t kind, elem;
+    std::string   payload;
+  };
+  std::vector<sec> secs = {
+      {csr_sec_e2n_indices, 8, std::string(reinterpret_cast<const char*>(idx), 16)},
+      {csr_sec_e2n_targets, 4, std::string(reinterpret_cast<const char*>(tgt), 4)},
+      {csr_sec_n2e_indices, 8, std::string(reinterpret_cast<const char*>(idx), 16)},
+      {csr_sec_n2e_targets, 4, std::string(reinterpret_cast<const char*>(tgt), 4)},
+  };
+  if (with_unknown_section) secs.push_back({99, 0, "7 bytes"});
+  const auto          count     = static_cast<std::uint32_t>(secs.size());
+  const std::uint64_t table_end = d::header_bytes + std::uint64_t{count} * d::table_entry_bytes;
+  std::vector<std::uint64_t> offsets;
+  std::uint64_t              off = (table_end + 63) / 64 * 64;
+  for (const auto& s : secs) {
+    offsets.push_back(off);
+    off = (off + s.payload.size() + 63) / 64 * 64;
+  }
+  const std::uint64_t file_size = offsets.back() + secs.back().payload.size();
+  std::string         bytes(file_size, '\0');
+  auto*               p = reinterpret_cast<unsigned char*>(bytes.data());
+  std::memcpy(p, csr_snapshot_magic, sizeof(csr_snapshot_magic));
+  d::put_u32(p + 8, csr_snapshot_version);
+  d::put_u32(p + 12, csr_flag_canonical);
+  d::put_u64(p + 16, 1);  // n0
+  d::put_u64(p + 24, 1);  // n1
+  d::put_u64(p + 32, 1);  // m
+  d::put_u32(p + 40, count);
+  d::put_u64(p + 48, file_size);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto* e = p + d::header_bytes + std::size_t{i} * d::table_entry_bytes;
+    d::put_u32(e + 0, secs[i].kind);
+    d::put_u32(e + 4, secs[i].elem);
+    d::put_u64(e + 8, offsets[i]);
+    d::put_u64(e + 16, secs[i].payload.size());
+    d::put_u64(e + 24, d::fnv1a64(secs[i].payload.data(), secs[i].payload.size()));
+    std::memcpy(p + offsets[i], secs[i].payload.data(), secs[i].payload.size());
+  }
+  refresh_header_checksum(bytes);
+  return bytes;
 }
 
 }  // namespace
@@ -321,6 +397,120 @@ TEST(CsrSnapshot, RejectsOutOfBoundsSection) {
         }
       },
       io_error);
+}
+
+// A *crafted* snapshot has internally consistent checksums, so the only
+// line of defense against out-of-bounds interior offsets is the structural
+// pass.  Before that pass existed, this file drove to_biedgelist into
+// heap-corrupting writes (idx[e+1] far past m) on the default
+// verify_checksums=false mmap path.
+TEST(CsrSnapshot, RejectsNonMonotonicInteriorIndex) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  scratch_file f("nonmono");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  // Section 0 = E2N_INDICES: blow up idx[1] while leaving idx[0] == 0 and
+  // idx[n0] == m intact, so the O(1) extents check alone would pass.
+  namespace d = csr_detail;
+  auto* idx1 = reinterpret_cast<unsigned char*>(bytes.data()) + section_offset(bytes, 0) + 8;
+  d::put_u64(idx1, std::uint64_t{1} << 30);
+  refresh_section_checksum(bytes, 0);
+  scratch_file bad("nonmono_bad");
+  dump(bad.path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          load_csr_snapshot(bad.path);  // mmap path, checksums NOT verified
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("monotonically"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+  std::istringstream in(bytes, std::ios::binary);  // checksums all verify
+  EXPECT_THROW(read_csr_snapshot(in), io_error);
+}
+
+TEST(CsrSnapshot, RejectsTargetIdsOutsideOppositePartition) {
+  NWHypergraph hg(nwtest::figure1_hypergraph());
+  scratch_file f("oobtgt");
+  hg.save_csr_snapshot(f.path);
+  auto bytes = slurp(f.path);
+  // Section 1 = E2N_TARGETS: first hypernode id -> far past n1.
+  namespace d = csr_detail;
+  auto* tgt0 = reinterpret_cast<unsigned char*>(bytes.data()) + section_offset(bytes, 1);
+  d::put_u32(tgt0, 0xFFFFFFF0u);
+  refresh_section_checksum(bytes, 1);
+  scratch_file bad("oobtgt_bad");
+  dump(bad.path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          load_csr_snapshot(bad.path);  // mmap path, checksums NOT verified
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("opposite partition"), std::string::npos);
+          throw;
+        }
+      },
+      io_error);
+  std::istringstream in(bytes, std::ios::binary);  // checksums all verify
+  EXPECT_THROW(read_csr_snapshot(in), io_error);
+}
+
+// Unknown kinds are forward-compatibility room: both readers must tolerate
+// them, and the streamed reader must never size a staging buffer from
+// their untrusted elem_size (0 here, with a 7-byte payload — the exact
+// shape that used to overflow the u32 staging branch).
+TEST(CsrSnapshot, ReadersTolerateUnknownSectionsWithoutTrustingElemSize) {
+  auto bytes = build_tiny_snapshot(/*with_unknown_section=*/true);
+  std::istringstream in(bytes, std::ios::binary);
+  auto               snap = read_csr_snapshot(in);
+  EXPECT_EQ(snap.n0, 1u);
+  EXPECT_EQ(snap.n1, 1u);
+  EXPECT_EQ(snap.m, 1u);
+  ASSERT_EQ(snap.edges.csr().targets().size(), 1u);
+  EXPECT_EQ(snap.edges.csr().targets()[0], 0u);
+  scratch_file f("unknown");
+  dump(f.path, bytes);
+  auto loaded = load_csr_snapshot(f.path, /*verify_checksums=*/true);
+  EXPECT_EQ(loaded.m, 1u);
+  // The unknown section is still checksum-verified on the streamed path.
+  auto corrupt = bytes;
+  corrupt[corrupt.size() - 1] ^= 0x01;  // last byte of the unknown payload
+  std::istringstream cin(corrupt, std::ios::binary);
+  EXPECT_THROW(read_csr_snapshot(cin), io_error);
+  // Sanity: the hand-assembled file without the extra section also loads.
+  auto plain = build_tiny_snapshot(/*with_unknown_section=*/false);
+  std::istringstream pin(plain, std::ios::binary);
+  EXPECT_EQ(read_csr_snapshot(pin).m, 1u);
+}
+
+// A stream's header can claim any file_size, so section lengths can pass
+// the in-file bounds checks while being astronomically large.  Staging must
+// surface that as io_error (or hit honest truncation), never std::bad_alloc
+// or an OOM kill.
+TEST(CsrSnapshot, HugeClaimedSectionLengthIsIoErrorNotBadAlloc) {
+  namespace d = csr_detail;
+  const std::uint64_t sec_off   = 128;  // 64-aligned, past header + 1-entry table (96)
+  const std::uint64_t sec_len   = std::uint64_t{1} << 60;
+  const std::uint64_t file_size = sec_off + sec_len;
+  std::string         bytes(96, '\0');
+  auto*               p = reinterpret_cast<unsigned char*>(bytes.data());
+  std::memcpy(p, csr_snapshot_magic, sizeof(csr_snapshot_magic));
+  d::put_u32(p + 8, csr_snapshot_version);
+  d::put_u64(p + 16, 1);  // n0
+  d::put_u64(p + 24, 1);  // n1
+  d::put_u64(p + 32, 1);  // m
+  d::put_u32(p + 40, 1);  // section_count
+  d::put_u64(p + 48, file_size);
+  auto* e = p + d::header_bytes;
+  d::put_u32(e + 0, csr_sec_e2n_indices);
+  d::put_u32(e + 4, 8);
+  d::put_u64(e + 8, sec_off);
+  d::put_u64(e + 16, sec_len);
+  refresh_header_checksum(bytes);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(read_csr_snapshot(in), io_error);
 }
 
 TEST(CsrSnapshot, CopyOfMmapViewIsOwningDeepCopy) {
