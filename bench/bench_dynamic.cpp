@@ -1,0 +1,194 @@
+// bench/bench_dynamic.cpp — the dynamic-engine headline: applying a small
+// batch of hyperedge updates through the delta overlay (and through the
+// incrementally-maintained s-line graph / toplex structures) versus paying
+// a full rebuild from scratch for the same batch.
+//
+// Operations, per batch size in {1, 16, 256}:
+//   update-incremental     apply the batch via NWHypergraph::update_edge —
+//                          overlay rows + incremental degree maintenance
+//   update-rebuild         construct a fresh NWHypergraph from the mutated
+//                          edge list (sort_and_unique + both CSRs + degrees),
+//                          swept over NWHY_BENCH_THREADS
+//   slinegraph-incremental incremental_slinegraph::update_edge for the batch
+//   slinegraph-rebuild     full make_s_linegraph(s=2) on the mutated graph
+//   toplex-incremental     incremental_toplexes::update_edge for the batch
+//   toplex-rebuild         full toplexes() on the mutated graph
+//   compact                batch through the overlay + compact() into a new
+//                          CSR generation (the amortization escape hatch)
+//
+//   NWHY_BENCH_JSON  path; when set the harness writes machine-readable
+//                    records for scripts/bench_snapshot.sh: schema
+//                    nwhy-bench-dynamic-v1, one record per operation x batch
+//                    x thread-count: {"dataset", "operation", "batch",
+//                    "threads", "median_ms"}
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nwhy/slinegraph/incremental.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct sample {
+  std::string operation;
+  std::size_t batch;
+  unsigned    threads;
+  double      median_ms;
+};
+
+struct update {
+  nw::vertex_id_t              edge;
+  std::vector<nw::vertex_id_t> members;
+};
+
+/// A deterministic batch of replacement rows over existing edge ids.
+std::vector<update> make_batch(std::size_t count, std::size_t ne, std::size_t nv,
+                               std::uint64_t seed) {
+  nw::xoshiro256ss    rng(seed);
+  std::vector<update> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    update u;
+    u.edge = static_cast<nw::vertex_id_t>(rng.bounded(ne));
+    const std::size_t sz = 2 + rng.bounded(8);
+    for (std::size_t k = 0; k < sz; ++k) {
+      u.members.push_back(static_cast<nw::vertex_id_t>(rng.bounded(nv)));
+    }
+    batch.push_back(std::move(u));
+  }
+  return batch;
+}
+
+double find_ms(const std::vector<sample>& rows, const std::string& op, std::size_t batch,
+               unsigned threads) {
+  for (const auto& r : rows) {
+    if (r.operation == op && r.batch == batch && r.threads == threads) return r.median_ms;
+  }
+  return 0;
+}
+
+int run_json_mode(const char* path, const std::string& dataset,
+                  const std::vector<sample>& rows) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "[");
+  bool first = true;
+  for (const auto& r : rows) {
+    std::fprintf(out,
+                 "%s\n  {\"dataset\": \"%s\", \"operation\": \"%s\", \"batch\": %zu, "
+                 "\"threads\": %u, \"median_ms\": %.4f}",
+                 first ? "" : ",", dataset.c_str(), r.operation.c_str(), r.batch, r.threads,
+                 r.median_ms);
+    first = false;
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] wrote dynamic-update sweep to %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  install_profile_export();
+
+  const std::size_t scale = env_size("NWHY_BENCH_SCALE", 1);
+  const std::size_t ne    = 20000 * scale;
+  const std::size_t nv    = 4000 * scale;
+  const std::string name  = "Rand-dynamic";
+  biedgelist<>      base  = gen::uniform_random_hypergraph(ne, nv, 8, 0xD15C);
+  base.sort_and_unique();
+
+  const std::vector<std::size_t> batches = {1, 16, 256};
+  std::vector<sample>            rows;
+
+  for (std::size_t b : batches) {
+    auto batch = make_batch(b, ne, nv, 0xBA7C0 + b);
+
+    // Incremental paths are serial by design — one record at threads=1.
+    nw::par::thread_pool::set_default_concurrency(1);
+    {
+      NWHypergraph dyn{biedgelist<>(base)};
+      rows.push_back({"update-incremental", b, 1, time_median_ms([&] {
+                        for (const auto& u : batch) dyn.update_edge(u.edge, u.members);
+                      })});
+    }
+    {
+      NWHypergraph           src{biedgelist<>(base)};
+      incremental_slinegraph inc(src, 2);
+      rows.push_back({"slinegraph-incremental", b, 1, time_median_ms([&] {
+                        for (const auto& u : batch) inc.update_edge(u.edge, u.members);
+                      })});
+    }
+    {
+      NWHypergraph         src{biedgelist<>(base)};
+      incremental_toplexes inc(src);
+      rows.push_back({"toplex-incremental", b, 1, time_median_ms([&] {
+                        for (const auto& u : batch) inc.update_edge(u.edge, u.members);
+                      })});
+    }
+
+    // The mutated edge list the rebuild baselines start from.
+    biedgelist<> mutated = [&] {
+      NWHypergraph h{biedgelist<>(base)};
+      for (const auto& u : batch) h.update_edge(u.edge, u.members);
+      h.compact();
+      return biedgelist<>(h.edge_list());
+    }();
+
+    for (unsigned threads : env_threads()) {
+      nw::par::thread_pool::set_default_concurrency(threads);
+      rows.push_back({"update-rebuild", b, threads, time_median_ms([&] {
+                        NWHypergraph h{biedgelist<>(mutated)};
+                        (void)h.edge_sizes();
+                      })});
+      {
+        NWHypergraph h{biedgelist<>(mutated)};
+        rows.push_back({"slinegraph-rebuild", b, threads, time_median_ms([&] {
+                          auto lg = h.make_s_linegraph(2);
+                          (void)lg.num_edges();
+                        })});
+        rows.push_back({"toplex-rebuild", b, threads, time_median_ms([&] {
+                          (void)h.toplexes();
+                        })});
+      }
+      rows.push_back({"compact", b, threads, time_median_ms([&] {
+                        NWHypergraph h{biedgelist<>(base)};
+                        for (const auto& u : batch) h.update_edge(u.edge, u.members);
+                        h.compact();
+                      })});
+    }
+  }
+  nw::par::thread_pool::set_default_concurrency(
+      std::max(1u, std::thread::hardware_concurrency()));
+
+  if (const char* json = std::getenv("NWHY_BENCH_JSON"); json != nullptr && *json != '\0') {
+    return run_json_mode(json, name, rows);
+  }
+
+  std::printf("Dynamic updates — incremental vs rebuild (median of %zu reps)\n",
+              env_size("NWHY_BENCH_REPS", 3));
+  std::printf("dataset %s: %zu hyperedges, %zu hypernodes, %zu incidences\n", name.c_str(), ne,
+              nv, base.size());
+  std::printf("%-24s %8s %8s %12s\n", "operation", "batch", "threads", "median ms");
+  for (const auto& r : rows) {
+    std::printf("%-24s %8zu %8u %12.4f\n", r.operation.c_str(), r.batch, r.threads,
+                r.median_ms);
+  }
+  const unsigned t1 = env_threads().front();
+  for (std::size_t b : batches) {
+    double inc = find_ms(rows, "update-incremental", b, 1);
+    double reb = find_ms(rows, "update-rebuild", b, t1);
+    if (inc > 0 && reb > 0) {
+      std::printf("  -> batch %zu: overlay update is %.0fx faster than a %u-thread rebuild\n", b,
+                  reb / inc, t1);
+    }
+  }
+  return 0;
+}

@@ -35,8 +35,15 @@
 #        incidence count parsed/loaded, and the on-disk byte size — the
 #        mmap-vs-parse ratio is the headline this file freezes
 #
-# Usage: scripts/bench_snapshot.sh [build-dir] [slinegraph.json] [traversal.json] [io.json]
-#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json
+# BENCH_dynamic.json has one section:
+#   dynamic — bench_dynamic in NWHY_BENCH_JSON mode: one record per operation
+#             x batch size x thread-count (update/slinegraph/toplex paths,
+#             each as -incremental vs -rebuild, plus the compact fold) — the
+#             incremental-vs-rebuild ratio at small batches is the headline
+#             this file freezes
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json]
+#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json BENCH_dynamic.json
 #
 # Knobs (defaults chosen so a snapshot completes in minutes on a laptop):
 #   NWHY_BENCH_THREADS   thread counts for the sweeps (1,2,4)
@@ -50,6 +57,7 @@ BUILD=${1:-build}
 OUT=${2:-BENCH_slinegraph.json}
 OUT_TRAVERSAL=${3:-BENCH_traversal.json}
 OUT_IO=${4:-BENCH_io.json}
+OUT_DYNAMIC=${5:-BENCH_dynamic.json}
 
 export NWHY_BENCH_THREADS="${NWHY_BENCH_THREADS:-1,2,4}"
 export NWHY_BENCH_SVALUES="${NWHY_BENCH_SVALUES:-2,8}"
@@ -57,7 +65,7 @@ export NWHY_BENCH_REPS="${NWHY_BENCH_REPS:-3}"
 export NWHY_BENCH_DATASETS="${NWHY_BENCH_DATASETS-Friendster-sim,Rand1-sim}"
 
 cmake --build "$BUILD" --target bench_fig9_slinegraph bench_fig8_bfs bench_fig7_cc bench_micro \
-  bench_io -j "$(nproc)"
+  bench_io bench_dynamic -j "$(nproc)"
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -66,21 +74,24 @@ NWHY_BENCH_JSON="$TMP/construction.json" "$BUILD/bench/bench_fig9_slinegraph"
 NWHY_BENCH_JSON="$TMP/bfs.json" "$BUILD/bench/bench_fig8_bfs"
 NWHY_BENCH_JSON="$TMP/cc.json" "$BUILD/bench/bench_fig7_cc"
 NWHY_BENCH_JSON="$TMP/io.json" "$BUILD/bench/bench_io"
+NWHY_BENCH_JSON="$TMP/dynamic.json" "$BUILD/bench/bench_dynamic"
 
 "$BUILD/bench/bench_micro" \
   --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip|BM_Frontier' \
   --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
   --benchmark_repetitions="$NWHY_BENCH_REPS" --benchmark_report_aggregates_only=true
 
-python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" <<'PY'
+python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" "$OUT_DYNAMIC" <<'PY'
 import json, os, sys
 
-tmp, out_sline, out_traversal, out_io = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
+tmp, out_sline, out_traversal, out_io, out_dynamic = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
 
 construction = json.load(open(os.path.join(tmp, "construction.json")))
 bfs = json.load(open(os.path.join(tmp, "bfs.json")))
 cc = json.load(open(os.path.join(tmp, "cc.json")))
 io_records = json.load(open(os.path.join(tmp, "io.json")))
+dynamic_records = json.load(open(os.path.join(tmp, "dynamic.json")))
 
 gb = json.load(open(os.path.join(tmp, "micro.json")))
 micro = []
@@ -143,4 +154,19 @@ mmap = next((r["median_ms"] for r in io_records
              if r["operation"] == "mmap-nwcsr"), None)
 ratio = f", mmap {parse1 / mmap:.1f}x vs 1-thread parse" if parse1 and mmap else ""
 print(f"bench_snapshot.sh: wrote {out_io} ({len(io_records)} io records{ratio})")
+
+doc = {
+    "schema": "nwhy-bench-dynamic-v1",
+    "context": context,
+    "dynamic": dynamic_records,
+}
+json.dump(doc, open(out_dynamic, "w"), indent=1)
+open(out_dynamic, "a").write("\n")
+inc1 = next((r["median_ms"] for r in dynamic_records
+             if r["operation"] == "update-incremental" and r["batch"] == 1), None)
+reb1 = next((r["median_ms"] for r in dynamic_records
+             if r["operation"] == "update-rebuild" and r["batch"] == 1
+             and r["threads"] == 1), None)
+ratio = f", batch-1 overlay {reb1 / inc1:.0f}x vs 1-thread rebuild" if inc1 and reb1 else ""
+print(f"bench_snapshot.sh: wrote {out_dynamic} ({len(dynamic_records)} dynamic records{ratio})")
 PY

@@ -2,7 +2,7 @@
 # Full verification sweep: configure, build, run tests, run every
 # table/figure harness.
 #
-# Usage: scripts/check.sh [--differential] [--io] [build-dir]
+# Usage: scripts/check.sh [--differential] [--io] [--dynamic] [build-dir]
 #
 #   --differential   additionally run the differential harness with a
 #                    bounded seed budget (NWHY_TEST_ITERS, default 12 —
@@ -15,14 +15,21 @@
 #                    budget, then the bench_io load-path comparison (which
 #                    asserts nothing but prints the mmap-vs-parse ratio the
 #                    acceptance bar watches).
+#   --dynamic        additionally re-fuzz the dynamic engine: the
+#                    mutation-stream differential suite (delta overlay /
+#                    incremental s-line graph / incremental toplexes vs
+#                    rebuild-from-scratch) with a boosted seed budget, then
+#                    the bench_dynamic incremental-vs-rebuild comparison.
 set -euo pipefail
 
 DIFFERENTIAL=0
 IO=0
+DYNAMIC=0
 while :; do
   case "${1:-}" in
     --differential) DIFFERENTIAL=1; shift ;;
     --io)           IO=1; shift ;;
+    --dynamic)      DYNAMIC=1; shift ;;
     *)              break ;;
   esac
 done
@@ -42,6 +49,12 @@ if [ "$IO" = 1 ]; then
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_io
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_io_snapshot
   "$BUILD"/bench/bench_io
+fi
+
+if [ "$DYNAMIC" = 1 ]; then
+  echo "===== dynamic-engine stage (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-48}) ====="
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_dynamic
+  "$BUILD"/bench/bench_dynamic
 fi
 
 for b in "$BUILD"/bench/*; do

@@ -42,6 +42,7 @@ case "$MODE" in
     "$BUILD"/tests/test_io
     "$BUILD"/tests/test_io_snapshot
     "$BUILD"/tests/test_differential
+    "$BUILD"/tests/test_dynamic
     ;;
   *)
     echo "usage: scripts/sanitize.sh [asan|tsan] [build-dir]" >&2

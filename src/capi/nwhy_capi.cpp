@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "nwhy/nwhypergraph.hpp"
 #include "nwhy/s_linegraph.hpp"
@@ -15,8 +17,18 @@ struct nwhy_hypergraph {
   NWHypergraph impl;
 };
 
+// The line-graph handle captures the source hypergraph's version at build
+// time; the token shared_ptr stays valid even after the hypergraph handle is
+// destroyed.  Mutation bumps the counter, which flips every query on this
+// handle to its sentinel value (stale results must not look fresh).
 struct nwhy_slinegraph {
-  s_linegraph impl;
+  s_linegraph                           impl;
+  std::shared_ptr<const std::uint64_t>  version_token;
+  std::uint64_t                         created_at = 0;
+
+  [[nodiscard]] bool stale() const {
+    return version_token != nullptr && *version_token != created_at;
+  }
 };
 
 extern "C" {
@@ -51,68 +63,130 @@ size_t nwhy_toplexes(const nwhy_hypergraph* hg, uint32_t* out) {
   return t.size();
 }
 
+int nwhy_insert_edge(nwhy_hypergraph* hg, uint32_t edge, const uint32_t* nodes, size_t n) {
+  if (hg == nullptr || edge == NWHY_NULL_ID || (nodes == nullptr && n > 0)) return -1;
+  hg->impl.update_edge(edge, std::vector<uint32_t>(nodes, nodes + n));
+  return 0;
+}
+
+int nwhy_remove_edge(nwhy_hypergraph* hg, uint32_t edge) {
+  if (hg == nullptr) return -1;
+  hg->impl.remove_edges(std::span<const uint32_t>(&edge, 1));
+  return 0;
+}
+
+int nwhy_compact(nwhy_hypergraph* hg) {
+  if (hg == nullptr) return -1;
+  hg->impl.compact();
+  return 0;
+}
+
+size_t nwhy_delta_size(const nwhy_hypergraph* hg) { return hg->impl.delta_size(); }
+
+uint64_t nwhy_version(const nwhy_hypergraph* hg) { return hg->impl.version(); }
+
+size_t nwhy_edge_members(const nwhy_hypergraph* hg, uint32_t edge, uint32_t* out) {
+  if (hg == nullptr || edge >= hg->impl.num_hyperedges()) return 0;
+  auto members = hg->impl.edge_members(edge);
+  if (out != nullptr) std::copy(members.begin(), members.end(), out);
+  return members.size();
+}
+
 nwhy_slinegraph* nwhy_s_linegraph(const nwhy_hypergraph* hg, size_t s, int edges) {
-  return new nwhy_slinegraph{hg->impl.make_s_linegraph(s, edges != 0)};
+  return new nwhy_slinegraph{hg->impl.make_s_linegraph(s, edges != 0),
+                             hg->impl.version_token(), hg->impl.version()};
 }
 
 void nwhy_slinegraph_destroy(nwhy_slinegraph* lg) { delete lg; }
 
-size_t nwhy_slg_num_vertices(const nwhy_slinegraph* lg) { return lg->impl.num_vertices(); }
-size_t nwhy_slg_num_edges(const nwhy_slinegraph* lg) { return lg->impl.num_edges(); }
+int nwhy_slg_is_stale(const nwhy_slinegraph* lg) { return lg->stale() ? 1 : 0; }
+
+size_t nwhy_slg_num_vertices(const nwhy_slinegraph* lg) {
+  if (lg->stale()) return 0;
+  return lg->impl.num_vertices();
+}
+size_t nwhy_slg_num_edges(const nwhy_slinegraph* lg) {
+  if (lg->stale()) return 0;
+  return lg->impl.num_edges();
+}
 
 int nwhy_slg_is_s_connected(const nwhy_slinegraph* lg) {
+  if (lg->stale()) return 0;
   return lg->impl.is_s_connected() ? 1 : 0;
 }
 
 // The C++ point queries throw std::out_of_range on invalid ids; the C ABI
 // maps that to its existing sentinels (0 / NWHY_NULL_ID) instead of letting
-// an exception cross the language boundary.
+// an exception cross the language boundary.  Stale handles (source mutated
+// since construction) take the same sentinel paths.
 size_t nwhy_slg_s_degree(const nwhy_slinegraph* lg, uint32_t v) {
-  if (v >= lg->impl.num_vertices()) return 0;
+  if (lg->stale() || v >= lg->impl.num_vertices()) return 0;
   return lg->impl.s_degree(v);
 }
 
 size_t nwhy_slg_s_neighbors(const nwhy_slinegraph* lg, uint32_t v, uint32_t* out) {
-  if (v >= lg->impl.num_vertices()) return 0;
+  if (lg->stale() || v >= lg->impl.num_vertices()) return 0;
   auto nbrs = lg->impl.s_neighbors(v);
   if (out != nullptr) std::copy(nbrs.begin(), nbrs.end(), out);
   return nbrs.size();
 }
 
 void nwhy_slg_s_connected_components(const nwhy_slinegraph* lg, uint32_t* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), NWHY_NULL_ID);
+    return;
+  }
   auto labels = lg->impl.s_connected_components();
   std::copy(labels.begin(), labels.end(), out);
 }
 
 uint32_t nwhy_slg_s_distance(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest) {
-  if (src >= lg->impl.num_vertices() || dest >= lg->impl.num_vertices()) return NWHY_NULL_ID;
+  if (lg->stale() || src >= lg->impl.num_vertices() || dest >= lg->impl.num_vertices()) {
+    return NWHY_NULL_ID;
+  }
   auto d = lg->impl.s_distance(src, dest);
   return d ? static_cast<uint32_t>(*d) : NWHY_NULL_ID;
 }
 
 size_t nwhy_slg_s_path(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest, uint32_t* out) {
-  if (src >= lg->impl.num_vertices() || dest >= lg->impl.num_vertices()) return 0;
+  if (lg->stale() || src >= lg->impl.num_vertices() || dest >= lg->impl.num_vertices()) return 0;
   auto path = lg->impl.s_path(src, dest);
   if (out != nullptr) std::copy(path.begin(), path.end(), out);
   return path.size();
 }
 
 void nwhy_slg_s_betweenness_centrality(const nwhy_slinegraph* lg, int normalized, double* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), 0.0);
+    return;
+  }
   auto bc = lg->impl.s_betweenness_centrality(normalized != 0);
   std::copy(bc.begin(), bc.end(), out);
 }
 
 void nwhy_slg_s_closeness_centrality(const nwhy_slinegraph* lg, double* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), 0.0);
+    return;
+  }
   auto c = lg->impl.s_closeness_centrality();
   std::copy(c.begin(), c.end(), out);
 }
 
 void nwhy_slg_s_harmonic_closeness_centrality(const nwhy_slinegraph* lg, double* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), 0.0);
+    return;
+  }
   auto c = lg->impl.s_harmonic_closeness_centrality();
   std::copy(c.begin(), c.end(), out);
 }
 
 void nwhy_slg_s_eccentricity(const nwhy_slinegraph* lg, uint32_t* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), NWHY_NULL_ID);
+    return;
+  }
   auto e = lg->impl.s_eccentricity();
   std::copy(e.begin(), e.end(), out);
 }

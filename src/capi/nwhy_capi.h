@@ -48,10 +48,44 @@ void nwhy_node_degrees(const nwhy_hypergraph* hg, size_t* out);
  * count obtained from a first call with out == NULL. */
 size_t nwhy_toplexes(const nwhy_hypergraph* hg, uint32_t* out);
 
+/* --- mutation (the dynamic delta-overlay engine) --------------------------- */
+
+/* Insert-or-replace hyperedge `edge` with the given member list (ids past
+ * the current cardinalities grow the hypergraph).  Returns 0 on success,
+ * -1 on invalid input.  Existing nwhy_slinegraph handles become stale (see
+ * nwhy_slg_is_stale). */
+int nwhy_insert_edge(nwhy_hypergraph* hg, uint32_t edge, const uint32_t* nodes, size_t n);
+
+/* Remove (tombstone) hyperedge `edge`: the id stays valid and becomes an
+ * empty hyperedge.  Out-of-range ids are a no-op.  Returns 0 on success. */
+int nwhy_remove_edge(nwhy_hypergraph* hg, uint32_t edge);
+
+/* Fold pending mutations into a fresh immutable CSR generation.  Queries
+ * work with or without a pending delta; compaction only affects speed. */
+int nwhy_compact(nwhy_hypergraph* hg);
+
+/* Number of pending (uncompacted) mutation rows. */
+size_t nwhy_delta_size(const nwhy_hypergraph* hg);
+
+/* Content version: bumped by every successful mutation.  An
+ * nwhy_slinegraph captured at version V is stale once this differs. */
+uint64_t nwhy_version(const nwhy_hypergraph* hg);
+
+/* Composed member list of hyperedge `edge`: returns the member count and
+ * fills `out` (room for nwhy_edge_sizes[edge] entries) if non-NULL.
+ * Out-of-range / removed edges return 0. */
+size_t nwhy_edge_members(const nwhy_hypergraph* hg, uint32_t edge, uint32_t* out);
+
 /* --- s-line graph (Listing 5: hg.s_linegraph(s, edges)) ------------------- */
 
 nwhy_slinegraph* nwhy_s_linegraph(const nwhy_hypergraph* hg, size_t s, int edges);
 void             nwhy_slinegraph_destroy(nwhy_slinegraph* lg);
+
+/* 1 when the source hypergraph has been mutated since this line graph was
+ * built (the handle then answers every query with its sentinel value:
+ * counts/degrees 0, ids NWHY_NULL_ID, centralities 0.0); 0 while fresh.
+ * Rebuild with nwhy_s_linegraph after mutating. */
+int nwhy_slg_is_stale(const nwhy_slinegraph* lg);
 
 size_t nwhy_slg_num_vertices(const nwhy_slinegraph* lg);
 size_t nwhy_slg_num_edges(const nwhy_slinegraph* lg);

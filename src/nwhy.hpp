@@ -4,6 +4,7 @@
 // Utilities
 #include "nwutil/bitmap.hpp"
 #include "nwutil/defs.hpp"
+#include "nwutil/env.hpp"
 #include "nwutil/flat_hashmap.hpp"
 #include "nwutil/rng.hpp"
 #include "nwutil/stats.hpp"
@@ -51,6 +52,7 @@
 #include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
 #include "nwhy/bipartite_graph_base.hpp"
+#include "nwhy/delta.hpp"
 #include "nwhy/gen/dataset_suite.hpp"
 #include "nwhy/gen/generators.hpp"
 #include "nwhy/io/binary.hpp"
@@ -64,6 +66,7 @@
 #include "nwhy/s_linegraph.hpp"
 #include "nwhy/slinegraph/construction.hpp"
 #include "nwhy/slinegraph/implicit.hpp"
+#include "nwhy/slinegraph/incremental.hpp"
 #include "nwhy/slinegraph/spgemm.hpp"
 #include "nwhy/slinegraph/weighted.hpp"
 

@@ -13,6 +13,7 @@
 // outer random_access_range, inner forward_range.
 #pragma once
 
+#include <algorithm>
 #include <ranges>
 #include <vector>
 
@@ -84,6 +85,17 @@ public:
   [[nodiscard]] std::vector<std::size_t> degrees() const { return csr_.degrees(); }
 
   [[nodiscard]] inner_range operator[](std::size_t u) const { return csr_[u]; }
+
+  /// Sorted-row point query: is `t` among the targets of source `u`?
+  /// Relies on the canonical invariant (rows sorted ascending) that every
+  /// construction path — sort_and_unique'd edge lists, canonical snapshots —
+  /// maintains.
+  [[nodiscard]] bool contains(std::size_t u, nw::vertex_id_t t) const {
+    auto row = csr_[u];
+    auto it  = std::lower_bound(row.begin(), row.end(), t,
+                                [](auto&& entry, nw::vertex_id_t val) { return target(entry) < val; });
+    return it != row.end() && target(*it) == t;
+  }
 
   [[nodiscard]] const_iterator begin() const { return csr_.begin(); }
   [[nodiscard]] const_iterator end() const { return csr_.end(); }

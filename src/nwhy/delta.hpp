@@ -1,0 +1,166 @@
+// nwhy/delta.hpp
+//
+// The mutable delta overlay of the dynamic hypergraph engine (ROADMAP
+// item 1; ESCHER-style evolution awareness).  The base representation —
+// the canonical biedgelist + CSR pair, possibly a zero-copy mmap view of
+// an NWHYCSR2 snapshot — stays immutable; every mutation lands in this
+// overlay as a *full replacement row* per hyperedge:
+//
+//   edge e has an overlay row  ->  the row (tombstone or member list)
+//                                  replaces e's base incidence list
+//   edge e has no overlay row  ->  e's base incidence list is live
+//
+// A tombstone empties the edge without renumbering: hyperedge ids are
+// stable across mutation and compaction, so a tombstoned edge compacts to
+// an empty CSR row — exactly what rebuilding from scratch without that
+// edge's incidences would produce, which is what makes the incremental
+// paths differential-testable bit-for-bit against rebuilds.
+//
+// The overlay also maintains the transposed view (hypernode -> overlay
+// edges containing it), so composed node queries are one sorted merge:
+//
+//   node_edges(v) = {base edges of v without an overlay row}
+//                 ∪ {overlay edges whose member list contains v}
+//
+// The two sets are disjoint by construction (an edge is either overlaid or
+// not), so the merge needs no dedup.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nwutil/defs.hpp"
+#include "nwutil/env.hpp"
+
+namespace nw::hypergraph {
+
+/// One overlay row: the full replacement member list of a hyperedge.
+/// `tombstone` distinguishes "removed" (empties the edge) from "replaced by
+/// an empty member list" only for bookkeeping/introspection — both compose
+/// to an empty incidence list.
+struct delta_row {
+  bool                         tombstone = false;
+  std::vector<nw::vertex_id_t> members;  ///< sorted, unique
+};
+
+/// Compaction threshold: number of overlay rows at which NWHypergraph folds
+/// the delta into a fresh CSR generation automatically (0 disables
+/// auto-compaction; explicit compact() always works).  Read once.
+inline std::size_t compact_threshold() {
+  static const std::size_t t =
+      static_cast<std::size_t>(nw::util::env_u64_strict("NWHY_COMPACT_THRESHOLD", 4096));
+  return t;
+}
+
+/// Initial bucket reservation of the overlay maps, for workloads that know
+/// their typical delta size.  Read once.
+inline std::size_t delta_reserve() {
+  static const std::size_t r =
+      static_cast<std::size_t>(nw::util::env_u64_strict("NWHY_DELTA_RESERVE", 256));
+  return r;
+}
+
+/// The per-hyperedge delta overlay: replacement rows keyed by hyperedge id,
+/// plus the maintained transpose (hypernode id -> sorted overlay edge ids
+/// whose replacement list contains it).
+class hyperedge_delta {
+public:
+  hyperedge_delta() {
+    rows_.reserve(delta_reserve());
+    node_rows_.reserve(delta_reserve());
+  }
+
+  [[nodiscard]] bool        empty() const { return rows_.empty(); }
+  /// Number of overlay rows (tombstones included) — the auto-compaction
+  /// trigger quantity.
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// The overlay row of hyperedge `e`, or nullptr when `e` is not overlaid
+  /// (its base incidence list is live).
+  [[nodiscard]] const delta_row* find(nw::vertex_id_t e) const {
+    auto it = rows_.find(e);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  /// The sorted overlay edges whose replacement member list contains
+  /// hypernode `v` (empty span for non-overlaid nodes).
+  [[nodiscard]] std::span<const nw::vertex_id_t> node_overlay(nw::vertex_id_t v) const {
+    auto it = node_rows_.find(v);
+    if (it == node_rows_.end()) return {};
+    return {it->second.data(), it->second.size()};
+  }
+
+  /// Install a replacement member list for hyperedge `e` (insert or
+  /// update).  `members` is sorted and deduplicated here; the previous
+  /// overlay row of `e`, if any, is superseded.
+  void set(nw::vertex_id_t e, std::vector<nw::vertex_id_t> members) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    detach_from_nodes(e);
+    for (nw::vertex_id_t v : members) attach_to_node(e, v);
+    rows_[e] = delta_row{false, std::move(members)};
+  }
+
+  /// Tombstone hyperedge `e`: its composed incidence list becomes empty.
+  void erase_edge(nw::vertex_id_t e) {
+    detach_from_nodes(e);
+    rows_[e] = delta_row{true, {}};
+  }
+
+  /// Visit every overlay row (iteration order unspecified).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [e, row] : rows_) fn(e, row);
+  }
+
+  /// Exclusive upper bounds of the ids this overlay references: the overlay
+  /// can *grow* the hypergraph (a new edge id past the base hyperedge
+  /// count, a member past the base hypernode count).
+  [[nodiscard]] std::size_t max_edge_bound() const {
+    std::size_t bound = 0;
+    for (const auto& [e, row] : rows_) bound = std::max(bound, std::size_t{e} + 1);
+    return bound;
+  }
+  [[nodiscard]] std::size_t max_node_bound() const {
+    std::size_t bound = 0;
+    for (const auto& [v, edges] : node_rows_) {
+      if (!edges.empty()) bound = std::max(bound, std::size_t{v} + 1);
+    }
+    return bound;
+  }
+
+  void clear() {
+    rows_.clear();
+    node_rows_.clear();
+  }
+
+private:
+  void attach_to_node(nw::vertex_id_t e, nw::vertex_id_t v) {
+    auto& edges = node_rows_[v];
+    auto  it    = std::lower_bound(edges.begin(), edges.end(), e);
+    if (it == edges.end() || *it != e) edges.insert(it, e);
+  }
+
+  /// Remove `e` from every node list of its current overlay row (no-op when
+  /// `e` is not overlaid).
+  void detach_from_nodes(nw::vertex_id_t e) {
+    auto it = rows_.find(e);
+    if (it == rows_.end()) return;
+    for (nw::vertex_id_t v : it->second.members) {
+      auto nit = node_rows_.find(v);
+      if (nit == node_rows_.end()) continue;
+      auto& edges = nit->second;
+      auto  pos   = std::lower_bound(edges.begin(), edges.end(), e);
+      if (pos != edges.end() && *pos == e) edges.erase(pos);
+      if (edges.empty()) node_rows_.erase(v);
+    }
+  }
+
+  std::unordered_map<nw::vertex_id_t, delta_row>                    rows_;
+  std::unordered_map<nw::vertex_id_t, std::vector<nw::vertex_id_t>> node_rows_;
+};
+
+}  // namespace nw::hypergraph

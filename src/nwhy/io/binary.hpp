@@ -29,20 +29,41 @@ namespace nw::hypergraph {
 
 inline constexpr char binary_magic[8] = {'N', 'W', 'H', 'Y', 'B', 'I', 'N', '1'};
 
-inline void write_binary(std::ostream& out, const biedgelist<>& el) {
-  out.write(binary_magic, sizeof(binary_magic));
+/// Serialize to a stream.  Every write is checked: a failed write (ENOSPC,
+/// closed pipe, ...) throws io_error instead of silently leaving a
+/// truncated snapshot behind.  `origin` labels the error (file path for the
+/// path overload, empty for in-memory streams).
+inline void write_binary(std::ostream& out, const biedgelist<>& el,
+                         const std::string& origin = {}) {
+  auto checked_write = [&](const char* data, std::streamsize n) {
+    out.write(data, n);
+    if (!out.good()) {
+      throw io_error("write failure while emitting NWHYBIN1 snapshot", origin);
+    }
+  };
+  checked_write(binary_magic, sizeof(binary_magic));
   std::uint64_t header[3] = {el.num_vertices(0), el.num_vertices(1), el.size()};
-  out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(el.edge_ids().data()),
-            static_cast<std::streamsize>(el.size() * sizeof(vertex_id_t)));
-  out.write(reinterpret_cast<const char*>(el.node_ids().data()),
-            static_cast<std::streamsize>(el.size() * sizeof(vertex_id_t)));
+  checked_write(reinterpret_cast<const char*>(header), sizeof(header));
+  checked_write(reinterpret_cast<const char*>(el.edge_ids().data()),
+                static_cast<std::streamsize>(el.size() * sizeof(vertex_id_t)));
+  checked_write(reinterpret_cast<const char*>(el.node_ids().data()),
+                static_cast<std::streamsize>(el.size() * sizeof(vertex_id_t)));
 }
 
+/// Path overload: on any write or flush failure, the partial output file is
+/// removed (regular files only) and io_error propagates.
 inline void write_binary(const std::string& path, const biedgelist<>& el) {
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) throw io_error("cannot open binary output file", path);
-  write_binary(out, el);
+  try {
+    write_binary(out, el, path);
+    out.flush();
+    if (!out.good()) throw io_error("flush failure while emitting NWHYBIN1 snapshot", path);
+  } catch (...) {
+    out.close();
+    io_detail::remove_partial_output(path);
+    throw;
+  }
 }
 
 inline biedgelist<> read_binary(std::istream& in, const std::string& origin = {}) {

@@ -404,9 +404,13 @@ struct csr_snapshot {
 /// Serialize built CSRs as an NWHYCSR2 snapshot.  `canonical` asserts the
 /// CSRs came from a sort_and_unique'd edge list (what NWHypergraph
 /// guarantees); loaders only adopt the structures wholesale when it is set.
+/// Every stream write is checked: a failure (ENOSPC, closed pipe, ...)
+/// throws io_error immediately instead of silently emitting a truncated
+/// snapshot.  `origin` labels the error.
 inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
                                const biadjacency<1>& nodes,
-                               const adjoin_graph* adjoin = nullptr, bool canonical = true) {
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true,
+                               const std::string& origin = {}) {
   namespace d = csr_detail;
   NWOBS_SCOPE_TIMER("io.snapshot_write");
   NW_ASSERT(edges.num_edges() == nodes.num_edges(),
@@ -483,8 +487,14 @@ inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
   hsum = d::fnv1a64(prefix.data() + d::header_bytes, table_end - d::header_bytes, hsum);
   d::put_u64(prefix.data() + 56, hsum);
 
-  out.write(reinterpret_cast<const char*>(prefix.data()),
-            static_cast<std::streamsize>(prefix.size()));
+  auto checked_write = [&](const char* data, std::streamsize n) {
+    out.write(data, n);
+    if (!out.good()) {
+      throw io_error("write failure while emitting NWHYCSR2 snapshot", origin);
+    }
+  };
+  checked_write(reinterpret_cast<const char*>(prefix.data()),
+                static_cast<std::streamsize>(prefix.size()));
   std::uint64_t                    pos = table_end;
   static constexpr char            zeros[d::section_alignment] = {};
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -492,24 +502,33 @@ inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
     std::uint64_t pad = entries[i].offset - pos;
     while (pad > 0) {
       std::uint64_t chunk = std::min<std::uint64_t>(pad, sizeof(zeros));
-      out.write(zeros, static_cast<std::streamsize>(chunk));
+      checked_write(zeros, static_cast<std::streamsize>(chunk));
       pad -= chunk;
     }
-    out.write(static_cast<const char*>(raws[i].data),
-              static_cast<std::streamsize>(raws[i].length));
+    checked_write(static_cast<const char*>(raws[i].data),
+                  static_cast<std::streamsize>(raws[i].length));
     pos = entries[i].offset + entries[i].length;
   }
   NWOBS_COUNT("io.snapshot_bytes_written", 0, file_size);
 }
 
+/// Path overload: on any write or flush failure, the partial output file is
+/// removed (regular files only) and io_error propagates, so a failed
+/// `nwhy_tool convert` never leaves a truncated .nwcsr on disk.
 inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& edges,
                                const biadjacency<1>& nodes,
                                const adjoin_graph* adjoin = nullptr, bool canonical = true) {
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) throw io_error("cannot open snapshot output file", path);
-  write_csr_snapshot(out, edges, nodes, adjoin, canonical);
-  out.flush();
-  if (!out.good()) throw io_error("write failure while emitting NWHYCSR2 snapshot", path);
+  try {
+    write_csr_snapshot(out, edges, nodes, adjoin, canonical, path);
+    out.flush();
+    if (!out.good()) throw io_error("flush failure while emitting NWHYCSR2 snapshot", path);
+  } catch (...) {
+    out.close();
+    io_detail::remove_partial_output(path);
+    throw;
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -14,9 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
 
 namespace nw::hypergraph {
 
@@ -80,6 +85,21 @@ inline std::size_t line_number_at(std::string_view text, std::uint64_t offset) {
   std::size_t line = 1;
   for (std::uint64_t i = 0; i < offset; ++i) line += text[i] == '\n';
   return line;
+}
+
+/// Best-effort removal of a partially-written output file after a failed
+/// write, so a truncated snapshot is never left behind masquerading as a
+/// valid one.  Only *regular files* are removed: writers can legitimately
+/// point at /dev/null, /dev/full (the ENOSPC test target) or a pipe, and
+/// unlinking those — especially as root — would destroy something that is
+/// not ours.  Failure to remove is swallowed: the caller is already
+/// propagating the original io_error, which is the diagnosis that matters.
+inline void remove_partial_output(const std::string& path) noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return;
+#endif
+  std::remove(path.c_str());
 }
 
 }  // namespace io_detail

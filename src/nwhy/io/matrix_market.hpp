@@ -318,21 +318,38 @@ inline nw::graph::edge_list<> graph_reader_adjoin(const std::string& path,
   return flat;
 }
 
-/// Write a biedgelist as a pattern MatrixMarket incidence matrix.
-inline void write_matrix_market(std::ostream& out, const biedgelist<>& el) {
+/// Write a biedgelist as a pattern MatrixMarket incidence matrix.  The
+/// stream state is checked so a failed write (ENOSPC, closed pipe) throws
+/// io_error instead of silently truncating the output.
+inline void write_matrix_market(std::ostream& out, const biedgelist<>& el,
+                                const std::string& origin = {}) {
   out << "%%MatrixMarket matrix coordinate pattern general\n";
   out << "% hypergraph incidence matrix written by NWHy\n";
   out << el.num_vertices(0) << ' ' << el.num_vertices(1) << ' ' << el.size() << '\n';
   for (std::size_t i = 0; i < el.size(); ++i) {
     auto [e, v] = el[i];
     out << (e + 1) << ' ' << (v + 1) << '\n';
+    if (!out.good()) {
+      throw io_error("write failure while emitting MatrixMarket output", origin);
+    }
   }
+  if (!out.good()) throw io_error("write failure while emitting MatrixMarket output", origin);
 }
 
+/// Path overload: a failed write or flush removes the partial output file
+/// (regular files only) before the io_error propagates.
 inline void write_matrix_market(const std::string& path, const biedgelist<>& el) {
   std::ofstream out(path);
   if (!out.is_open()) throw io_error("cannot open output file", path);
-  write_matrix_market(out, el);
+  try {
+    write_matrix_market(out, el, path);
+    out.flush();
+    if (!out.good()) throw io_error("flush failure while emitting MatrixMarket output", path);
+  } catch (...) {
+    out.close();
+    io_detail::remove_partial_output(path);
+    throw;
+  }
 }
 
 }  // namespace nw::hypergraph

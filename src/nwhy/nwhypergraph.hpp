@@ -1,14 +1,37 @@
 // nwhy/nwhypergraph.hpp
 //
 // The NWHypergraph facade — the C++ twin of the Python-facing class in the
-// paper's Listing 5.  Owns the canonical biedgelist plus the two mutually
-// indexed biadjacency structures, lazily materializes the adjoin graph, and
-// exposes the representation constructors (s-line graph, s-clique graph,
-// clique expansion) and exact algorithms (BFS, CC, toplexes).
+// paper's Listing 5, grown into the *dynamic hypergraph engine* of ROADMAP
+// item 1.  The structure is layered:
+//
+//   generation  — an immutable biedgelist + CSR pair (possibly zero-copy
+//                 mmap views of an NWHYCSR2 snapshot), held by shared_ptr
+//                 so readers that pinned it survive compaction;
+//   delta       — a mutable per-hyperedge overlay (nwhy/delta.hpp):
+//                 replacement member lists and tombstones from the batched
+//                 insert_edges / remove_edges / update_edge API;
+//   compaction  — folds the overlay into a fresh generation through the
+//                 parallel from_thread_buffers pipeline, automatically at
+//                 NWHY_COMPACT_THRESHOLD overlay rows or explicitly via
+//                 compact().
+//
+// Read paths compose base+delta transparently: degrees are maintained
+// incrementally, point queries consult the overlay first, and the
+// traversal/toplex queries run on a lazily-built composed incidence while
+// a delta is pending (their results are bit-identical to a rebuild from
+// scratch — hyperedge ids are stable, tombstones compact to empty rows).
+// Accessors that would leak the stale base structures (edge_list(),
+// hyperedges(), hypernodes(), save_csr_snapshot()) throw std::logic_error
+// while a delta is pending; everything else recomputes.  Every mutation
+// bumps a version counter shared with derived structures (the C API checks
+// it to reject stale s-line-graph queries).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nwhy/adjoin.hpp"
@@ -18,15 +41,45 @@
 #include "nwhy/algorithms/toplex.hpp"
 #include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
+#include "nwhy/delta.hpp"
 #include "nwhy/io/csr_snapshot.hpp"
 #include "nwgraph/relabel.hpp"
+#include "nwhy/ref/incidence.hpp"
+#include "nwhy/ref/serial_slinegraph.hpp"
+#include "nwhy/ref/serial_traversal.hpp"
 #include "nwhy/s_linegraph.hpp"
 #include "nwhy/slinegraph/construction.hpp"
 #include "nwhy/slinegraph/implicit.hpp"
 #include "nwhy/slinegraph/weighted.hpp"
+#include "nwobs/scope_timer.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwpar/partitioners.hpp"
 #include "nwutil/defs.hpp"
+#include "nwutil/flat_hashmap.hpp"
 
 namespace nw::hypergraph {
+
+/// One immutable CSR generation of a (possibly mutating) hypergraph.
+/// Held by shared_ptr: a reader that pins the generation (a mid-flight
+/// query, a snapshot writer, a serving thread) keeps it — including any
+/// mmap'd snapshot bytes backing zero-copy CSR views — alive across a
+/// concurrent compaction that swaps the owner to a newer generation.
+struct hypergraph_generation {
+  biedgelist<>                el;
+  biadjacency<0>              hyperedges;
+  biadjacency<1>              hypernodes;
+  /// Owns the mmap'd snapshot bytes when the CSRs are zero-copy views.
+  std::shared_ptr<const void> io_keepalive;
+  /// Monotonic per-hypergraph generation counter (0 = initial build).
+  std::uint64_t               id = 0;
+};
+
+/// One batched-mutation row: hyperedge `edge` gets the full member list
+/// `members` (insert when new, replacement when it exists).
+struct edge_update {
+  vertex_id_t              edge;
+  std::vector<vertex_id_t> members;
+};
 
 class NWHypergraph {
 public:
@@ -52,13 +105,13 @@ public:
   /// sort_and_unique + rebuild pipeline.
   explicit NWHypergraph(csr_snapshot snap) {
     if (snap.canonical()) {
-      el_           = snap.to_biedgelist();
-      hyperedges_   = std::move(snap.edges);
-      hypernodes_   = std::move(snap.nodes);
-      edge_degrees_ = hyperedges_.degrees();
-      node_degrees_ = hypernodes_.degrees();
+      auto gen          = std::make_shared<hypergraph_generation>();
+      gen->el           = snap.to_biedgelist();
+      gen->hyperedges   = std::move(snap.edges);
+      gen->hypernodes   = std::move(snap.nodes);
+      gen->io_keepalive = std::move(snap.storage);
+      adopt_generation(std::move(gen));
       if (snap.adjoin) adjoin_ = std::make_unique<adjoin_graph>(std::move(*snap.adjoin));
-      io_keepalive_ = std::move(snap.storage);
     } else {
       init(snap.to_biedgelist());
     }
@@ -66,30 +119,185 @@ public:
 
   /// Serialize this hypergraph as a CANONICAL NWHYCSR2 snapshot.
   /// `with_adjoin` additionally embeds the (lazily built) adjoin CSR so a
-  /// later load skips that construction too.
+  /// later load skips that construction too.  Requires a compacted state
+  /// (the snapshot serializes the base CSRs, which a pending delta would
+  /// silently contradict).
   void save_csr_snapshot(const std::string& path, bool with_adjoin = false) const {
-    write_csr_snapshot(path, hyperedges_, hypernodes_, with_adjoin ? &adjoin() : nullptr,
+    require_compacted("save_csr_snapshot");
+    write_csr_snapshot(path, gen_->hyperedges, gen_->hypernodes,
+                       with_adjoin ? &adjoin() : nullptr,
                        /*canonical=*/true);
   }
 
   // --- representation accessors -------------------------------------------
+  //
+  // These three expose the *base generation's* structures, which do not see
+  // the delta overlay — so they refuse (std::logic_error) while a delta is
+  // pending rather than hand out pre-mutation data.  Call compact() first.
 
-  [[nodiscard]] const biedgelist<>&     edge_list() const { return el_; }
-  [[nodiscard]] const biadjacency<0>&   hyperedges() const { return hyperedges_; }
-  [[nodiscard]] const biadjacency<1>&   hypernodes() const { return hypernodes_; }
+  [[nodiscard]] const biedgelist<>& edge_list() const {
+    require_compacted("edge_list");
+    return gen_->el;
+  }
+  [[nodiscard]] const biadjacency<0>& hyperedges() const {
+    require_compacted("hyperedges");
+    return gen_->hyperedges;
+  }
+  [[nodiscard]] const biadjacency<1>& hypernodes() const {
+    require_compacted("hypernodes");
+    return gen_->hypernodes;
+  }
 
-  [[nodiscard]] std::size_t num_hyperedges() const { return hyperedges_.size(); }
-  [[nodiscard]] std::size_t num_hypernodes() const { return hypernodes_.size(); }
-  [[nodiscard]] std::size_t num_incidences() const { return el_.size(); }
+  [[nodiscard]] std::size_t num_hyperedges() const { return edge_degrees_.size(); }
+  [[nodiscard]] std::size_t num_hypernodes() const { return node_degrees_.size(); }
+  [[nodiscard]] std::size_t num_incidences() const { return num_incidences_; }
 
+  /// Composed degrees, maintained incrementally under mutation.
   [[nodiscard]] const std::vector<std::size_t>& edge_sizes() const { return edge_degrees_; }
   [[nodiscard]] const std::vector<std::size_t>& node_degrees() const { return node_degrees_; }
 
-  /// The adjoin representation, built on first use and cached.
+  // --- composed point queries ---------------------------------------------
+
+  /// The composed (base+delta) member list of hyperedge `e`; empty for
+  /// out-of-range or tombstoned edges.  Sorted ascending.
+  [[nodiscard]] std::vector<vertex_id_t> edge_members(vertex_id_t e) const {
+    if (const delta_row* row = delta_.find(e)) return row->members;
+    if (e < gen_->hyperedges.size()) {
+      auto                     nbrs = gen_->hyperedges[e];
+      std::vector<vertex_id_t> out;
+      for (auto&& t : nbrs) out.push_back(target(t));
+      return out;
+    }
+    return {};
+  }
+
+  /// The composed hyperedges incident on hypernode `v`: base edges without
+  /// an overlay row, merged with overlay edges containing `v`.  Sorted.
+  [[nodiscard]] std::vector<vertex_id_t> incident_edges(vertex_id_t v) const {
+    std::vector<vertex_id_t> out;
+    if (v < gen_->hypernodes.size()) {
+      for (auto&& t : gen_->hypernodes[v]) {
+        vertex_id_t e = target(t);
+        if (delta_.find(e) == nullptr) out.push_back(e);
+      }
+    }
+    auto overlay = delta_.node_overlay(v);
+    if (!overlay.empty()) {
+      // Both inputs are sorted and disjoint (an edge is overlaid or not).
+      std::vector<vertex_id_t> merged;
+      merged.reserve(out.size() + overlay.size());
+      std::merge(out.begin(), out.end(), overlay.begin(), overlay.end(),
+                 std::back_inserter(merged));
+      out = std::move(merged);
+    }
+    return out;
+  }
+
+  /// Composed incidence point query: is hyperedge `e` incident on `v`?
+  [[nodiscard]] bool contains(vertex_id_t e, vertex_id_t v) const {
+    if (const delta_row* row = delta_.find(e)) {
+      return std::binary_search(row->members.begin(), row->members.end(), v);
+    }
+    return e < gen_->hyperedges.size() && gen_->hyperedges.contains(e, v);
+  }
+
+  // --- mutation (the dynamic engine) --------------------------------------
+
+  /// Insert-or-replace a batch of hyperedge rows.  A row whose edge id is
+  /// past num_hyperedges() grows the hypergraph (intermediate ids become
+  /// empty hyperedges); member ids past num_hypernodes() grow the node
+  /// space.  Duplicate edge ids within one batch: last row wins.
+  void insert_edges(std::vector<edge_update> batch) {
+    for (auto& u : batch) apply_row(u.edge, std::move(u.members), /*tombstone=*/false);
+    maybe_autocompact();
+  }
+
+  /// Tombstone a batch of hyperedges: ids stay stable, the edges become
+  /// empty (exactly what a rebuild without their incidences produces).
+  /// Out-of-range ids are ignored.
+  void remove_edges(std::span<const vertex_id_t> edge_ids) {
+    for (vertex_id_t e : edge_ids) {
+      if (e < edge_degrees_.size()) apply_row(e, {}, /*tombstone=*/true);
+    }
+    maybe_autocompact();
+  }
+
+  /// Replace the member list of one hyperedge.
+  void update_edge(vertex_id_t e, std::vector<vertex_id_t> members) {
+    apply_row(e, std::move(members), /*tombstone=*/false);
+    maybe_autocompact();
+  }
+
+  /// Fold the pending delta into a fresh immutable generation through the
+  /// parallel from_thread_buffers pipeline.  Readers holding the previous
+  /// generation() shared_ptr keep it alive.  Content-preserving: the
+  /// version counter does not change (mutations already bumped it).
+  void compact() {
+    if (delta_.empty()) return;
+    NWOBS_SCOPE_TIMER("dynamic.compact");
+    auto&             pool = par::thread_pool::default_pool();
+    const std::size_t ne   = edge_degrees_.size();
+    const std::size_t nv   = node_degrees_.size();
+    const auto&       base = gen_->hyperedges;
+    par::per_thread<std::vector<std::pair<vertex_id_t, vertex_id_t>>> buffers(pool);
+    // static_blocked gives thread t a contiguous ascending block of edge
+    // ids and from_thread_buffers merges the buffers in thread order, so
+    // the compacted list comes out in canonical (edge, node) order without
+    // a sort — bit-identical to init()'s sort_and_unique on the same rows.
+    par::parallel_for(
+        0, ne,
+        [&](unsigned tid, std::size_t e) {
+          auto& buf = buffers.local(tid);
+          if (const delta_row* row = delta_.find(static_cast<vertex_id_t>(e))) {
+            for (vertex_id_t v : row->members) {
+              buf.push_back({static_cast<vertex_id_t>(e), v});
+            }
+          } else if (e < base.size()) {
+            for (auto&& t : base[e]) buf.push_back({static_cast<vertex_id_t>(e), target(t)});
+          }
+        },
+        par::static_blocked{}, pool);
+    auto el = biedgelist<>::from_thread_buffers(buffers, ne, nv, par::merge_capacity::release,
+                                                pool);
+    const std::uint64_t next_id = gen_->id + 1;
+    delta_.clear();
+    auto gen = std::make_shared<hypergraph_generation>();
+    gen->el  = std::move(el);
+    gen->hyperedges = biadjacency<0>(gen->el);
+    gen->hypernodes = biadjacency<1>(gen->el);
+    gen->id         = next_id;
+    adopt_generation(std::move(gen));
+    composed_.reset();
+    // adjoin_ (when still cached) describes the same composed content and
+    // stays valid across a content-preserving compaction.
+  }
+
+  /// True while mutations are pending in the delta overlay.
+  [[nodiscard]] bool has_pending_delta() const { return !delta_.empty(); }
+  /// Number of pending overlay rows (tombstones included).
+  [[nodiscard]] std::size_t delta_size() const { return delta_.size(); }
+  /// The overlay itself (introspection / benches).
+  [[nodiscard]] const hyperedge_delta& delta() const { return delta_; }
+
+  /// The current base generation.  Pin the returned shared_ptr to keep its
+  /// CSRs (and any mmap'd backing bytes) alive across compactions.
+  [[nodiscard]] std::shared_ptr<const hypergraph_generation> generation() const { return gen_; }
+
+  /// Content version: bumped by every mutating call (not by compact(),
+  /// which preserves content).  Derived structures capture the token at
+  /// build time and compare to detect staleness.
+  [[nodiscard]] std::uint64_t version() const { return *version_; }
+  [[nodiscard]] std::shared_ptr<const std::uint64_t> version_token() const { return version_; }
+
+  /// The adjoin representation, built on first use and cached; mutation
+  /// invalidates the cache and the next call rebuilds from the composed
+  /// incidence.
   [[nodiscard]] const adjoin_graph& adjoin() const {
     if (!adjoin_) {
       std::size_t ne = 0, nv = 0;
-      auto        flat = make_adjoin_edge_list(el_, ne, nv);
+      auto        composed_el = delta_.empty() ? biedgelist<>() : composed_edge_list();
+      const auto& el          = delta_.empty() ? gen_->el : composed_el;
+      auto        flat        = make_adjoin_edge_list(el, ne, nv);
       flat.sort_and_unique();
       adjoin_ = std::make_unique<adjoin_graph>(
           adjoin_graph{nw::graph::adjacency<>(flat, ne + nv), ne, nv});
@@ -98,12 +306,14 @@ public:
   }
 
   /// The dual hypergraph H*: hyperedges and hypernodes swap roles
-  /// (transpose of the incidence matrix).
+  /// (transpose of the incidence matrix).  Composes base+delta.
   [[nodiscard]] NWHypergraph dual() const {
-    biedgelist<> el(hypernodes_.size(), hyperedges_.size());
-    el.reserve(el_.size());
-    for (std::size_t i = 0; i < el_.size(); ++i) {
-      auto [e, v] = el_[i];
+    auto        composed_el = delta_.empty() ? biedgelist<>() : composed_edge_list();
+    const auto& src         = delta_.empty() ? gen_->el : composed_el;
+    biedgelist<> el(num_hypernodes(), num_hyperedges());
+    el.reserve(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      auto [e, v] = src[i];
       el.push_back(v, e);
     }
     return NWHypergraph(std::move(el));
@@ -113,35 +323,53 @@ public:
 
   /// Listing 5 `s_linegraph(s, edges)`: the s-line graph over hyperedges
   /// (edges == true) or the s-clique graph over hypernodes (edges == false).
-  /// Uses the direct per-thread-buffers -> CSR materialization pipeline:
-  /// no intermediate edge_list, no symmetrize, no global sort.
+  /// Compacted state uses the direct per-thread-buffers -> CSR
+  /// materialization pipeline; a pending delta composes base+delta through
+  /// the serial overlap counter (same edge set as a rebuild).
   [[nodiscard]] s_linegraph make_s_linegraph(std::size_t s, bool edges = true) const {
-    if (edges) {
-      return s_linegraph(to_two_graph_hashmap_csr(hyperedges_, hypernodes_, edge_degrees_, s),
-                         edge_degrees_, s);
+    if (!delta_.empty()) {
+      const auto& h = composed();
+      if (edges) {
+        return s_linegraph(serial_s_pairs(h.edges, h.nodes, s), num_hyperedges(),
+                           edge_degrees_, s);
+      }
+      return s_linegraph(serial_s_pairs(h.nodes, h.edges, s), num_hypernodes(), node_degrees_,
+                         s);
     }
-    return s_linegraph(to_two_graph_hashmap_csr(hypernodes_, hyperedges_, node_degrees_, s),
-                       node_degrees_, s);
+    if (edges) {
+      return s_linegraph(
+          to_two_graph_hashmap_csr(gen_->hyperedges, gen_->hypernodes, edge_degrees_, s),
+          edge_degrees_, s);
+    }
+    return s_linegraph(
+        to_two_graph_hashmap_csr(gen_->hypernodes, gen_->hyperedges, node_degrees_, s),
+        node_degrees_, s);
   }
 
   /// s-connected components / s-distance computed *without* materializing
   /// the line graph (implicit traversal — see slinegraph/implicit.hpp for
-  /// the memory/work tradeoff).
+  /// the memory/work tradeoff).  A pending delta routes through the serial
+  /// composed oracle (identical partition).
   [[nodiscard]] std::vector<vertex_id_t> s_connected_components_implicit(std::size_t s) const {
-    return nw::hypergraph::s_connected_components_implicit(hyperedges_, hypernodes_,
+    if (!delta_.empty()) return ref::s_components(composed(), s);
+    return nw::hypergraph::s_connected_components_implicit(gen_->hyperedges, gen_->hypernodes,
                                                            edge_degrees_, s);
   }
   [[nodiscard]] std::optional<std::size_t> s_distance_implicit(std::size_t s, vertex_id_t src,
                                                                vertex_id_t dst) const {
-    return nw::hypergraph::s_distance_implicit(hyperedges_, hypernodes_, edge_degrees_, s, src,
-                                               dst);
+    if (!delta_.empty()) return ref::s_distance(composed(), s, src, dst);
+    return nw::hypergraph::s_distance_implicit(gen_->hyperedges, gen_->hypernodes,
+                                               edge_degrees_, s, src, dst);
   }
 
   /// Weighted 1-line edge list: every s-adjacent pair with its exact
   /// overlap |e_i ∩ e_j|; threshold_weighted() slices it into any L_s(H).
   [[nodiscard]] nw::graph::edge_list<std::uint32_t> weighted_linegraph_edges(
       std::size_t s = 1) const {
-    return to_two_graph_weighted(hyperedges_, hypernodes_, edge_degrees_, s);
+    if (!delta_.empty()) {
+      return NWHypergraph(composed_edge_list()).weighted_linegraph_edges(s);
+    }
+    return to_two_graph_weighted(gen_->hyperedges, gen_->hypernodes, edge_degrees_, s);
   }
 
   /// A copy of this hypergraph with hyperedge ids relabeled by degree
@@ -151,11 +379,13 @@ public:
   [[nodiscard]] NWHypergraph relabel_edges_by_degree(
       nw::graph::degree_order order = nw::graph::degree_order::descending,
       std::vector<vertex_id_t>* perm_out = nullptr) const {
-    auto perm = nw::graph::degree_permutation(edge_degrees_, order);
-    biedgelist<> rel(el_.num_vertices(0), el_.num_vertices(1));
-    rel.reserve(el_.size());
-    for (std::size_t i = 0; i < el_.size(); ++i) {
-      auto [e, v] = el_[i];
+    auto        perm        = nw::graph::degree_permutation(edge_degrees_, order);
+    auto        composed_el = delta_.empty() ? biedgelist<>() : composed_edge_list();
+    const auto& src         = delta_.empty() ? gen_->el : composed_el;
+    biedgelist<> rel(num_hyperedges(), num_hypernodes());
+    rel.reserve(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      auto [e, v] = src[i];
       rel.push_back(perm[e], v);
     }
     if (perm_out) *perm_out = std::move(perm);
@@ -166,22 +396,31 @@ public:
   /// every hyperedge by a clique.  Materialized through the direct
   /// per-thread-buffers -> CSR pipeline.
   [[nodiscard]] nw::graph::adjacency<> clique_expansion_graph() const {
-    return clique_expansion_csr(hypernodes_, hyperedges_, node_degrees_);
+    if (!delta_.empty()) return NWHypergraph(composed_edge_list()).clique_expansion_graph();
+    return clique_expansion_csr(gen_->hypernodes, gen_->hyperedges, node_degrees_);
   }
 
   // --- exact algorithms -----------------------------------------------------
 
-  /// HyperBFS from a hyperedge (direction-optimizing).
+  /// HyperBFS from a hyperedge (direction-optimizing; a pending delta runs
+  /// the composed serial engine, distances bit-identical).
   [[nodiscard]] hyper_bfs_result bfs(vertex_id_t source_edge) const {
-    return hyper_bfs(hyperedges_, hypernodes_, source_edge);
+    if (!delta_.empty()) return composed_bfs(source_edge);
+    return hyper_bfs(gen_->hyperedges, gen_->hypernodes, source_edge);
   }
 
-  /// HyperCC over the bipartite representation.
+  /// HyperCC over the bipartite representation (min-label convention; the
+  /// composed path reproduces it exactly).
   [[nodiscard]] hyper_cc_result connected_components() const {
-    return hyper_cc(hyperedges_, hypernodes_);
+    if (!delta_.empty()) {
+      auto r = ref::cc_labels(composed());
+      return hyper_cc_result{std::move(r.labels_edge), std::move(r.labels_node)};
+    }
+    return hyper_cc(gen_->hyperedges, gen_->hypernodes);
   }
 
-  /// AdjoinBFS / AdjoinCC through the adjoin representation.
+  /// AdjoinBFS / AdjoinCC through the adjoin representation (which itself
+  /// composes base+delta on rebuild).
   [[nodiscard]] adjoin_bfs_result bfs_adjoin(vertex_id_t source_edge) const {
     return adjoin_bfs(adjoin(), source_edge);
   }
@@ -190,29 +429,213 @@ public:
     return adjoin_cc(adjoin(), engine);
   }
 
-  /// Toplexes (Algorithm 3).
+  /// Toplexes (Algorithm 3); a pending delta runs the composed serial
+  /// dominance test (same tie-breaks, identical output).
   [[nodiscard]] std::vector<vertex_id_t> toplexes() const {
-    return nw::hypergraph::toplexes(hyperedges_, hypernodes_);
+    if (!delta_.empty()) return composed_toplexes();
+    return nw::hypergraph::toplexes(gen_->hyperedges, gen_->hypernodes);
   }
 
 private:
   void init(biedgelist<> el) {
     el.sort_and_unique();  // canonical order: sorted incidence lists everywhere
-    el_           = std::move(el);
-    hyperedges_   = biadjacency<0>(el_);
-    hypernodes_   = biadjacency<1>(el_);
-    edge_degrees_ = hyperedges_.degrees();
-    node_degrees_ = hypernodes_.degrees();
+    auto gen        = std::make_shared<hypergraph_generation>();
+    gen->el         = std::move(el);
+    gen->hyperedges = biadjacency<0>(gen->el);
+    gen->hypernodes = biadjacency<1>(gen->el);
+    adopt_generation(std::move(gen));
   }
 
-  biedgelist<>                          el_;
-  biadjacency<0>                        hyperedges_;
-  biadjacency<1>                        hypernodes_;
-  std::vector<std::size_t>              edge_degrees_;
-  std::vector<std::size_t>              node_degrees_;
-  mutable std::unique_ptr<adjoin_graph> adjoin_;
-  /// Owns the mmap'd snapshot bytes when the CSRs are zero-copy views.
-  std::shared_ptr<const void>           io_keepalive_;
+  /// Install `gen` as the live generation and derive the maintained state.
+  void adopt_generation(std::shared_ptr<hypergraph_generation> gen) {
+    gen_            = std::move(gen);
+    edge_degrees_   = gen_->hyperedges.degrees();
+    node_degrees_   = gen_->hypernodes.degrees();
+    num_incidences_ = gen_->el.size();
+  }
+
+  void require_compacted(const char* what) const {
+    if (!delta_.empty()) {
+      throw std::logic_error(std::string(what) +
+                             ": hypergraph has a pending delta overlay (" +
+                             std::to_string(delta_.size()) +
+                             " rows); call compact() first");
+    }
+  }
+
+  /// Apply one overlay row: canonicalize, maintain the incremental degree
+  /// state, record in the delta, invalidate every cached derived structure.
+  void apply_row(vertex_id_t e, std::vector<vertex_id_t> members, bool tombstone) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    auto old = edge_members(e);
+    if (std::size_t{e} >= edge_degrees_.size()) edge_degrees_.resize(std::size_t{e} + 1, 0);
+    for (vertex_id_t v : members) {
+      if (std::size_t{v} >= node_degrees_.size()) node_degrees_.resize(std::size_t{v} + 1, 0);
+    }
+    for (vertex_id_t v : old) --node_degrees_[v];
+    for (vertex_id_t v : members) ++node_degrees_[v];
+    num_incidences_ += members.size();
+    num_incidences_ -= old.size();
+    edge_degrees_[e] = members.size();
+    if (tombstone) {
+      delta_.erase_edge(e);
+    } else {
+      delta_.set(e, std::move(members));
+    }
+    adjoin_.reset();
+    composed_.reset();
+    ++*version_;
+  }
+
+  void maybe_autocompact() {
+    const std::size_t threshold = compact_threshold();
+    if (threshold != 0 && delta_.size() >= threshold) compact();
+  }
+
+  /// The composed (base+delta) incidence, cached until the next mutation.
+  const ref::incidence& composed() const {
+    if (!composed_) {
+      auto              inc = std::make_shared<ref::incidence>();
+      const std::size_t ne  = edge_degrees_.size();
+      const std::size_t nv  = node_degrees_.size();
+      inc->edges.resize(ne);
+      inc->nodes.resize(nv);
+      for (std::size_t e = 0; e < ne; ++e) {
+        inc->edges[e] = edge_members(static_cast<vertex_id_t>(e));
+        for (vertex_id_t v : inc->edges[e]) {
+          inc->nodes[v].push_back(static_cast<vertex_id_t>(e));  // ascending e: sorted
+        }
+      }
+      composed_ = std::move(inc);
+    }
+    return *composed_;
+  }
+
+  /// The composed edge list in canonical (edge, node) order.
+  [[nodiscard]] biedgelist<> composed_edge_list() const {
+    biedgelist<> el(num_hyperedges(), num_hypernodes());
+    el.reserve(num_incidences_);
+    for (std::size_t e = 0; e < edge_degrees_.size(); ++e) {
+      for (vertex_id_t v : edge_members(static_cast<vertex_id_t>(e))) {
+        el.push_back(static_cast<vertex_id_t>(e), v);
+      }
+    }
+    return el;
+  }
+
+  /// Serial composed HyperBFS, reproducing the parallel engine's
+  /// conventions exactly: dist_edge[source] = 0, alternating bipartite
+  /// levels, parents cross-class with the source parenting itself.
+  [[nodiscard]] hyper_bfs_result composed_bfs(vertex_id_t source) const {
+    const auto&      h = composed();
+    hyper_bfs_result r;
+    r.parents_edge.assign(h.num_edges(), null_vertex<>);
+    r.parents_node.assign(h.num_nodes(), null_vertex<>);
+    r.dist_edge.assign(h.num_edges(), null_vertex<>);
+    r.dist_node.assign(h.num_nodes(), null_vertex<>);
+    if (h.num_edges() == 0 || source >= h.num_edges()) return r;
+    r.parents_edge[source] = source;
+    r.dist_edge[source]    = 0;
+    std::vector<vertex_id_t> frontier{source};
+    std::vector<vertex_id_t> next;
+    bool                     edge_side = true;
+    vertex_id_t              level     = 0;
+    while (!frontier.empty()) {
+      ++level;
+      next.clear();
+      for (vertex_id_t u : frontier) {
+        const auto& nbrs    = edge_side ? h.edges[u] : h.nodes[u];
+        auto&       dist    = edge_side ? r.dist_node : r.dist_edge;
+        auto&       parents = edge_side ? r.parents_node : r.parents_edge;
+        for (vertex_id_t v : nbrs) {
+          if (dist[v] == null_vertex<>) {
+            dist[v]    = level;
+            parents[v] = u;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier.swap(next);
+      edge_side = !edge_side;
+    }
+    return r;
+  }
+
+  /// Serial composed toplexes with the parallel formulation's dominance
+  /// rule: e dominated iff ∃f: e ⊆ f ∧ (|f| > |e| ∨ (|f| == |e| ∧ f < e));
+  /// among empty hyperedges only the smallest id survives, and only when no
+  /// non-empty hyperedge exists.
+  [[nodiscard]] std::vector<vertex_id_t> composed_toplexes() const {
+    const auto&       h  = composed();
+    const std::size_t ne = h.num_edges();
+    bool              any_nonempty   = false;
+    vertex_id_t       first_empty_id = null_vertex<>;
+    for (std::size_t i = 0; i < ne; ++i) {
+      if (!h.edges[i].empty()) {
+        any_nonempty = true;
+      } else if (first_empty_id == null_vertex<>) {
+        first_empty_id = static_cast<vertex_id_t>(i);
+      }
+    }
+    std::vector<vertex_id_t> result;
+    counting_hashmap<>       overlap;
+    for (std::size_t i = 0; i < ne; ++i) {
+      const vertex_id_t ei = static_cast<vertex_id_t>(i);
+      const std::size_t di = h.edges[i].size();
+      if (di == 0) {
+        if (!any_nonempty && ei == first_empty_id) result.push_back(ei);
+        continue;
+      }
+      overlap.clear();
+      for (vertex_id_t v : h.edges[i]) {
+        for (vertex_id_t ej : h.nodes[v]) {
+          if (ej != ei) overlap.increment(ej);
+        }
+      }
+      bool dom = false;
+      overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
+        if (dom || n < di) return;
+        std::size_t dj = h.edges[ej].size();
+        if (dj > di || (dj == di && ej < ei)) dom = true;
+      });
+      if (!dom) result.push_back(ei);
+    }
+    return result;
+  }
+
+  /// Serial composed s-line-graph pair set through overlap counting — the
+  /// same edge set the parallel hashmap algorithm emits (pairs sharing at
+  /// least one member, overlap >= s, both entities active).
+  static nw::graph::edge_list<> serial_s_pairs(const ref::adjacency_list& entities,
+                                               const ref::adjacency_list& transpose,
+                                               std::size_t s) {
+    nw::graph::edge_list<> out(entities.size());
+    counting_hashmap<>     overlap;
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      if (entities[i].size() < s) continue;
+      const vertex_id_t ei = static_cast<vertex_id_t>(i);
+      overlap.clear();
+      for (vertex_id_t v : entities[i]) {
+        for (vertex_id_t ej : transpose[v]) {
+          if (ej > ei && entities[ej].size() >= s) overlap.increment(ej);
+        }
+      }
+      overlap.for_each([&](vertex_id_t ej, std::uint32_t n) {
+        if (n >= s) out.push_back(ei, ej);
+      });
+    }
+    return out;
+  }
+
+  std::shared_ptr<const hypergraph_generation> gen_;
+  hyperedge_delta                              delta_;
+  std::vector<std::size_t>                     edge_degrees_;
+  std::vector<std::size_t>                     node_degrees_;
+  std::size_t                                  num_incidences_ = 0;
+  mutable std::unique_ptr<adjoin_graph>        adjoin_;
+  mutable std::shared_ptr<const ref::incidence> composed_;
+  std::shared_ptr<std::uint64_t> version_ = std::make_shared<std::uint64_t>(0);
 };
 
 }  // namespace nw::hypergraph

@@ -25,6 +25,7 @@
 
 #include "nwobs/counters.hpp"
 #include "nwpar/thread_pool.hpp"
+#include "nwutil/env.hpp"
 
 namespace nw::obs {
 
@@ -65,6 +66,8 @@ inline void append_number(std::string& out, double v) {
 inline constexpr const char* recorded_env[] = {
     "NWHY_NUM_THREADS",  "NWHY_OBS",           "NWHY_BENCH_SCALE",
     "NWHY_BENCH_REPS",   "NWHY_BENCH_THREADS", "NWHY_BENCH_PROFILE",
+    "NWHY_BFS_ALPHA",    "NWHY_BFS_BETA",      "NWHY_COMPACT_THRESHOLD",
+    "NWHY_DELTA_RESERVE",
 };
 
 }  // namespace detail
@@ -126,10 +129,9 @@ inline void reset_profile() { registry::get().reset(); }
 
 /// Runtime enable check for *export* sites (the instrumentation itself is
 /// compile-time gated): NWHY_OBS=0 in the environment suppresses profile
-/// dumping without a rebuild.
-inline bool runtime_enabled() {
-  const char* v = std::getenv("NWHY_OBS");
-  return v == nullptr || std::string_view(v) != "0";
-}
+/// dumping without a rebuild.  Strict parse: a garbage value warns once and
+/// keeps profiles enabled (the default), instead of being read as "on"
+/// silently.
+inline bool runtime_enabled() { return nw::util::env_u64_strict("NWHY_OBS", 1) != 0; }
 
 }  // namespace nw::obs

@@ -38,18 +38,17 @@
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/bitmap.hpp"
 #include "nwutil/defs.hpp"
+#include "nwutil/env.hpp"
 
 namespace nw::par {
 
 namespace detail {
 
-/// Positive-integer environment knob with a fallback.
+/// Positive-integer environment knob with a fallback.  Strict parse: junk,
+/// trailing characters, zero, negatives and overflow warn once and keep the
+/// fallback (std::atol used to truncate "20x" to 20 and overflow into UB).
 inline std::size_t env_knob(const char* name, std::size_t fallback) {
-  if (const char* v = std::getenv(name)) {
-    long n = std::atol(v);
-    if (n > 0) return static_cast<std::size_t>(n);
-  }
-  return fallback;
+  return static_cast<std::size_t>(nw::util::env_u64_strict(name, fallback, 1));
 }
 
 }  // namespace detail

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "nwutil/defs.hpp"
+#include "nwutil/env.hpp"
 
 namespace nw::par {
 
@@ -118,10 +119,13 @@ inline std::unique_ptr<thread_pool>& default_pool_slot() {
   return pool;
 }
 inline unsigned initial_concurrency() {
-  if (const char* env = std::getenv("NWHY_NUM_THREADS")) {
-    int n = std::atoi(env);
-    if (n > 0) return static_cast<unsigned>(n);
-  }
+  // 0 is the "unset/invalid" sentinel: a valid NWHY_NUM_THREADS must be a
+  // strictly positive integer (strict parse — "abc", "8x", "-4" and
+  // overflowing values all warn once and fall back to hardware concurrency;
+  // the previous std::atoi accepted junk silently and overflowed into UB).
+  constexpr std::uint64_t max_threads = 65536;
+  std::uint64_t n = nw::util::env_u64_strict("NWHY_NUM_THREADS", 0, 1, max_threads);
+  if (n > 0) return static_cast<unsigned>(n);
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

@@ -1,0 +1,76 @@
+// nwutil/env.hpp
+//
+// Strict environment-knob parsing.  The historical call sites used
+// std::atoi / std::atol, which silently accept trailing junk ("8x" -> 8),
+// silently ignore garbage ("abc" -> 0 -> fallback, no diagnostic), and are
+// undefined behaviour on out-of-range input ("9999999999").  Every numeric
+// NWHY_* knob now goes through env_u64_strict:
+//
+//   * unset            -> fallback, silently (the normal case)
+//   * empty / garbage / trailing junk / sign prefix / overflow / below
+//     `min` / above `max` -> fallback, with a one-time warning on stderr
+//     naming the variable and the offending value (per-name, so a process
+//     reading one bad knob from several sites warns once)
+//
+// std::from_chars is the parsing primitive: locale-independent, rejects
+// leading whitespace and '+'/'-' for unsigned targets, and reports overflow
+// explicitly instead of saturating or wrapping.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace nw::util {
+
+namespace detail {
+
+/// One warning per knob name per process, however many call sites read it.
+inline void warn_invalid_env_once(const char* name, const char* value, std::uint64_t min,
+                                  std::uint64_t max, std::uint64_t fallback) {
+  static std::mutex            mutex;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex>  lock(mutex);
+  if (!warned.insert(name).second) return;
+  std::fprintf(stderr,
+               "nwhy: ignoring invalid %s='%s' (expected an integer in [%llu, %llu]); "
+               "using default %llu\n",
+               name, value, static_cast<unsigned long long>(min),
+               static_cast<unsigned long long>(max), static_cast<unsigned long long>(fallback));
+}
+
+}  // namespace detail
+
+/// Parse the full string `text` as an unsigned base-10 integer.  Returns
+/// false on empty input, any non-digit character (including trailing junk
+/// and '+'/'-' prefixes), or overflow past std::uint64_t.
+inline bool parse_u64_strict(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  const char* end    = text + std::strlen(text);
+  auto [ptr, ec]     = std::from_chars(text, end, out, 10);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Strictly-parsed unsigned environment knob.  Unset returns `fallback`
+/// quietly; a set-but-invalid value (garbage, trailing junk, negative,
+/// overflow, outside [min, max]) returns `fallback` with a one-time stderr
+/// warning.
+inline std::uint64_t env_u64_strict(const char* name, std::uint64_t fallback,
+                                    std::uint64_t min = 0,
+                                    std::uint64_t max = static_cast<std::uint64_t>(-1)) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::uint64_t value = 0;
+  if (!parse_u64_strict(raw, value) || value < min || value > max) {
+    detail::warn_invalid_env_once(name, raw, min, max, fallback);
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace nw::util
