@@ -13,10 +13,23 @@
 //   mmap-nwcsr    NWHYCSR2 zero-copy mmap load; the timed region includes a
 //                 first-touch sweep over every mapped section so page-fault
 //                 cost is charged to the load, not to the first algorithm
+//   read-nwcsrz   streamed read of the compressed snapshot (SVB target
+//                 sections), decoding to owned CSRs inside the timed region
+//   mmap-nwcsrz   mmap load of the compressed snapshot + full materialize —
+//                 the "cold start from a small file" number
+//   decode-svb    pure block-decode throughput, swept over
+//                 NWHY_BENCH_THREADS: the snapshot is mapped in stream mode
+//                 outside the timer and both compressed_adjacency views are
+//                 materialized inside it; `bytes` is the LOGICAL decoded
+//                 output (2 x m x 4), so MB/s is decode bandwidth
+//   svb-sections  zero-time bookkeeping record: `bytes` is the on-disk size
+//                 of the compressed target sections (kinds 7-10), so
+//                 8*incidences/bytes is the target-section compression ratio
 //
-// The footer prints the headline acceptance ratio: mmap load vs 1-thread
+// The footer prints the headline acceptance ratios: mmap load vs 1-thread
 // text parse (the paper-motivated "don't re-parse what you already
-// canonicalized" argument).
+// canonicalized" argument), the compressed-vs-raw bytes on disk, and the
+// peak decode bandwidth in GB/s.
 //
 //   NWHY_BENCH_JSON  path; when set the harness skips the table and writes
 //                    machine-readable records for scripts/bench_snapshot.sh:
@@ -39,12 +52,34 @@ namespace {
 struct corpus {
   std::string  name;
   biedgelist<> el;
-  std::string  mtx_path, bin_path, nwcsr_path;
-  std::size_t  mtx_bytes = 0, bin_bytes = 0, nwcsr_bytes = 0;
+  std::string  mtx_path, bin_path, nwcsr_path, nwcsrz_path;
+  std::size_t  mtx_bytes = 0, bin_bytes = 0, nwcsr_bytes = 0, nwcsrz_bytes = 0;
+  std::size_t  svb_section_bytes = 0;  // on-disk bytes of section kinds 7-10
 };
 
+/// Sum the on-disk bytes of the compressed target sections (kinds 7-10)
+/// by parsing just the snapshot's header + section table.
+std::size_t svb_section_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  std::vector<unsigned char> head(static_cast<std::size_t>(std::min<std::uint64_t>(
+      file_size, csr_detail::header_bytes +
+                     csr_detail::max_section_count * csr_detail::table_entry_bytes)));
+  in.read(reinterpret_cast<char*>(head.data()), static_cast<std::streamsize>(head.size()));
+  auto        h   = csr_detail::parse_header(head.data(), file_size, path);
+  std::size_t acc = 0;
+  for (const auto& s : h.sections) {
+    if (s.kind >= csr_sec_e2n_targets_svb && s.kind <= csr_sec_e2n_dict_indices) {
+      acc += static_cast<std::size_t>(s.length);
+    }
+  }
+  return acc;
+}
+
 /// Build the benchmark hypergraph (>= 1M incidences at scale 1) and
-/// serialize it into all three on-disk formats under a scratch directory.
+/// serialize it into all the on-disk formats under a scratch directory.
 corpus make_corpus(const std::filesystem::path& dir) {
   std::size_t scale = env_size("NWHY_BENCH_SCALE", 1);
   corpus      c;
@@ -54,19 +89,23 @@ corpus make_corpus(const std::filesystem::path& dir) {
                                           /*edge_size=*/10, /*seed=*/0x10C0FFEE);
   c.el.sort_and_unique();
 
-  c.mtx_path   = (dir / "bench_io.mtx").string();
-  c.bin_path   = (dir / "bench_io.bin").string();
-  c.nwcsr_path = (dir / "bench_io.nwcsr").string();
+  c.mtx_path    = (dir / "bench_io.mtx").string();
+  c.bin_path    = (dir / "bench_io.bin").string();
+  c.nwcsr_path  = (dir / "bench_io.nwcsr").string();
+  c.nwcsrz_path = (dir / "bench_io.z.nwcsr").string();
 
   write_matrix_market(c.mtx_path, c.el);
   write_binary(c.bin_path, c.el);
   biadjacency<0> edges(c.el);
   biadjacency<1> nodes(c.el);
   write_csr_snapshot(c.nwcsr_path, edges, nodes);
+  write_csr_snapshot(c.nwcsrz_path, edges, nodes, csr_compress_options{});
 
-  c.mtx_bytes   = std::filesystem::file_size(c.mtx_path);
-  c.bin_bytes   = std::filesystem::file_size(c.bin_path);
-  c.nwcsr_bytes = std::filesystem::file_size(c.nwcsr_path);
+  c.mtx_bytes    = std::filesystem::file_size(c.mtx_path);
+  c.bin_bytes    = std::filesystem::file_size(c.bin_path);
+  c.nwcsr_bytes  = std::filesystem::file_size(c.nwcsr_path);
+  c.nwcsrz_bytes = std::filesystem::file_size(c.nwcsrz_path);
+  c.svb_section_bytes = svb_section_bytes(c.nwcsrz_path);
   return c;
 }
 
@@ -139,6 +178,48 @@ std::vector<sample> measure(const corpus& c) {
     });
     out.push_back({"mmap-nwcsr", 1, ms, m, c.nwcsr_bytes});
   }
+  {  // Compressed snapshot, streamed read + decode to owned CSRs.
+    std::size_t m  = 0;
+    double      ms = time_median_ms([&] {
+      std::ifstream in(c.nwcsrz_path, std::ios::binary);
+      auto          snap = read_csr_snapshot(in, c.nwcsrz_path);
+      m                  = snap.m;
+    });
+    out.push_back({"read-nwcsrz", 1, ms, m, c.nwcsrz_bytes});
+  }
+  {  // Compressed snapshot, mmap + full materialize (cold-start path).
+    std::size_t            m   = 0;
+    volatile std::uint64_t acc = 0;
+    double                 ms  = time_median_ms([&] {
+      auto snap = load_csr_snapshot(c.nwcsrz_path);
+      acc       = acc + touch_all(snap);
+      m         = snap.m;
+    });
+    out.push_back({"mmap-nwcsrz", 1, ms, m, c.nwcsrz_bytes});
+  }
+  {  // Pure SVB block-decode bandwidth, swept over the thread counts.  The
+     // snapshot is mapped in stream mode outside the timer; the timed
+     // region decodes every block of both compressed views.  `bytes` is
+     // the logical decoded output, so MB/s below is decode bandwidth.
+    auto snap = load_csr_snapshot(c.nwcsrz_path, /*verify_checksums=*/false,
+                                  snapshot_decode::stream);
+    const std::size_t logical = 2 * snap.m * sizeof(nw::vertex_id_t);
+    for (unsigned t : env_threads()) {
+      nw::par::thread_pool::set_default_concurrency(t);
+      volatile std::size_t acc = 0;
+      double               ms  = time_median_ms([&] {
+        std::size_t n = 0;
+        if (snap.edges_view) n += snap.edges_view->materialize().num_edges();
+        if (snap.nodes_view) n += snap.nodes_view->materialize().num_edges();
+        acc = acc + n;
+      });
+      out.push_back({"decode-svb", t, ms, snap.m, logical});
+    }
+    nw::par::thread_pool::set_default_concurrency(restore);
+  }
+  // Bookkeeping record: on-disk bytes of the compressed target sections,
+  // so consumers can compute the target-section ratio (8*m / bytes).
+  out.push_back({"svb-sections", 1, 0.0, c.el.size(), c.svb_section_bytes});
   return out;
 }
 
@@ -194,11 +275,14 @@ int main() {
   } else {
     std::printf("I/O subsystem — load times (median of %zu reps)\n",
                 env_size("NWHY_BENCH_REPS", 3));
-    std::printf("dataset %s: %zu incidences; %.1f MB text, %.1f MB bin, %.1f MB nwcsr\n",
-                c.name.c_str(), c.el.size(), c.mtx_bytes / 1e6, c.bin_bytes / 1e6,
-                c.nwcsr_bytes / 1e6);
+    std::printf(
+        "dataset %s: %zu incidences; %.1f MB text, %.1f MB bin, %.1f MB nwcsr, "
+        "%.1f MB nwcsrz\n",
+        c.name.c_str(), c.el.size(), c.mtx_bytes / 1e6, c.bin_bytes / 1e6, c.nwcsr_bytes / 1e6,
+        c.nwcsrz_bytes / 1e6);
     std::printf("%-14s %8s %12s %14s\n", "operation", "threads", "median ms", "MB/s");
     for (const auto& r : rows) {
+      if (r.operation == "svb-sections") continue;  // zero-time bookkeeping row
       double mbps = r.median_ms > 0 ? (r.bytes / 1e6) / (r.median_ms / 1e3) : 0;
       std::printf("%-14s %8u %12.2f %14.1f\n", r.operation.c_str(), r.threads, r.median_ms, mbps);
     }
@@ -207,6 +291,23 @@ int main() {
     if (parse1 > 0 && mm > 0) {
       std::printf("  -> mmap snapshot load is %.1fx faster than %u-thread text parse\n",
                   parse1 / mm, env_threads().front());
+    }
+    if (c.svb_section_bytes > 0) {
+      std::printf("  -> compressed snapshot: %.1f MB vs %.1f MB raw on disk (%.2fx whole-file, "
+                  "%.2fx on target sections)\n",
+                  c.nwcsrz_bytes / 1e6, c.nwcsr_bytes / 1e6,
+                  double(c.nwcsr_bytes) / double(c.nwcsrz_bytes),
+                  double(2 * c.el.size() * sizeof(nw::vertex_id_t)) /
+                      double(c.svb_section_bytes));
+    }
+    double decode_best = 0;
+    for (const auto& r : rows) {
+      if (r.operation == "decode-svb" && r.median_ms > 0) {
+        decode_best = std::max(decode_best, (r.bytes / 1e9) / (r.median_ms / 1e3));
+      }
+    }
+    if (decode_best > 0) {
+      std::printf("  -> peak SVB decode bandwidth: %.2f GB/s of decoded targets\n", decode_best);
     }
   }
 

@@ -42,8 +42,13 @@
 #             incremental-vs-rebuild ratio at small batches is the headline
 #             this file freezes
 #
-# Usage: scripts/bench_snapshot.sh [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json]
+# Usage: scripts/bench_snapshot.sh [--allow-debug] [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json]
 #   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json BENCH_dynamic.json
+#
+# A non-Release build dir is refused unless --allow-debug is given: numbers
+# from -O0/-g builds have silently polluted checked-in baselines before.
+# The build type and CPU count are stamped into every JSON's context block
+# so a reviewer can tell at a glance what produced the numbers.
 #
 # Knobs (defaults chosen so a snapshot completes in minutes on a laptop):
 #   NWHY_BENCH_THREADS   thread counts for the sweeps (1,2,4)
@@ -53,11 +58,33 @@
 #                        "" to sweep the full Table-I suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
+ALLOW_DEBUG=0
+if [[ "${1:-}" == "--allow-debug" ]]; then
+  ALLOW_DEBUG=1
+  shift
+fi
 BUILD=${1:-build}
 OUT=${2:-BENCH_slinegraph.json}
 OUT_TRAVERSAL=${3:-BENCH_traversal.json}
 OUT_IO=${4:-BENCH_io.json}
 OUT_DYNAMIC=${5:-BENCH_dynamic.json}
+
+# Refuse to freeze baselines from anything but a Release build unless the
+# caller explicitly opted in.  The build type comes from the CMake cache, so
+# it reflects what the binaries in $BUILD were actually compiled as.
+BUILD_TYPE=unknown
+if [[ -f "$BUILD/CMakeCache.txt" ]]; then
+  BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+  BUILD_TYPE=${BUILD_TYPE:-unknown}
+fi
+if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
+  echo "bench_snapshot.sh: refusing to snapshot from a '$BUILD_TYPE' build" >&2
+  echo "  ($BUILD/CMakeCache.txt says CMAKE_BUILD_TYPE=$BUILD_TYPE; baselines" >&2
+  echo "  must come from Release binaries — pass --allow-debug to override)" >&2
+  exit 1
+fi
+echo "bench_snapshot.sh: build type $BUILD_TYPE, $(nproc) CPUs"
+export NWHY_BENCH_BUILD_TYPE="$BUILD_TYPE"
 
 export NWHY_BENCH_THREADS="${NWHY_BENCH_THREADS:-1,2,4}"
 export NWHY_BENCH_SVALUES="${NWHY_BENCH_SVALUES:-2,8}"
@@ -115,6 +142,12 @@ for b in gb.get("benchmarks", []):
     micro.append({"kernel": kernel, "threads": threads, "median_ms": round(ms, 4)})
 
 context = {k: gb.get("context", {}).get(k) for k in ("date", "num_cpus", "library_build_type")}
+# Stamp what produced the numbers: the CMake build type of the bench
+# binaries (checked by the shell wrapper) and a CPU-count fallback for
+# records that don't pass through google-benchmark.
+context["cmake_build_type"] = os.environ.get("NWHY_BENCH_BUILD_TYPE", "unknown")
+if not context.get("num_cpus"):
+    context["num_cpus"] = os.cpu_count()
 materialize_kernels = ("BM_MergeThreadVectors", "BM_EdgeListFromBuffers",
                        "BM_CsrFromBuffers", "BM_CsrLegacyRoundtrip")
 

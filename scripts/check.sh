@@ -11,10 +11,12 @@
 #                    quickly re-fuzzing with a fresh budget or an operator
 #                    override (NWHY_TEST_ITERS=500 scripts/check.sh --differential).
 #   --io             additionally re-fuzz the I/O subsystem: the parallel
-#                    parser + snapshot round-trip suites with a boosted seed
-#                    budget, then the bench_io load-path comparison (which
-#                    asserts nothing but prints the mmap-vs-parse ratio the
-#                    acceptance bar watches).
+#                    parser + snapshot round-trip suites and the compressed
+#                    codec suite with a boosted seed budget, then an
+#                    end-to-end compress -> mmap -> traverse round-trip
+#                    through the CLI, then the bench_io load-path comparison
+#                    (which asserts nothing but prints the mmap-vs-parse and
+#                    compression ratios the acceptance bar watches).
 #   --dynamic        additionally re-fuzz the dynamic engine: the
 #                    mutation-stream differential suite (delta overlay /
 #                    incremental s-line graph / incremental toplexes vs
@@ -48,6 +50,18 @@ if [ "$IO" = 1 ]; then
   echo "===== I/O stage (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-48}) ====="
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_io
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_io_snapshot
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_compress
+  # End-to-end through the CLI: generate a Table-I analog, write it as a
+  # compressed snapshot, validate it with inspect (header + checksums +
+  # CSR cross-consistency), then traverse it straight off the mmap.
+  IOTMP=$(mktemp -d)
+  trap 'rm -rf "$IOTMP"' EXIT
+  "$BUILD"/tools/nwhy_tool generate Rand1-sim 1 "$IOTMP/io.mtx"
+  "$BUILD"/tools/nwhy_tool convert "$IOTMP/io.mtx" "$IOTMP/io.nwcsr" --compress
+  "$BUILD"/tools/nwhy_tool inspect "$IOTMP/io.nwcsr"
+  "$BUILD"/tools/nwhy_tool bfs "$IOTMP/io.nwcsr" 0
+  rm -rf "$IOTMP"
+  trap - EXIT
   "$BUILD"/bench/bench_io
 fi
 

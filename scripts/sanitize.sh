@@ -8,11 +8,18 @@
 #                                  # differential driver and the frontier /
 #                                  # nwpar suites directly (bounded seed
 #                                  # budget — TSan is ~10x slower)
+#   scripts/sanitize.sh ubsan [dir]# UBSan alone (-fno-sanitize-recover):
+#                                  # the decoder / crafted-input gate — runs
+#                                  # the I/O, snapshot and compressed-codec
+#                                  # suites where a malformed file must
+#                                  # produce io_error, never UB
 #
 # ASan/UBSan catches lifetime and indexing bugs; TSan catches data races in
 # the frontier engine, bitmap conversions and scatter pipelines that review
 # alone keeps missing.  `scripts/sanitize.sh tsan` is the pre-merge gate for
-# any PR touching src/nwpar/ or src/hygra/.
+# any PR touching src/nwpar/ or src/hygra/; `ubsan` is the gate for PRs
+# touching src/nwhy/io/ (shift/overflow/alignment bugs in varint decoders
+# are exactly what UBSan traps).
 set -euo pipefail
 
 MODE=${1:-asan}
@@ -41,11 +48,24 @@ case "$MODE" in
     "$BUILD"/tests/test_materialize
     "$BUILD"/tests/test_io
     "$BUILD"/tests/test_io_snapshot
+    "$BUILD"/tests/test_compress
     "$BUILD"/tests/test_differential
     "$BUILD"/tests/test_dynamic
     ;;
+  ubsan)
+    BUILD=${2:-build-ubsan}
+    cmake -B "$BUILD" -G Ninja -DNWHY_SANITIZE=undefined
+    cmake --build "$BUILD"
+    # The decode-path gate: every reader suite that feeds crafted bytes
+    # into the parsers and varint decoders.  -fno-sanitize-recover means
+    # any shift/overflow/misalignment aborts the run, so "rejected with
+    # io_error" is proven to happen before anything undefined executes.
+    "$BUILD"/tests/test_io
+    "$BUILD"/tests/test_io_snapshot
+    "$BUILD"/tests/test_compress
+    ;;
   *)
-    echo "usage: scripts/sanitize.sh [asan|tsan] [build-dir]" >&2
+    echo "usage: scripts/sanitize.sh [asan|tsan|ubsan] [build-dir]" >&2
     exit 2
     ;;
 esac

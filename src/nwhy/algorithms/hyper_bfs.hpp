@@ -135,10 +135,12 @@ inline void record_level(std::size_t frontier_size) {
 
 }  // namespace detail
 
-/// Top-down HyperBFS from hyperedge `source`.
-template <class... Attributes>
-hyper_bfs_result hyper_bfs_top_down(const biadjacency<0, Attributes...>& hyperedges,
-                                    const biadjacency<1, Attributes...>& hypernodes,
+/// Top-down HyperBFS from hyperedge `source`.  Generic over the CSR-like
+/// structures: `biadjacency<0>`/`biadjacency<1>` or block-decoding
+/// `compressed_adjacency` views (size/num_edges/degree/operator[] is all
+/// the engines consume).
+template <class EGraph, class NGraph>
+hyper_bfs_result hyper_bfs_top_down(const EGraph& hyperedges, const NGraph& hypernodes,
                                     vertex_id_t source) {
   hyper_bfs_result r;
   r.parents_edge.assign(hyperedges.size(), null_vertex<>);
@@ -167,9 +169,8 @@ hyper_bfs_result hyper_bfs_top_down(const biadjacency<0, Attributes...>& hypered
 }
 
 /// Bottom-up HyperBFS: each half-step sweeps the whole unvisited side.
-template <class... Attributes>
-hyper_bfs_result hyper_bfs_bottom_up(const biadjacency<0, Attributes...>& hyperedges,
-                                     const biadjacency<1, Attributes...>& hypernodes,
+template <class EGraph, class NGraph>
+hyper_bfs_result hyper_bfs_bottom_up(const EGraph& hyperedges, const NGraph& hypernodes,
                                      vertex_id_t source) {
   hyper_bfs_result r;
   r.parents_edge.assign(hyperedges.size(), null_vertex<>);
@@ -227,10 +228,9 @@ inline std::vector<vertex_id_t> extract_hyperpath(const hyper_bfs_result& bfs,
 /// the same Beamer heuristics as the graph engine, replacing the old crude
 /// |frontier| > |side|/20 rule.  alpha/beta of 0 take the process defaults
 /// (NWHY_BFS_ALPHA / NWHY_BFS_BETA env overrides, else 15/18).
-template <class... Attributes>
-hyper_bfs_result hyper_bfs(const biadjacency<0, Attributes...>& hyperedges,
-                           const biadjacency<1, Attributes...>& hypernodes, vertex_id_t source,
-                           std::size_t alpha = 0, std::size_t beta = 0) {
+template <class EGraph, class NGraph>
+hyper_bfs_result hyper_bfs(const EGraph& hyperedges, const NGraph& hypernodes,
+                           vertex_id_t source, std::size_t alpha = 0, std::size_t beta = 0) {
   if (alpha == 0) alpha = par::bfs_alpha();
   if (beta == 0) beta = par::bfs_beta();
   hyper_bfs_result r;

@@ -22,9 +22,10 @@ struct hyper_cc_result {
   std::vector<vertex_id_t> labels_node;
 };
 
-template <class... Attributes>
-hyper_cc_result hyper_cc(const biadjacency<0, Attributes...>& hyperedges,
-                         const biadjacency<1, Attributes...>& hypernodes) {
+/// Generic over the CSR-like structures (`biadjacency` pairs or
+/// block-decoding `compressed_adjacency` views).
+template <class EGraph, class NGraph>
+hyper_cc_result hyper_cc(const EGraph& hyperedges, const NGraph& hypernodes) {
   const std::size_t ne = hyperedges.size();
   const std::size_t nv = hypernodes.size();
   hyper_cc_result   r;

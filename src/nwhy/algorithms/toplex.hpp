@@ -23,10 +23,12 @@
 
 namespace nw::hypergraph {
 
-/// Ids of all toplexes of the hypergraph, ascending.
-template <class... Attributes>
-std::vector<vertex_id_t> toplexes(const biadjacency<0, Attributes...>& hyperedges,
-                                  const biadjacency<1, Attributes...>& hypernodes) {
+/// Ids of all toplexes of the hypergraph, ascending.  Generic over the
+/// CSR-like structures (`biadjacency` pairs or block-decoding
+/// `compressed_adjacency` views — the kernel keeps at most one live row
+/// per structure, within the views' row-cache lifetime contract).
+template <class EGraph, class NGraph>
+std::vector<vertex_id_t> toplexes(const EGraph& hyperedges, const NGraph& hypernodes) {
   NWOBS_SCOPE_TIMER("toplex");
   const std::size_t ne = hyperedges.size();
   std::vector<char> dominated(ne, 0);
@@ -88,8 +90,8 @@ std::vector<vertex_id_t> toplexes(const biadjacency<0, Attributes...>& hyperedge
 /// Serial reference implementation following the paper's Algorithm 3
 /// shape (iterate hyperedges, maintain the candidate set Ě); used by the
 /// property tests as ground truth.
-template <class... Attributes>
-std::vector<vertex_id_t> toplexes_serial(const biadjacency<0, Attributes...>& hyperedges) {
+template <class EGraph>
+std::vector<vertex_id_t> toplexes_serial(const EGraph& hyperedges) {
   const std::size_t        ne = hyperedges.size();
   std::vector<vertex_id_t> candidates;
 

@@ -87,6 +87,7 @@
 #include "nwhy/adjoin.hpp"
 #include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
+#include "nwhy/io/compress.hpp"
 #include "nwhy/io/io_error.hpp"
 #include "nwobs/counters.hpp"
 #include "nwobs/scope_timer.hpp"
@@ -114,6 +115,43 @@ inline constexpr std::uint32_t csr_sec_n2e_indices    = 3;
 inline constexpr std::uint32_t csr_sec_n2e_targets    = 4;
 inline constexpr std::uint32_t csr_sec_adjoin_indices = 5;
 inline constexpr std::uint32_t csr_sec_adjoin_targets = 6;
+
+/// Compressed section kinds (docs/IO_FORMATS.md §4).  A compressing writer
+/// emits kind 7 (and optionally 9+10) *instead of* kind 2, and kind 8
+/// instead of kind 4; index sections stay raw — algorithms need the logical
+/// per-row offsets for degrees regardless of how targets are stored.  An
+/// old (pre-compression) reader treats 7–10 as unknown kinds — checksummed,
+/// skipped — and then fails cleanly with "missing required section kind 2",
+/// the intended forward-compat behavior.
+inline constexpr std::uint32_t csr_sec_e2n_targets_svb  = 7;   ///< StreamVByte blocks (elem 1)
+inline constexpr std::uint32_t csr_sec_n2e_targets_svb  = 8;   ///< StreamVByte blocks (elem 1)
+inline constexpr std::uint32_t csr_sec_e2n_dict_refs    = 9;   ///< n0 x u32 unique-row refs
+inline constexpr std::uint32_t csr_sec_e2n_dict_indices = 10;  ///< (n_unique+1) x u64
+
+/// Human-readable section kind name (`nwhy_tool inspect`).
+inline const char* csr_section_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case csr_sec_e2n_indices: return "E2N_INDICES";
+    case csr_sec_e2n_targets: return "E2N_TARGETS";
+    case csr_sec_n2e_indices: return "N2E_INDICES";
+    case csr_sec_n2e_targets: return "N2E_TARGETS";
+    case csr_sec_adjoin_indices: return "ADJOIN_INDICES";
+    case csr_sec_adjoin_targets: return "ADJOIN_TARGETS";
+    case csr_sec_e2n_targets_svb: return "E2N_TARGETS_SVB";
+    case csr_sec_n2e_targets_svb: return "N2E_TARGETS_SVB";
+    case csr_sec_e2n_dict_refs: return "E2N_DICT_REFS";
+    case csr_sec_e2n_dict_indices: return "E2N_DICT_INDICES";
+    default: return "UNKNOWN";
+  }
+}
+
+/// How a reader should handle compressed target sections.
+enum class snapshot_decode {
+  materialize,  ///< decode into owned CSRs at load — downstream code sees
+                ///< exactly what a raw snapshot would have produced
+  stream,       ///< keep `compressed_adjacency` views; traversal decodes
+                ///< block-wise on demand with bounded memory
+};
 
 namespace csr_detail {
 
@@ -183,10 +221,14 @@ inline std::uint32_t expected_elem_size(std::uint32_t kind) {
   switch (kind) {
     case csr_sec_e2n_indices:
     case csr_sec_n2e_indices:
-    case csr_sec_adjoin_indices: return 8;
+    case csr_sec_adjoin_indices:
+    case csr_sec_e2n_dict_indices: return 8;
     case csr_sec_e2n_targets:
     case csr_sec_n2e_targets:
-    case csr_sec_adjoin_targets: return 4;
+    case csr_sec_adjoin_targets:
+    case csr_sec_e2n_dict_refs: return 4;
+    case csr_sec_e2n_targets_svb:
+    case csr_sec_n2e_targets_svb: return 1;
     default: return 0;
   }
 }
@@ -323,12 +365,10 @@ inline void check_index_extents(std::span<const nw::offset_t> idx, std::uint64_t
 /// default — so this pass is what stands between a corrupt or crafted
 /// .nwcsr and out-of-bounds reads/writes in to_biedgelist and every
 /// algorithm that walks the CSR.  O(n + m) parallel integer compares.
-inline void check_csr_structure(std::span<const nw::offset_t>    idx,
-                                std::span<const nw::vertex_id_t> tgt,
-                                std::uint64_t target_bound, const char* what,
-                                const std::string& origin,
-                                par::thread_pool& pool = par::thread_pool::default_pool()) {
-  check_index_extents(idx, tgt.size(), what, origin);
+inline void check_index_structure(std::span<const nw::offset_t> idx, std::uint64_t want_end,
+                                  const char* what, const std::string& origin,
+                                  par::thread_pool& pool = par::thread_pool::default_pool()) {
+  check_index_extents(idx, want_end, what, origin);
   std::atomic<bool> bad_idx{false};
   par::parallel_for(
       0, idx.size() - 1,
@@ -341,6 +381,14 @@ inline void check_csr_structure(std::span<const nw::offset_t>    idx,
                        " index section is not monotonically non-decreasing",
                    origin, 0, header_bytes);
   }
+}
+
+inline void check_csr_structure(std::span<const nw::offset_t>    idx,
+                                std::span<const nw::vertex_id_t> tgt,
+                                std::uint64_t target_bound, const char* what,
+                                const std::string& origin,
+                                par::thread_pool& pool = par::thread_pool::default_pool()) {
+  check_index_structure(idx, tgt.size(), what, origin, pool);
   std::atomic<bool> bad_tgt{false};
   par::parallel_for(
       0, tgt.size(),
@@ -353,6 +401,67 @@ inline void check_csr_structure(std::span<const nw::offset_t>    idx,
                        " targets section holds ids outside the opposite partition",
                    origin, 0, header_bytes);
   }
+}
+
+/// Validate a compressed targets section (plus optional dictionary pair)
+/// against its raw index section and assemble the `compressed_adjacency`
+/// view.  On return every *structural* property is proven — index
+/// monotonicity/extents, payload geometry (via the compressed_targets
+/// constructor, including the control-sum pass), dictionary ref bounds and
+/// per-row degree agreement; the decoded *values* are bound-checked lazily
+/// at decode time.  `payload_offset` labels io_errors with the section's
+/// file position.
+inline compressed_adjacency make_compressed_view(
+    std::span<const nw::offset_t> idx, std::span<const unsigned char> payload,
+    std::uint64_t payload_offset, std::span<const nw::vertex_id_t> refs,
+    std::span<const nw::offset_t> dict_idx, std::uint64_t n, std::uint64_t m,
+    std::uint64_t target_bound, const char* what, const std::string& origin,
+    std::shared_ptr<const void> keepalive,
+    par::thread_pool& pool = par::thread_pool::default_pool()) {
+  check_index_structure(idx, m, what, origin, pool);
+  compressed_targets targets(payload, origin, payload_offset);
+  NWOBS_COUNT("csr.compressed_bytes", 0, payload.size());
+  const bool have_refs = !refs.empty() || !dict_idx.empty();
+  if (!have_refs) {
+    if (targets.num_values() != m) {
+      throw io_error(std::string("NWHYCSR2 ") + what + " compressed targets hold " +
+                         std::to_string(targets.num_values()) + " values, header declares " +
+                         std::to_string(m),
+                     origin, 0, payload_offset);
+    }
+    return compressed_adjacency(idx, targets, target_bound, origin, std::move(keepalive));
+  }
+  // Dictionary-backed: refs has one entry per row, dict_idx delimits the
+  // unique rows inside the compressed stream.
+  if (refs.size() != n) {
+    throw io_error(std::string("NWHYCSR2 ") + what + " dictionary refs section has " +
+                       std::to_string(refs.size()) + " entries, expected " + std::to_string(n),
+                   origin, 0, payload_offset);
+  }
+  if (dict_idx.size() < 2 || dict_idx.size() - 1 > n) {
+    throw io_error(std::string("NWHYCSR2 ") + what + " dictionary index section has an invalid " +
+                       "unique-row count",
+                   origin, 0, payload_offset);
+  }
+  check_index_structure(dict_idx, targets.num_values(), "E2N dictionary", origin, pool);
+  const std::uint64_t n_unique = dict_idx.size() - 1;
+  std::atomic<bool>   bad{false};
+  par::parallel_for(
+      0, n,
+      [&](std::size_t u) {
+        const auto r = refs[u];
+        if (r >= n_unique || dict_idx[r + 1] - dict_idx[r] != idx[u + 1] - idx[u]) {
+          bad.store(true, std::memory_order_relaxed);
+        }
+      },
+      par::blocked{}, pool);
+  if (bad.load(std::memory_order_relaxed)) {
+    throw io_error(std::string("NWHYCSR2 ") + what +
+                       " dictionary refs are out of range or disagree with the row degrees",
+                   origin, 0, payload_offset);
+  }
+  return compressed_adjacency(idx, refs, dict_idx, targets, target_bound, origin,
+                              std::move(keepalive));
 }
 
 }  // namespace csr_detail
@@ -370,11 +479,36 @@ struct csr_snapshot {
   biadjacency<1>              nodes;   ///< hypernode -> hyperedges CSR
   std::optional<adjoin_graph> adjoin;  ///< present iff HAS_ADJOIN was set
 
-  /// Owns the mmap'd file for zero-copy loads; null for streamed loads.
+  /// Populated instead of edges/nodes when a compressed snapshot is loaded
+  /// with `snapshot_decode::stream`: block-decoding views over the still-
+  /// compressed sections.  Traversal engines run on them directly;
+  /// `materialize_views` folds them into owned CSRs when the raw form is
+  /// needed (to_biedgelist, save, ...).
+  std::optional<compressed_adjacency> edges_view;
+  std::optional<compressed_adjacency> nodes_view;
+
+  /// Owns the mmap'd file for zero-copy loads — or, for a streamed load of
+  /// a compressed snapshot, the staged compressed buffers the views point
+  /// into; null otherwise.
   std::shared_ptr<const void> storage;
 
   [[nodiscard]] bool canonical() const { return (flags & csr_flag_canonical) != 0; }
   [[nodiscard]] bool zero_copy() const { return storage != nullptr; }
+  [[nodiscard]] bool streaming() const { return edges_view.has_value() || nodes_view.has_value(); }
+
+  /// Decode any streaming views into owned CSRs (parallel block decode).
+  /// After this the snapshot is indistinguishable from a materialize-mode
+  /// load.
+  void materialize_views(par::thread_pool& pool = par::thread_pool::default_pool()) {
+    if (edges_view) {
+      edges = biadjacency<0>::from_csr(edges_view->materialize(pool), n0, n1);
+      edges_view.reset();
+    }
+    if (nodes_view) {
+      nodes = biadjacency<1>::from_csr(nodes_view->materialize(pool), n1, n0);
+      nodes_view.reset();
+    }
+  }
 
   /// Expand the E2N CSR back into the canonical incidence list (parallel
   /// over hyperedge rows; output order = row-major CSR order, which for a
@@ -407,10 +541,10 @@ struct csr_snapshot {
 /// Every stream write is checked: a failure (ENOSPC, closed pipe, ...)
 /// throws io_error immediately instead of silently emitting a truncated
 /// snapshot.  `origin` labels the error.
-inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
-                               const biadjacency<1>& nodes,
-                               const adjoin_graph* adjoin = nullptr, bool canonical = true,
-                               const std::string& origin = {}) {
+inline void write_csr_snapshot_impl(std::ostream& out, const biadjacency<0>& edges,
+                                    const biadjacency<1>& nodes, const adjoin_graph* adjoin,
+                                    bool canonical, const std::string& origin,
+                                    const csr_compress_options* opt) {
   namespace d = csr_detail;
   NWOBS_SCOPE_TIMER("io.snapshot_write");
   NW_ASSERT(edges.num_edges() == nodes.num_edges(),
@@ -433,19 +567,53 @@ inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
     std::uint64_t length;
   };
   std::vector<raw_section> raws;
-  auto add_csr = [&](const nw::graph::adjacency<>& csr, std::uint32_t idx_kind,
-                     std::uint32_t tgt_kind) {
+  // Owned buffers for encoded payloads + dictionary vectors; inner buffers
+  // are pointer-stable across pushes, so raws may reference them directly.
+  std::vector<std::vector<unsigned char>> encoded;
+  std::optional<row_dictionary>           dict;
+
+  auto add_indices = [&](const nw::graph::adjacency<>& csr, std::uint32_t idx_kind) {
     auto idx = csr.indices();
-    auto tgt = csr.targets();
     raws.push_back({idx_kind, 8, idx.data(), idx.size() * sizeof(nw::offset_t)});
+  };
+  auto add_targets_raw = [&](const nw::graph::adjacency<>& csr, std::uint32_t tgt_kind) {
+    auto tgt = csr.targets();
     raws.push_back({tgt_kind, 4, tgt.data(), tgt.size() * sizeof(nw::vertex_id_t)});
   };
-  add_csr(edges.csr(), csr_sec_e2n_indices, csr_sec_e2n_targets);
-  add_csr(nodes.csr(), csr_sec_n2e_indices, csr_sec_n2e_targets);
+  auto add_svb = [&](std::span<const nw::vertex_id_t> values, std::uint32_t svb_kind) {
+    encoded.push_back(svb::encode(values, opt->block_size));
+    raws.push_back({svb_kind, 1, encoded.back().data(), encoded.back().size()});
+  };
+
+  const bool compress = opt != nullptr && opt->compress_targets;
+  add_indices(edges.csr(), csr_sec_e2n_indices);
+  if (!compress) {
+    add_targets_raw(edges.csr(), csr_sec_e2n_targets);
+  } else {
+    if (opt->dedup_rows) {
+      dict = build_row_dictionary(edges.csr().indices(), edges.csr().targets());
+    }
+    if (dict) {
+      add_svb(dict->stored, csr_sec_e2n_targets_svb);
+      raws.push_back({csr_sec_e2n_dict_refs, 4, dict->refs.data(),
+                      dict->refs.size() * sizeof(nw::vertex_id_t)});
+      raws.push_back({csr_sec_e2n_dict_indices, 8, dict->dict_indices.data(),
+                      dict->dict_indices.size() * sizeof(nw::offset_t)});
+    } else {
+      add_svb(edges.csr().targets(), csr_sec_e2n_targets_svb);
+    }
+  }
+  add_indices(nodes.csr(), csr_sec_n2e_indices);
+  if (!compress) {
+    add_targets_raw(nodes.csr(), csr_sec_n2e_targets);
+  } else {
+    add_svb(nodes.csr().targets(), csr_sec_n2e_targets_svb);
+  }
   std::uint32_t flags = canonical ? csr_flag_canonical : 0;
   if (adjoin != nullptr) {
     flags |= csr_flag_has_adjoin;
-    add_csr(adjoin->graph, csr_sec_adjoin_indices, csr_sec_adjoin_targets);
+    add_indices(adjoin->graph, csr_sec_adjoin_indices);
+    add_targets_raw(adjoin->graph, csr_sec_adjoin_targets);
   }
 
   // Lay out payloads at 64-byte-aligned offsets past header + table.
@@ -512,6 +680,24 @@ inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
   NWOBS_COUNT("io.snapshot_bytes_written", 0, file_size);
 }
 
+inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes,
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true,
+                               const std::string& origin = {}) {
+  write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, origin, nullptr);
+}
+
+/// Compressing overload: emit the bi-adjacency target sections in the
+/// StreamVByte block format (and, when duplicate hyperedges exist and
+/// `opt.dedup_rows` is set, the E2N duplicate-row dictionary).  The adjoin
+/// CSR — incidences stored twice, rarely the footprint problem — stays raw.
+inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes, const csr_compress_options& opt,
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true,
+                               const std::string& origin = {}) {
+  write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, origin, &opt);
+}
+
 /// Path overload: on any write or flush failure, the partial output file is
 /// removed (regular files only) and io_error propagates, so a failed
 /// `nwhy_tool convert` never leaves a truncated .nwcsr on disk.
@@ -521,7 +707,24 @@ inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& ed
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) throw io_error("cannot open snapshot output file", path);
   try {
-    write_csr_snapshot(out, edges, nodes, adjoin, canonical, path);
+    write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, path, nullptr);
+    out.flush();
+    if (!out.good()) throw io_error("flush failure while emitting NWHYCSR2 snapshot", path);
+  } catch (...) {
+    out.close();
+    io_detail::remove_partial_output(path);
+    throw;
+  }
+}
+
+/// Compressing path overload (see the ostream overload above).
+inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes, const csr_compress_options& opt,
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) throw io_error("cannot open snapshot output file", path);
+  try {
+    write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, path, &opt);
     out.flush();
     if (!out.good()) throw io_error("flush failure while emitting NWHYCSR2 snapshot", path);
   } catch (...) {
@@ -538,10 +741,13 @@ inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& ed
 namespace csr_detail {
 
 /// Assemble a csr_snapshot from a validated header plus a base pointer to
-/// the full file image (mmap'd or slurped).  Span-based: zero copies.
+/// the full file image (mmap'd or slurped).  Span-based: zero copies for
+/// raw sections; compressed target sections are either decoded now
+/// (`materialize`) or wrapped in block-decoding views (`stream`).
 inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned char* base,
                                         bool verify_checksums, const std::string& origin,
-                                        std::shared_ptr<const void> storage) {
+                                        std::shared_ptr<const void> storage,
+                                        snapshot_decode mode = snapshot_decode::materialize) {
   auto section_span = [&](const section_entry& s, auto tag) {
     using elem_t = decltype(tag);
     if (verify_checksums && fnv1a64(base + s.offset, s.length) != s.checksum) {
@@ -572,6 +778,33 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
     check_csr_structure(idx, tgt, target_bound, what, origin);
     return nw::graph::adjacency<>::from_csr_spans(idx, tgt, n);
   };
+  // Assemble a block-decoding view over a compressed targets section (plus
+  // the E2N dictionary pair when present).
+  auto load_compressed = [&](std::uint32_t idx_kind, std::uint32_t svb_kind, bool allow_dict,
+                             std::uint64_t n, std::uint64_t target_bound, const char* what) {
+    const auto& si = require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
+    const auto* sc = h.find(svb_kind);
+    NW_ASSERT(sc != nullptr, "load_compressed called without the compressed section");
+    auto idx     = section_span(si, nw::offset_t{});
+    auto payload = section_span(*sc, (unsigned char){});
+    std::span<const nw::vertex_id_t> refs;
+    std::span<const nw::offset_t>    dict_idx;
+    const auto* sr = h.find(csr_sec_e2n_dict_refs);
+    const auto* sd = h.find(csr_sec_e2n_dict_indices);
+    if (allow_dict && (sr != nullptr || sd != nullptr)) {
+      if (sr == nullptr || sd == nullptr) {
+        throw io_error(
+            "NWHYCSR2 dictionary sections must come as a refs + indices pair (one is missing)",
+            origin, 0, header_bytes);
+      }
+      refs = section_span(
+          require_section(h, csr_sec_e2n_dict_refs, n * sizeof(nw::vertex_id_t), origin),
+          nw::vertex_id_t{});
+      dict_idx = section_span(*sd, nw::offset_t{});
+    }
+    return make_compressed_view(idx, payload, sc->offset, refs, dict_idx, n, h.m, target_bound,
+                                what, origin, storage);
+  };
 
   csr_snapshot snap;
   snap.version = h.version;
@@ -579,12 +812,41 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
   snap.n0      = h.n0;
   snap.n1      = h.n1;
   snap.m       = h.m;
-  snap.edges   = biadjacency<0>::from_csr(
-      load_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
-      h.n1);
-  snap.nodes = biadjacency<1>::from_csr(
-      load_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
-      h.n0);
+  const bool e2n_raw = h.find(csr_sec_e2n_targets) != nullptr ||
+                       h.find(csr_sec_e2n_targets_svb) == nullptr;
+  const bool n2e_raw = h.find(csr_sec_n2e_targets) != nullptr ||
+                       h.find(csr_sec_n2e_targets_svb) == nullptr;
+  if (e2n_raw &&
+      (h.find(csr_sec_e2n_dict_refs) != nullptr || h.find(csr_sec_e2n_dict_indices) != nullptr)) {
+    throw io_error("NWHYCSR2 dictionary sections are only valid with compressed E2N targets",
+                   origin, 0, header_bytes);
+  }
+  if (e2n_raw) {
+    snap.edges = biadjacency<0>::from_csr(
+        load_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
+        h.n1);
+  } else {
+    auto view =
+        load_compressed(csr_sec_e2n_indices, csr_sec_e2n_targets_svb, true, h.n0, h.n1, "E2N");
+    if (mode == snapshot_decode::materialize) {
+      snap.edges = biadjacency<0>::from_csr(view.materialize(), h.n0, h.n1);
+    } else {
+      snap.edges_view = std::move(view);
+    }
+  }
+  if (n2e_raw) {
+    snap.nodes = biadjacency<1>::from_csr(
+        load_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
+        h.n0);
+  } else {
+    auto view =
+        load_compressed(csr_sec_n2e_indices, csr_sec_n2e_targets_svb, false, h.n1, h.n0, "N2E");
+    if (mode == snapshot_decode::materialize) {
+      snap.nodes = biadjacency<1>::from_csr(view.materialize(), h.n1, h.n0);
+    } else {
+      snap.nodes_view = std::move(view);
+    }
+  }
   if ((h.flags & csr_flag_has_adjoin) != 0) {
     snap.adjoin = adjoin_graph{
         load_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
@@ -606,7 +868,8 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
 /// (use for integrity audits, not hot loads).  The returned snapshot's
 /// `storage` member owns the mapping; keep it alive as long as any span is
 /// in use.
-inline csr_snapshot map_csr_snapshot(const std::string& path, bool verify_checksums = false) {
+inline csr_snapshot map_csr_snapshot(const std::string& path, bool verify_checksums = false,
+                                     snapshot_decode mode = snapshot_decode::materialize) {
   namespace d = csr_detail;
   NWOBS_SCOPE_TIMER("io.mmap");
   int fd = ::open(path.c_str(), O_RDONLY);
@@ -631,14 +894,15 @@ inline csr_snapshot map_csr_snapshot(const std::string& path, bool verify_checks
 
   const auto* bytes = static_cast<const unsigned char*>(base);
   auto        h     = d::parse_header(bytes, size, path);
-  return d::snapshot_from_image(h, bytes, verify_checksums, path, std::move(storage));
+  return d::snapshot_from_image(h, bytes, verify_checksums, path, std::move(storage), mode);
 }
 #endif  // NWHY_HAS_MMAP
 
 /// Streamed reader (pipes, sockets, non-mmap platforms): reads the whole
 /// snapshot through the istream into owned vectors.  Always verifies every
 /// section checksum — a stream has no later chance to fault pages in.
-inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origin = {}) {
+inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origin = {},
+                                      snapshot_decode mode = snapshot_decode::materialize) {
   namespace d = csr_detail;
   NWOBS_SCOPE_TIMER("io.snapshot_read");
   unsigned char prefix[d::header_bytes];
@@ -754,13 +1018,15 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
   // a multiple of the element width); unknown kinds — tolerated for
   // forward compatibility — are checksum-verified and dropped, and their
   // untrusted elem_size never sizes a buffer.
-  std::vector<std::vector<nw::offset_t>>    idx_store(h.sections.size());
-  std::vector<std::vector<nw::vertex_id_t>> tgt_store(h.sections.size());
+  std::vector<std::vector<nw::offset_t>>     idx_store(h.sections.size());
+  std::vector<std::vector<nw::vertex_id_t>>  tgt_store(h.sections.size());
+  std::vector<std::vector<unsigned char>>    byte_store(h.sections.size());
   for (std::size_t i = 0; i < h.sections.size(); ++i) {
     const auto& s = h.sections[i];
     switch (d::expected_elem_size(s.kind)) {
       case 8: read_section(s, idx_store[i]); break;
       case 4: read_section(s, tgt_store[i]); break;
+      case 1: read_section(s, byte_store[i]); break;
       default: skip_section(s); break;
     }
   }
@@ -795,18 +1061,100 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
     return nw::graph::adjacency<>::from_csr_vectors(std::move(idx), std::move(tgt), n);
   };
 
+  // Compressed sections were staged into owned byte/typed vectors above;
+  // bundle the ones a view needs into a shared holder so stream-mode views
+  // stay valid after this function returns (the holder doubles as
+  // snap.storage).
+  struct staged_compressed {
+    std::vector<nw::offset_t>    e2n_idx, n2e_idx, dict_idx;
+    std::vector<nw::vertex_id_t> refs;
+    std::vector<unsigned char>   e2n_payload, n2e_payload;
+  };
+  std::shared_ptr<staged_compressed> held;
+  auto take_staged_idx = [&](std::uint32_t kind) {
+    std::vector<nw::offset_t> v;
+    for (std::size_t i = 0; i < h.sections.size(); ++i) {
+      if (h.sections[i].kind == kind) v = std::move(idx_store[i]);
+    }
+    return v;
+  };
+  auto take_compressed = [&](std::uint32_t idx_kind, std::uint32_t svb_kind, bool allow_dict,
+                             std::uint64_t n, std::uint64_t target_bound, const char* what) {
+    if (!held) held = std::make_shared<staged_compressed>();
+    (void)d::require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
+    const auto* sc = h.find(svb_kind);
+    NW_ASSERT(sc != nullptr, "take_compressed called without the compressed section");
+    auto& idx_vec = idx_kind == csr_sec_e2n_indices ? held->e2n_idx : held->n2e_idx;
+    auto& pay_vec = idx_kind == csr_sec_e2n_indices ? held->e2n_payload : held->n2e_payload;
+    idx_vec = take_staged_idx(idx_kind);
+    for (std::size_t i = 0; i < h.sections.size(); ++i) {
+      if (h.sections[i].kind == svb_kind) pay_vec = std::move(byte_store[i]);
+    }
+    std::span<const nw::vertex_id_t> refs;
+    std::span<const nw::offset_t>    dict_idx;
+    const auto* sr = h.find(csr_sec_e2n_dict_refs);
+    const auto* sd = h.find(csr_sec_e2n_dict_indices);
+    if (allow_dict && (sr != nullptr || sd != nullptr)) {
+      if (sr == nullptr || sd == nullptr) {
+        throw io_error(
+            "NWHYCSR2 dictionary sections must come as a refs + indices pair (one is missing)",
+            origin, 0, d::header_bytes);
+      }
+      (void)d::require_section(h, csr_sec_e2n_dict_refs, n * sizeof(nw::vertex_id_t), origin);
+      for (std::size_t i = 0; i < h.sections.size(); ++i) {
+        if (h.sections[i].kind == csr_sec_e2n_dict_refs) held->refs = std::move(tgt_store[i]);
+      }
+      held->dict_idx = take_staged_idx(csr_sec_e2n_dict_indices);
+      refs           = std::span<const nw::vertex_id_t>(held->refs);
+      dict_idx       = std::span<const nw::offset_t>(held->dict_idx);
+    }
+    return d::make_compressed_view(std::span<const nw::offset_t>(idx_vec),
+                                   std::span<const unsigned char>(pay_vec), sc->offset, refs,
+                                   dict_idx, n, h.m, target_bound, what, origin, held);
+  };
+
   csr_snapshot snap;
   snap.version = h.version;
   snap.flags   = h.flags;
   snap.n0      = h.n0;
   snap.n1      = h.n1;
   snap.m       = h.m;
-  snap.edges   = biadjacency<0>::from_csr(
-      take_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
-      h.n1);
-  snap.nodes = biadjacency<1>::from_csr(
-      take_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
-      h.n0);
+  const bool e2n_raw = h.find(csr_sec_e2n_targets) != nullptr ||
+                       h.find(csr_sec_e2n_targets_svb) == nullptr;
+  const bool n2e_raw = h.find(csr_sec_n2e_targets) != nullptr ||
+                       h.find(csr_sec_n2e_targets_svb) == nullptr;
+  if (e2n_raw &&
+      (h.find(csr_sec_e2n_dict_refs) != nullptr || h.find(csr_sec_e2n_dict_indices) != nullptr)) {
+    throw io_error("NWHYCSR2 dictionary sections are only valid with compressed E2N targets",
+                   origin, 0, d::header_bytes);
+  }
+  if (e2n_raw) {
+    snap.edges = biadjacency<0>::from_csr(
+        take_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
+        h.n1);
+  } else {
+    auto view =
+        take_compressed(csr_sec_e2n_indices, csr_sec_e2n_targets_svb, true, h.n0, h.n1, "E2N");
+    if (mode == snapshot_decode::materialize) {
+      snap.edges = biadjacency<0>::from_csr(view.materialize(), h.n0, h.n1);
+    } else {
+      snap.edges_view = std::move(view);
+    }
+  }
+  if (n2e_raw) {
+    snap.nodes = biadjacency<1>::from_csr(
+        take_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
+        h.n0);
+  } else {
+    auto view =
+        take_compressed(csr_sec_n2e_indices, csr_sec_n2e_targets_svb, false, h.n1, h.n0, "N2E");
+    if (mode == snapshot_decode::materialize) {
+      snap.nodes = biadjacency<1>::from_csr(view.materialize(), h.n1, h.n0);
+    } else {
+      snap.nodes_view = std::move(view);
+    }
+  }
+  if (snap.streaming()) snap.storage = held;
   if ((h.flags & csr_flag_has_adjoin) != 0) {
     snap.adjoin = adjoin_graph{
         take_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
@@ -819,14 +1167,15 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
 
 /// Path-based load: mmap zero-copy where the platform supports it,
 /// streamed otherwise.
-inline csr_snapshot load_csr_snapshot(const std::string& path, bool verify_checksums = false) {
+inline csr_snapshot load_csr_snapshot(const std::string& path, bool verify_checksums = false,
+                                      snapshot_decode mode = snapshot_decode::materialize) {
 #if NWHY_HAS_MMAP
-  return map_csr_snapshot(path, verify_checksums);
+  return map_csr_snapshot(path, verify_checksums, mode);
 #else
   (void)verify_checksums;
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) throw io_error("cannot open snapshot", path);
-  return read_csr_snapshot(in, path);
+  return read_csr_snapshot(in, path, mode);
 #endif
 }
 

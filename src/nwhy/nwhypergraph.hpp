@@ -104,6 +104,11 @@ public:
   /// directly.  Non-canonical snapshots fall back to the full
   /// sort_and_unique + rebuild pipeline.
   explicit NWHypergraph(csr_snapshot snap) {
+    // A stream-mode load of a compressed snapshot carries block-decoding
+    // views instead of CSRs; NWHypergraph owns its structures, so fold them
+    // into owned CSRs first (callers wanting bounded-memory traversal use
+    // the views directly, not this class).
+    if (snap.streaming()) snap.materialize_views();
     if (snap.canonical()) {
       auto gen          = std::make_shared<hypergraph_generation>();
       gen->el           = snap.to_biedgelist();
@@ -125,6 +130,17 @@ public:
   void save_csr_snapshot(const std::string& path, bool with_adjoin = false) const {
     require_compacted("save_csr_snapshot");
     write_csr_snapshot(path, gen_->hyperedges, gen_->hypernodes,
+                       with_adjoin ? &adjoin() : nullptr,
+                       /*canonical=*/true);
+  }
+
+  /// Compressing overload: target sections are StreamVByte-encoded (and
+  /// duplicate hyperedges dictionary-deduplicated) per `opt` — see
+  /// docs/IO_FORMATS.md §4.
+  void save_csr_snapshot(const std::string& path, const csr_compress_options& opt,
+                         bool with_adjoin = false) const {
+    require_compacted("save_csr_snapshot");
+    write_csr_snapshot(path, gen_->hyperedges, gen_->hypernodes, opt,
                        with_adjoin ? &adjoin() : nullptr,
                        /*canonical=*/true);
   }

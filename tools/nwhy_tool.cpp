@@ -299,12 +299,18 @@ int cmd_collapse(const std::string& path) {
   return 0;
 }
 
-int cmd_convert(const std::string& in, const std::string& out, bool with_adjoin) {
+int cmd_convert(const std::string& in, const std::string& out, bool with_adjoin,
+                bool compress) {
   if (has_suffix(out, ".nwcsr")) {
     NWHypergraph hg = load_hypergraph(in);
-    hg.save_csr_snapshot(out, with_adjoin);
-    std::printf("wrote %s (%zu incidences, canonical CSR snapshot%s)\n", out.c_str(),
-                hg.num_incidences(), with_adjoin ? ", with adjoin" : "");
+    if (compress) {
+      hg.save_csr_snapshot(out, csr_compress_options{}, with_adjoin);
+    } else {
+      hg.save_csr_snapshot(out, with_adjoin);
+    }
+    std::printf("wrote %s (%zu incidences, canonical CSR snapshot%s%s)\n", out.c_str(),
+                hg.num_incidences(), with_adjoin ? ", with adjoin" : "",
+                compress ? ", compressed" : "");
     return 0;
   }
   auto el = load(in);
@@ -316,6 +322,78 @@ int cmd_convert(const std::string& in, const std::string& out, bool with_adjoin)
   }
   std::printf("wrote %s (%zu incidences)\n", out.c_str(), el.size());
   return 0;
+}
+
+/// Print the section table with human-readable kind names and a per-section
+/// `bytes (ratio)` column.  The ratio compares a compressed targets group
+/// against the raw u32 encoding it replaces: the kind-7 row accounts for the
+/// whole E2N group (SVB payload + dictionary refs + dictionary indices).
+void print_section_table(const csr_detail::parsed_header& h) {
+  const std::uint64_t raw_targets = h.m * sizeof(vertex_id_t);
+  auto group_len = [&](std::initializer_list<std::uint32_t> kinds) {
+    std::uint64_t total = 0;
+    for (auto k : kinds) {
+      if (const auto* s = h.find(k)) total += s->length;
+    }
+    return total;
+  };
+  std::printf("  sections     : %zu\n", h.sections.size());
+  std::printf("    %-4s %-18s %12s %9s\n", "kind", "name", "bytes", "ratio");
+  for (const auto& s : h.sections) {
+    std::uint64_t replaces = 0;  // raw bytes this section (group) stands in for
+    if (s.kind == csr_sec_e2n_targets_svb) {
+      replaces = raw_targets;
+    } else if (s.kind == csr_sec_n2e_targets_svb) {
+      replaces = raw_targets;
+    }
+    char ratio[32] = "-";
+    if (replaces != 0) {
+      const std::uint64_t stored =
+          s.kind == csr_sec_e2n_targets_svb
+              ? group_len({csr_sec_e2n_targets_svb, csr_sec_e2n_dict_refs,
+                           csr_sec_e2n_dict_indices})
+              : s.length;
+      if (stored != 0) {
+        std::snprintf(ratio, sizeof(ratio), "%.2fx", double(replaces) / double(stored));
+      }
+    } else if (s.kind == csr_sec_e2n_dict_refs || s.kind == csr_sec_e2n_dict_indices) {
+      std::snprintf(ratio, sizeof(ratio), "(dict)");
+    }
+    std::printf("    %-4u %-18s %12llu %9s\n", s.kind, csr_section_kind_name(s.kind),
+                static_cast<unsigned long long>(s.length), ratio);
+  }
+  const std::uint64_t e2n_stored = group_len(
+      {csr_sec_e2n_targets_svb, csr_sec_e2n_dict_refs, csr_sec_e2n_dict_indices});
+  const std::uint64_t n2e_stored = group_len({csr_sec_n2e_targets_svb});
+  if (e2n_stored != 0 && raw_targets != 0) {
+    std::printf("  e2n targets  : %llu raw -> %llu compressed (%.2fx)\n",
+                static_cast<unsigned long long>(raw_targets),
+                static_cast<unsigned long long>(e2n_stored),
+                double(raw_targets) / double(e2n_stored));
+  }
+  if (n2e_stored != 0 && raw_targets != 0) {
+    std::printf("  n2e targets  : %llu raw -> %llu compressed (%.2fx)\n",
+                static_cast<unsigned long long>(raw_targets),
+                static_cast<unsigned long long>(n2e_stored),
+                double(raw_targets) / double(n2e_stored));
+  }
+}
+
+/// Re-read just the header + section table of a snapshot for inspection
+/// (the loaded csr_snapshot does not retain the table).
+csr_detail::parsed_header read_snapshot_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw io_error("cannot open snapshot", path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  const std::uint64_t prefix_len = std::min<std::uint64_t>(
+      file_size, csr_detail::header_bytes +
+                     csr_detail::max_section_count * csr_detail::table_entry_bytes);
+  std::vector<unsigned char> head(static_cast<std::size_t>(prefix_len));
+  in.read(reinterpret_cast<char*>(head.data()), static_cast<std::streamsize>(head.size()));
+  if (!in.good()) throw io_error("cannot read snapshot header", path);
+  return csr_detail::parse_header(head.data(), file_size, path);
 }
 
 int cmd_inspect(const std::string& path) {
@@ -332,6 +410,7 @@ int cmd_inspect(const std::string& path) {
     std::printf("  hypernodes   : %llu\n", static_cast<unsigned long long>(snap.n1));
     std::printf("  incidences   : %llu\n", static_cast<unsigned long long>(snap.m));
     std::printf("  load path    : %s\n", snap.zero_copy() ? "mmap (zero-copy)" : "streamed");
+    print_section_table(read_snapshot_header(path));
     if (snap.adjoin) {
       std::printf("  adjoin CSR   : %zu ids, %zu directed edges\n", snap.adjoin->num_ids(),
                   snap.adjoin->graph.num_edges());
@@ -365,7 +444,7 @@ void usage() {
                "  smetrics   <file> <s>\n"
                "  toplexes   <file>\n"
                "  collapse   <file>\n"
-               "  convert    <in> <out.bin|out.mtx|out.nwcsr> [--adjoin]\n"
+               "  convert    <in> <out.bin|out.mtx|out.nwcsr> [--adjoin] [--compress]\n"
                "  inspect    <file>\n"
                "  generate   <dataset-name> <scale> <out.bin|out.mtx>\n"
                "  profile    <file> [s]\n"
@@ -379,12 +458,15 @@ int main(int argc, char** argv) {
   // positional parsing.
   std::string              profile_out;
   bool                     with_adjoin = false;
+  bool                     compress    = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_out = argv[++i];
     } else if (std::strcmp(argv[i], "--adjoin") == 0) {
       with_adjoin = true;
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      compress = true;
     } else {
       args.emplace_back(argv[i]);
     }
@@ -418,7 +500,7 @@ int main(int argc, char** argv) {
   } else if (cmd == "collapse") {
     rc = cmd_collapse(path);
   } else if (cmd == "convert" && args.size() >= 3) {
-    rc = cmd_convert(path, arg(2), with_adjoin);
+    rc = cmd_convert(path, arg(2), with_adjoin, compress);
   } else if (cmd == "inspect") {
     rc = cmd_inspect(path);
   } else if (cmd == "generate" && args.size() >= 4) {
