@@ -50,10 +50,16 @@
 // (`compressed_targets` constructor), including one control-stream scan
 // proving each block's summed lane widths equal its data slice — after
 // that, no decode can read outside the payload.  Decoded values are
-// additionally bound-checked against the target partition at decode time
-// (min/max metadata is advisory — a forged pair only costs wasted skips).
-// A crafted payload therefore surfaces as io_error at load or decode,
-// never as UB.
+// additionally bound-checked against the target partition at decode time.
+// The per-block min/max steer `contains()` block skipping and must be
+// exact: every block a point query decodes has its metadata verified
+// against the decoded values (a widened forgery throws io_error), while
+// a pair narrowed around a block that is then skipped is only caught by
+// the section checksum (mandatory on the streamed reader, opt-in on the
+// mmap path) — on a checksum-skipping load it can suppress a match, i.e.
+// change a query result, but never memory safety.  A crafted payload
+// therefore surfaces as io_error at load or decode (or, at worst, a
+// suppressed `contains` match on an unverified mmap load), never as UB.
 //
 // SIMD: the 4-lane shuffle decoder compiles under SSSE3 (x86) or NEON
 // (aarch64) when available; `-DNWHY_SIMD=0` (CMake option NWHY_SIMD=OFF)
@@ -378,8 +384,11 @@ public:
                : static_cast<std::uint32_t>(num_values_ % block_size_);
   }
 
-  /// Advisory skip metadata (validated for bounds, not for truth — a forged
-  /// pair only misdirects skips, decode still bound-checks).
+  /// Per-block skip metadata.  Not proven at load time (that would mean
+  /// decoding everything); consumers that skip on it must verify it
+  /// against the decoded values of every block they do decode (see
+  /// compressed_adjacency::contains) — a forged pair can misdirect a
+  /// skip, never an access.
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> block_min_max(std::uint64_t b) const {
     std::uint32_t mn, mx;
     std::memcpy(&mn, meta_ + b * svb::block_meta_bytes + 8, 4);
@@ -537,13 +546,18 @@ inline std::optional<row_dictionary> build_row_dictionary(std::span<const nw::of
 ///
 /// Row lifetime contract: `operator[]` spans live in a small per-thread,
 /// per-instance LRU cache (`row_cache_ways` slots).  A returned span stays
-/// valid until the same thread fetches `row_cache_ways` *other* rows of
-/// the same instance; fetches on a different compressed_adjacency never
-/// invalidate it.  Every engine this repo runs on compressed views keeps
-/// at most 2 rows of one structure live (pairwise intersection is the
-/// worst case); kernels that hold one row while streaming many rows of
-/// the same structure (the intersection s-line family) must materialize
-/// first.
+/// valid until the same thread either fetches `row_cache_ways` *other*
+/// rows of the same instance, or touches more than `max_cached_instances`
+/// (8) distinct compressed_adjacency instances — whole-instance LRU
+/// eviction then destroys the least-recently-used instance's slot
+/// storage, invalidating any spans still pointing into it.  Within that
+/// instance budget, fetches on a different compressed_adjacency never
+/// invalidate a span.  Every engine this repo runs on compressed views
+/// keeps at most 2 rows of one structure live and touches at most 2
+/// instances per thread (pairwise intersection is the worst case);
+/// kernels that hold one row while streaming many rows of the same
+/// structure (the intersection s-line family), or that interleave more
+/// than 8 views on one thread, must materialize first.
 ///
 /// Decoded ids are bound-checked against `target_bound` at decode time —
 /// a crafted payload throws io_error from the access, never indexes an
@@ -593,8 +607,12 @@ public:
   }
 
   /// Sorted-row point query with block skipping: only blocks whose
-  /// (advisory) min/max admit `t` are decoded, so a `contains` probe on a
-  /// long row touches one block, not the whole row.
+  /// min/max admit `t` are decoded, so a `contains` probe on a long row
+  /// touches one block, not the whole row.  Every decoded block's min/max
+  /// is verified exact (io_error on mismatch); a forged pair on a block
+  /// this probe *skips* can suppress a match on a checksum-unverified
+  /// mmap load — the streamed reader's mandatory checksums close that —
+  /// but can never cause an out-of-bounds access.
   [[nodiscard]] bool contains(std::size_t u, nw::vertex_id_t t) const {
     const auto [lo, hi] = stored_range(u);
     if (lo == hi) return false;
@@ -669,6 +687,22 @@ private:
     targets_.decode_block(b, out.data());
     NWOBS_COUNT("csr.decode_blocks", obs_slot(), 1);
     check_bound(out);
+    // contains() steers on the per-block min/max, so any block it decodes
+    // must have *exact* metadata: a forged pair that widened the range
+    // (and so failed to divert the probe) dies here with io_error instead
+    // of letting stream-mode queries silently diverge from a materialized
+    // load.  (A pair narrowed around a skipped block is caught by the
+    // section checksum — mandatory on the streamed reader, opt-in on
+    // mmap — and can at worst suppress a match, never break safety.)
+    if (!out.empty()) {
+      const auto [mn, mx]       = targets_.block_min_max(b);
+      const auto [lo_it, hi_it] = std::minmax_element(out.begin(), out.end());
+      if (*lo_it != mn || *hi_it != mx) {
+        throw io_error("NWHYCSR2 compressed targets block " + std::to_string(b) +
+                           " min/max metadata disagrees with its decoded values",
+                       origin_, 0, 0);
+      }
+    }
   }
 
   // ---- per-thread row cache ----------------------------------------------
@@ -678,7 +712,10 @@ private:
   // invalidate rows of another, and dictionary-duplicate rows hit the same
   // cache entry.  The per-thread footprint is bounded: at most
   // `max_cached_instances` instances x `row_cache_ways` rows, all
-  // keep-capacity.
+  // keep-capacity.  That bound is part of the public lifetime contract
+  // (see the class comment): touching a 9th instance on one thread evicts
+  // an entire instance_cache, destroying the vectors any of its published
+  // spans point into.
   struct row_slot {
     std::uint64_t                lo = 0, hi = 0;
     bool                         valid = false;

@@ -290,7 +290,8 @@ inline parsed_header parse_header(const unsigned char* data, std::uint64_t avail
   }
 
   h.sections.resize(count);
-  std::uint64_t prev_end = table_end;
+  std::uint64_t prev_end   = table_end;
+  std::uint32_t seen_kinds = 0;  // known kinds are 1..10, so a u32 mask fits
   for (std::uint32_t i = 0; i < count; ++i) {
     const unsigned char* e  = data + header_bytes + std::size_t{i} * table_entry_bytes;
     auto&                s  = h.sections[i];
@@ -312,6 +313,19 @@ inline parsed_header parse_header(const unsigned char* data, std::uint64_t avail
                      origin, 0, entry_off);
     }
     const std::uint32_t want = expected_elem_size(s.kind);
+    // Known kinds may appear at most once: every consumer below resolves a
+    // kind to ONE section (require_section, the staging loops of the
+    // streamed reader), so a file listing a kind twice could have its two
+    // copies validated and adopted inconsistently.  Unknown kinds may
+    // repeat — they are dropped wholesale.
+    if (want != 0) {
+      if ((seen_kinds >> s.kind) & 1u) {
+        throw io_error("NWHYCSR2 snapshot lists section kind " + std::to_string(s.kind) +
+                           " more than once",
+                       origin, 0, entry_off);
+      }
+      seen_kinds |= 1u << s.kind;
+    }
     if (want != 0 && s.elem_size != want) {
       throw io_error("NWHYCSR2 section kind " + std::to_string(s.kind) +
                          " has elem_size " + std::to_string(s.elem_size) + ", expected " +
@@ -418,6 +432,15 @@ inline compressed_adjacency make_compressed_view(
     std::uint64_t target_bound, const char* what, const std::string& origin,
     std::shared_ptr<const void> keepalive,
     par::thread_pool& pool = par::thread_pool::default_pool()) {
+  // Both callers resolve idx via require_section, which pins its byte
+  // length to (n+1) offsets — but the dictionary pass below reads
+  // idx[u+1] up to u = n-1, so re-verify here rather than trusting the
+  // callers' staging stayed consistent with the validated table entry.
+  if (idx.size() != n + 1) {
+    throw io_error(std::string("NWHYCSR2 ") + what + " index section has " +
+                       std::to_string(idx.size()) + " offsets, expected " + std::to_string(n + 1),
+                   origin, 0, payload_offset);
+  }
   check_index_structure(idx, m, what, origin, pool);
   compressed_targets targets(payload, origin, payload_offset);
   NWOBS_COUNT("csr.compressed_bytes", 0, payload.size());
@@ -512,22 +535,31 @@ struct csr_snapshot {
 
   /// Expand the E2N CSR back into the canonical incidence list (parallel
   /// over hyperedge rows; output order = row-major CSR order, which for a
-  /// CANONICAL snapshot is exactly sort_and_unique order).
+  /// CANONICAL snapshot is exactly sort_and_unique order).  On a
+  /// stream-mode snapshot `edges` is intentionally empty, so the
+  /// compressed E2N view is decoded first (one-shot; the snapshot itself
+  /// stays in stream mode).
   [[nodiscard]] biedgelist<> to_biedgelist(
       par::thread_pool& pool = par::thread_pool::default_pool()) const {
-    auto idx = edges.csr().indices();
-    auto tgt = edges.csr().targets();
-    std::vector<nw::vertex_id_t> edge_ids(tgt.size()), node_ids(tgt.size());
-    par::parallel_for(
-        0, edges.num_sources(),
-        [&](std::size_t e) {
-          for (nw::offset_t k = idx[e]; k < idx[e + 1]; ++k) {
-            edge_ids[k] = static_cast<nw::vertex_id_t>(e);
-            node_ids[k] = tgt[k];
-          }
-        },
-        par::blocked{}, pool);
-    return biedgelist<>(std::move(edge_ids), std::move(node_ids), n0, n1);
+    auto expand = [&](std::span<const nw::offset_t>    idx,
+                      std::span<const nw::vertex_id_t> tgt) {
+      std::vector<nw::vertex_id_t> edge_ids(tgt.size()), node_ids(tgt.size());
+      par::parallel_for(
+          0, idx.empty() ? 0 : idx.size() - 1,
+          [&](std::size_t e) {
+            for (nw::offset_t k = idx[e]; k < idx[e + 1]; ++k) {
+              edge_ids[k] = static_cast<nw::vertex_id_t>(e);
+              node_ids[k] = tgt[k];
+            }
+          },
+          par::blocked{}, pool);
+      return biedgelist<>(std::move(edge_ids), std::move(node_ids), n0, n1);
+    };
+    if (edges_view) {
+      auto csr = edges_view->materialize(pool);
+      return expand(csr.indices(), csr.targets());
+    }
+    return expand(edges.csr().indices(), edges.csr().targets());
   }
 };
 

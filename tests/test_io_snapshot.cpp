@@ -114,7 +114,10 @@ std::uint64_t section_offset(const std::string& bytes, std::size_t sec) {
 /// never produces, exercising the reader's forward-compatibility path at
 /// the byte level (per docs/IO_FORMATS.md §4.5, unknown kinds are
 /// checksum-verified and dropped, and their elem_size is never trusted).
-std::string build_tiny_snapshot(bool with_unknown_section) {
+/// `dup_kind`, when nonzero, appends a *second* section of that known kind
+/// (with a short but elem-size-aligned payload) — the duplicate-kind shape
+/// §4.5 requires both readers to reject.
+std::string build_tiny_snapshot(bool with_unknown_section, std::uint32_t dup_kind = 0) {
   namespace d = csr_detail;
   const std::uint64_t idx[2] = {0, 1};
   const std::uint32_t tgt[1] = {0};
@@ -129,6 +132,10 @@ std::string build_tiny_snapshot(bool with_unknown_section) {
       {csr_sec_n2e_targets, 4, std::string(reinterpret_cast<const char*>(tgt), 4)},
   };
   if (with_unknown_section) secs.push_back({99, 0, "7 bytes"});
+  if (dup_kind != 0) {
+    secs.push_back({dup_kind, csr_detail::expected_elem_size(dup_kind),
+                    std::string(reinterpret_cast<const char*>(idx), 8)});
+  }
   const auto          count     = static_cast<std::uint32_t>(secs.size());
   const std::uint64_t table_end = d::header_bytes + std::uint64_t{count} * d::table_entry_bytes;
   std::vector<std::uint64_t> offsets;
@@ -485,6 +492,38 @@ TEST(CsrSnapshot, ReadersTolerateUnknownSectionsWithoutTrustingElemSize) {
   EXPECT_EQ(read_csr_snapshot(pin).m, 1u);
 }
 
+// A known kind listed twice could have its two copies resolved
+// inconsistently (one copy validated, the other adopted): before
+// parse_header rejected duplicates, a crafted file with two E2N_INDICES
+// sections — the first valid-length, the second shorter — could steer the
+// streamed reader's staging past require_section and into out-of-bounds
+// reads (compressed dictionary pass) or an NW_ASSERT abort (raw path).
+TEST(CsrSnapshot, RejectsDuplicateKnownSectionKinds) {
+  for (std::uint32_t kind : {csr_sec_e2n_indices, csr_sec_e2n_targets, csr_sec_n2e_targets}) {
+    SCOPED_TRACE("duplicated kind " + std::to_string(kind));
+    auto bytes = build_tiny_snapshot(/*with_unknown_section=*/false, /*dup_kind=*/kind);
+    scratch_file bad("dupsec");
+    dump(bad.path, bytes);
+    EXPECT_THROW(
+        {
+          try {
+            load_csr_snapshot(bad.path);
+          } catch (const io_error& e) {
+            EXPECT_NE(std::string(e.what()).find("more than once"), std::string::npos)
+                << e.what();
+            throw;
+          }
+        },
+        io_error);
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_THROW(read_csr_snapshot(in), io_error);
+  }
+  // Unknown kinds, by contrast, may legitimately repeat.
+  auto ok = build_tiny_snapshot(/*with_unknown_section=*/true, /*dup_kind=*/99);
+  std::istringstream in(ok, std::ios::binary);
+  EXPECT_EQ(read_csr_snapshot(in).m, 1u);
+}
+
 // A stream's header can claim any file_size, so section lengths can pass
 // the in-file bounds checks while being astronomically large.  Staging must
 // surface that as io_error (or hit honest truncation), never std::bad_alloc
@@ -765,4 +804,54 @@ TEST(CsrSnapshotCompressed, OldReaderStoryMissingTargetsReadsAsMissingSection) {
   }
   refresh_header_checksum(bytes);
   expect_both_readers_reject(bytes, "missing required section");
+}
+
+// The per-block min/max steer contains() skipping, so they must be exact:
+// a forged pair wide enough that the probe still decodes the block must be
+// rejected at decode time (io_error), not silently tolerated — otherwise
+// crafted skip metadata could make stream-mode queries diverge from a
+// materialized load of the same file.  The checksum-skipping mmap path is
+// the one with no other line of defense.
+TEST(CsrSnapshotCompressed, ForgedBlockMinMaxFailsLoudlyWhenDecoded) {
+  NWHypergraph hg = duplicated_rows_hypergraph();
+  auto         bytes = compressed_bytes(hg);
+  auto         sec   = section_index_by_kind(bytes, csr_sec_e2n_targets_svb);
+  ASSERT_NE(sec, std::string::npos);
+  namespace d = csr_detail;
+  // Widen block 0's min/max to [0, 2^32-1]: no probe is ever diverted, so
+  // the first contains() decode sees metadata disagreeing with the values.
+  auto* meta = reinterpret_cast<unsigned char*>(bytes.data()) + section_offset(bytes, sec) + 32;
+  d::put_u32(meta + 8, 0);
+  d::put_u32(meta + 12, 0xFFFFFFFFu);
+  refresh_section_checksum(bytes, sec);
+  scratch_file bad("zminmax");
+  dump(bad.path, bytes);
+  auto snap = load_csr_snapshot(bad.path, /*verify_checksums=*/false, snapshot_decode::stream);
+  ASSERT_TRUE(snap.edges_view.has_value());
+  EXPECT_THROW(
+      {
+        try {
+          (void)snap.edges_view->contains(0, 0);
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("min/max"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      io_error);
+}
+
+// to_biedgelist on a stream-mode snapshot must expand the *compressed* E2N
+// view (it used to read the unpopulated `edges` CSR and silently return an
+// empty incidence list).
+TEST(CsrSnapshotCompressed, StreamModeToBiedgelistMatchesEdgeList) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0x7A1D));
+  scratch_file f("zstream_el");
+  hg.save_csr_snapshot(f.path, csr_compress_options{});
+  auto snap = load_csr_snapshot(f.path, /*verify_checksums=*/true, snapshot_decode::stream);
+  ASSERT_TRUE(snap.streaming());
+  auto el = snap.to_biedgelist();
+  ASSERT_EQ(el.size(), hg.edge_list().size());
+  for (std::size_t i = 0; i < el.size(); ++i) ASSERT_EQ(el[i], hg.edge_list()[i]);
+  // The expansion is one-shot: the snapshot itself stays in stream mode.
+  EXPECT_TRUE(snap.streaming());
 }
