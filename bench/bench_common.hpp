@@ -17,6 +17,9 @@
 #include <memory>
 #include <string>
 #include <vector>
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "nwhy.hpp"
 
@@ -145,6 +148,25 @@ namespace detail {
 /// NWHY_BENCH_PROFILE without per-harness wiring.
 inline const bool profile_export_auto = (install_profile_export(), true);
 }  // namespace detail
+
+/// Peak resident-set size of the calling process so far, in KiB, from
+/// getrusage(RUSAGE_SELF).  Every NWHY_BENCH_JSON record carries this so a
+/// reviewer can see the memory high-water mark next to the wall time.  On
+/// Linux ru_maxrss is already KiB; macOS reports bytes.  Returns 0 where
+/// getrusage is unavailable.
+inline long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return ru.ru_maxrss / 1024;
+#else
+  return ru.ru_maxrss;
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Exact-name dataset filter for the NWHY_BENCH_JSON sweep modes: true when
 /// NWHY_BENCH_DATASETS is unset/empty or contains `name` in its comma list.

@@ -82,9 +82,9 @@ int run_json_mode(const char* path, const std::string& dataset,
   for (const auto& r : rows) {
     std::fprintf(out,
                  "%s\n  {\"dataset\": \"%s\", \"operation\": \"%s\", \"batch\": %zu, "
-                 "\"threads\": %u, \"median_ms\": %.4f}",
+                 "\"threads\": %u, \"median_ms\": %.4f, \"peak_rss_kb\": %ld}",
                  first ? "" : ",", dataset.c_str(), r.operation.c_str(), r.batch, r.threads,
-                 r.median_ms);
+                 r.median_ms, peak_rss_kb());
     first = false;
   }
   std::fprintf(out, "\n]\n");

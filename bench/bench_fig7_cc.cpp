@@ -43,8 +43,9 @@ int run_json_mode(const char* path) {
       auto emit = [&](const char* name, double ms, std::size_t components) {
         std::fprintf(out,
                      "%s\n  {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"threads\": %u, "
-                     "\"median_ms\": %.4f, \"components\": %zu}",
-                     first ? "" : ",", d->name.c_str(), name, threads, ms, components);
+                     "\"median_ms\": %.4f, \"components\": %zu, \"peak_rss_kb\": %ld}",
+                     first ? "" : ",", d->name.c_str(), name, threads, ms, components,
+                     peak_rss_kb());
         first = false;
       };
       std::size_t comps = 0;

@@ -2,7 +2,8 @@
 // hypergraph breadth-first search from the highest-degree hyperedge.
 // Series: HyperBFS (direction-optimizing on the bipartite form), AdjoinBFS
 // (direction-optimizing on the adjoin form), and the Hygra comparator
-// (direction-optimizing edgeMap).
+// (direction-optimizing edgeMap); the JSON sweep adds HyperBFS-relabel
+// (same engine over a degree-relabeled twin, answers translated back).
 //
 //   NWHY_BENCH_JSON     path; when set the harness skips the Figure-8 table
 //                       and writes a machine-readable sweep (dataset x
@@ -25,9 +26,13 @@ std::size_t count_reached(const std::vector<nw::vertex_id_t>& parents) {
 }
 
 /// NWHY_BENCH_JSON mode: one record per dataset x algorithm x thread-count:
-/// {"dataset", "algorithm", "threads", "median_ms", "reached"} where
-/// `reached` counts hyperedges discovered from the source (a cross-engine
-/// sanity invariant as much as a payload).
+/// {"dataset", "algorithm", "threads", "median_ms", "reached",
+/// "peak_rss_kb"} where `reached` counts hyperedges discovered from the
+/// source (a cross-engine sanity invariant as much as a payload).  The
+/// HyperBFS-relabel series runs the same engine on a degree-relabeled twin
+/// through the NWHypergraph facade, translation back to external ids
+/// included — the relabel-on vs relabel-off (HyperBFS) comparison is the
+/// locality headline BENCH_traversal.json freezes.
 int run_json_mode(const char* path) {
   FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -40,13 +45,16 @@ int run_json_mode(const char* path) {
   for (const auto& d : suite()) {
     if (!dataset_selected(d->name)) continue;
     nw::vertex_id_t src = bfs_source(*d);
+    NWHypergraph    relabeled(d->el);
+    relabeled.relabel_by_degree();
     for (unsigned threads : env_threads()) {
       nw::par::thread_pool::set_default_concurrency(threads);
       auto emit = [&](const char* name, double ms, std::size_t reached) {
         std::fprintf(out,
                      "%s\n  {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"threads\": %u, "
-                     "\"median_ms\": %.4f, \"reached\": %zu}",
-                     first ? "" : ",", d->name.c_str(), name, threads, ms, reached);
+                     "\"median_ms\": %.4f, \"reached\": %zu, \"peak_rss_kb\": %ld}",
+                     first ? "" : ",", d->name.c_str(), name, threads, ms, reached,
+                     peak_rss_kb());
         first = false;
       };
       std::size_t reached = 0;
@@ -55,6 +63,11 @@ int run_json_mode(const char* path) {
         reached = count_reached(r.parents_edge);
       });
       emit("HyperBFS", ms, reached);
+      ms = time_median_ms([&] {
+        auto r  = relabeled.bfs(src);
+        reached = count_reached(r.parents_edge);
+      });
+      emit("HyperBFS-relabel", ms, reached);
       ms = time_median_ms([&] {
         auto r  = adjoin_bfs(d->adjoin, src);
         reached = count_reached(r.parents_edge);

@@ -147,8 +147,10 @@ int run_json_mode(const char* path) {
         auto emit = [&](const char* name, std::size_t pairs, double ms) {
           std::fprintf(out,
                        "%s\n  {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"s\": %zu, "
-                       "\"threads\": %u, \"median_ms\": %.4f, \"pairs\": %zu}",
-                       first ? "" : ",", d->name.c_str(), name, s, threads, ms, pairs);
+                       "\"threads\": %u, \"median_ms\": %.4f, \"pairs\": %zu, "
+                       "\"peak_rss_kb\": %ld}",
+                       first ? "" : ",", d->name.c_str(), name, s, threads, ms, pairs,
+                       peak_rss_kb());
           first = false;
         };
         for (auto [name, a] : named) {

@@ -18,8 +18,9 @@
 #
 # BENCH_traversal.json merges three sections:
 #   bfs   — bench_fig8_bfs in NWHY_BENCH_JSON mode: dataset x algorithm
-#           (HyperBFS / AdjoinBFS / HygraBFS) x threads, median ms and
-#           hyperedges reached
+#           (HyperBFS / HyperBFS-relabel / AdjoinBFS / HygraBFS) x threads,
+#           median ms and hyperedges reached — HyperBFS vs HyperBFS-relabel
+#           is the relabel-on/off locality comparison this file freezes
 #   cc    — bench_fig7_cc in NWHY_BENCH_JSON mode: dataset x algorithm
 #           (HyperCC / AdjoinCC-Aff / AdjoinCC-LP / HygraCC) x threads,
 #           median ms and component count
@@ -31,9 +32,13 @@
 # BENCH_io.json has one section:
 #   io — bench_io in NWHY_BENCH_JSON mode: one record per load operation x
 #        thread-count (parse-mm swept over NWHY_BENCH_THREADS; read-bin /
-#        read-nwcsr / mmap-nwcsr serial) with the median wall time, the
-#        incidence count parsed/loaded, and the on-disk byte size — the
-#        mmap-vs-parse ratio is the headline this file freezes
+#        read-nwcsr / mmap-nwcsr plus the sharded read-nwcsr-sharded /
+#        mmap-nwcsr-sharded / bfs-sharded variants serial) with the median
+#        wall time, incidence count, on-disk bytes, and peak_rss_kb — plus
+#        the bfs-sharded-ooc gate record, whose bytes field is the resident
+#        dataset size an in-core run would need and whose peak_rss_kb is the
+#        measured child RSS (the >RAM bound this file freezes, alongside the
+#        mmap-vs-parse ratio)
 #
 # BENCH_dynamic.json has one section:
 #   dynamic — bench_dynamic in NWHY_BENCH_JSON mode: one record per operation
@@ -47,8 +52,16 @@
 #
 # A non-Release build dir is refused unless --allow-debug is given: numbers
 # from -O0/-g builds have silently polluted checked-in baselines before.
-# The build type and CPU count are stamped into every JSON's context block
-# so a reviewer can tell at a glance what produced the numbers.
+# The context block stamped into every JSON derives num_cpus and
+# library_build_type from one build probe (nproc + the CMake cache), never
+# from google-benchmark's self-report: gbench describes libbenchmark.so, not
+# our binaries, and a debug system libbenchmark once stamped
+# "library_build_type": "debug" into Release baselines.  The self-report is
+# kept as gbench_library_build_type for transparency, and the merge step
+# refuses outright if the stamped library/cmake build types disagree
+# debug-vs-Release.  Every harness record also carries peak_rss_kb
+# (getrusage ru_maxrss); micro records, which don't pass through our
+# harnesses, carry null there.
 #
 # Knobs (defaults chosen so a snapshot completes in minutes on a laptop):
 #   NWHY_BENCH_THREADS   thread counts for the sweeps (1,2,4)
@@ -83,8 +96,13 @@ if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
   echo "  must come from Release binaries — pass --allow-debug to override)" >&2
   exit 1
 fi
-echo "bench_snapshot.sh: build type $BUILD_TYPE, $(nproc) CPUs"
+NUM_CPUS=$(nproc)
+echo "bench_snapshot.sh: build type $BUILD_TYPE, $NUM_CPUS CPUs"
+# The one build probe the context block derives from: both values travel to
+# the python merge step through the environment so there is no second source
+# of truth to drift from.
 export NWHY_BENCH_BUILD_TYPE="$BUILD_TYPE"
+export NWHY_BENCH_NUM_CPUS="$NUM_CPUS"
 
 export NWHY_BENCH_THREADS="${NWHY_BENCH_THREADS:-1,2,4}"
 export NWHY_BENCH_SVALUES="${NWHY_BENCH_SVALUES:-2,8}"
@@ -139,15 +157,39 @@ for b in gb.get("benchmarks", []):
         ms /= 1e6
     elif b.get("time_unit") == "us":
         ms /= 1e3
-    micro.append({"kernel": kernel, "threads": threads, "median_ms": round(ms, 4)})
+    # Micro records never pass through our harnesses' getrusage hook.
+    micro.append({"kernel": kernel, "threads": threads, "median_ms": round(ms, 4),
+                  "peak_rss_kb": None})
 
-context = {k: gb.get("context", {}).get(k) for k in ("date", "num_cpus", "library_build_type")}
-# Stamp what produced the numbers: the CMake build type of the bench
-# binaries (checked by the shell wrapper) and a CPU-count fallback for
-# records that don't pass through google-benchmark.
-context["cmake_build_type"] = os.environ.get("NWHY_BENCH_BUILD_TYPE", "unknown")
-if not context.get("num_cpus"):
-    context["num_cpus"] = os.cpu_count()
+# The context block derives num_cpus and library_build_type from the same
+# build probe (the shell wrapper's nproc + CMakeCache read), NOT from
+# google-benchmark's context: gbench self-reports libbenchmark.so's own
+# build flavor, which on systems with a debug libbenchmark stamped
+# "library_build_type": "debug" into Release baselines.  The self-report is
+# preserved as gbench_library_build_type so the discrepancy stays visible.
+cmake_build_type = os.environ.get("NWHY_BENCH_BUILD_TYPE", "unknown")
+context = {
+    "date": gb.get("context", {}).get("date"),
+    "num_cpus": int(os.environ.get("NWHY_BENCH_NUM_CPUS", os.cpu_count() or 1)),
+    "library_build_type": cmake_build_type.lower(),
+    "cmake_build_type": cmake_build_type,
+    "gbench_library_build_type": gb.get("context", {}).get("library_build_type"),
+}
+if context["gbench_library_build_type"] not in (None, context["library_build_type"]):
+    print("bench_snapshot.sh: note: google-benchmark self-reports a "
+          f"'{context['gbench_library_build_type']}' libbenchmark; the stamped "
+          f"library_build_type '{context['library_build_type']}' describes our "
+          "binaries (CMakeCache probe), not the system library", file=sys.stderr)
+
+# Internal consistency is non-negotiable: both fields come from one probe,
+# so the exact mismatch the old merge used to commit — a non-release
+# library_build_type next to cmake_build_type "Release" — now means the
+# probe plumbing broke (or someone hand-edited the environment).  Refuse
+# rather than freeze a baseline whose context contradicts itself.
+if context["cmake_build_type"] == "Release" and context["library_build_type"] != "release":
+    sys.exit("bench_snapshot.sh: refusing to write baselines — "
+             f"library_build_type '{context['library_build_type']}' contradicts "
+             f"cmake_build_type '{context['cmake_build_type']}'")
 materialize_kernels = ("BM_MergeThreadVectors", "BM_EdgeListFromBuffers",
                        "BM_CsrFromBuffers", "BM_CsrLegacyRoundtrip")
 
@@ -186,6 +228,11 @@ parse1 = next((r["median_ms"] for r in io_records
 mmap = next((r["median_ms"] for r in io_records
              if r["operation"] == "mmap-nwcsr"), None)
 ratio = f", mmap {parse1 / mmap:.1f}x vs 1-thread parse" if parse1 and mmap else ""
+ooc = next((r for r in io_records if r["operation"] == "bfs-sharded-ooc"), None)
+if ooc and ooc.get("peak_rss_kb") and ooc.get("bytes"):
+    resident_kb = ooc["bytes"] // 1024
+    ratio += (f", ooc BFS peak RSS {ooc['peak_rss_kb']} kB vs {resident_kb} kB "
+              f"resident ({resident_kb / ooc['peak_rss_kb']:.2f}x headroom)")
 print(f"bench_snapshot.sh: wrote {out_io} ({len(io_records)} io records{ratio})")
 
 doc = {

@@ -2,7 +2,7 @@
 # Full verification sweep: configure, build, run tests, run every
 # table/figure harness.
 #
-# Usage: scripts/check.sh [--differential] [--io] [--dynamic] [build-dir]
+# Usage: scripts/check.sh [--differential] [--io] [--dynamic] [--shard] [build-dir]
 #
 #   --differential   additionally run the differential harness with a
 #                    bounded seed budget (NWHY_TEST_ITERS, default 12 —
@@ -22,16 +22,24 @@
 #                    incremental s-line graph / incremental toplexes vs
 #                    rebuild-from-scratch) with a boosted seed budget, then
 #                    the bench_dynamic incremental-vs-rebuild comparison.
+#   --shard          additionally exercise the out-of-core path end-to-end
+#                    through the CLI: the relabel + shard unit suites, then
+#                    convert --relabel --shards -> inspect (shard directory
+#                    validation) -> bfs --sharded, and require the sharded
+#                    traversal's reached/depth summary to match the
+#                    in-memory engine on the unsharded snapshot exactly.
 set -euo pipefail
 
 DIFFERENTIAL=0
 IO=0
 DYNAMIC=0
+SHARD=0
 while :; do
   case "${1:-}" in
     --differential) DIFFERENTIAL=1; shift ;;
     --io)           IO=1; shift ;;
     --dynamic)      DYNAMIC=1; shift ;;
+    --shard)        SHARD=1; shift ;;
     *)              break ;;
   esac
 done
@@ -69,6 +77,31 @@ if [ "$DYNAMIC" = 1 ]; then
   echo "===== dynamic-engine stage (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-48}) ====="
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_dynamic
   "$BUILD"/bench/bench_dynamic
+fi
+
+if [ "$SHARD" = 1 ]; then
+  echo "===== shard stage (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-48}) ====="
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_relabel
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-48}" "$BUILD"/tests/test_shard
+  # End-to-end through the CLI: degree-relabel + shard a Table-I analog,
+  # validate the shard directory with inspect, then run the out-of-core
+  # traversal and the in-memory engine from the same source.  The
+  # "reached ..." summary lines must be byte-identical — sharding and
+  # relabeling are storage choices, not semantic ones.
+  SHTMP=$(mktemp -d)
+  trap 'rm -rf "$SHTMP"' EXIT
+  "$BUILD"/tools/nwhy_tool generate Rand1-sim 1 "$SHTMP/shard.mtx"
+  "$BUILD"/tools/nwhy_tool convert "$SHTMP/shard.mtx" "$SHTMP/plain.nwcsr"
+  "$BUILD"/tools/nwhy_tool convert "$SHTMP/shard.mtx" "$SHTMP/sharded.nwcsr" \
+    --relabel --shards=8
+  "$BUILD"/tools/nwhy_tool inspect "$SHTMP/sharded.nwcsr"
+  "$BUILD"/tools/nwhy_tool bfs "$SHTMP/plain.nwcsr" 0 | grep '^reached ' >"$SHTMP/plain.out"
+  "$BUILD"/tools/nwhy_tool bfs "$SHTMP/sharded.nwcsr" 0 --sharded \
+    | grep '^reached ' >"$SHTMP/sharded.out"
+  diff -u "$SHTMP/plain.out" "$SHTMP/sharded.out"
+  echo "shard stage: sharded traversal matches in-memory engine"
+  rm -rf "$SHTMP"
+  trap - EXIT
 fi
 
 for b in "$BUILD"/bench/*; do

@@ -10,9 +10,10 @@
 #                                  # budget — TSan is ~10x slower)
 #   scripts/sanitize.sh ubsan [dir]# UBSan alone (-fno-sanitize-recover):
 #                                  # the decoder / crafted-input gate — runs
-#                                  # the I/O, snapshot and compressed-codec
-#                                  # suites where a malformed file must
-#                                  # produce io_error, never UB
+#                                  # the I/O, snapshot, compressed-codec,
+#                                  # relabel and shard suites where a
+#                                  # malformed file must produce io_error,
+#                                  # never UB
 #
 # ASan/UBSan catches lifetime and indexing bugs; TSan catches data races in
 # the frontier engine, bitmap conversions and scatter pipelines that review
@@ -37,8 +38,10 @@ case "$MODE" in
     cmake --build "$BUILD"
     # Run the concurrency-heavy binaries directly: the differential driver
     # (every parallel family at 1/2/4/hw threads against the serial
-    # oracles), the frontier engine suite, the nwpar runtime suite, and the
-    # parallel-ingest / snapshot suites (thread-sweeped parser merges).
+    # oracles), the frontier engine suite, the nwpar runtime suite, the
+    # parallel-ingest / snapshot suites (thread-sweeped parser merges), and
+    # the relabel / sharded-traversal suites (parallel BFS-CC over mmap'd
+    # shard windows).
     # halt_on_error makes the first race fail the gate; the reduced
     # NWHY_TEST_ITERS bounds wall time (override to go deeper).
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -49,6 +52,8 @@ case "$MODE" in
     "$BUILD"/tests/test_io
     "$BUILD"/tests/test_io_snapshot
     "$BUILD"/tests/test_compress
+    "$BUILD"/tests/test_relabel
+    "$BUILD"/tests/test_shard
     "$BUILD"/tests/test_differential
     "$BUILD"/tests/test_dynamic
     ;;
@@ -63,6 +68,8 @@ case "$MODE" in
     "$BUILD"/tests/test_io
     "$BUILD"/tests/test_io_snapshot
     "$BUILD"/tests/test_compress
+    "$BUILD"/tests/test_relabel
+    "$BUILD"/tests/test_shard
     ;;
   *)
     echo "usage: scripts/sanitize.sh [asan|tsan|ubsan] [build-dir]" >&2

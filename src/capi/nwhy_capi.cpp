@@ -81,6 +81,16 @@ int nwhy_compact(nwhy_hypergraph* hg) {
   return 0;
 }
 
+int nwhy_relabel_by_degree(nwhy_hypergraph* hg) {
+  if (hg == nullptr || hg->impl.has_pending_delta()) return -1;
+  hg->impl.relabel_by_degree();
+  return 0;
+}
+
+int nwhy_is_relabeled(const nwhy_hypergraph* hg) {
+  return hg != nullptr && hg->impl.is_relabeled() ? 1 : 0;
+}
+
 size_t nwhy_delta_size(const nwhy_hypergraph* hg) { return hg->impl.delta_size(); }
 
 uint64_t nwhy_version(const nwhy_hypergraph* hg) { return hg->impl.version(); }

@@ -64,6 +64,15 @@ int nwhy_remove_edge(nwhy_hypergraph* hg, uint32_t edge);
  * work with or without a pending delta; compaction only affects speed. */
 int nwhy_compact(nwhy_hypergraph* hg);
 
+/* Reorder the internal hyperedge storage by descending degree (a locality
+ * optimization).  Invisible to every query — ids keep their original
+ * meaning; the next mutation undoes it automatically.  Requires a
+ * compacted state: returns -1 while a delta is pending, 0 on success. */
+int nwhy_relabel_by_degree(nwhy_hypergraph* hg);
+
+/* 1 while the internal storage is degree-relabeled, else 0. */
+int nwhy_is_relabeled(const nwhy_hypergraph* hg);
+
 /* Number of pending (uncompacted) mutation rows. */
 size_t nwhy_delta_size(const nwhy_hypergraph* hg);
 

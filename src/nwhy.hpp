@@ -48,6 +48,7 @@
 #include "nwhy/algorithms/hyper_cc.hpp"
 #include "nwhy/algorithms/hyper_kcore.hpp"
 #include "nwhy/algorithms/hyper_pagerank.hpp"
+#include "nwhy/algorithms/sharded_traversal.hpp"
 #include "nwhy/algorithms/toplex.hpp"
 #include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
@@ -60,9 +61,11 @@
 #include "nwhy/io/io_error.hpp"
 #include "nwhy/io/konect.hpp"
 #include "nwhy/io/matrix_market.hpp"
+#include "nwhy/io/shard.hpp"
 #include "nwhy/io/text_input.hpp"
 #include "nwhy/nwhypergraph.hpp"
 #include "nwhy/ref/ref.hpp"
+#include "nwhy/relabel.hpp"
 #include "nwhy/s_linegraph.hpp"
 #include "nwhy/slinegraph/construction.hpp"
 #include "nwhy/slinegraph/implicit.hpp"

@@ -58,6 +58,7 @@
 // than the structural compare pass.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdint>
@@ -93,6 +94,7 @@
 #include "nwobs/scope_timer.hpp"
 #include "nwpar/parallel_for.hpp"
 #include "nwutil/defs.hpp"
+#include "nwutil/env.hpp"
 
 namespace nw::hypergraph {
 
@@ -128,6 +130,18 @@ inline constexpr std::uint32_t csr_sec_n2e_targets_svb  = 8;   ///< StreamVByte 
 inline constexpr std::uint32_t csr_sec_e2n_dict_refs    = 9;   ///< n0 x u32 unique-row refs
 inline constexpr std::uint32_t csr_sec_e2n_dict_indices = 10;  ///< (n_unique+1) x u64
 
+/// Locality section kinds (docs/IO_FORMATS.md §4.7).  A sharding writer
+/// slices both target streams into K contiguous hyperedge-range shards and
+/// emits kinds 11+12 *instead of* the target sections (2/4 or 7/8); the
+/// index sections (1/3) stay raw and resident.  Old readers skip 11/12 as
+/// unknown kinds and fail with "missing required section kind 2" — the same
+/// forward-compat story as the compressed kinds.  Kind 13 records the
+/// degree-relabel inverse permutation (old external id of each stored row)
+/// so loaders can keep answers in the caller's original id space.
+inline constexpr std::uint32_t csr_sec_shard_dir     = 11;  ///< K x 80-byte shard records (elem 8)
+inline constexpr std::uint32_t csr_sec_shard_payload = 12;  ///< concatenated shard slices (elem 1)
+inline constexpr std::uint32_t csr_sec_relabel_inv   = 13;  ///< n0 x u32 old-id-of-row map
+
 /// Human-readable section kind name (`nwhy_tool inspect`).
 inline const char* csr_section_kind_name(std::uint32_t kind) {
   switch (kind) {
@@ -141,6 +155,9 @@ inline const char* csr_section_kind_name(std::uint32_t kind) {
     case csr_sec_n2e_targets_svb: return "N2E_TARGETS_SVB";
     case csr_sec_e2n_dict_refs: return "E2N_DICT_REFS";
     case csr_sec_e2n_dict_indices: return "E2N_DICT_INDICES";
+    case csr_sec_shard_dir: return "SHARD_DIR";
+    case csr_sec_shard_payload: return "SHARD_PAYLOAD";
+    case csr_sec_relabel_inv: return "RELABEL_INV";
     default: return "UNKNOWN";
   }
 }
@@ -222,13 +239,16 @@ inline std::uint32_t expected_elem_size(std::uint32_t kind) {
     case csr_sec_e2n_indices:
     case csr_sec_n2e_indices:
     case csr_sec_adjoin_indices:
-    case csr_sec_e2n_dict_indices: return 8;
+    case csr_sec_e2n_dict_indices:
+    case csr_sec_shard_dir: return 8;
     case csr_sec_e2n_targets:
     case csr_sec_n2e_targets:
     case csr_sec_adjoin_targets:
-    case csr_sec_e2n_dict_refs: return 4;
+    case csr_sec_e2n_dict_refs:
+    case csr_sec_relabel_inv: return 4;
     case csr_sec_e2n_targets_svb:
-    case csr_sec_n2e_targets_svb: return 1;
+    case csr_sec_n2e_targets_svb:
+    case csr_sec_shard_payload: return 1;
     default: return 0;
   }
 }
@@ -291,7 +311,7 @@ inline parsed_header parse_header(const unsigned char* data, std::uint64_t avail
 
   h.sections.resize(count);
   std::uint64_t prev_end   = table_end;
-  std::uint32_t seen_kinds = 0;  // known kinds are 1..10, so a u32 mask fits
+  std::uint32_t seen_kinds = 0;  // known kinds are 1..13, so a u32 mask fits
   for (std::uint32_t i = 0; i < count; ++i) {
     const unsigned char* e  = data + header_bytes + std::size_t{i} * table_entry_bytes;
     auto&                s  = h.sections[i];
@@ -417,6 +437,217 @@ inline void check_csr_structure(std::span<const nw::offset_t>    idx,
   }
 }
 
+// ---- Hyperedge-range shards (kinds 11/12) --------------------------------
+//
+// The shard directory is K consecutive 80-byte records of 10 u64 words:
+//
+//   w0 e_begin   w1 e_end     hyperedge range [e_begin, e_end)
+//   w2 e2n_off   w3 e2n_len   E2N targets slice for rows in the range
+//   w4 sub_off   w5 sub_len   per-shard N2E sub-index, (n1+1) x u64
+//   w6 n2e_off   w7 n2e_len   N2E targets slice: incident edge ids in range
+//   w8 count                  incidences in the range
+//   w9 flags                  bit0: both target slices are SVB payloads
+//
+// Offsets are relative to the start of the SHARD_PAYLOAD section, 64-byte
+// aligned, and the three segments of record i appear in that order after
+// every segment of record i-1 (no overlap).  Ranges exactly partition
+// [0, n0) in ascending order and counts sum to m.  The sub-index delimits,
+// per hypernode, its incident edges *within the range*; because canonical
+// N2E rows are sorted, the global row of a node is the concatenation of its
+// shard slices in shard order — which is how `reassemble_from_shards`
+// rebuilds the raw streams and how `sharded_snapshot` serves one shard at a
+// time without touching the rest of the file.
+
+inline constexpr std::size_t   shard_record_words = 10;
+inline constexpr std::uint64_t shard_flag_svb     = 1;
+
+struct shard_entry {
+  std::uint64_t e_begin = 0, e_end = 0;
+  std::uint64_t e2n_off = 0, e2n_len = 0;
+  std::uint64_t sub_off = 0, sub_len = 0;
+  std::uint64_t n2e_off = 0, n2e_len = 0;
+  std::uint64_t count = 0, flags = 0;
+};
+
+/// Parse + geometry-validate the shard directory against the header
+/// cardinalities and the SHARD_PAYLOAD section length.  Slice *contents*
+/// (sub-index structure, target ranges, SVB payload geometry) are validated
+/// when a slice is actually decoded.  Throws io_error on any inconsistency.
+inline std::vector<shard_entry> parse_shard_directory(std::span<const nw::offset_t> words,
+                                                      std::uint64_t n0, std::uint64_t n1,
+                                                      std::uint64_t m, std::uint64_t payload_len,
+                                                      const std::string& origin) {
+  auto fail = [&](const std::string& msg) {
+    throw io_error("NWHYCSR2 shard directory: " + msg, origin, 0, header_bytes);
+  };
+  if (words.empty() || words.size() % shard_record_words != 0) {
+    fail("length is not a positive multiple of the 80-byte record size");
+  }
+  const std::size_t        k = words.size() / shard_record_words;
+  std::vector<shard_entry> dir(k);
+  std::uint64_t            cursor = 0;  // segments are laid out in record order
+  std::uint64_t            total  = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const nw::offset_t* w = words.data() + i * shard_record_words;
+    auto&               s = dir[i];
+    s.e_begin = w[0]; s.e_end = w[1];
+    s.e2n_off = w[2]; s.e2n_len = w[3];
+    s.sub_off = w[4]; s.sub_len = w[5];
+    s.n2e_off = w[6]; s.n2e_len = w[7];
+    s.count   = w[8]; s.flags   = w[9];
+    const std::uint64_t want_begin = i == 0 ? 0 : dir[i - 1].e_end;
+    if (s.e_begin != want_begin || s.e_end <= s.e_begin || s.e_end > n0) {
+      fail("shard " + std::to_string(i) + " range [" + std::to_string(s.e_begin) + ", " +
+           std::to_string(s.e_end) + ") does not partition [0, " + std::to_string(n0) + ")");
+    }
+    if ((s.flags & ~shard_flag_svb) != 0) {
+      fail("shard " + std::to_string(i) + " carries unknown flags");
+    }
+    if (s.count > m - total) {
+      fail("shard incidence counts exceed the header's declared total");
+    }
+    total += s.count;
+    if (s.sub_len != (n1 + 1) * sizeof(nw::offset_t)) {
+      fail("shard " + std::to_string(i) + " sub-index has " + std::to_string(s.sub_len) +
+           " bytes, expected " + std::to_string((n1 + 1) * sizeof(nw::offset_t)));
+    }
+    if ((s.flags & shard_flag_svb) == 0 &&
+        (s.e2n_len != s.count * sizeof(nw::vertex_id_t) ||
+         s.n2e_len != s.count * sizeof(nw::vertex_id_t))) {
+      fail("shard " + std::to_string(i) + " raw slice lengths disagree with its incidence count");
+    }
+    const std::uint64_t offs[3] = {s.e2n_off, s.sub_off, s.n2e_off};
+    const std::uint64_t lens[3] = {s.e2n_len, s.sub_len, s.n2e_len};
+    for (int seg = 0; seg < 3; ++seg) {
+      if (offs[seg] % section_alignment != 0 || offs[seg] < cursor || lens[seg] > payload_len ||
+          offs[seg] > payload_len - lens[seg]) {
+        fail("shard " + std::to_string(i) + " segment " + std::to_string(seg) +
+             " is misaligned, overlapping, or out of bounds");
+      }
+      cursor = offs[seg] + lens[seg];
+    }
+  }
+  if (dir.back().e_end != n0) {
+    fail("shard ranges stop at " + std::to_string(dir.back().e_end) + ", expected " +
+         std::to_string(n0));
+  }
+  if (total != m) {
+    fail("shard incidence counts sum to " + std::to_string(total) + ", header declares " +
+         std::to_string(m));
+  }
+  return dir;
+}
+
+/// Decode one shard target slice — raw little-endian u32s or a full SVB
+/// payload — into `out`, which must hold exactly `count` values.  The SVB
+/// path runs the compressed_targets constructor, so a truncated or lying
+/// slice fails its geometry/control checks rather than overrunning.
+inline void decode_shard_slice(std::span<const unsigned char> slice, std::uint64_t file_off,
+                               bool svb_slice, std::uint64_t count, nw::vertex_id_t* out,
+                               const std::string& origin) {
+  if (!svb_slice) {
+    std::memcpy(out, slice.data(), static_cast<std::size_t>(count) * sizeof(nw::vertex_id_t));
+    return;
+  }
+  compressed_targets ct(slice, origin, file_off);
+  if (ct.num_values() != count) {
+    throw io_error("NWHYCSR2 shard slice holds " + std::to_string(ct.num_values()) +
+                       " values, directory declares " + std::to_string(count),
+                   origin, 0, static_cast<std::size_t>(file_off));
+  }
+  for (std::uint64_t b = 0; b < ct.num_blocks(); ++b) {
+    ct.decode_block(b, out + b * std::uint64_t{ct.block_size()});
+  }
+}
+
+/// Rebuild the two raw target streams from a sharded snapshot: decode every
+/// shard's slices and scatter the N2E pieces back into global row order.
+/// Validates the global index sections first (slice geometry is derived
+/// from them), every per-shard sub-index, the shard-local target ranges,
+/// and finally runs the same full structural pass a raw snapshot gets —
+/// so adoption downstream is exactly as safe as kind 2/4 sections.
+inline void reassemble_from_shards(const std::vector<shard_entry>& dir,
+                                   std::span<const unsigned char> payload,
+                                   std::uint64_t payload_file_off,
+                                   std::span<const nw::offset_t> e2n_idx,
+                                   std::span<const nw::offset_t> n2e_idx, std::uint64_t n0,
+                                   std::uint64_t n1, std::uint64_t m,
+                                   std::vector<nw::vertex_id_t>& e2n_out,
+                                   std::vector<nw::vertex_id_t>& n2e_out,
+                                   const std::string& origin) {
+  auto fail = [&](const std::string& msg) {
+    throw io_error("NWHYCSR2 shard payload: " + msg, origin, 0,
+                   static_cast<std::size_t>(payload_file_off));
+  };
+  if (e2n_idx.size() != n0 + 1 || n2e_idx.size() != n1 + 1) {
+    fail("global index sections disagree with the header cardinalities");
+  }
+  check_index_structure(e2n_idx, m, "E2N", origin);
+  check_index_structure(n2e_idx, m, "N2E", origin);
+  e2n_out.assign(static_cast<std::size_t>(m), 0);
+  n2e_out.assign(static_cast<std::size_t>(m), 0);
+  std::vector<nw::offset_t>    cursor(static_cast<std::size_t>(n1), 0);
+  std::vector<nw::vertex_id_t> scratch;
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    const auto& s   = dir[i];
+    const bool  svb = (s.flags & shard_flag_svb) != 0;
+    if (s.count != e2n_idx[s.e_end] - e2n_idx[s.e_begin]) {
+      fail("shard " + std::to_string(i) + " incidence count disagrees with the E2N index");
+    }
+    // The E2N slice is the range's rows verbatim: decode straight into place.
+    decode_shard_slice(payload.subspan(s.e2n_off, s.e2n_len), payload_file_off + s.e2n_off, svb,
+                       s.count, e2n_out.data() + e2n_idx[s.e_begin], origin);
+    const auto* sub = reinterpret_cast<const nw::offset_t*>(payload.data() + s.sub_off);
+    if (sub[0] != 0 || sub[n1] != s.count) {
+      fail("shard " + std::to_string(i) + " sub-index extents disagree with its incidence count");
+    }
+    for (std::uint64_t v = 0; v < n1; ++v) {
+      if (sub[v] > sub[v + 1]) {
+        fail("shard " + std::to_string(i) + " sub-index is not monotonically non-decreasing");
+      }
+    }
+    scratch.resize(static_cast<std::size_t>(s.count));
+    decode_shard_slice(payload.subspan(s.n2e_off, s.n2e_len), payload_file_off + s.n2e_off, svb,
+                       s.count, scratch.data(), origin);
+    for (std::uint64_t k = 0; k < s.count; ++k) {
+      if (scratch[k] < s.e_begin || scratch[k] >= s.e_end) {
+        fail("shard " + std::to_string(i) + " N2E slice holds edge ids outside its range");
+      }
+    }
+    // Scatter each node's slice behind what earlier shards contributed.
+    // Per-node totals are forced to the global degrees: every cursor is
+    // bounded by its row here, and the shard counts sum to m (directory
+    // check), so a shortfall in one row would surface as an overrun in
+    // another.
+    for (std::uint64_t v = 0; v < n1; ++v) {
+      const std::uint64_t len = sub[v + 1] - sub[v];
+      if (len == 0) continue;
+      if (cursor[v] + len > n2e_idx[v + 1] - n2e_idx[v]) {
+        fail("shard " + std::to_string(i) + " sub-index disagrees with the global N2E index");
+      }
+      std::memcpy(n2e_out.data() + n2e_idx[v] + cursor[v], scratch.data() + sub[v],
+                  static_cast<std::size_t>(len) * sizeof(nw::vertex_id_t));
+      cursor[v] += len;
+    }
+  }
+  check_csr_structure(e2n_idx, std::span<const nw::vertex_id_t>(e2n_out), n1, "E2N", origin);
+  check_csr_structure(n2e_idx, std::span<const nw::vertex_id_t>(n2e_out), n0, "N2E", origin);
+}
+
+/// A kind-13 section must be a permutation of [0, n0): anything else would
+/// let answer translation read out of bounds or silently alias rows.
+inline void validate_relabel_inv(std::span<const nw::vertex_id_t> inv, std::uint64_t n0,
+                                 const std::string& origin) {
+  std::vector<unsigned char> seen(static_cast<std::size_t>(n0), 0);
+  for (auto v : inv) {
+    if (v >= n0 || seen[v] != 0) {
+      throw io_error("NWHYCSR2 relabel section is not a permutation of the hyperedge ids",
+                     origin, 0, header_bytes);
+    }
+    seen[v] = 1;
+  }
+}
+
 /// Validate a compressed targets section (plus optional dictionary pair)
 /// against its raw index section and assemble the `compressed_adjacency`
 /// view.  On return every *structural* property is proven — index
@@ -510,6 +741,13 @@ struct csr_snapshot {
   std::optional<compressed_adjacency> edges_view;
   std::optional<compressed_adjacency> nodes_view;
 
+  /// Degree-relabel inverse permutation (kind 13): `relabel_inv[i]` is the
+  /// original external id of stored hyperedge row `i`.  Empty when the
+  /// snapshot was written in input order.  Validated to be a permutation of
+  /// [0, n0) at load; NWHypergraph's snapshot constructor installs it so
+  /// every query keeps answering in the caller's original id space.
+  std::vector<nw::vertex_id_t> relabel_inv;
+
   /// Owns the mmap'd file for zero-copy loads — or, for a streamed load of
   /// a compressed snapshot, the staged compressed buffers the views point
   /// into; null otherwise.
@@ -567,16 +805,157 @@ struct csr_snapshot {
 // Writer
 // --------------------------------------------------------------------------
 
-/// Serialize built CSRs as an NWHYCSR2 snapshot.  `canonical` asserts the
-/// CSRs came from a sort_and_unique'd edge list (what NWHypergraph
+/// Sharding parameters (docs/IO_FORMATS.md §4.7).  `shards` pins the shard
+/// count exactly (clamped to n0); when 0 the writer cuts a new shard
+/// whenever the accumulated raw slice bytes reach `target_bytes` (0 defers
+/// to the NWHY_SHARD_TARGET_BYTES environment knob, default 1 MiB).
+struct csr_shard_options {
+  std::uint32_t shards       = 0;
+  std::uint64_t target_bytes = 0;
+  bool          compress     = false;  ///< SVB-encode every shard target slice
+  std::uint32_t block_size   = 4096;
+};
+
+/// Aggregate writer options.  `compress` and `shard` are mutually
+/// exclusive ways of storing the target streams: when `shard` is set the
+/// target sections move into the shard payload (kinds 11/12) and
+/// `shard->compress` governs slice encoding; `compress` then only matters
+/// as a programming error guard.  `relabel_inv`, when non-empty, must be a
+/// permutation of [0, n0) mapping stored row -> original external id; it is
+/// embedded as a kind-13 section.
+struct csr_write_options {
+  const csr_compress_options*      compress = nullptr;
+  const csr_shard_options*         shard    = nullptr;
+  std::span<const nw::vertex_id_t> relabel_inv{};
+  const adjoin_graph*              adjoin    = nullptr;
+  bool                             canonical = true;
+};
+
+namespace csr_detail {
+
+/// Resolve the shard byte budget: explicit option, else environment knob.
+inline std::uint64_t shard_target_bytes(const csr_shard_options& opt) {
+  if (opt.target_bytes != 0) return opt.target_bytes;
+  return nw::util::env_u64_strict("NWHY_SHARD_TARGET_BYTES", std::uint64_t{1} << 20,
+                                  std::uint64_t{4} << 10, std::uint64_t{1} << 40);
+}
+
+/// Build the shard payload blob + directory for a canonical bi-adjacency
+/// pair.  Shard boundaries either balance incidences across an explicit
+/// shard count or greedily accumulate rows until the raw slice footprint
+/// (8 bytes per incidence: the E2N value and its N2E mirror) reaches the
+/// byte budget.  Each shard's N2E slice is derived by transposing its E2N
+/// slice, which for sorted rows reproduces exactly the global rows'
+/// in-range subsequences.
+struct shard_blob {
+  std::vector<shard_entry>   dir;
+  std::vector<nw::offset_t>  dir_words;  ///< serialized kind-11 payload
+  std::vector<unsigned char> payload;    ///< serialized kind-12 payload
+};
+
+inline shard_blob build_shard_blob(const biadjacency<0>& edges, const csr_shard_options& opt,
+                                   std::uint64_t n1) {
+  auto                e2n_idx = edges.csr().indices();
+  auto                e2n_tgt = edges.csr().targets();
+  const std::uint64_t n0      = edges.num_sources();
+  const std::uint64_t m       = e2n_tgt.size();
+
+  std::vector<std::uint64_t> cuts{0};
+  if (opt.shards > 0) {
+    const std::uint64_t k = std::min<std::uint64_t>(opt.shards, n0);
+    for (std::uint64_t i = 1; i < k; ++i) {
+      auto          it = std::lower_bound(e2n_idx.begin(), e2n_idx.end(), i * m / k);
+      std::uint64_t e  = static_cast<std::uint64_t>(it - e2n_idx.begin());
+      cuts.push_back(std::clamp<std::uint64_t>(e, cuts.back() + 1, n0 - (k - i)));
+    }
+    cuts.push_back(n0);
+  } else {
+    const std::uint64_t target = shard_target_bytes(opt);
+    std::uint64_t       e      = 0;
+    while (e < n0) {
+      std::uint64_t bytes = 0, end = e;
+      while (end < n0 && (end == e || bytes < target)) {
+        bytes += (e2n_idx[end + 1] - e2n_idx[end]) * 8;
+        ++end;
+      }
+      cuts.push_back(end);
+      e = end;
+    }
+  }
+
+  shard_blob blob;
+  auto       append_aligned = [&](const void* data, std::uint64_t len) {
+    const std::uint64_t off = align_up(blob.payload.size(), section_alignment);
+    blob.payload.resize(static_cast<std::size_t>(off + len), 0);
+    std::memcpy(blob.payload.data() + off, data, static_cast<std::size_t>(len));
+    return off;
+  };
+  std::vector<nw::offset_t>    sub(static_cast<std::size_t>(n1) + 1);
+  std::vector<nw::offset_t>    fill(static_cast<std::size_t>(n1));
+  std::vector<nw::vertex_id_t> n2e_slice;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const std::uint64_t eb = cuts[i], ee = cuts[i + 1];
+    shard_entry         s;
+    s.e_begin = eb;
+    s.e_end   = ee;
+    s.count   = e2n_idx[ee] - e2n_idx[eb];
+    s.flags   = opt.compress ? shard_flag_svb : 0;
+    auto slice = e2n_tgt.subspan(static_cast<std::size_t>(e2n_idx[eb]),
+                                 static_cast<std::size_t>(s.count));
+    // Transpose the slice: counting pass, prefix sum, stable scatter of the
+    // edge ids — per-node output is e-ascending, matching canonical rows.
+    std::fill(sub.begin(), sub.end(), 0);
+    for (auto v : slice) ++sub[static_cast<std::size_t>(v) + 1];
+    for (std::uint64_t v = 0; v < n1; ++v) sub[v + 1] += sub[v];
+    std::copy(sub.begin(), sub.end() - 1, fill.begin());
+    n2e_slice.resize(static_cast<std::size_t>(s.count));
+    for (std::uint64_t e = eb; e < ee; ++e) {
+      for (nw::offset_t k = e2n_idx[e]; k < e2n_idx[e + 1]; ++k) {
+        n2e_slice[fill[e2n_tgt[k]]++] = static_cast<nw::vertex_id_t>(e);
+      }
+    }
+    if (opt.compress) {
+      auto enc  = svb::encode(slice, opt.block_size);
+      s.e2n_off = append_aligned(enc.data(), enc.size());
+      s.e2n_len = enc.size();
+    } else {
+      s.e2n_off = append_aligned(slice.data(), s.count * sizeof(nw::vertex_id_t));
+      s.e2n_len = s.count * sizeof(nw::vertex_id_t);
+    }
+    s.sub_off = append_aligned(sub.data(), (n1 + 1) * sizeof(nw::offset_t));
+    s.sub_len = (n1 + 1) * sizeof(nw::offset_t);
+    if (opt.compress) {
+      auto enc  = svb::encode(std::span<const nw::vertex_id_t>(n2e_slice), opt.block_size);
+      s.n2e_off = append_aligned(enc.data(), enc.size());
+      s.n2e_len = enc.size();
+    } else {
+      s.n2e_off = append_aligned(n2e_slice.data(), s.count * sizeof(nw::vertex_id_t));
+      s.n2e_len = s.count * sizeof(nw::vertex_id_t);
+    }
+    blob.dir.push_back(s);
+  }
+  blob.dir_words.reserve(blob.dir.size() * shard_record_words);
+  for (const auto& s : blob.dir) {
+    const std::uint64_t w[shard_record_words] = {s.e_begin, s.e_end,   s.e2n_off, s.e2n_len,
+                                                 s.sub_off, s.sub_len, s.n2e_off, s.n2e_len,
+                                                 s.count,   s.flags};
+    blob.dir_words.insert(blob.dir_words.end(), w, w + shard_record_words);
+  }
+  NWOBS_COUNT("io.shard_count", 0, blob.dir.size());
+  return blob;
+}
+
+}  // namespace csr_detail
+
+/// Serialize built CSRs as an NWHYCSR2 snapshot.  `wopt.canonical` asserts
+/// the CSRs came from a sort_and_unique'd edge list (what NWHypergraph
 /// guarantees); loaders only adopt the structures wholesale when it is set.
 /// Every stream write is checked: a failure (ENOSPC, closed pipe, ...)
 /// throws io_error immediately instead of silently emitting a truncated
 /// snapshot.  `origin` labels the error.
 inline void write_csr_snapshot_impl(std::ostream& out, const biadjacency<0>& edges,
-                                    const biadjacency<1>& nodes, const adjoin_graph* adjoin,
-                                    bool canonical, const std::string& origin,
-                                    const csr_compress_options* opt) {
+                                    const biadjacency<1>& nodes, const std::string& origin,
+                                    const csr_write_options& wopt) {
   namespace d = csr_detail;
   NWOBS_SCOPE_TIMER("io.snapshot_write");
   NW_ASSERT(edges.num_edges() == nodes.num_edges(),
@@ -584,12 +963,22 @@ inline void write_csr_snapshot_impl(std::ostream& out, const biadjacency<0>& edg
   NW_ASSERT(edges.num_sources() == nodes.num_targets() &&
                 edges.num_targets() == nodes.num_sources(),
             "bi-adjacency pair disagrees on the partition cardinalities");
-  const std::uint64_t n0 = edges.num_sources();
-  const std::uint64_t n1 = nodes.num_sources();
-  const std::uint64_t m  = edges.num_edges();
+  const adjoin_graph*         adjoin    = wopt.adjoin;
+  const bool                  canonical = wopt.canonical;
+  const csr_compress_options* opt       = wopt.compress;
+  const std::uint64_t         n0        = edges.num_sources();
+  const std::uint64_t         n1        = nodes.num_sources();
+  const std::uint64_t         m         = edges.num_edges();
   if (adjoin != nullptr) {
     NW_ASSERT(adjoin->nrealedges == n0 && adjoin->nrealnodes == n1,
               "adjoin partition sizes disagree with the bi-adjacency pair");
+  }
+  const bool sharding = wopt.shard != nullptr && n0 > 0;
+  NW_ASSERT(!sharding || canonical,
+            "sharded snapshots require canonical CSRs (sorted neighbor rows)");
+  if (!wopt.relabel_inv.empty()) {
+    NW_ASSERT(wopt.relabel_inv.size() == n0,
+              "relabel_inv must map every stored hyperedge row");
   }
 
   struct raw_section {
@@ -603,6 +992,7 @@ inline void write_csr_snapshot_impl(std::ostream& out, const biadjacency<0>& edg
   // are pointer-stable across pushes, so raws may reference them directly.
   std::vector<std::vector<unsigned char>> encoded;
   std::optional<row_dictionary>           dict;
+  d::shard_blob                           blob;
 
   auto add_indices = [&](const nw::graph::adjacency<>& csr, std::uint32_t idx_kind) {
     auto idx = csr.indices();
@@ -617,35 +1007,50 @@ inline void write_csr_snapshot_impl(std::ostream& out, const biadjacency<0>& edg
     raws.push_back({svb_kind, 1, encoded.back().data(), encoded.back().size()});
   };
 
-  const bool compress = opt != nullptr && opt->compress_targets;
-  add_indices(edges.csr(), csr_sec_e2n_indices);
-  if (!compress) {
-    add_targets_raw(edges.csr(), csr_sec_e2n_targets);
+  const bool compress = !sharding && opt != nullptr && opt->compress_targets;
+  if (sharding) {
+    // Target streams live inside the shard payload; only the global index
+    // sections stay in their own (resident) sections.
+    blob = d::build_shard_blob(edges, *wopt.shard, n1);
+    add_indices(edges.csr(), csr_sec_e2n_indices);
+    add_indices(nodes.csr(), csr_sec_n2e_indices);
+    raws.push_back({csr_sec_shard_dir, 8, blob.dir_words.data(),
+                    blob.dir_words.size() * sizeof(nw::offset_t)});
+    raws.push_back({csr_sec_shard_payload, 1, blob.payload.data(), blob.payload.size()});
   } else {
-    if (opt->dedup_rows) {
-      dict = build_row_dictionary(edges.csr().indices(), edges.csr().targets());
-    }
-    if (dict) {
-      add_svb(dict->stored, csr_sec_e2n_targets_svb);
-      raws.push_back({csr_sec_e2n_dict_refs, 4, dict->refs.data(),
-                      dict->refs.size() * sizeof(nw::vertex_id_t)});
-      raws.push_back({csr_sec_e2n_dict_indices, 8, dict->dict_indices.data(),
-                      dict->dict_indices.size() * sizeof(nw::offset_t)});
+    add_indices(edges.csr(), csr_sec_e2n_indices);
+    if (!compress) {
+      add_targets_raw(edges.csr(), csr_sec_e2n_targets);
     } else {
-      add_svb(edges.csr().targets(), csr_sec_e2n_targets_svb);
+      if (opt->dedup_rows) {
+        dict = build_row_dictionary(edges.csr().indices(), edges.csr().targets());
+      }
+      if (dict) {
+        add_svb(dict->stored, csr_sec_e2n_targets_svb);
+        raws.push_back({csr_sec_e2n_dict_refs, 4, dict->refs.data(),
+                        dict->refs.size() * sizeof(nw::vertex_id_t)});
+        raws.push_back({csr_sec_e2n_dict_indices, 8, dict->dict_indices.data(),
+                        dict->dict_indices.size() * sizeof(nw::offset_t)});
+      } else {
+        add_svb(edges.csr().targets(), csr_sec_e2n_targets_svb);
+      }
     }
-  }
-  add_indices(nodes.csr(), csr_sec_n2e_indices);
-  if (!compress) {
-    add_targets_raw(nodes.csr(), csr_sec_n2e_targets);
-  } else {
-    add_svb(nodes.csr().targets(), csr_sec_n2e_targets_svb);
+    add_indices(nodes.csr(), csr_sec_n2e_indices);
+    if (!compress) {
+      add_targets_raw(nodes.csr(), csr_sec_n2e_targets);
+    } else {
+      add_svb(nodes.csr().targets(), csr_sec_n2e_targets_svb);
+    }
   }
   std::uint32_t flags = canonical ? csr_flag_canonical : 0;
   if (adjoin != nullptr) {
     flags |= csr_flag_has_adjoin;
     add_indices(adjoin->graph, csr_sec_adjoin_indices);
     add_targets_raw(adjoin->graph, csr_sec_adjoin_targets);
+  }
+  if (!wopt.relabel_inv.empty()) {
+    raws.push_back({csr_sec_relabel_inv, 4, wopt.relabel_inv.data(),
+                    wopt.relabel_inv.size() * sizeof(nw::vertex_id_t)});
   }
 
   // Lay out payloads at 64-byte-aligned offsets past header + table.
@@ -712,11 +1117,22 @@ inline void write_csr_snapshot_impl(std::ostream& out, const biadjacency<0>& edg
   NWOBS_COUNT("io.snapshot_bytes_written", 0, file_size);
 }
 
+/// Full-options ostream overload; the narrower overloads below forward
+/// here.
+inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes, const csr_write_options& wopt,
+                               const std::string& origin = {}) {
+  write_csr_snapshot_impl(out, edges, nodes, origin, wopt);
+}
+
 inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
                                const biadjacency<1>& nodes,
                                const adjoin_graph* adjoin = nullptr, bool canonical = true,
                                const std::string& origin = {}) {
-  write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, origin, nullptr);
+  csr_write_options wopt;
+  wopt.adjoin    = adjoin;
+  wopt.canonical = canonical;
+  write_csr_snapshot_impl(out, edges, nodes, origin, wopt);
 }
 
 /// Compressing overload: emit the bi-adjacency target sections in the
@@ -727,19 +1143,22 @@ inline void write_csr_snapshot(std::ostream& out, const biadjacency<0>& edges,
                                const biadjacency<1>& nodes, const csr_compress_options& opt,
                                const adjoin_graph* adjoin = nullptr, bool canonical = true,
                                const std::string& origin = {}) {
-  write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, origin, &opt);
+  csr_write_options wopt;
+  wopt.compress  = &opt;
+  wopt.adjoin    = adjoin;
+  wopt.canonical = canonical;
+  write_csr_snapshot_impl(out, edges, nodes, origin, wopt);
 }
 
-/// Path overload: on any write or flush failure, the partial output file is
-/// removed (regular files only) and io_error propagates, so a failed
-/// `nwhy_tool convert` never leaves a truncated .nwcsr on disk.
+/// Full-options path overload: on any write or flush failure, the partial
+/// output file is removed (regular files only) and io_error propagates, so
+/// a failed `nwhy_tool convert` never leaves a truncated .nwcsr on disk.
 inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& edges,
-                               const biadjacency<1>& nodes,
-                               const adjoin_graph* adjoin = nullptr, bool canonical = true) {
+                               const biadjacency<1>& nodes, const csr_write_options& wopt) {
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) throw io_error("cannot open snapshot output file", path);
   try {
-    write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, path, nullptr);
+    write_csr_snapshot_impl(out, edges, nodes, path, wopt);
     out.flush();
     if (!out.good()) throw io_error("flush failure while emitting NWHYCSR2 snapshot", path);
   } catch (...) {
@@ -747,23 +1166,26 @@ inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& ed
     io_detail::remove_partial_output(path);
     throw;
   }
+}
+
+inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& edges,
+                               const biadjacency<1>& nodes,
+                               const adjoin_graph* adjoin = nullptr, bool canonical = true) {
+  csr_write_options wopt;
+  wopt.adjoin    = adjoin;
+  wopt.canonical = canonical;
+  write_csr_snapshot(path, edges, nodes, wopt);
 }
 
 /// Compressing path overload (see the ostream overload above).
 inline void write_csr_snapshot(const std::string& path, const biadjacency<0>& edges,
                                const biadjacency<1>& nodes, const csr_compress_options& opt,
                                const adjoin_graph* adjoin = nullptr, bool canonical = true) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) throw io_error("cannot open snapshot output file", path);
-  try {
-    write_csr_snapshot_impl(out, edges, nodes, adjoin, canonical, path, &opt);
-    out.flush();
-    if (!out.good()) throw io_error("flush failure while emitting NWHYCSR2 snapshot", path);
-  } catch (...) {
-    out.close();
-    io_detail::remove_partial_output(path);
-    throw;
-  }
+  csr_write_options wopt;
+  wopt.compress  = &opt;
+  wopt.adjoin    = adjoin;
+  wopt.canonical = canonical;
+  write_csr_snapshot(path, edges, nodes, wopt);
 }
 
 // --------------------------------------------------------------------------
@@ -844,20 +1266,50 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
   snap.n0      = h.n0;
   snap.n1      = h.n1;
   snap.m       = h.m;
-  const bool e2n_raw = h.find(csr_sec_e2n_targets) != nullptr ||
-                       h.find(csr_sec_e2n_targets_svb) == nullptr;
-  const bool n2e_raw = h.find(csr_sec_n2e_targets) != nullptr ||
-                       h.find(csr_sec_n2e_targets_svb) == nullptr;
+  const auto* sdir = h.find(csr_sec_shard_dir);
+  const auto* spay = h.find(csr_sec_shard_payload);
+  if ((sdir == nullptr) != (spay == nullptr)) {
+    throw io_error(
+        "NWHYCSR2 shard sections must come as a directory + payload pair (one is missing)",
+        origin, 0, header_bytes);
+  }
+  const bool e2n_svb = h.find(csr_sec_e2n_targets_svb) != nullptr;
+  const bool n2e_svb = h.find(csr_sec_n2e_targets_svb) != nullptr;
+  // Per-side resolution order: raw targets win over compressed, both win
+  // over shard slices (mirrors the raw-over-compressed precedent); a side
+  // with no copy at all still fails with "missing required section kind".
+  const bool e2n_raw = h.find(csr_sec_e2n_targets) != nullptr || (!e2n_svb && sdir == nullptr);
+  const bool n2e_raw = h.find(csr_sec_n2e_targets) != nullptr || (!n2e_svb && sdir == nullptr);
   if (e2n_raw &&
       (h.find(csr_sec_e2n_dict_refs) != nullptr || h.find(csr_sec_e2n_dict_indices) != nullptr)) {
     throw io_error("NWHYCSR2 dictionary sections are only valid with compressed E2N targets",
                    origin, 0, header_bytes);
   }
+  std::vector<nw::vertex_id_t> shard_e2n, shard_n2e;
+  if (sdir != nullptr && ((!e2n_raw && !e2n_svb) || (!n2e_raw && !n2e_svb))) {
+    auto dwords = section_span(*sdir, nw::offset_t{});
+    auto ppay   = section_span(*spay, (unsigned char){});
+    auto dir    = parse_shard_directory(dwords, h.n0, h.n1, h.m, spay->length, origin);
+    const auto& si0 =
+        require_section(h, csr_sec_e2n_indices, (h.n0 + 1) * sizeof(nw::offset_t), origin);
+    const auto& si1 =
+        require_section(h, csr_sec_n2e_indices, (h.n1 + 1) * sizeof(nw::offset_t), origin);
+    reassemble_from_shards(dir, ppay, spay->offset, section_span(si0, nw::offset_t{}),
+                           section_span(si1, nw::offset_t{}), h.n0, h.n1, h.m, shard_e2n,
+                           shard_n2e, origin);
+  }
+  auto adopt_shard_side = [&](std::uint32_t idx_kind, std::vector<nw::vertex_id_t>&& tgt,
+                              std::uint64_t n) {
+    const auto& si = require_section(h, idx_kind, (n + 1) * sizeof(nw::offset_t), origin);
+    auto        sp = section_span(si, nw::offset_t{});
+    std::vector<nw::offset_t> idx(sp.begin(), sp.end());
+    return nw::graph::adjacency<>::from_csr_vectors(std::move(idx), std::move(tgt), n);
+  };
   if (e2n_raw) {
     snap.edges = biadjacency<0>::from_csr(
         load_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
         h.n1);
-  } else {
+  } else if (e2n_svb) {
     auto view =
         load_compressed(csr_sec_e2n_indices, csr_sec_e2n_targets_svb, true, h.n0, h.n1, "E2N");
     if (mode == snapshot_decode::materialize) {
@@ -865,12 +1317,15 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
     } else {
       snap.edges_view = std::move(view);
     }
+  } else {
+    snap.edges = biadjacency<0>::from_csr(
+        adopt_shard_side(csr_sec_e2n_indices, std::move(shard_e2n), h.n0), h.n0, h.n1);
   }
   if (n2e_raw) {
     snap.nodes = biadjacency<1>::from_csr(
         load_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
         h.n0);
-  } else {
+  } else if (n2e_svb) {
     auto view =
         load_compressed(csr_sec_n2e_indices, csr_sec_n2e_targets_svb, false, h.n1, h.n0, "N2E");
     if (mode == snapshot_decode::materialize) {
@@ -878,12 +1333,22 @@ inline csr_snapshot snapshot_from_image(const parsed_header& h, const unsigned c
     } else {
       snap.nodes_view = std::move(view);
     }
+  } else {
+    snap.nodes = biadjacency<1>::from_csr(
+        adopt_shard_side(csr_sec_n2e_indices, std::move(shard_n2e), h.n1), h.n1, h.n0);
   }
   if ((h.flags & csr_flag_has_adjoin) != 0) {
     snap.adjoin = adjoin_graph{
         load_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
                  h.n0 + h.n1, "adjoin"),
         static_cast<std::size_t>(h.n0), static_cast<std::size_t>(h.n1)};
+  }
+  if (h.find(csr_sec_relabel_inv) != nullptr) {
+    const auto& sre =
+        require_section(h, csr_sec_relabel_inv, h.n0 * sizeof(nw::vertex_id_t), origin);
+    auto inv = section_span(sre, nw::vertex_id_t{});
+    validate_relabel_inv(inv, h.n0, origin);
+    snap.relabel_inv.assign(inv.begin(), inv.end());
   }
   snap.storage = std::move(storage);
   return snap;
@@ -1151,20 +1616,45 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
   snap.n0      = h.n0;
   snap.n1      = h.n1;
   snap.m       = h.m;
-  const bool e2n_raw = h.find(csr_sec_e2n_targets) != nullptr ||
-                       h.find(csr_sec_e2n_targets_svb) == nullptr;
-  const bool n2e_raw = h.find(csr_sec_n2e_targets) != nullptr ||
-                       h.find(csr_sec_n2e_targets_svb) == nullptr;
+  const auto* sdir = h.find(csr_sec_shard_dir);
+  const auto* spay = h.find(csr_sec_shard_payload);
+  if ((sdir == nullptr) != (spay == nullptr)) {
+    throw io_error(
+        "NWHYCSR2 shard sections must come as a directory + payload pair (one is missing)",
+        origin, 0, d::header_bytes);
+  }
+  const bool e2n_svb = h.find(csr_sec_e2n_targets_svb) != nullptr;
+  const bool n2e_svb = h.find(csr_sec_n2e_targets_svb) != nullptr;
+  const bool e2n_raw = h.find(csr_sec_e2n_targets) != nullptr || (!e2n_svb && sdir == nullptr);
+  const bool n2e_raw = h.find(csr_sec_n2e_targets) != nullptr || (!n2e_svb && sdir == nullptr);
   if (e2n_raw &&
       (h.find(csr_sec_e2n_dict_refs) != nullptr || h.find(csr_sec_e2n_dict_indices) != nullptr)) {
     throw io_error("NWHYCSR2 dictionary sections are only valid with compressed E2N targets",
                    origin, 0, d::header_bytes);
   }
+  // Shard reassembly reads the staged stores through spans, so it must run
+  // before take_csr / take_compressed move any of them out.
+  std::vector<nw::vertex_id_t> shard_e2n, shard_n2e;
+  if (sdir != nullptr && ((!e2n_raw && !e2n_svb) || (!n2e_raw && !n2e_svb))) {
+    (void)d::require_section(h, csr_sec_e2n_indices, (h.n0 + 1) * sizeof(nw::offset_t), origin);
+    (void)d::require_section(h, csr_sec_n2e_indices, (h.n1 + 1) * sizeof(nw::offset_t), origin);
+    std::span<const nw::offset_t>  dwords, e2n_idx, n2e_idx;
+    std::span<const unsigned char> ppay;
+    for (std::size_t i = 0; i < h.sections.size(); ++i) {
+      if (h.sections[i].kind == csr_sec_shard_dir) dwords = idx_store[i];
+      if (h.sections[i].kind == csr_sec_shard_payload) ppay = byte_store[i];
+      if (h.sections[i].kind == csr_sec_e2n_indices) e2n_idx = idx_store[i];
+      if (h.sections[i].kind == csr_sec_n2e_indices) n2e_idx = idx_store[i];
+    }
+    auto dir = d::parse_shard_directory(dwords, h.n0, h.n1, h.m, spay->length, origin);
+    d::reassemble_from_shards(dir, ppay, spay->offset, e2n_idx, n2e_idx, h.n0, h.n1, h.m,
+                              shard_e2n, shard_n2e, origin);
+  }
   if (e2n_raw) {
     snap.edges = biadjacency<0>::from_csr(
         take_csr(csr_sec_e2n_indices, csr_sec_e2n_targets, h.n0, h.m, true, h.n1, "E2N"), h.n0,
         h.n1);
-  } else {
+  } else if (e2n_svb) {
     auto view =
         take_compressed(csr_sec_e2n_indices, csr_sec_e2n_targets_svb, true, h.n0, h.n1, "E2N");
     if (mode == snapshot_decode::materialize) {
@@ -1172,12 +1662,17 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
     } else {
       snap.edges_view = std::move(view);
     }
+  } else {
+    snap.edges = biadjacency<0>::from_csr(
+        nw::graph::adjacency<>::from_csr_vectors(take_staged_idx(csr_sec_e2n_indices),
+                                                 std::move(shard_e2n), h.n0),
+        h.n0, h.n1);
   }
   if (n2e_raw) {
     snap.nodes = biadjacency<1>::from_csr(
         take_csr(csr_sec_n2e_indices, csr_sec_n2e_targets, h.n1, h.m, true, h.n0, "N2E"), h.n1,
         h.n0);
-  } else {
+  } else if (n2e_svb) {
     auto view =
         take_compressed(csr_sec_n2e_indices, csr_sec_n2e_targets_svb, false, h.n1, h.n0, "N2E");
     if (mode == snapshot_decode::materialize) {
@@ -1185,6 +1680,11 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
     } else {
       snap.nodes_view = std::move(view);
     }
+  } else {
+    snap.nodes = biadjacency<1>::from_csr(
+        nw::graph::adjacency<>::from_csr_vectors(take_staged_idx(csr_sec_n2e_indices),
+                                                 std::move(shard_n2e), h.n1),
+        h.n1, h.n0);
   }
   if (snap.streaming()) snap.storage = held;
   if ((h.flags & csr_flag_has_adjoin) != 0) {
@@ -1192,6 +1692,13 @@ inline csr_snapshot read_csr_snapshot(std::istream& in, const std::string& origi
         take_csr(csr_sec_adjoin_indices, csr_sec_adjoin_targets, h.n0 + h.n1, 0, false,
                  h.n0 + h.n1, "adjoin"),
         static_cast<std::size_t>(h.n0), static_cast<std::size_t>(h.n1)};
+  }
+  if (h.find(csr_sec_relabel_inv) != nullptr) {
+    (void)d::require_section(h, csr_sec_relabel_inv, h.n0 * sizeof(nw::vertex_id_t), origin);
+    for (std::size_t i = 0; i < h.sections.size(); ++i) {
+      if (h.sections[i].kind == csr_sec_relabel_inv) snap.relabel_inv = std::move(tgt_store[i]);
+    }
+    d::validate_relabel_inv(snap.relabel_inv, h.n0, origin);
   }
   NWOBS_COUNT("io.snapshot_bytes_read", 0, h.file_size);
   return snap;

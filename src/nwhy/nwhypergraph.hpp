@@ -25,13 +25,24 @@
 // while a delta is pending; everything else recomputes.  Every mutation
 // bumps a version counter shared with derived structures (the C API checks
 // it to reject stale s-line-graph queries).
+//
+// A third, orthogonal layer is the degree-ordered *storage relabeling*
+// (relabel_by_degree / nwhy/relabel.hpp): the internal generation may hold
+// hyperedge rows in descending-degree order for locality while every public
+// query keeps speaking original ("external") ids — queries translate in
+// through `perm` and answers translate out through `inv` at the API
+// boundary.  Relabeling is content-preserving (no version bump) and folds
+// away automatically on the first mutation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nwhy/adjoin.hpp"
@@ -43,6 +54,7 @@
 #include "nwhy/biedgelist.hpp"
 #include "nwhy/delta.hpp"
 #include "nwhy/io/csr_snapshot.hpp"
+#include "nwhy/relabel.hpp"
 #include "nwgraph/relabel.hpp"
 #include "nwhy/ref/incidence.hpp"
 #include "nwhy/ref/serial_slinegraph.hpp"
@@ -116,9 +128,35 @@ public:
       gen->hypernodes   = std::move(snap.nodes);
       gen->io_keepalive = std::move(snap.storage);
       adopt_generation(std::move(gen));
-      if (snap.adjoin) adjoin_ = std::make_unique<adjoin_graph>(std::move(*snap.adjoin));
+      if (!snap.relabel_inv.empty()) {
+        // The snapshot's rows are in relabeled (internal) order; install the
+        // persisted maps so every query translates at the boundary.  An
+        // embedded adjoin would be internal-space while the facade caches
+        // external-space adjoins, so it is dropped and rebuilt lazily.
+        relabel_maps maps;
+        maps.inv = std::move(snap.relabel_inv);
+        maps.perm.resize(maps.inv.size());
+        for (std::size_t i = 0; i < maps.inv.size(); ++i) {
+          maps.perm[maps.inv[i]] = static_cast<vertex_id_t>(i);
+        }
+        relabel_ = std::move(maps);
+        refresh_relabel_degrees();
+      } else if (snap.adjoin) {
+        adjoin_ = std::make_unique<adjoin_graph>(std::move(*snap.adjoin));
+      }
     } else {
-      init(snap.to_biedgelist());
+      auto el = snap.to_biedgelist();
+      if (!snap.relabel_inv.empty()) {
+        // Non-canonical loads rebuild from scratch anyway — fold the
+        // relabeling away up front instead of carrying the maps.
+        std::vector<vertex_id_t> eids(el.edge_ids());
+        std::vector<vertex_id_t> nids(el.node_ids());
+        for (auto& e : eids) e = snap.relabel_inv[e];
+        biedgelist<> plain(std::move(eids), std::move(nids), el.num_vertices(0),
+                           el.num_vertices(1));
+        el = std::move(plain);
+      }
+      init(std::move(el));
     }
   }
 
@@ -127,11 +165,11 @@ public:
   /// later load skips that construction too.  Requires a compacted state
   /// (the snapshot serializes the base CSRs, which a pending delta would
   /// silently contradict).
+  /// When the hypergraph is relabeled, the file's rows are written in
+  /// internal (degree-ordered) order and a RELABEL_INV section is embedded
+  /// so a later load reinstalls the maps — round-trips are id-invisible.
   void save_csr_snapshot(const std::string& path, bool with_adjoin = false) const {
-    require_compacted("save_csr_snapshot");
-    write_csr_snapshot(path, gen_->hyperedges, gen_->hypernodes,
-                       with_adjoin ? &adjoin() : nullptr,
-                       /*canonical=*/true);
+    save_impl(path, nullptr, nullptr, with_adjoin);
   }
 
   /// Compressing overload: target sections are StreamVByte-encoded (and
@@ -139,10 +177,15 @@ public:
   /// docs/IO_FORMATS.md §4.
   void save_csr_snapshot(const std::string& path, const csr_compress_options& opt,
                          bool with_adjoin = false) const {
-    require_compacted("save_csr_snapshot");
-    write_csr_snapshot(path, gen_->hyperedges, gen_->hypernodes, opt,
-                       with_adjoin ? &adjoin() : nullptr,
-                       /*canonical=*/true);
+    save_impl(path, &opt, nullptr, with_adjoin);
+  }
+
+  /// Sharded overload: both CSRs sliced into contiguous hyperedge-range
+  /// shards with independently mappable payloads (docs/IO_FORMATS.md §4.7);
+  /// `shard.compress` selects SVB-coded shard slices.
+  void save_csr_snapshot(const std::string& path, const csr_shard_options& shard,
+                         bool with_adjoin = false) const {
+    save_impl(path, nullptr, &shard, with_adjoin);
   }
 
   // --- representation accessors -------------------------------------------
@@ -178,8 +221,9 @@ public:
   /// out-of-range or tombstoned edges.  Sorted ascending.
   [[nodiscard]] std::vector<vertex_id_t> edge_members(vertex_id_t e) const {
     if (const delta_row* row = delta_.find(e)) return row->members;
-    if (e < gen_->hyperedges.size()) {
-      auto                     nbrs = gen_->hyperedges[e];
+    const vertex_id_t se = storage_edge_id(e);
+    if (se < gen_->hyperedges.size()) {
+      auto                     nbrs = gen_->hyperedges[se];
       std::vector<vertex_id_t> out;
       for (auto&& t : nbrs) out.push_back(target(t));
       return out;
@@ -194,8 +238,11 @@ public:
     if (v < gen_->hypernodes.size()) {
       for (auto&& t : gen_->hypernodes[v]) {
         vertex_id_t e = target(t);
+        if (relabel_) e = relabel_->inv[e];
         if (delta_.find(e) == nullptr) out.push_back(e);
       }
+      // Internal-order rows come out in internal order; re-sort externally.
+      if (relabel_) std::sort(out.begin(), out.end());
     }
     auto overlay = delta_.node_overlay(v);
     if (!overlay.empty()) {
@@ -214,7 +261,8 @@ public:
     if (const delta_row* row = delta_.find(e)) {
       return std::binary_search(row->members.begin(), row->members.end(), v);
     }
-    return e < gen_->hyperedges.size() && gen_->hyperedges.contains(e, v);
+    const vertex_id_t se = storage_edge_id(e);
+    return se < gen_->hyperedges.size() && gen_->hyperedges.contains(se, v);
   }
 
   // --- mutation (the dynamic engine) --------------------------------------
@@ -310,13 +358,19 @@ public:
   /// incidence.
   [[nodiscard]] const adjoin_graph& adjoin() const {
     if (!adjoin_) {
-      std::size_t ne = 0, nv = 0;
-      auto        composed_el = delta_.empty() ? biedgelist<>() : composed_edge_list();
-      const auto& el          = delta_.empty() ? gen_->el : composed_el;
-      auto        flat        = make_adjoin_edge_list(el, ne, nv);
-      flat.sort_and_unique();
-      adjoin_ = std::make_unique<adjoin_graph>(
-          adjoin_graph{nw::graph::adjacency<>(flat, ne + nv), ne, nv});
+      // Cached adjoins always speak external ids (they survive a
+      // content-preserving relabel), so a relabeled generation feeds the
+      // externally-translated edge list.
+      biedgelist<>        local;
+      const biedgelist<>* src = &gen_->el;
+      if (!delta_.empty()) {
+        local = composed_edge_list();
+        src   = &local;
+      } else if (relabel_) {
+        local = external_edge_list();
+        src   = &local;
+      }
+      adjoin_ = build_adjoin(*src);
     }
     return *adjoin_;
   }
@@ -324,12 +378,19 @@ public:
   /// The dual hypergraph H*: hyperedges and hypernodes swap roles
   /// (transpose of the incidence matrix).  Composes base+delta.
   [[nodiscard]] NWHypergraph dual() const {
-    auto        composed_el = delta_.empty() ? biedgelist<>() : composed_edge_list();
-    const auto& src         = delta_.empty() ? gen_->el : composed_el;
+    biedgelist<>        local;
+    const biedgelist<>* src = &gen_->el;
+    if (!delta_.empty()) {
+      local = composed_edge_list();
+      src   = &local;
+    } else if (relabel_) {
+      local = external_edge_list();  // dual's node ids are our edge ids
+      src   = &local;
+    }
     biedgelist<> el(num_hypernodes(), num_hyperedges());
-    el.reserve(src.size());
-    for (std::size_t i = 0; i < src.size(); ++i) {
-      auto [e, v] = src[i];
+    el.reserve(src->size());
+    for (std::size_t i = 0; i < src->size(); ++i) {
+      auto [e, v] = (*src)[i];
       el.push_back(v, e);
     }
     return NWHypergraph(std::move(el));
@@ -353,10 +414,23 @@ public:
                          s);
     }
     if (edges) {
+      if (relabel_) {
+        // Count overlaps over the internal (degree-ordered) rows — that is
+        // the locality win — then translate pair endpoints back out.
+        auto pairs = to_two_graph_hashmap(gen_->hyperedges, gen_->hypernodes,
+                                          internal_edge_degrees_, s);
+        nw::graph::edge_list<> ext(num_hyperedges());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          ext.push_back(relabel_->inv[pairs.source(i)], relabel_->inv[pairs.destination(i)]);
+        }
+        return s_linegraph(std::move(ext), num_hyperedges(), edge_degrees_, s);
+      }
       return s_linegraph(
           to_two_graph_hashmap_csr(gen_->hyperedges, gen_->hypernodes, edge_degrees_, s),
           edge_degrees_, s);
     }
+    // Node-side clique graph: edge ids only act as the transpose dimension,
+    // so an edge relabeling cannot change the result.
     return s_linegraph(
         to_two_graph_hashmap_csr(gen_->hypernodes, gen_->hyperedges, node_degrees_, s),
         node_degrees_, s);
@@ -368,14 +442,41 @@ public:
   /// composed oracle (identical partition).
   [[nodiscard]] std::vector<vertex_id_t> s_connected_components_implicit(std::size_t s) const {
     if (!delta_.empty()) return ref::s_components(composed(), s);
-    return nw::hypergraph::s_connected_components_implicit(gen_->hyperedges, gen_->hypernodes,
-                                                           edge_degrees_, s);
+    if (!relabel_) {
+      return nw::hypergraph::s_connected_components_implicit(gen_->hyperedges, gen_->hypernodes,
+                                                             edge_degrees_, s);
+    }
+    auto r = nw::hypergraph::s_connected_components_implicit(
+        gen_->hyperedges, gen_->hypernodes, internal_edge_degrees_, s);
+    // Internal labels are each component's minimum *active internal* id;
+    // the unrelabeled convention is the minimum active external id.
+    const auto&              perm = relabel_->perm;
+    const std::size_t        ne   = perm.size();
+    std::vector<vertex_id_t> minext(ne, null_vertex<>);
+    for (std::size_t e = 0; e < ne; ++e) {
+      const vertex_id_t k = r[perm[e]];
+      if (k != null_vertex<> && static_cast<vertex_id_t>(e) < minext[k]) {
+        minext[k] = static_cast<vertex_id_t>(e);
+      }
+    }
+    std::vector<vertex_id_t> out(ne, null_vertex<>);
+    for (std::size_t e = 0; e < ne; ++e) {
+      const vertex_id_t k = r[perm[e]];
+      if (k != null_vertex<>) out[e] = minext[k];
+    }
+    return out;
   }
   [[nodiscard]] std::optional<std::size_t> s_distance_implicit(std::size_t s, vertex_id_t src,
                                                                vertex_id_t dst) const {
     if (!delta_.empty()) return ref::s_distance(composed(), s, src, dst);
+    if (!relabel_) {
+      return nw::hypergraph::s_distance_implicit(gen_->hyperedges, gen_->hypernodes,
+                                                 edge_degrees_, s, src, dst);
+    }
+    // Hop counts are label-invariant; only the endpoints translate in.
     return nw::hypergraph::s_distance_implicit(gen_->hyperedges, gen_->hypernodes,
-                                               edge_degrees_, s, src, dst);
+                                               internal_edge_degrees_, s,
+                                               storage_edge_id(src), storage_edge_id(dst));
   }
 
   /// Weighted 1-line edge list: every s-adjacent pair with its exact
@@ -384,6 +485,11 @@ public:
       std::size_t s = 1) const {
     if (!delta_.empty()) {
       return NWHypergraph(composed_edge_list()).weighted_linegraph_edges(s);
+    }
+    if (relabel_) {
+      // Rare path: rebuild an external-order copy so the emission order
+      // matches the unrelabeled run exactly.
+      return NWHypergraph(external_edge_list()).weighted_linegraph_edges(s);
     }
     return to_two_graph_weighted(gen_->hyperedges, gen_->hypernodes, edge_degrees_, s);
   }
@@ -395,13 +501,20 @@ public:
   [[nodiscard]] NWHypergraph relabel_edges_by_degree(
       nw::graph::degree_order order = nw::graph::degree_order::descending,
       std::vector<vertex_id_t>* perm_out = nullptr) const {
-    auto        perm        = nw::graph::degree_permutation(edge_degrees_, order);
-    auto        composed_el = delta_.empty() ? biedgelist<>() : composed_edge_list();
-    const auto& src         = delta_.empty() ? gen_->el : composed_el;
+    auto                perm = nw::graph::degree_permutation(edge_degrees_, order);
+    biedgelist<>        local;
+    const biedgelist<>* src = &gen_->el;
+    if (!delta_.empty()) {
+      local = composed_edge_list();
+      src   = &local;
+    } else if (relabel_) {
+      local = external_edge_list();  // perm is over external ids
+      src   = &local;
+    }
     biedgelist<> rel(num_hyperedges(), num_hypernodes());
-    rel.reserve(src.size());
-    for (std::size_t i = 0; i < src.size(); ++i) {
-      auto [e, v] = src[i];
+    rel.reserve(src->size());
+    for (std::size_t i = 0; i < src->size(); ++i) {
+      auto [e, v] = (*src)[i];
       rel.push_back(perm[e], v);
     }
     if (perm_out) *perm_out = std::move(perm);
@@ -422,7 +535,9 @@ public:
   /// the composed serial engine, distances bit-identical).
   [[nodiscard]] hyper_bfs_result bfs(vertex_id_t source_edge) const {
     if (!delta_.empty()) return composed_bfs(source_edge);
-    return hyper_bfs(gen_->hyperedges, gen_->hypernodes, source_edge);
+    if (!relabel_) return hyper_bfs(gen_->hyperedges, gen_->hypernodes, source_edge);
+    auto r = hyper_bfs(gen_->hyperedges, gen_->hypernodes, storage_edge_id(source_edge));
+    return derelabel_bfs(std::move(r), source_edge);
   }
 
   /// HyperCC over the bipartite representation (min-label convention; the
@@ -432,7 +547,8 @@ public:
       auto r = ref::cc_labels(composed());
       return hyper_cc_result{std::move(r.labels_edge), std::move(r.labels_node)};
     }
-    return hyper_cc(gen_->hyperedges, gen_->hypernodes);
+    if (!relabel_) return hyper_cc(gen_->hyperedges, gen_->hypernodes);
+    return derelabel_cc(hyper_cc(gen_->hyperedges, gen_->hypernodes));
   }
 
   /// AdjoinBFS / AdjoinCC through the adjoin representation (which itself
@@ -449,7 +565,57 @@ public:
   /// dominance test (same tie-breaks, identical output).
   [[nodiscard]] std::vector<vertex_id_t> toplexes() const {
     if (!delta_.empty()) return composed_toplexes();
-    return nw::hypergraph::toplexes(gen_->hyperedges, gen_->hypernodes);
+    auto internal = nw::hypergraph::toplexes(gen_->hyperedges, gen_->hypernodes);
+    if (!relabel_) return internal;
+    return derelabel_toplexes(internal);
+  }
+
+  // --- degree-ordered storage relabeling (ROADMAP item 2 locality pass) ----
+
+  /// Reorder the *internal* hyperedge storage by degree (descending by
+  /// default, stable tie-break on prior external id) so the hot rows of
+  /// both CSRs pack into the same pages.  Invisible to callers: every query
+  /// keeps speaking the original external ids via the inverse map.
+  /// Content-preserving (no version bump); requires a compacted state, and
+  /// the next mutation folds the relabeling away automatically.
+  void relabel_by_degree(nw::graph::degree_order order = nw::graph::degree_order::descending) {
+    require_compacted("relabel_by_degree");
+    auto& pool = par::thread_pool::default_pool();
+    auto  maps = degree_relabel_maps(edge_degrees_, order, pool);
+    std::vector<vertex_id_t> to_storage;
+    if (relabel_) {
+      // Compose: current storage id -> external id -> new storage id.
+      to_storage.resize(maps.perm.size());
+      for (std::size_t i = 0; i < to_storage.size(); ++i) {
+        to_storage[i] = maps.perm[relabel_->inv[i]];
+      }
+    } else {
+      to_storage = maps.perm;
+    }
+    rebuild_with_edge_map(to_storage, pool);
+    relabel_ = std::move(maps);
+    refresh_relabel_degrees();
+    // adjoin_ (external-space) stays valid; content and version unchanged.
+  }
+
+  /// Undo relabel_by_degree: rebuild the storage in external-id order.
+  void derelabel() {
+    if (!relabel_) return;
+    require_compacted("derelabel");
+    auto& pool = par::thread_pool::default_pool();
+    auto  inv  = std::move(relabel_->inv);
+    relabel_.reset();
+    internal_edge_degrees_.clear();
+    rebuild_with_edge_map(inv, pool);
+  }
+
+  [[nodiscard]] bool is_relabeled() const { return relabel_.has_value(); }
+
+  /// inv[storage_row] = external id — exactly the RELABEL_INV payload a
+  /// relabeled save embeds.  Empty when not relabeled.
+  [[nodiscard]] std::span<const vertex_id_t> relabel_inverse() const {
+    return relabel_ ? std::span<const vertex_id_t>(relabel_->inv)
+                    : std::span<const vertex_id_t>{};
   }
 
 private:
@@ -470,6 +636,177 @@ private:
     num_incidences_ = gen_->el.size();
   }
 
+  /// External query id -> internal storage row (identity when unrelabeled
+  /// or out of range — out-of-range ids keep their unrelabeled behavior).
+  [[nodiscard]] vertex_id_t storage_edge_id(vertex_id_t e) const {
+    return relabel_ && e < relabel_->perm.size() ? relabel_->perm[e] : e;
+  }
+
+  /// Recompute both degree views after adopting a relabeled generation:
+  /// internal for the CSR-order algorithms, external for the public API.
+  void refresh_relabel_degrees() {
+    internal_edge_degrees_ = gen_->hyperedges.degrees();
+    std::vector<std::size_t> ext(internal_edge_degrees_.size());
+    const auto&              inv = relabel_->inv;
+    for (std::size_t i = 0; i < ext.size(); ++i) ext[inv[i]] = internal_edge_degrees_[i];
+    edge_degrees_ = std::move(ext);
+  }
+
+  /// Rebuild the generation with every edge id mapped through `to_new`
+  /// (content-preserving: same incidences under a bijection of edge ids).
+  void rebuild_with_edge_map(const std::vector<vertex_id_t>& to_new, par::thread_pool& pool) {
+    std::vector<vertex_id_t> edge_ids(gen_->el.edge_ids());
+    std::vector<vertex_id_t> node_ids(gen_->el.node_ids());
+    par::parallel_for(
+        0, edge_ids.size(), [&](std::size_t i) { edge_ids[i] = to_new[edge_ids[i]]; },
+        par::blocked{}, pool);
+    biedgelist<> el(std::move(edge_ids), std::move(node_ids), num_hyperedges(),
+                    num_hypernodes());
+    el.sort_and_unique();
+    const std::uint64_t next_id = gen_->id + 1;
+    auto                gen     = std::make_shared<hypergraph_generation>();
+    gen->el         = std::move(el);
+    gen->hyperedges = biadjacency<0>(gen->el);
+    gen->hypernodes = biadjacency<1>(gen->el);
+    gen->id         = next_id;
+    adopt_generation(std::move(gen));
+  }
+
+  /// The edge list translated back to external ids (relabeled state only).
+  [[nodiscard]] biedgelist<> external_edge_list() const {
+    auto&                    pool = par::thread_pool::default_pool();
+    std::vector<vertex_id_t> edge_ids(gen_->el.edge_ids());
+    std::vector<vertex_id_t> node_ids(gen_->el.node_ids());
+    const auto&              inv = relabel_->inv;
+    par::parallel_for(
+        0, edge_ids.size(), [&](std::size_t i) { edge_ids[i] = inv[edge_ids[i]]; },
+        par::blocked{}, pool);
+    biedgelist<> el(std::move(edge_ids), std::move(node_ids), num_hyperedges(),
+                    num_hypernodes());
+    el.sort_and_unique();
+    return el;
+  }
+
+  static std::unique_ptr<adjoin_graph> build_adjoin(const biedgelist<>& el) {
+    std::size_t ne = 0, nv = 0;
+    auto        flat = make_adjoin_edge_list(el, ne, nv);
+    flat.sort_and_unique();
+    return std::make_unique<adjoin_graph>(
+        adjoin_graph{nw::graph::adjacency<>(flat, ne + nv), ne, nv});
+  }
+
+  void save_impl(const std::string& path, const csr_compress_options* compress,
+                 const csr_shard_options* shard, bool with_adjoin) const {
+    require_compacted("save_csr_snapshot");
+    csr_write_options wopt;
+    wopt.compress = compress;
+    wopt.shard    = shard;
+    if (relabel_) wopt.relabel_inv = std::span<const vertex_id_t>(relabel_->inv);
+    std::unique_ptr<adjoin_graph> internal_adjoin;
+    if (with_adjoin) {
+      if (relabel_) {
+        // The file's rows are internal-space, so its embedded adjoin must
+        // be too — the cached external adjoin() would not match.
+        internal_adjoin = build_adjoin(gen_->el);
+        wopt.adjoin     = internal_adjoin.get();
+      } else {
+        wopt.adjoin = &adjoin();
+      }
+    }
+    write_csr_snapshot(path, gen_->hyperedges, gen_->hypernodes, wopt);
+  }
+
+  /// Translate a BFS over the internal rows back to external edge ids.
+  [[nodiscard]] hyper_bfs_result derelabel_bfs(hyper_bfs_result r, vertex_id_t source) const {
+    const auto&      perm = relabel_->perm;
+    const auto&      inv  = relabel_->inv;
+    auto&            pool = par::thread_pool::default_pool();
+    hyper_bfs_result out;
+    out.dist_node = std::move(r.dist_node);  // node ids never move
+    out.parents_node.resize(r.parents_node.size());
+    out.dist_edge.resize(r.dist_edge.size());
+    out.parents_edge.resize(r.parents_edge.size());
+    par::parallel_for(
+        0, out.dist_edge.size(),
+        [&](std::size_t e) {
+          out.dist_edge[e]    = r.dist_edge[perm[e]];
+          out.parents_edge[e] = r.parents_edge[perm[e]];  // parent is a node id
+        },
+        par::blocked{}, pool);
+    par::parallel_for(
+        0, out.parents_node.size(),
+        [&](std::size_t v) {
+          const vertex_id_t p = r.parents_node[v];
+          out.parents_node[v] = p == null_vertex<> ? p : inv[p];
+        },
+        par::blocked{}, pool);
+    // The source-parents-itself convention stores an edge id in the edge
+    // slot; the gather above copied the internal id.
+    if (source < out.parents_edge.size() && out.parents_edge[source] != null_vertex<>) {
+      out.parents_edge[source] = source;
+    }
+    return out;
+  }
+
+  /// Translate CC labels: internal labels are each component's minimum
+  /// internal id; substitute the component's minimum external id.
+  [[nodiscard]] hyper_cc_result derelabel_cc(hyper_cc_result r) const {
+    const auto&              perm = relabel_->perm;
+    const std::size_t        ne   = perm.size();
+    std::vector<vertex_id_t> minext(ne, null_vertex<>);
+    for (std::size_t e = 0; e < ne; ++e) {
+      const vertex_id_t k = r.labels_edge[perm[e]];
+      if (static_cast<vertex_id_t>(e) < minext[k]) minext[k] = static_cast<vertex_id_t>(e);
+    }
+    hyper_cc_result out;
+    out.labels_edge.resize(ne);
+    for (std::size_t e = 0; e < ne; ++e) out.labels_edge[e] = minext[r.labels_edge[perm[e]]];
+    out.labels_node = std::move(r.labels_node);
+    for (auto& l : out.labels_node) {
+      if (l < ne) l = minext[l];  // >= ne: isolated-node label, id-stable
+    }
+    return out;
+  }
+
+  /// Translate toplexes: the set family is label-invariant, but the
+  /// representative among duplicate rows is the *minimum id* — and the
+  /// minimum-internal member of a duplicate group need not be the
+  /// minimum-external one.  Rebucket rows by content and re-pick.
+  [[nodiscard]] std::vector<vertex_id_t> derelabel_toplexes(
+      const std::vector<vertex_id_t>& internal) const {
+    const auto&       inv = relabel_->inv;
+    const auto&       he  = gen_->hyperedges;
+    const std::size_t ne  = he.size();
+    auto              row_hash = [&](vertex_id_t e) {
+      std::uint64_t h = 1469598103934665603ull;
+      for (auto&& ev : he[e]) {
+        h ^= static_cast<std::uint64_t>(target(ev)) + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return h;
+    };
+    auto same_row = [&](vertex_id_t a, vertex_id_t b) {
+      auto ra = he[a];
+      auto rb = he[b];
+      return std::equal(ra.begin(), ra.end(), rb.begin(), rb.end());
+    };
+    std::unordered_map<std::uint64_t, std::vector<vertex_id_t>> buckets;
+    for (std::size_t e = 0; e < ne; ++e) {
+      buckets[row_hash(static_cast<vertex_id_t>(e))].push_back(static_cast<vertex_id_t>(e));
+    }
+    std::vector<vertex_id_t> out;
+    out.reserve(internal.size());
+    for (vertex_id_t t : internal) {
+      vertex_id_t best = null_vertex<>;
+      for (vertex_id_t m : buckets[row_hash(t)]) {
+        if (same_row(t, m) && inv[m] < best) best = inv[m];
+      }
+      out.push_back(best);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   void require_compacted(const char* what) const {
     if (!delta_.empty()) {
       throw std::logic_error(std::string(what) +
@@ -482,6 +819,10 @@ private:
   /// Apply one overlay row: canonicalize, maintain the incremental degree
   /// state, record in the delta, invalidate every cached derived structure.
   void apply_row(vertex_id_t e, std::vector<vertex_id_t> members, bool tombstone) {
+    // The overlay speaks external ids against external-order storage; fold
+    // any relabeling away first (relabel_ implies an empty delta, so this
+    // cannot strand overlay rows).
+    if (relabel_) derelabel();
     std::sort(members.begin(), members.end());
     members.erase(std::unique(members.begin(), members.end()), members.end());
     auto old = edge_members(e);
@@ -646,6 +987,13 @@ private:
 
   std::shared_ptr<const hypergraph_generation> gen_;
   hyperedge_delta                              delta_;
+  /// Engaged while the storage is degree-relabeled: perm[external] =
+  /// storage row, inv[storage row] = external id.  Invariant: never engaged
+  /// together with a non-empty delta_.
+  std::optional<relabel_maps>                  relabel_;
+  /// Degrees in storage-row order while relabeled (empty otherwise);
+  /// edge_degrees_ always stays in external order.
+  std::vector<std::size_t>                     internal_edge_degrees_;
   std::vector<std::size_t>                     edge_degrees_;
   std::vector<std::size_t>                     node_degrees_;
   std::size_t                                  num_incidences_ = 0;

@@ -1,0 +1,136 @@
+// nwhy/relabel.hpp
+//
+// Degree-ordered relabeling for one partition of the bi-adjacency: the
+// locality pass behind `nwhy_tool convert --relabel=degree` and
+// `NWHypergraph::relabel_by_degree`.  High-degree hyperedges get the low
+// ids, so the hot rows of both CSRs (and of a sharded snapshot's first
+// shards) pack into the same pages — the access-pattern half of the
+// same heuristic family Liu et al. use to make the s-line-graph algorithms
+// tractable on skewed inputs.
+//
+// `degree_relabel_maps` is a parallel stable counting sort producing
+// bit-identical output to nw::graph::degree_permutation (stable_sort with
+// old-id tie-break): each thread histograms a contiguous ascending block of
+// old ids, a column-major (bucket, thread) prefix sum assigns each
+// (bucket, thread) pair its disjoint output range, and every thread
+// scatters its block in ascending old-id order — race-free and stable by
+// construction.  Answers are translated back through the inverse map, so
+// relabeling stays invisible to callers (verified by the differential
+// ladder).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "nwgraph/relabel.hpp"
+#include "nwpar/parallel_for.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph {
+
+/// Both directions of a relabeling: `perm[old_id] = new_id` (apply) and
+/// `inv[new_id] = old_id` (translate answers back / persist as kind 13).
+struct relabel_maps {
+  std::vector<nw::vertex_id_t> perm;
+  std::vector<nw::vertex_id_t> inv;
+
+  [[nodiscard]] std::size_t size() const { return perm.size(); }
+  [[nodiscard]] bool        empty() const { return perm.empty(); }
+};
+
+/// Build the degree-ordered permutation pair.  Deterministic for any thread
+/// count and bit-identical to `nw::graph::degree_permutation` +
+/// `inverse_permutation`; the counting-sort fast path only runs when the
+/// bucket table stays within a constant factor of the id space (a
+/// pathological max degree falls back to the comparison sort).
+inline relabel_maps degree_relabel_maps(const std::vector<std::size_t>& degrees,
+                                        nw::graph::degree_order order =
+                                            nw::graph::degree_order::descending,
+                                        par::thread_pool& pool = par::thread_pool::default_pool()) {
+  const std::size_t n = degrees.size();
+  relabel_maps      maps;
+  maps.perm.resize(n);
+  maps.inv.resize(n);
+  if (n == 0) return maps;
+
+  std::size_t max_degree = par::parallel_reduce(
+      std::size_t{0}, n, std::size_t{0},
+      [&](std::size_t acc, std::size_t i) { return std::max(acc, degrees[i]); },
+      [](std::size_t a, std::size_t b) { return std::max(a, b); }, pool);
+  const std::size_t buckets = max_degree + 1;
+  if (buckets > 4 * n + 1024) {
+    // Degenerate degree range: the histogram would dwarf the input.
+    maps.perm = nw::graph::degree_permutation(degrees, order);
+    maps.inv  = nw::graph::inverse_permutation(maps.perm);
+    return maps;
+  }
+  const bool descending = order == nw::graph::degree_order::descending;
+  auto       bucket_of  = [&](std::size_t i) {
+    return descending ? max_degree - degrees[i] : degrees[i];
+  };
+
+  // Phase 1: per-thread histograms over fixed contiguous blocks (the same
+  // blocks the scatter uses, so "thread t, ascending position" is a total
+  // order matching ascending old id within each bucket).
+  const unsigned    nthreads = pool.concurrency();
+  const std::size_t block    = (n + nthreads - 1) / nthreads;
+  std::vector<std::size_t> hist(std::size_t{nthreads} * buckets, 0);
+  pool.run([&](unsigned tid) {
+    const std::size_t begin = std::min<std::size_t>(std::size_t{tid} * block, n);
+    const std::size_t end   = std::min<std::size_t>(begin + block, n);
+    std::size_t*      mine  = hist.data() + std::size_t{tid} * buckets;
+    for (std::size_t i = begin; i < end; ++i) ++mine[bucket_of(i)];
+  });
+
+  // Phase 2: column-major prefix sum — bucket 0 of every thread precedes
+  // bucket 1 of any thread; within a bucket, lower thread ids (= lower old
+  // ids) come first.  Serial over nthreads * buckets counters.
+  std::size_t running = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (unsigned t = 0; t < nthreads; ++t) {
+      std::size_t& cell = hist[std::size_t{t} * buckets + b];
+      std::size_t  cnt  = cell;
+      cell              = running;
+      running += cnt;
+    }
+  }
+
+  // Phase 3: stable scatter — each thread walks its block in ascending old
+  // id and claims consecutive slots of its (bucket, thread) range.
+  pool.run([&](unsigned tid) {
+    const std::size_t begin = std::min<std::size_t>(std::size_t{tid} * block, n);
+    const std::size_t end   = std::min<std::size_t>(begin + block, n);
+    std::size_t*      mine  = hist.data() + std::size_t{tid} * buckets;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t slot = mine[bucket_of(i)]++;
+      maps.perm[i]           = static_cast<nw::vertex_id_t>(slot);
+      maps.inv[slot]         = static_cast<nw::vertex_id_t>(i);
+    }
+  });
+  return maps;
+}
+
+/// Translate a span of ids in place through a map (parallel).  Used for
+/// answer translation (`inv`) and query translation (`perm`) alike.
+inline void translate_ids(std::vector<nw::vertex_id_t>&       ids,
+                          const std::vector<nw::vertex_id_t>& map,
+                          par::thread_pool& pool = par::thread_pool::default_pool()) {
+  par::parallel_for(
+      0, ids.size(), [&](std::size_t i) { ids[i] = map[ids[i]]; }, par::blocked{}, pool);
+}
+
+/// Reorder a per-id vector from old-id indexing to new-id indexing:
+/// out[perm[i]] = in[i].  Parallel scatter; sizes must match.
+template <class T>
+std::vector<T> reindex_by_permutation(const std::vector<T>&               in,
+                                      const std::vector<nw::vertex_id_t>& perm,
+                                      par::thread_pool& pool = par::thread_pool::default_pool()) {
+  NW_ASSERT(in.size() == perm.size(), "reindex_by_permutation size mismatch");
+  std::vector<T> out(in.size());
+  par::parallel_for(
+      0, in.size(), [&](std::size_t i) { out[perm[i]] = in[i]; }, par::blocked{}, pool);
+  return out;
+}
+
+}  // namespace nw::hypergraph

@@ -185,3 +185,49 @@ TEST(CApi, CountOnlyQueriesAcceptNullOutputBuffers) {
   EXPECT_EQ(nwhy_slg_s_neighbors(lg.p, 0, nullptr), nwhy_slg_s_degree(lg.p, 0));
   EXPECT_EQ(nwhy_slg_s_path(lg.p, 0, 1, nullptr), 2u);  // e0 — e1 share v1
 }
+
+TEST(CApi, RelabelByDegreeIsInvisibleToQueries) {
+  // Skewed degrees so the relabel actually permutes: e0 tiny, e2 huge.
+  std::vector<uint32_t> edges{0, 1, 1, 2, 2, 2, 2};
+  std::vector<uint32_t> nodes{0, 0, 1, 0, 1, 2, 3};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  ASSERT_NE(hg.p, nullptr);
+  EXPECT_EQ(nwhy_is_relabeled(hg.p), 0);
+
+  std::vector<size_t> sizes_before(nwhy_num_hyperedges(hg.p));
+  nwhy_edge_sizes(hg.p, sizes_before.data());
+  size_t                toplex_count = nwhy_toplexes(hg.p, nullptr);
+  std::vector<uint32_t> toplexes_before(toplex_count);
+  nwhy_toplexes(hg.p, toplexes_before.data());
+
+  ASSERT_EQ(nwhy_relabel_by_degree(hg.p), 0);
+  EXPECT_EQ(nwhy_is_relabeled(hg.p), 1);
+
+  // Every query must still speak original external ids.
+  std::vector<size_t> sizes_after(nwhy_num_hyperedges(hg.p));
+  nwhy_edge_sizes(hg.p, sizes_after.data());
+  EXPECT_EQ(sizes_before, sizes_after);
+  std::vector<uint32_t> toplexes_after(nwhy_toplexes(hg.p, nullptr));
+  ASSERT_EQ(toplexes_after.size(), toplexes_before.size());
+  nwhy_toplexes(hg.p, toplexes_after.data());
+  EXPECT_EQ(toplexes_before, toplexes_after);
+  std::vector<uint32_t> members(sizes_after[2]);
+  ASSERT_EQ(nwhy_edge_members(hg.p, 2, members.data()), 4u);
+  EXPECT_EQ(members, (std::vector<uint32_t>{0, 1, 2, 3}));
+
+  // Mutation drops the relabel layer automatically...
+  ASSERT_EQ(nwhy_insert_edge(hg.p, 3, nodes.data(), 2), 0);
+  EXPECT_EQ(nwhy_is_relabeled(hg.p), 0);
+  // ...and a pending delta blocks a fresh relabel until compaction.
+  if (nwhy_delta_size(hg.p) > 0) {
+    EXPECT_EQ(nwhy_relabel_by_degree(hg.p), -1);
+  }
+  ASSERT_EQ(nwhy_compact(hg.p), 0);
+  EXPECT_EQ(nwhy_relabel_by_degree(hg.p), 0);
+  EXPECT_EQ(nwhy_is_relabeled(hg.p), 1);
+}
+
+TEST(CApi, RelabelNullHandleRejected) {
+  EXPECT_EQ(nwhy_relabel_by_degree(nullptr), -1);
+  EXPECT_EQ(nwhy_is_relabeled(nullptr), 0);
+}

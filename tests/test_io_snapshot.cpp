@@ -17,6 +17,8 @@
 #include <unistd.h>
 #endif
 #include <fstream>
+#include <numeric>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -854,4 +856,216 @@ TEST(CsrSnapshotCompressed, StreamModeToBiedgelistMatchesEdgeList) {
   for (std::size_t i = 0; i < el.size(); ++i) ASSERT_EQ(el[i], hg.edge_list()[i]);
   // The expansion is one-shot: the snapshot itself stays in stream mode.
   EXPECT_TRUE(snap.streaming());
+}
+
+// --------------------------------------------------------------------------
+// Crafted shard-directory inputs (kinds 11/12/13).  Every mutation below
+// keeps all checksums valid — exactly what a *crafted* file looks like —
+// so rejection must come from structural validation in both plain readers
+// and in the out-of-core sharded_snapshot, always as io_error, never UB.
+
+#include "nwhy/io/shard.hpp"
+
+namespace {
+
+/// Serialize `hg` as a sharded snapshot (optionally SVB slices, optionally
+/// with an embedded kind-13 inverse map) into a byte string.
+std::string sharded_bytes(const NWHypergraph& hg, std::uint32_t shards, bool compress = false,
+                          std::span<const vertex_id_t> relabel_inv = {}) {
+  csr_shard_options so;
+  so.shards   = shards;
+  so.compress = compress;
+  csr_write_options wopt;
+  wopt.shard       = &so;
+  wopt.relabel_inv = relabel_inv;
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_snapshot(ss, hg.hyperedges(), hg.hypernodes(), wopt);
+  return ss.str();
+}
+
+std::uint64_t peek_dir_word(const std::string& bytes, std::size_t shard, std::size_t word) {
+  namespace d = csr_detail;
+  const auto  sec = section_index_by_kind(bytes, csr_sec_shard_dir);
+  const auto* p   = reinterpret_cast<const unsigned char*>(bytes.data());
+  return d::get_u64(p + section_offset(bytes, sec) +
+                    (shard * d::shard_record_words + word) * 8);
+}
+
+/// Overwrite one u64 of shard record `shard` and re-validate all checksums.
+void poke_dir_word(std::string& bytes, std::size_t shard, std::size_t word,
+                   std::uint64_t value) {
+  namespace d  = csr_detail;
+  const auto sec = section_index_by_kind(bytes, csr_sec_shard_dir);
+  auto*      p   = reinterpret_cast<unsigned char*>(bytes.data());
+  d::put_u64(p + section_offset(bytes, sec) + (shard * d::shard_record_words + word) * 8, value);
+  refresh_section_checksum(bytes, sec);
+}
+
+/// Shrink section `sec`'s table length field and refresh its checksum over
+/// the shortened payload (header checksum included).
+void shrink_section_length(std::string& bytes, std::size_t sec, std::uint64_t new_len) {
+  namespace d = csr_detail;
+  auto* p     = reinterpret_cast<unsigned char*>(bytes.data());
+  d::put_u64(p + d::header_bytes + sec * d::table_entry_bytes + 16, new_len);
+  refresh_section_checksum(bytes, sec);
+}
+
+/// The out-of-core reader must reject too: either at open or at the first
+/// load_shard sweep.
+void expect_sharded_reader_rejects(const std::string& bytes) {
+  scratch_file bad("shcraft");
+  dump(bad.path, bytes);
+  EXPECT_THROW(
+      {
+        sharded_snapshot snap(bad.path);
+        for (std::size_t k = 0; k < snap.num_shards(); ++k) (void)snap.load_shard(k);
+      },
+      io_error);
+}
+
+NWHypergraph sharded_fixture() { return NWHypergraph(gen::arbitrary_hypergraph(0x5AA0)); }
+
+}  // namespace
+
+TEST(CsrSnapshotSharded, RejectsOverlappingShardRanges) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  poke_dir_word(bytes, 0, 1, peek_dir_word(bytes, 0, 1) + 1);  // e_end into shard 1
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsGappedOrOutOfOrderShardRanges) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  poke_dir_word(bytes, 1, 0, peek_dir_word(bytes, 1, 0) + 1);  // gap after shard 0
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsMisalignedSlicePayload) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  poke_dir_word(bytes, 1, 2, peek_dir_word(bytes, 1, 2) + 8);  // e2n_off off 64-alignment
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsDirectoryLengthNotARecordMultiple) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  const auto sec = section_index_by_kind(bytes, csr_sec_shard_dir);
+  namespace d = csr_detail;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const auto  len = d::get_u64(p + d::header_bytes + sec * d::table_entry_bytes + 16);
+  shrink_section_length(bytes, sec, len - 8);
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsIncidenceCountLie) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  poke_dir_word(bytes, 0, 8, peek_dir_word(bytes, 0, 8) + 1);  // counts no longer sum to m
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsSubIndexLengthLie) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  poke_dir_word(bytes, 0, 5, peek_dir_word(bytes, 0, 5) - 8);  // sub_len != (n1+1)*8
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsTruncatedShardPayload) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  const auto sec = section_index_by_kind(bytes, csr_sec_shard_payload);
+  namespace d = csr_detail;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const auto  len = d::get_u64(p + d::header_bytes + sec * d::table_entry_bytes + 16);
+  ASSERT_GT(len, 64u);
+  shrink_section_length(bytes, sec, len - 64);
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsUnknownShardFlags) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  poke_dir_word(bytes, 0, 9, 4);  // only bit 0 (SVB) is defined
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsOutOfRangeSliceTargets) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);  // raw slices: targets are plain u32
+  namespace d = csr_detail;
+  const auto sec         = section_index_by_kind(bytes, csr_sec_shard_payload);
+  const auto payload_off = section_offset(bytes, sec);
+  const auto e2n_off     = peek_dir_word(bytes, 0, 2);
+  auto*      p           = reinterpret_cast<unsigned char*>(bytes.data());
+  d::put_u32(p + payload_off + e2n_off, 0xFFFFFFF0u);  // >= n1
+  refresh_section_checksum(bytes, sec);
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsDirectoryWithoutPayload) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3);
+  namespace d = csr_detail;
+  const auto sec = section_index_by_kind(bytes, csr_sec_shard_payload);
+  auto*      p   = reinterpret_cast<unsigned char*>(bytes.data());
+  d::put_u32(p + d::header_bytes + sec * d::table_entry_bytes, 99);  // now an unknown kind
+  d::put_u32(p + d::header_bytes + sec * d::table_entry_bytes + 4, 0);
+  refresh_header_checksum(bytes);
+  expect_both_readers_reject(bytes, "pair");
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsRelabelInvNonPermutation) {
+  auto hg = sharded_fixture();
+  std::vector<vertex_id_t> identity(hg.num_hyperedges());
+  std::iota(identity.begin(), identity.end(), 0);
+  auto bytes = sharded_bytes(hg, 3, false, identity);
+  namespace d = csr_detail;
+  const auto sec = section_index_by_kind(bytes, csr_sec_relabel_inv);
+  ASSERT_NE(sec, std::string::npos);
+  auto* p = reinterpret_cast<unsigned char*>(bytes.data());
+  // Duplicate entry 0 into slot 1: still in range, no longer a bijection.
+  d::put_u32(p + section_offset(bytes, sec) + 4, 0);
+  refresh_section_checksum(bytes, sec);
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, RejectsRelabelInvOutOfRangeEntry) {
+  auto hg = sharded_fixture();
+  std::vector<vertex_id_t> identity(hg.num_hyperedges());
+  std::iota(identity.begin(), identity.end(), 0);
+  auto bytes = sharded_bytes(hg, 3, false, identity);
+  namespace d = csr_detail;
+  const auto sec = section_index_by_kind(bytes, csr_sec_relabel_inv);
+  auto*      p   = reinterpret_cast<unsigned char*>(bytes.data());
+  d::put_u32(p + section_offset(bytes, sec), static_cast<std::uint32_t>(hg.num_hyperedges()));
+  refresh_section_checksum(bytes, sec);
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
+}
+
+TEST(CsrSnapshotSharded, SvbSlicesRejectTruncationToo) {
+  auto hg    = sharded_fixture();
+  auto bytes = sharded_bytes(hg, 3, /*compress=*/true);
+  const auto sec = section_index_by_kind(bytes, csr_sec_shard_payload);
+  namespace d = csr_detail;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const auto  len = d::get_u64(p + d::header_bytes + sec * d::table_entry_bytes + 16);
+  ASSERT_GT(len, 128u);
+  shrink_section_length(bytes, sec, len - 128);
+  expect_both_readers_reject(bytes, nullptr);
+  expect_sharded_reader_rejects(bytes);
 }

@@ -1,0 +1,237 @@
+// tests/test_relabel.cpp — degree-ordered relabeling: the parallel
+// permutation builder against its serial oracle, and facade invisibility —
+// every query on a relabeled NWHypergraph must answer exactly as the
+// unrelabeled twin, across the differential seed stream and the
+// {1, 2, 4, hw} thread sweep (nothing may depend on scheduling).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "nwhy/gen/generators.hpp"
+#include "nwhy/nwhypergraph.hpp"
+#include "nwhy/relabel.hpp"
+#include "prop_harness.hpp"
+
+using namespace nw::hypergraph;
+using nw::vertex_id_t;
+
+namespace {
+
+struct scratch_file {
+  std::string path;
+  explicit scratch_file(const std::string& tag) {
+    static int counter = 0;
+    path = (std::filesystem::temp_directory_path() /
+            ("nwhy_relabel_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++) + ".nwcsr"))
+               .string();
+  }
+  ~scratch_file() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+/// Assert that every structural and algorithmic query answers identically
+/// on `plain` and `twin` — the invisibility contract of relabeling.
+void expect_query_equivalence(const NWHypergraph& plain, const NWHypergraph& twin) {
+  ASSERT_EQ(plain.num_hyperedges(), twin.num_hyperedges());
+  ASSERT_EQ(plain.num_hypernodes(), twin.num_hypernodes());
+  ASSERT_EQ(plain.num_incidences(), twin.num_incidences());
+  ASSERT_EQ(plain.edge_sizes(), twin.edge_sizes());
+  ASSERT_EQ(plain.node_degrees(), twin.node_degrees());
+
+  const auto ne = static_cast<vertex_id_t>(plain.num_hyperedges());
+  const auto nn = static_cast<vertex_id_t>(plain.num_hypernodes());
+  for (vertex_id_t e = 0; e < ne; ++e) {
+    ASSERT_EQ(plain.edge_members(e), twin.edge_members(e)) << "edge " << e;
+  }
+  for (vertex_id_t v = 0; v < nn; ++v) {
+    ASSERT_EQ(plain.incident_edges(v), twin.incident_edges(v)) << "node " << v;
+  }
+
+  // HyperCC labels are canonical (per-component min hyperedge id) and
+  // toplexes emit ascending ids: both must be bit-identical.
+  auto cc_a = plain.connected_components();
+  auto cc_b = twin.connected_components();
+  ASSERT_EQ(cc_a.labels_edge, cc_b.labels_edge);
+  ASSERT_EQ(cc_a.labels_node, cc_b.labels_node);
+  ASSERT_EQ(plain.toplexes(), twin.toplexes());
+
+  // BFS distances are level-synchronous, hence label-invariant; parents are
+  // schedule-dependent, so check the structural contract instead.
+  for (vertex_id_t src : {vertex_id_t{0}, static_cast<vertex_id_t>(ne / 2)}) {
+    if (src >= ne) continue;
+    auto a = plain.bfs(src);
+    auto b = twin.bfs(src);
+    ASSERT_EQ(a.dist_edge, b.dist_edge) << "src " << src;
+    ASSERT_EQ(a.dist_node, b.dist_node) << "src " << src;
+    if (ne != 0) {
+      ASSERT_EQ(b.parents_edge[src], src);
+    }
+    for (vertex_id_t v = 0; v < nn; ++v) {
+      if (b.dist_node[v] == nw::null_vertex<>) {
+        ASSERT_EQ(b.parents_node[v], nw::null_vertex<>);
+        continue;
+      }
+      vertex_id_t pe = b.parents_node[v];
+      ASSERT_LT(pe, ne) << "node parent out of range";
+      ASSERT_EQ(b.dist_edge[pe] + 1, b.dist_node[v]) << "parent not one level up";
+      auto members = twin.edge_members(pe);
+      ASSERT_TRUE(std::find(members.begin(), members.end(), v) != members.end())
+          << "parent edge does not contain the node";
+    }
+  }
+
+  // s-line graph family: edge sets as canonical pair sets, implicit
+  // component labels and distances bit-identical.
+  for (std::size_t s : {std::size_t{1}, std::size_t{2}}) {
+    auto lg_a = plain.make_s_linegraph(s);
+    auto lg_b = twin.make_s_linegraph(s);
+    ASSERT_EQ(lg_a.num_vertices(), lg_b.num_vertices()) << "s=" << s;
+    ASSERT_EQ(nwtest::csr_pairs(lg_a.graph()), nwtest::csr_pairs(lg_b.graph())) << "s=" << s;
+    ASSERT_EQ(plain.s_connected_components_implicit(s),
+              twin.s_connected_components_implicit(s))
+        << "s=" << s;
+    if (ne >= 2) {
+      ASSERT_EQ(plain.s_distance_implicit(s, 0, ne - 1),
+                twin.s_distance_implicit(s, 0, ne - 1))
+          << "s=" << s;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Relabel, PermutationMatchesSerialOracleAcrossSeedsAndThreads) {
+  nwtest::concurrency_guard guard;
+  for (auto seed : nwtest::differential_seeds(0x8E1A)) {
+    NWHY_SEED_TRACE(seed);
+    NWHypergraph hg(gen::arbitrary_hypergraph(seed));
+    const auto&  degrees = hg.edge_sizes();
+    for (auto order : {nw::graph::degree_order::descending, nw::graph::degree_order::ascending}) {
+      auto oracle_perm = nw::graph::degree_permutation(degrees, order);
+      auto oracle_inv  = nw::graph::inverse_permutation(oracle_perm);
+      for (unsigned threads : nwtest::differential_thread_counts()) {
+        nw::par::thread_pool::set_default_concurrency(threads);
+        auto maps = degree_relabel_maps(degrees, order);
+        ASSERT_EQ(maps.perm, oracle_perm) << "threads=" << threads;
+        ASSERT_EQ(maps.inv, oracle_inv) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Relabel, DegenerateDegreeRangeFallsBackToComparisonSort) {
+  // One pathological degree makes the counting-sort bucket table dwarf the
+  // id space; the fallback must stay bit-identical to the oracle.
+  std::vector<std::size_t> degrees{3, 1'000'000'000, 3, 7, 0, 7};
+  auto maps   = degree_relabel_maps(degrees);
+  auto oracle = nw::graph::degree_permutation(degrees, nw::graph::degree_order::descending);
+  ASSERT_EQ(maps.perm, oracle);
+  ASSERT_EQ(maps.inv, nw::graph::inverse_permutation(oracle));
+}
+
+TEST(Relabel, TranslateAndReindexRoundTrip) {
+  std::vector<std::size_t> degrees{2, 5, 1, 5, 0, 3};
+  auto                     maps = degree_relabel_maps(degrees);
+  std::vector<vertex_id_t> ids(degrees.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  translate_ids(ids, maps.perm);
+  translate_ids(ids, maps.inv);
+  for (std::size_t i = 0; i < ids.size(); ++i) ASSERT_EQ(ids[i], static_cast<vertex_id_t>(i));
+  auto re = reindex_by_permutation(degrees, maps.perm);
+  for (std::size_t i = 0; i < degrees.size(); ++i) ASSERT_EQ(re[maps.perm[i]], degrees[i]);
+  // Descending by construction.
+  for (std::size_t i = 1; i < re.size(); ++i) ASSERT_GE(re[i - 1], re[i]);
+}
+
+TEST(Relabel, FacadeInvisibilityAcrossSeedsAndThreads) {
+  nwtest::concurrency_guard guard;
+  for (auto seed : nwtest::differential_seeds(0x8E40)) {
+    NWHY_SEED_TRACE(seed);
+    auto el = gen::arbitrary_hypergraph(seed);
+    for (unsigned threads : nwtest::differential_thread_counts()) {
+      nw::par::thread_pool::set_default_concurrency(threads);
+      NWHypergraph plain(el);
+      NWHypergraph twin(el);
+      twin.relabel_by_degree();
+      ASSERT_TRUE(twin.is_relabeled());
+      ASSERT_FALSE(plain.is_relabeled());
+      expect_query_equivalence(plain, twin);
+    }
+  }
+}
+
+TEST(Relabel, SnapshotRoundTripKeepsRelabelAndAnswers) {
+  for (auto seed : nwtest::differential_seeds(0x8E80)) {
+    NWHY_SEED_TRACE(seed);
+    auto         el = gen::arbitrary_hypergraph(seed);
+    NWHypergraph plain(el);
+    NWHypergraph twin(el);
+    twin.relabel_by_degree();
+    scratch_file f("roundtrip");
+    twin.save_csr_snapshot(f.path);
+    NWHypergraph loaded(load_csr_snapshot(f.path));
+    ASSERT_TRUE(loaded.is_relabeled()) << "kind-13 inverse map not adopted";
+    expect_query_equivalence(plain, loaded);
+  }
+}
+
+TEST(Relabel, DerelabelRestoresOriginalStorage) {
+  auto         el = gen::arbitrary_hypergraph(0x8EB0);
+  NWHypergraph plain(el);
+  NWHypergraph twin(el);
+  twin.relabel_by_degree();
+  twin.derelabel();
+  ASSERT_FALSE(twin.is_relabeled());
+  expect_query_equivalence(plain, twin);
+  // The underlying CSRs must be bit-identical again, not just query-equal.
+  auto pi = plain.hyperedges().csr().indices();
+  auto ti = twin.hyperedges().csr().indices();
+  ASSERT_TRUE(std::equal(pi.begin(), pi.end(), ti.begin(), ti.end()));
+  auto pt = plain.hyperedges().csr().targets();
+  auto tt = twin.hyperedges().csr().targets();
+  ASSERT_TRUE(std::equal(pt.begin(), pt.end(), tt.begin(), tt.end()));
+}
+
+TEST(Relabel, RepeatedRelabelComposesAndStaysInvisible) {
+  auto         el = gen::arbitrary_hypergraph(0x8EC0);
+  NWHypergraph plain(el);
+  NWHypergraph twin(el);
+  twin.relabel_by_degree();
+  twin.relabel_by_degree(nw::graph::degree_order::ascending);
+  ASSERT_TRUE(twin.is_relabeled());
+  expect_query_equivalence(plain, twin);
+}
+
+TEST(Relabel, MutationAutoDerelabels) {
+  auto         el = gen::arbitrary_hypergraph(0x8ED0);
+  NWHypergraph plain(el);
+  NWHypergraph twin(el);
+  twin.relabel_by_degree();
+  std::vector<vertex_id_t> members{0, 1, 2};
+  plain.update_edge(0, members);
+  twin.update_edge(0, members);
+  ASSERT_FALSE(twin.is_relabeled()) << "mutation must drop the relabel layer";
+  ASSERT_EQ(plain.edge_members(0), twin.edge_members(0));
+  plain.compact();
+  twin.compact();
+  expect_query_equivalence(plain, twin);
+}
+
+TEST(Relabel, RequiresCompactedState) {
+  NWHypergraph hg(gen::arbitrary_hypergraph(0x8EE0));
+  hg.update_edge(0, {0, 1});
+  EXPECT_THROW(hg.relabel_by_degree(), std::logic_error);
+  hg.compact();
+  EXPECT_NO_THROW(hg.relabel_by_degree());
+}

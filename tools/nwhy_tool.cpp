@@ -9,6 +9,9 @@
 //   nwhy_tool stats      <file>                 Table-I style characteristics
 //   nwhy_tool components <file>                 exact CC (both engines, timed)
 //   nwhy_tool bfs        <file> <edge-id>       exact BFS depths summary
+//                                               (--sharded runs the
+//                                               out-of-core engine over a
+//                                               sharded .nwcsr snapshot)
 //   nwhy_tool slinegraph <file> <s> [out.mtx]   build L_s(H); optional export
 //   nwhy_tool slcompare  <file> <s>             time all construction algorithms
 //   nwhy_tool smetrics   <file> <s>             connectivity/centrality summary
@@ -16,7 +19,13 @@
 //   nwhy_tool collapse   <file>                 duplicate-hyperedge collapse
 //   nwhy_tool convert    <in> <out> [--adjoin]  format conversion (.bin, .mtx,
 //                                               .nwcsr; --adjoin embeds the
-//                                               adjoin CSR in .nwcsr output)
+//                                               adjoin CSR in .nwcsr output;
+//                                               --relabel[=degree] reorders
+//                                               hyperedge storage by degree
+//                                               and embeds the inverse map;
+//                                               --shards[=N] slices the CSRs
+//                                               into hyperedge-range shards
+//                                               for out-of-core traversal)
 //   nwhy_tool inspect    <file>                 validate + report: snapshot
 //                                               header/section layout and CSR
 //                                               cross-consistency for .nwcsr,
@@ -38,7 +47,9 @@
 //
 // Thread count: NWHY_NUM_THREADS (default: hardware concurrency).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -108,16 +119,8 @@ int cmd_components(const std::string& path) {
   return 0;
 }
 
-int cmd_bfs(const std::string& path, vertex_id_t source) {
-  NWHypergraph hg = load_hypergraph(path);
-  if (source >= hg.num_hyperedges()) {
-    std::fprintf(stderr, "error: source %u out of range (%zu hyperedges)\n", source,
-                 hg.num_hyperedges());
-    return 1;
-  }
-  nw::timer t;
-  auto      r  = hg.bfs(source);
-  double    ms = t.elapsed_ms();
+void print_bfs_summary(const hyper_bfs_result& r, vertex_id_t source, double ms,
+                       std::size_t ne, std::size_t nn) {
   std::size_t reached_e = 0, reached_n = 0;
   vertex_id_t max_depth = 0;
   for (auto d : r.dist_edge) {
@@ -128,8 +131,67 @@ int cmd_bfs(const std::string& path, vertex_id_t source) {
   }
   for (auto d : r.dist_node) reached_n += d != nw::null_vertex<>;
   std::printf("BFS from e%u: %.2f ms\n", source, ms);
-  std::printf("reached %zu/%zu hyperedges, %zu/%zu hypernodes, max depth %u\n", reached_e,
-              hg.num_hyperedges(), reached_n, hg.num_hypernodes(), max_depth);
+  std::printf("reached %zu/%zu hyperedges, %zu/%zu hypernodes, max depth %u\n", reached_e, ne,
+              reached_n, nn, max_depth);
+}
+
+/// Out-of-core BFS: shard-at-a-time traversal over a sharded .nwcsr
+/// snapshot, answers translated back through the embedded relabel inverse
+/// map (when present) so the summary matches the in-memory engine exactly.
+int cmd_bfs_sharded(const std::string& path, vertex_id_t source) {
+  sharded_snapshot snap(path);
+  const auto ne = static_cast<std::size_t>(snap.num_hyperedges());
+  const auto nn = static_cast<std::size_t>(snap.num_hypernodes());
+  if (source >= ne) {
+    std::fprintf(stderr, "error: source %u out of range (%zu hyperedges)\n", source, ne);
+    return 1;
+  }
+  auto        inv = snap.relabel_inv();
+  vertex_id_t src = source;
+  std::vector<vertex_id_t> perm;
+  if (!inv.empty()) {
+    perm.resize(inv.size());
+    for (std::size_t i = 0; i < inv.size(); ++i) perm[inv[i]] = static_cast<vertex_id_t>(i);
+    src = perm[source];
+  }
+  nw::timer t;
+  auto      r  = hyper_bfs_sharded(snap, src);
+  double    ms = t.elapsed_ms();
+  if (!perm.empty()) {
+    // Storage-row results -> external ids: gather distances through the
+    // permutation and re-express edge parents (node parents are node ids
+    // and need the inverse map applied to their stored values).
+    std::vector<vertex_id_t> de(r.dist_edge.size());
+    for (std::size_t e = 0; e < de.size(); ++e) de[e] = r.dist_edge[perm[e]];
+    r.dist_edge = std::move(de);
+    for (auto& p : r.parents_node) {
+      if (p != nw::null_vertex<>) p = inv[p];
+    }
+  }
+  std::printf("out-of-core (%zu shards%s)\n", snap.num_shards(),
+              inv.empty() ? "" : ", degree-relabeled");
+  print_bfs_summary(r, source, ms, ne, nn);
+  return 0;
+}
+
+int cmd_bfs(const std::string& path, vertex_id_t source, bool sharded) {
+  if (sharded) {
+    if (!has_suffix(path, ".nwcsr")) {
+      std::fprintf(stderr, "error: --sharded requires a .nwcsr snapshot\n");
+      return 1;
+    }
+    return cmd_bfs_sharded(path, source);
+  }
+  NWHypergraph hg = load_hypergraph(path);
+  if (source >= hg.num_hyperedges()) {
+    std::fprintf(stderr, "error: source %u out of range (%zu hyperedges)\n", source,
+                 hg.num_hyperedges());
+    return 1;
+  }
+  nw::timer t;
+  auto      r  = hg.bfs(source);
+  double    ms = t.elapsed_ms();
+  print_bfs_summary(r, source, ms, hg.num_hyperedges(), hg.num_hypernodes());
   return 0;
 }
 
@@ -300,18 +362,29 @@ int cmd_collapse(const std::string& path) {
 }
 
 int cmd_convert(const std::string& in, const std::string& out, bool with_adjoin,
-                bool compress) {
+                bool compress, bool relabel, long shards) {
   if (has_suffix(out, ".nwcsr")) {
     NWHypergraph hg = load_hypergraph(in);
-    if (compress) {
+    if (relabel) hg.relabel_by_degree();  // save embeds the inverse map
+    if (shards >= 0) {
+      csr_shard_options so;
+      so.shards   = static_cast<std::uint32_t>(shards);
+      so.compress = compress;
+      hg.save_csr_snapshot(out, so, with_adjoin);
+    } else if (compress) {
       hg.save_csr_snapshot(out, csr_compress_options{}, with_adjoin);
     } else {
       hg.save_csr_snapshot(out, with_adjoin);
     }
-    std::printf("wrote %s (%zu incidences, canonical CSR snapshot%s%s)\n", out.c_str(),
+    std::printf("wrote %s (%zu incidences, canonical CSR snapshot%s%s%s%s)\n", out.c_str(),
                 hg.num_incidences(), with_adjoin ? ", with adjoin" : "",
-                compress ? ", compressed" : "");
+                compress ? ", compressed" : "", relabel ? ", degree-relabeled" : "",
+                shards >= 0 ? ", sharded" : "");
     return 0;
+  }
+  if (relabel || shards >= 0) {
+    std::fprintf(stderr, "error: --relabel/--shards require .nwcsr output\n");
+    return 1;
   }
   auto el = load(in);
   el.sort_and_unique();
@@ -396,6 +469,45 @@ csr_detail::parsed_header read_snapshot_header(const std::string& path) {
   return csr_detail::parse_header(head.data(), file_size, path);
 }
 
+/// Print the shard directory (kind 11), one row per shard: hyperedge range,
+/// incidence count, stored bytes, and — for SVB-encoded slices — the ratio
+/// against the raw u32 target encoding the slice replaces.
+void print_shard_directory(const std::string& path, const csr_detail::parsed_header& h) {
+  const auto* sdir = h.find(csr_sec_shard_dir);
+  const auto* spay = h.find(csr_sec_shard_payload);
+  if (sdir == nullptr || spay == nullptr) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw io_error("cannot open snapshot", path);
+  std::vector<nw::offset_t> words(static_cast<std::size_t>(sdir->length / sizeof(nw::offset_t)));
+  in.seekg(static_cast<std::streamoff>(sdir->offset));
+  in.read(reinterpret_cast<char*>(words.data()), static_cast<std::streamsize>(sdir->length));
+  if (!in.good()) throw io_error("cannot read shard directory", path);
+  auto dir = csr_detail::parse_shard_directory(std::span<const nw::offset_t>(words), h.n0, h.n1,
+                                               h.m, spay->length, path);
+  std::printf("  shards       : %zu (payload %llu bytes)\n", dir.size(),
+              static_cast<unsigned long long>(spay->length));
+  std::printf("    %-5s %-21s %12s %12s %9s\n", "shard", "hyperedges", "incidences", "bytes",
+              "ratio");
+  for (std::size_t k = 0; k < dir.size(); ++k) {
+    const auto&         s      = dir[k];
+    const std::uint64_t stored = s.e2n_len + s.sub_len + s.n2e_len;
+    char                range[32];
+    std::snprintf(range, sizeof(range), "[%llu, %llu)",
+                  static_cast<unsigned long long>(s.e_begin),
+                  static_cast<unsigned long long>(s.e_end));
+    char ratio[32] = "-";
+    if ((s.flags & csr_detail::shard_flag_svb) != 0 && stored != 0) {
+      // Raw footprint the slices stand in for: both target streams as u32
+      // plus the (always raw) per-shard node sub-index.
+      const std::uint64_t raw = 2 * s.count * sizeof(vertex_id_t) + s.sub_len;
+      std::snprintf(ratio, sizeof(ratio), "%.2fx", double(raw) / double(stored));
+    }
+    std::printf("    %-5zu %-21s %12llu %12llu %9s\n", k, range,
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(stored), ratio);
+  }
+}
+
 int cmd_inspect(const std::string& path) {
   if (has_suffix(path, ".nwcsr")) {
     // Full integrity audit: checksum every section, then cross-check the
@@ -410,7 +522,13 @@ int cmd_inspect(const std::string& path) {
     std::printf("  hypernodes   : %llu\n", static_cast<unsigned long long>(snap.n1));
     std::printf("  incidences   : %llu\n", static_cast<unsigned long long>(snap.m));
     std::printf("  load path    : %s\n", snap.zero_copy() ? "mmap (zero-copy)" : "streamed");
-    print_section_table(read_snapshot_header(path));
+    if (!snap.relabel_inv.empty()) {
+      std::printf("  relabel      : degree-ordered (inverse map embedded, %zu ids)\n",
+                  snap.relabel_inv.size());
+    }
+    auto h = read_snapshot_header(path);
+    print_section_table(h);
+    print_shard_directory(path, h);
     if (snap.adjoin) {
       std::printf("  adjoin CSR   : %zu ids, %zu directed edges\n", snap.adjoin->num_ids(),
                   snap.adjoin->graph.num_edges());
@@ -438,13 +556,14 @@ void usage() {
                "usage: nwhy_tool <command> <file> [args] [--profile out.json]\n"
                "  stats      <file>\n"
                "  components <file>\n"
-               "  bfs        <file> <edge-id>\n"
+               "  bfs        <file> <edge-id> [--sharded]\n"
                "  slinegraph <file> <s> [out.mtx]\n"
                "  slcompare  <file> <s>\n"
                "  smetrics   <file> <s>\n"
                "  toplexes   <file>\n"
                "  collapse   <file>\n"
                "  convert    <in> <out.bin|out.mtx|out.nwcsr> [--adjoin] [--compress]\n"
+               "             [--relabel[=degree]] [--shards[=N]]\n"
                "  inspect    <file>\n"
                "  generate   <dataset-name> <scale> <out.bin|out.mtx>\n"
                "  profile    <file> [s]\n"
@@ -454,11 +573,14 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract `--profile <path>` and `--adjoin` (allowed anywhere) before
+  // Extract `--profile <path>` and the mode flags (allowed anywhere) before
   // positional parsing.
   std::string              profile_out;
   bool                     with_adjoin = false;
   bool                     compress    = false;
+  bool                     relabel     = false;
+  bool                     sharded     = false;
+  long                     shards      = -1;  // -1: off; 0: byte-budget auto; N: pinned count
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
@@ -467,6 +589,23 @@ int main(int argc, char** argv) {
       with_adjoin = true;
     } else if (std::strcmp(argv[i], "--compress") == 0) {
       compress = true;
+    } else if (std::strcmp(argv[i], "--relabel") == 0 ||
+               std::strcmp(argv[i], "--relabel=degree") == 0) {
+      relabel = true;
+    } else if (std::strncmp(argv[i], "--relabel=", 10) == 0) {
+      std::fprintf(stderr, "error: unknown relabel order '%s' (only 'degree')\n", argv[i] + 10);
+      return 2;
+    } else if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = 0;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      char* end = nullptr;
+      shards    = std::strtol(argv[i] + 9, &end, 10);
+      if (end == argv[i] + 9 || *end != '\0' || shards < 1) {
+        std::fprintf(stderr, "error: --shards=N needs a positive integer\n");
+        return 2;
+      }
     } else {
       args.emplace_back(argv[i]);
     }
@@ -488,7 +627,7 @@ int main(int argc, char** argv) {
   } else if (cmd == "components") {
     rc = cmd_components(path);
   } else if (cmd == "bfs" && args.size() >= 3) {
-    rc = cmd_bfs(path, static_cast<vertex_id_t>(std::atol(arg(2))));
+    rc = cmd_bfs(path, static_cast<vertex_id_t>(std::atol(arg(2))), sharded);
   } else if (cmd == "slinegraph" && args.size() >= 3) {
     rc = cmd_slinegraph(path, static_cast<std::size_t>(std::atol(arg(2))), arg(3));
   } else if (cmd == "smetrics" && args.size() >= 3) {
@@ -500,7 +639,7 @@ int main(int argc, char** argv) {
   } else if (cmd == "collapse") {
     rc = cmd_collapse(path);
   } else if (cmd == "convert" && args.size() >= 3) {
-    rc = cmd_convert(path, arg(2), with_adjoin, compress);
+    rc = cmd_convert(path, arg(2), with_adjoin, compress, relabel, shards);
   } else if (cmd == "inspect") {
     rc = cmd_inspect(path);
   } else if (cmd == "generate" && args.size() >= 4) {
