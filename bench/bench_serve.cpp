@@ -1,0 +1,218 @@
+// bench/bench_serve.cpp — nwhy_serve query-server throughput/latency: an
+// in-process server on a Unix socket, hammered by a closed-loop multi-client
+// load generator, per operation x client-count.
+//
+// Operations:
+//   ping        pure protocol + dispatch overhead (no graph work)
+//   stats       cheapest graph op (pins a generation, four u64s back)
+//   neighbors   point query: one s-overlap expansion, s=2
+//   s_distance  implicit s-BFS between random endpoints, s=2
+//   bfs         whole-graph composed BFS summary from a random source
+//   mixed       the nwhy_serve load-mode mix (all graph ops, seed-driven)
+//
+// Each record carries client-observed p50/p99 latency and aggregate QPS —
+// the numbers BENCH_serve.json freezes.  Clients are closed-loop (next
+// request only after the previous reply), so QPS ~= clients / mean-latency
+// and the client sweep shows how the worker pool absorbs concurrency.
+//
+//   NWHY_BENCH_THREADS         client counts to sweep (default "1,2,4,8")
+//   NWHY_BENCH_SERVE_REQUESTS  requests per client for cheap ops (default 400;
+//                              whole-graph ops run requests/10)
+//   NWHY_BENCH_JSON  path; when set the harness writes machine-readable
+//                    records for scripts/bench_snapshot.sh: schema
+//                    nwhy-bench-serve-v1, one record per operation x
+//                    client-count: {"dataset", "operation", "clients",
+//                    "workers", "requests", "qps", "p50_ms", "p99_ms",
+//                    "peak_rss_kb"}
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace bench;
+namespace sv = nw::hypergraph::serve;
+
+namespace {
+
+struct sample {
+  std::string operation;
+  unsigned    clients;
+  unsigned    workers;
+  std::size_t requests;  ///< total across all clients
+  double      qps;
+  double      p50_ms;
+  double      p99_ms;
+};
+
+/// One closed-loop client: `requests` queries of one operation kind,
+/// recording a wall-clock latency per reply.
+void client_loop(const std::string& addr, const std::string& op, std::size_t ne,
+                 std::uint64_t seed, std::size_t requests, std::vector<double>& latencies,
+                 std::atomic<std::size_t>& errors) {
+  sv::client c;
+  c.connect(addr);
+  nw::xoshiro256ss rng(seed);
+  latencies.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<sv::client_reply> r;
+    if (op == "ping") {
+      r = c.ping();
+    } else if (op == "stats") {
+      r = c.stats(0);
+    } else if (op == "neighbors") {
+      r = c.neighbors(0, 2, rng.bounded(ne));
+    } else if (op == "s_distance") {
+      r = c.s_distance(0, 2, rng.bounded(ne), rng.bounded(ne));
+    } else if (op == "bfs") {
+      r = c.bfs(0, rng.bounded(ne));
+    } else {  // mixed: the nwhy_serve load-mode distribution
+      switch (rng.bounded(6)) {
+        case 0: r = c.stats(0); break;
+        case 1: r = c.neighbors(0, 1 + rng.bounded(3), rng.bounded(ne)); break;
+        case 2: r = c.s_distance(0, 1 + rng.bounded(3), rng.bounded(ne), rng.bounded(ne)); break;
+        case 3: r = c.bfs(0, rng.bounded(ne)); break;
+        case 4: r = c.s_components(0, 1 + rng.bounded(3)); break;
+        default:
+          r = c.centrality(0, 1 + rng.bounded(3), sv::centrality_kind::harmonic,
+                           rng.bounded(ne));
+          break;
+      }
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (!r || !r->ok()) {
+      ++errors;
+    } else {
+      latencies.push_back(ms);
+    }
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(sorted.size() - 1,
+                                   static_cast<std::size_t>(p * (sorted.size() - 1)));
+  return sorted[idx];
+}
+
+int run_json_mode(const char* path, const std::string& dataset,
+                  const std::vector<sample>& rows) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "[");
+  bool first = true;
+  for (const auto& r : rows) {
+    std::fprintf(out,
+                 "%s\n  {\"dataset\": \"%s\", \"operation\": \"%s\", \"clients\": %u, "
+                 "\"workers\": %u, \"requests\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"peak_rss_kb\": %ld}",
+                 first ? "" : ",", dataset.c_str(), r.operation.c_str(), r.clients, r.workers,
+                 r.requests, r.qps, r.p50_ms, r.p99_ms, peak_rss_kb());
+    first = false;
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] wrote serve load sweep to %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  install_profile_export();
+
+  // One dataset (the first selected) — the serve sweep is about the server,
+  // not the dataset matrix.
+  const dataset* d = nullptr;
+  for (const auto& ds : suite()) {
+    if (dataset_selected(ds->name)) {
+      d = ds.get();
+      break;
+    }
+  }
+  if (d == nullptr) {
+    std::fprintf(stderr, "[bench] no dataset selected (NWHY_BENCH_DATASETS)\n");
+    return 1;
+  }
+  NWHypergraph h{biedgelist<>(d->el)};
+  const std::size_t ne = h.num_hyperedges();
+
+  sv::server::options opt;
+  opt.unix_path      = "/tmp/nwhy_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  opt.threads        = std::max(1u, std::thread::hardware_concurrency());
+  opt.queue_capacity = 4096;
+  sv::server srv(opt);
+  srv.publish(0, sv::make_serve_graph(h));
+
+  const std::size_t base_requests = env_size("NWHY_BENCH_SERVE_REQUESTS", 400);
+  const char*       ops[]         = {"ping", "stats", "neighbors", "s_distance", "bfs", "mixed"};
+
+  std::vector<sample> rows;
+  for (const char* op : ops) {
+    // Whole-graph traversals per request: keep the sweep bounded.
+    const bool  heavy    = std::string(op) == "bfs" || std::string(op) == "mixed" ||
+                           std::string(op) == "s_distance";
+    const std::size_t per_client = std::max<std::size_t>(10, heavy ? base_requests / 10
+                                                                   : base_requests);
+    for (unsigned clients : env_threads()) {
+      std::vector<std::vector<double>> lat(clients);
+      std::atomic<std::size_t>         errors{0};
+      std::vector<std::thread>         threads;
+      const auto                       t0 = std::chrono::steady_clock::now();
+      for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          client_loop(srv.address(), op, ne, 0x6e7b0000ull + c, per_client, lat[c], errors);
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+      std::vector<double> all;
+      for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      if (errors.load() != 0) {
+        std::fprintf(stderr, "[bench] %zu failed requests for op %s at %u clients\n",
+                     errors.load(), op, clients);
+        return 1;
+      }
+      sample s;
+      s.operation = op;
+      s.clients   = clients;
+      s.workers   = srv.num_workers();
+      s.requests  = all.size();
+      s.qps       = elapsed_s > 0 ? static_cast<double>(all.size()) / elapsed_s : 0.0;
+      s.p50_ms    = percentile(all, 0.50);
+      s.p99_ms    = percentile(all, 0.99);
+      rows.push_back(s);
+    }
+  }
+  srv.stop();
+
+  if (const char* json = std::getenv("NWHY_BENCH_JSON"); json != nullptr && *json != '\0') {
+    return run_json_mode(json, d->name, rows);
+  }
+
+  std::printf("nwhy_serve load sweep — dataset %s: %zu hyperedges, %zu hypernodes, "
+              "%u workers\n",
+              d->name.c_str(), ne, h.num_hypernodes(), srv.num_workers());
+  std::printf("%-12s %8s %10s %12s %12s %12s\n", "operation", "clients", "requests", "qps",
+              "p50 ms", "p99 ms");
+  for (const auto& r : rows) {
+    std::printf("%-12s %8u %10zu %12.1f %12.4f %12.4f\n", r.operation.c_str(), r.clients,
+                r.requests, r.qps, r.p50_ms, r.p99_ms);
+  }
+  return 0;
+}

@@ -47,8 +47,17 @@
 #             incremental-vs-rebuild ratio at small batches is the headline
 #             this file freezes
 #
-# Usage: scripts/bench_snapshot.sh [--allow-debug] [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json]
-#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json BENCH_dynamic.json
+# BENCH_serve.json has one section:
+#   serve — bench_serve in NWHY_BENCH_JSON mode: one record per operation x
+#           client-count from a closed-loop multi-client load generator
+#           against an in-process nwhy_serve server (Unix socket), with
+#           client-observed p50/p99 latency, aggregate QPS, worker count,
+#           and peak_rss_kb — the protocol-overhead (ping/stats) and
+#           query-serving (neighbors/bfs/mixed) throughputs this file
+#           freezes
+#
+# Usage: scripts/bench_snapshot.sh [--allow-debug] [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json] [serve.json]
+#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json BENCH_dynamic.json BENCH_serve.json
 #
 # A non-Release build dir is refused unless --allow-debug is given: numbers
 # from -O0/-g builds have silently polluted checked-in baselines before.
@@ -81,6 +90,7 @@ OUT=${2:-BENCH_slinegraph.json}
 OUT_TRAVERSAL=${3:-BENCH_traversal.json}
 OUT_IO=${4:-BENCH_io.json}
 OUT_DYNAMIC=${5:-BENCH_dynamic.json}
+OUT_SERVE=${6:-BENCH_serve.json}
 
 # Refuse to freeze baselines from anything but a Release build unless the
 # caller explicitly opted in.  The build type comes from the CMake cache, so
@@ -110,7 +120,7 @@ export NWHY_BENCH_REPS="${NWHY_BENCH_REPS:-3}"
 export NWHY_BENCH_DATASETS="${NWHY_BENCH_DATASETS-Friendster-sim,Rand1-sim}"
 
 cmake --build "$BUILD" --target bench_fig9_slinegraph bench_fig8_bfs bench_fig7_cc bench_micro \
-  bench_io bench_dynamic -j "$(nproc)"
+  bench_io bench_dynamic bench_serve -j "$(nproc)"
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -120,23 +130,25 @@ NWHY_BENCH_JSON="$TMP/bfs.json" "$BUILD/bench/bench_fig8_bfs"
 NWHY_BENCH_JSON="$TMP/cc.json" "$BUILD/bench/bench_fig7_cc"
 NWHY_BENCH_JSON="$TMP/io.json" "$BUILD/bench/bench_io"
 NWHY_BENCH_JSON="$TMP/dynamic.json" "$BUILD/bench/bench_dynamic"
+NWHY_BENCH_JSON="$TMP/serve.json" "$BUILD/bench/bench_serve"
 
 "$BUILD/bench/bench_micro" \
   --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip|BM_Frontier' \
   --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
   --benchmark_repetitions="$NWHY_BENCH_REPS" --benchmark_report_aggregates_only=true
 
-python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" "$OUT_DYNAMIC" <<'PY'
+python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" "$OUT_DYNAMIC" "$OUT_SERVE" <<'PY'
 import json, os, sys
 
-tmp, out_sline, out_traversal, out_io, out_dynamic = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
+tmp, out_sline, out_traversal, out_io, out_dynamic, out_serve = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5], sys.argv[6])
 
 construction = json.load(open(os.path.join(tmp, "construction.json")))
 bfs = json.load(open(os.path.join(tmp, "bfs.json")))
 cc = json.load(open(os.path.join(tmp, "cc.json")))
 io_records = json.load(open(os.path.join(tmp, "io.json")))
 dynamic_records = json.load(open(os.path.join(tmp, "dynamic.json")))
+serve_records = json.load(open(os.path.join(tmp, "serve.json")))
 
 gb = json.load(open(os.path.join(tmp, "micro.json")))
 micro = []
@@ -249,4 +261,20 @@ reb1 = next((r["median_ms"] for r in dynamic_records
              and r["threads"] == 1), None)
 ratio = f", batch-1 overlay {reb1 / inc1:.0f}x vs 1-thread rebuild" if inc1 and reb1 else ""
 print(f"bench_snapshot.sh: wrote {out_dynamic} ({len(dynamic_records)} dynamic records{ratio})")
+
+doc = {
+    "schema": "nwhy-bench-serve-v1",
+    "context": context,
+    "serve": serve_records,
+}
+json.dump(doc, open(out_serve, "w"), indent=1)
+open(out_serve, "a").write("\n")
+stats_qps = max((r["qps"] for r in serve_records if r["operation"] == "stats"), default=None)
+mixed_p99 = max((r["p99_ms"] for r in serve_records if r["operation"] == "mixed"), default=None)
+note = ""
+if stats_qps:
+    note = f", peak stats {stats_qps:.0f} qps"
+if mixed_p99:
+    note += f", worst mixed p99 {mixed_p99:.1f} ms"
+print(f"bench_snapshot.sh: wrote {out_serve} ({len(serve_records)} serve records{note})")
 PY

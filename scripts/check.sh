@@ -2,7 +2,7 @@
 # Full verification sweep: configure, build, run tests, run every
 # table/figure harness.
 #
-# Usage: scripts/check.sh [--differential] [--io] [--dynamic] [--shard] [build-dir]
+# Usage: scripts/check.sh [--differential] [--io] [--dynamic] [--shard] [--serve] [build-dir]
 #
 #   --differential   additionally run the differential harness with a
 #                    bounded seed budget (NWHY_TEST_ITERS, default 12 —
@@ -28,18 +28,27 @@
 #                    validation) -> bfs --sharded, and require the sharded
 #                    traversal's reached/depth summary to match the
 #                    in-memory engine on the unsharded snapshot exactly.
+#   --serve          additionally exercise the query server end-to-end
+#                    through the daemon: the serve unit/stress suite, then
+#                    start nwhy_serve on a generated dataset, diff its ask
+#                    stats / ask bfs answers against nwhy_tool's offline
+#                    output byte-for-byte, run the multi-client load
+#                    generator against it, and shut it down cleanly over
+#                    the wire.
 set -euo pipefail
 
 DIFFERENTIAL=0
 IO=0
 DYNAMIC=0
 SHARD=0
+SERVE=0
 while :; do
   case "${1:-}" in
     --differential) DIFFERENTIAL=1; shift ;;
     --io)           IO=1; shift ;;
     --dynamic)      DYNAMIC=1; shift ;;
     --shard)        SHARD=1; shift ;;
+    --serve)        SERVE=1; shift ;;
     *)              break ;;
   esac
 done
@@ -101,6 +110,43 @@ if [ "$SHARD" = 1 ]; then
   diff -u "$SHTMP/plain.out" "$SHTMP/sharded.out"
   echo "shard stage: sharded traversal matches in-memory engine"
   rm -rf "$SHTMP"
+  trap - EXIT
+fi
+
+if [ "$SERVE" = 1 ]; then
+  echo "===== serve stage (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-24}) ====="
+  NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-24}" "$BUILD"/tests/test_serve
+  # End-to-end through the daemon: start it on a generated Table-I analog,
+  # wait for the ready file (never race the listener), require the online
+  # stats / BFS answers to be byte-identical to the offline tool's, drive
+  # it with the multi-client load generator, and stop it over the wire.
+  SVTMP=$(mktemp -d)
+  trap 'rm -rf "$SVTMP"' EXIT
+  "$BUILD"/tools/nwhy_tool generate Rand1-sim 1 "$SVTMP/serve.mtx"
+  "$BUILD"/tools/nwhy_serve serve "$SVTMP/serve.mtx" --listen "unix:$SVTMP/serve.sock" \
+    --allow-shutdown --ready-file "$SVTMP/ready" >"$SVTMP/daemon.log" 2>&1 &
+  DAEMON=$!
+  for _ in $(seq 1 100); do
+    [ -s "$SVTMP/ready" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$SVTMP/ready" ]; then
+    echo "serve stage: daemon never became ready" >&2
+    cat "$SVTMP/daemon.log" >&2
+    exit 1
+  fi
+  ADDR=$(cat "$SVTMP/ready")
+  "$BUILD"/tools/nwhy_serve ask "$ADDR" stats >"$SVTMP/online_stats.out"
+  "$BUILD"/tools/nwhy_tool stats "$SVTMP/serve.mtx" | head -3 >"$SVTMP/offline_stats.out"
+  diff -u "$SVTMP/offline_stats.out" "$SVTMP/online_stats.out"
+  "$BUILD"/tools/nwhy_serve ask "$ADDR" bfs 0 >"$SVTMP/online_bfs.out"
+  "$BUILD"/tools/nwhy_tool bfs "$SVTMP/serve.mtx" 0 | grep '^reached ' >"$SVTMP/offline_bfs.out"
+  diff -u "$SVTMP/offline_bfs.out" "$SVTMP/online_bfs.out"
+  "$BUILD"/tools/nwhy_serve load "$ADDR" --clients 4 --requests 50
+  "$BUILD"/tools/nwhy_serve ask "$ADDR" shutdown
+  wait "$DAEMON"
+  echo "serve stage: online answers match offline tool; daemon exited cleanly"
+  rm -rf "$SVTMP"
   trap - EXIT
 fi
 

@@ -11,9 +11,9 @@
 #   scripts/sanitize.sh ubsan [dir]# UBSan alone (-fno-sanitize-recover):
 #                                  # the decoder / crafted-input gate — runs
 #                                  # the I/O, snapshot, compressed-codec,
-#                                  # relabel and shard suites where a
-#                                  # malformed file must produce io_error,
-#                                  # never UB
+#                                  # relabel, shard and serve suites where a
+#                                  # malformed file or wire frame must
+#                                  # produce a structured error, never UB
 #
 # ASan/UBSan catches lifetime and indexing bugs; TSan catches data races in
 # the frontier engine, bitmap conversions and scatter pipelines that review
@@ -56,6 +56,10 @@ case "$MODE" in
     "$BUILD"/tests/test_shard
     "$BUILD"/tests/test_differential
     "$BUILD"/tests/test_dynamic
+    # The query server: worker pool + per-connection reader threads +
+    # generation swaps, all racing by design — the whole suite runs under
+    # TSan (client threads included).
+    "$BUILD"/tests/test_serve
     ;;
   ubsan)
     BUILD=${2:-build-ubsan}
@@ -70,6 +74,9 @@ case "$MODE" in
     "$BUILD"/tests/test_compress
     "$BUILD"/tests/test_relabel
     "$BUILD"/tests/test_shard
+    # Wire-protocol decoders: the crafted-frame suite must reject every
+    # malformed frame with a structured status, never UB.
+    "$BUILD"/tests/test_serve
     ;;
   *)
     echo "usage: scripts/sanitize.sh [asan|tsan|ubsan] [build-dir]" >&2

@@ -73,6 +73,14 @@
 #include "nwhy/slinegraph/spgemm.hpp"
 #include "nwhy/slinegraph/weighted.hpp"
 
+// Query server (epoch-pinned generations over a binary protocol)
+#include "nwhy/serve/client.hpp"
+#include "nwhy/serve/dispatcher.hpp"
+#include "nwhy/serve/protocol.hpp"
+#include "nwhy/serve/query.hpp"
+#include "nwhy/serve/registry.hpp"
+#include "nwhy/serve/server.hpp"
+
 // Sparse-matrix substrate (rectangular incidence-matrix operations)
 #include "nwgraph/sparse/csr_matrix.hpp"
 #include "nwgraph/sparse/graphblas.hpp"

@@ -1,0 +1,245 @@
+// nwhy/serve/client.hpp
+//
+// Blocking nwhy_serve client: one connection, synchronous request/reply.
+// Used by the `nwhy_serve load`/`ask` modes, bench_serve's load generator,
+// and the differential stress suite.  The typed helpers return the decoded
+// reply plus its status; `send_raw`/`recv_raw` expose the byte layer so the
+// crafted-frame tests can speak deliberately malformed protocol.
+//
+// A receive timeout (default 60 s) is set on the socket so a server bug
+// fails a test with a clear error instead of hanging it; the window is
+// deliberately generous because the suites also run under TSan at ~10x
+// slowdown.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nwhy/serve/protocol.hpp"
+#include "nwhy/serve/server.hpp"
+
+namespace nw::hypergraph::serve {
+
+/// One decoded reply frame.
+struct client_reply {
+  opcode                    op = opcode::ping;
+  status                    st = status::internal_error;
+  std::uint64_t             request_id = 0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool ok() const { return st == status::ok; }
+  /// Error replies carry a bounded human-readable message.
+  [[nodiscard]] std::string message() const {
+    return {payload.begin(), payload.end()};
+  }
+};
+
+class client {
+public:
+  client() = default;
+  ~client() { close(); }
+  client(const client&)            = delete;
+  client& operator=(const client&) = delete;
+  client(client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  client& operator=(client&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_   = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connect to "unix:<path>" or "tcp:<host>:<port>" (host must be an IPv4
+  /// literal — the daemon only ever binds loopback).  Throws on failure.
+  void connect(const std::string& address, std::uint32_t recv_timeout_s = 60) {
+    close();
+    if (address.rfind("unix:", 0) == 0) {
+      const std::string path = address.substr(5);
+      sockaddr_un       addr{};
+      addr.sun_family = AF_UNIX;
+      if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("client: bad unix socket path: " + path);
+      }
+      std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        int err = errno;
+        close();
+        throw std::runtime_error("client: connect(" + path + ") failed: " +
+                                 std::strerror(err));
+      }
+    } else if (address.rfind("tcp:", 0) == 0) {
+      const std::string rest  = address.substr(4);
+      const std::size_t colon = rest.rfind(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("client: tcp address needs host:port: " + address);
+      }
+      const std::string host = rest.substr(0, colon);
+      const int         port = std::stoi(rest.substr(colon + 1));
+      if (port <= 0 || port > 65535) {
+        throw std::runtime_error("client: bad tcp port in: " + address);
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port   = htons(static_cast<std::uint16_t>(port));
+      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("client: bad IPv4 host in: " + address);
+      }
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        int err = errno;
+        close();
+        throw std::runtime_error("client: connect(" + rest + ") failed: " +
+                                 std::strerror(err));
+      }
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    } else {
+      throw std::runtime_error("client: address must start with unix: or tcp:, got " +
+                               address);
+    }
+    if (recv_timeout_s > 0) {
+      timeval tv{};
+      tv.tv_sec = recv_timeout_s;
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+  }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  // --- byte layer (fuzz tests speak this directly) -------------------------
+
+  /// Write arbitrary bytes; throws if the connection drops mid-write.
+  void send_raw(std::span<const std::uint8_t> bytes) {
+    if (!net::send_full(fd_, bytes.data(), bytes.size())) {
+      throw std::runtime_error("client: send failed (connection closed?)");
+    }
+  }
+
+  /// Read one reply frame; nullopt on clean EOF (how the server answers
+  /// frames it cannot reply to).  Throws on timeout or a frame that is
+  /// itself malformed — a server must never produce one.
+  [[nodiscard]] std::optional<client_reply> recv_reply() {
+    std::uint8_t raw[k_header_bytes];
+    if (!read_or_eof(raw, sizeof raw)) return std::nullopt;
+    const frame_header h = decode_header(raw);
+    if (h.magic != k_magic) throw std::runtime_error("client: reply with bad magic");
+    if (h.payload_len > k_max_reply_payload) {
+      throw std::runtime_error("client: reply payload over cap");
+    }
+    client_reply r;
+    r.op         = static_cast<opcode>(h.op);
+    r.st         = static_cast<status>(h.stat);
+    r.request_id = h.request_id;
+    r.payload.resize(static_cast<std::size_t>(h.payload_len));
+    if (h.payload_len > 0 && !read_or_eof(r.payload.data(), r.payload.size())) {
+      throw std::runtime_error("client: reply truncated");
+    }
+    return r;
+  }
+
+  // --- framed request/reply ------------------------------------------------
+
+  /// Send one well-formed request and wait for its reply.  nullopt on clean
+  /// disconnect before a reply arrives.
+  [[nodiscard]] std::optional<client_reply> call(opcode op,
+                                                 std::span<const std::uint8_t> payload,
+                                                 std::uint32_t deadline_ms = 0) {
+    const std::uint64_t id = next_id_++;
+    send_raw(encode_frame(op, status::ok, id, payload, deadline_ms));
+    auto r = recv_reply();
+    if (r && r->request_id != id) {
+      throw std::runtime_error("client: reply id mismatch (pipelining bug?)");
+    }
+    return r;
+  }
+
+  // --- typed helpers -------------------------------------------------------
+
+  [[nodiscard]] std::optional<client_reply> ping() { return call(opcode::ping, {}); }
+  [[nodiscard]] std::optional<client_reply> stats(std::uint32_t graph,
+                                                  std::uint32_t deadline_ms = 0) {
+    return call(opcode::stats, encode(stats_request{graph}), deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> neighbors(std::uint32_t graph, std::uint32_t s,
+                                                      std::uint64_t edge,
+                                                      std::uint32_t deadline_ms = 0) {
+    return call(opcode::neighbors, encode(neighbors_request{graph, s, edge}), deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> s_distance(std::uint32_t graph, std::uint32_t s,
+                                                       std::uint64_t src, std::uint64_t dst,
+                                                       std::uint32_t deadline_ms = 0) {
+    return call(opcode::s_distance, encode(s_distance_request{graph, s, src, dst}),
+                deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> bfs(std::uint32_t graph, std::uint64_t source,
+                                                std::uint32_t deadline_ms = 0) {
+    return call(opcode::bfs, encode(bfs_request{graph, source}), deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> s_components(std::uint32_t graph, std::uint32_t s,
+                                                         std::uint32_t deadline_ms = 0) {
+    return call(opcode::s_components, encode(s_components_request{graph, s}), deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> centrality(std::uint32_t graph, std::uint32_t s,
+                                                       centrality_kind kind,
+                                                       std::uint64_t   edge,
+                                                       std::uint32_t   deadline_ms = 0) {
+    return call(opcode::centrality,
+                encode(centrality_request{graph, s, static_cast<std::uint32_t>(kind), edge}),
+                deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> sleep_debug(std::uint64_t millis,
+                                                        std::uint32_t deadline_ms = 0) {
+    return call(opcode::sleep_debug, encode_u64_reply(millis), deadline_ms);
+  }
+  [[nodiscard]] std::optional<client_reply> shutdown() { return call(opcode::shutdown, {}); }
+
+private:
+  /// read_full, but distinguishing first-byte EOF (clean close → false)
+  /// from mid-read truncation and timeouts (throw).
+  [[nodiscard]] bool read_or_eof(void* buf, std::size_t len) {
+    auto*       p    = static_cast<std::uint8_t*>(buf);
+    std::size_t got  = 0;
+    while (got < len) {
+      ssize_t n = ::recv(fd_, p + got, len - got, 0);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+      } else if (n == 0) {
+        if (got == 0) return false;
+        throw std::runtime_error("client: connection closed mid-frame");
+      } else if (errno == EINTR) {
+        continue;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("client: receive timeout waiting for reply");
+      } else {
+        throw std::runtime_error(std::string("client: recv failed: ") + std::strerror(errno));
+      }
+    }
+    return true;
+  }
+
+  int           fd_      = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace nw::hypergraph::serve

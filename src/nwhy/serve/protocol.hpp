@@ -1,0 +1,526 @@
+// nwhy/serve/protocol.hpp
+//
+// The NWSERVE1 wire protocol: a length-prefixed binary request/reply
+// framing for the `nwhy_serve` query daemon.  docs/PROTOCOL.md is the
+// normative grammar; this header is its executable twin — every rule the
+// document states (header layout, field domains, per-opcode payload
+// shapes, size caps) is enforced here, and the crafted-frame suite in
+// tests/test_serve.cpp holds the two in lockstep.
+//
+// Design constraints, in order:
+//
+//   1. A malformed frame must never be undefined behavior.  Every read out
+//      of a payload goes through the bounds-checked `wire_reader`; every
+//      length field is capped before any allocation; the fuzz suite runs
+//      under asan/ubsan.
+//   2. Replies are byte-deterministic.  The differential stress suite
+//      compares server replies bit-exactly against replies synthesized
+//      from direct library calls, so nothing time- or thread-dependent
+//      (elapsed times, worker ids) may leak into reply bytes.
+//   3. Fixed-size little-endian fields, explicitly serialized.  No struct
+//      punning: encode/decode shift bytes, so the format is identical on
+//      any host endianness and there are no alignment traps.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::serve {
+
+/// Frame magic: the bytes "NWS1" on the wire (read as a little-endian u32).
+inline constexpr std::uint32_t k_magic = 0x3153574Eu;
+
+/// Fixed frame-header size, both directions.
+inline constexpr std::size_t k_header_bytes = 32;
+
+/// Hard cap on request payloads.  Every request opcode's payload is a small
+/// fixed-size record, so anything near this limit is already hostile; the
+/// reader rejects larger claims *before* allocating.
+inline constexpr std::uint64_t k_max_request_payload = 4096;
+
+/// Hard cap on reply payloads (bounds the neighbors list).  A reply that
+/// would exceed it is answered with status::too_large instead.
+inline constexpr std::uint64_t k_max_reply_payload = 1u << 20;
+
+/// Hard cap on error-message payloads.
+inline constexpr std::size_t k_max_error_message = 256;
+
+/// Upper bound on the `s` parameter; larger values are certainly a crafted
+/// frame (overlap cardinalities are bounded by hyperedge sizes).
+inline constexpr std::uint32_t k_max_s = 1u << 20;
+
+/// Request opcodes.  Replies echo the request's opcode.
+enum class opcode : std::uint16_t {
+  ping         = 0x01,  ///< no payload; replies ok with no payload
+  stats        = 0x02,  ///< {u32 graph}
+  neighbors    = 0x03,  ///< {u32 graph, u32 s, u64 edge}
+  s_distance   = 0x04,  ///< {u32 graph, u32 s, u64 src, u64 dst}
+  bfs          = 0x05,  ///< {u32 graph, u64 source_edge}
+  s_components = 0x06,  ///< {u32 graph, u32 s}
+  centrality   = 0x07,  ///< {u32 graph, u32 s, u32 kind, u64 edge}
+  sleep_debug  = 0x7E,  ///< {u64 millis}; only when debug ops are enabled
+  shutdown     = 0x7F,  ///< no payload; only when remote shutdown is enabled
+};
+
+/// Centrality kinds for opcode::centrality.
+enum class centrality_kind : std::uint32_t {
+  closeness    = 0,  ///< reply carries a double's bit pattern
+  harmonic     = 1,  ///< reply carries a double's bit pattern
+  eccentricity = 2,  ///< reply carries a plain u64
+};
+
+/// Reply status codes.  Requests must carry 0 here.
+enum class status : std::uint16_t {
+  ok                = 0,
+  bad_frame         = 1,   ///< malformed header field or payload shape
+  bad_opcode        = 2,   ///< unknown (or disabled) opcode
+  no_graph          = 3,   ///< graph id names no published generation
+  bad_entity        = 4,   ///< entity id out of range for the pinned graph
+  bad_s             = 5,   ///< s == 0 or s > k_max_s
+  busy              = 6,   ///< admission queue full — retry later
+  deadline_exceeded = 7,   ///< deadline passed before or during execution
+  too_large         = 8,   ///< reply would exceed k_max_reply_payload
+  shutting_down     = 9,   ///< server is draining; no new work accepted
+  internal_error    = 10,  ///< unexpected server-side failure
+};
+
+[[nodiscard]] inline const char* status_name(status s) {
+  switch (s) {
+    case status::ok: return "ok";
+    case status::bad_frame: return "bad_frame";
+    case status::bad_opcode: return "bad_opcode";
+    case status::no_graph: return "no_graph";
+    case status::bad_entity: return "bad_entity";
+    case status::bad_s: return "bad_s";
+    case status::busy: return "busy";
+    case status::deadline_exceeded: return "deadline_exceeded";
+    case status::too_large: return "too_large";
+    case status::shutting_down: return "shutting_down";
+    case status::internal_error: return "internal_error";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline const char* opcode_name(opcode op) {
+  switch (op) {
+    case opcode::ping: return "ping";
+    case opcode::stats: return "stats";
+    case opcode::neighbors: return "neighbors";
+    case opcode::s_distance: return "s_distance";
+    case opcode::bfs: return "bfs";
+    case opcode::s_components: return "s_components";
+    case opcode::centrality: return "centrality";
+    case opcode::sleep_debug: return "sleep_debug";
+    case opcode::shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// A malformed frame detected while *decoding* — the reader's recoverable
+/// rejection path (the server turns it into a status::bad_frame reply).
+struct protocol_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// --- little-endian primitives ------------------------------------------------
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t(p[1]) << 8));
+}
+[[nodiscard]] inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+[[nodiscard]] inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Bounds-checked payload cursor.  Overruns throw protocol_error — the one
+/// recoverable rejection path for short-for-their-opcode payloads.
+class wire_reader {
+public:
+  explicit wire_reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = get_u32(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = get_u64(bytes_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Every decode ends here: trailing bytes are as malformed as missing ones.
+  void expect_end(const char* what) const {
+    if (remaining() != 0) {
+      throw protocol_error(std::string(what) + ": " + std::to_string(remaining()) +
+                           " trailing payload byte(s)");
+    }
+  }
+
+private:
+  void need(std::size_t n, const char* what) const {
+    if (bytes_.size() - pos_ < n) {
+      throw protocol_error(std::string("payload truncated reading ") + what);
+    }
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t                   pos_ = 0;
+};
+
+// --- frame header ------------------------------------------------------------
+
+/// Both directions share one 32-byte header.  Requests: status == 0,
+/// reserved == 0, deadline_ms == 0 means "server default".  Replies echo
+/// opcode and request_id, carry the status, and zero the last two fields
+/// (nothing time-dependent may enter reply bytes — see file comment).
+struct frame_header {
+  std::uint32_t magic       = k_magic;
+  std::uint16_t op          = 0;
+  std::uint16_t stat        = 0;
+  std::uint64_t request_id  = 0;
+  std::uint64_t payload_len = 0;
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t reserved    = 0;
+};
+
+inline void encode_header(const frame_header& h, std::vector<std::uint8_t>& out) {
+  put_u32(out, h.magic);
+  put_u16(out, h.op);
+  put_u16(out, h.stat);
+  put_u64(out, h.request_id);
+  put_u64(out, h.payload_len);
+  put_u32(out, h.deadline_ms);
+  put_u32(out, h.reserved);
+}
+
+[[nodiscard]] inline frame_header decode_header(const std::uint8_t (&raw)[k_header_bytes]) {
+  frame_header h;
+  h.magic       = get_u32(raw + 0);
+  h.op          = get_u16(raw + 4);
+  h.stat        = get_u16(raw + 6);
+  h.request_id  = get_u64(raw + 8);
+  h.payload_len = get_u64(raw + 16);
+  h.deadline_ms = get_u32(raw + 24);
+  h.reserved    = get_u32(raw + 28);
+  return h;
+}
+
+/// One whole frame as contiguous bytes, ready to write to a socket.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_frame(
+    opcode op, status st, std::uint64_t request_id, std::span<const std::uint8_t> payload,
+    std::uint32_t deadline_ms = 0) {
+  frame_header h;
+  h.op          = static_cast<std::uint16_t>(op);
+  h.stat        = static_cast<std::uint16_t>(st);
+  h.request_id  = request_id;
+  h.payload_len = payload.size();
+  h.deadline_ms = deadline_ms;
+  std::vector<std::uint8_t> out;
+  out.reserve(k_header_bytes + payload.size());
+  encode_header(h, out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// --- reply digests -----------------------------------------------------------
+
+/// FNV-1a-64 over the little-endian bytes of a u32 array — how BFS distance
+/// and component-label arrays travel in summary replies.  The differential
+/// suite applies the same digest to arrays computed by direct library calls,
+/// so a single flipped element anywhere fails the bit-exact comparison.
+[[nodiscard]] inline std::uint64_t digest_u32(std::span<const std::uint32_t> values) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint32_t v : values) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+// --- typed request payloads --------------------------------------------------
+
+struct stats_request {
+  std::uint32_t graph = 0;
+};
+struct neighbors_request {
+  std::uint32_t graph = 0;
+  std::uint32_t s     = 1;
+  std::uint64_t edge  = 0;
+};
+struct s_distance_request {
+  std::uint32_t graph = 0;
+  std::uint32_t s     = 1;
+  std::uint64_t src   = 0;
+  std::uint64_t dst   = 0;
+};
+struct bfs_request {
+  std::uint32_t graph  = 0;
+  std::uint64_t source = 0;
+};
+struct s_components_request {
+  std::uint32_t graph = 0;
+  std::uint32_t s     = 1;
+};
+struct centrality_request {
+  std::uint32_t graph = 0;
+  std::uint32_t s     = 1;
+  std::uint32_t kind  = 0;
+  std::uint64_t edge  = 0;
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const stats_request& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.graph);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const neighbors_request& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.graph);
+  put_u32(out, r.s);
+  put_u64(out, r.edge);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const s_distance_request& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.graph);
+  put_u32(out, r.s);
+  put_u64(out, r.src);
+  put_u64(out, r.dst);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const bfs_request& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.graph);
+  put_u64(out, r.source);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const s_components_request& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.graph);
+  put_u32(out, r.s);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const centrality_request& r) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, r.graph);
+  put_u32(out, r.s);
+  put_u32(out, r.kind);
+  put_u64(out, r.edge);
+  return out;
+}
+
+[[nodiscard]] inline stats_request decode_stats(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  stats_request q;
+  q.graph = r.u32();
+  r.expect_end("stats");
+  return q;
+}
+[[nodiscard]] inline neighbors_request decode_neighbors(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  neighbors_request q;
+  q.graph = r.u32();
+  q.s     = r.u32();
+  q.edge  = r.u64();
+  r.expect_end("neighbors");
+  return q;
+}
+[[nodiscard]] inline s_distance_request decode_s_distance(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  s_distance_request q;
+  q.graph = r.u32();
+  q.s     = r.u32();
+  q.src   = r.u64();
+  q.dst   = r.u64();
+  r.expect_end("s_distance");
+  return q;
+}
+[[nodiscard]] inline bfs_request decode_bfs(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  bfs_request q;
+  q.graph  = r.u32();
+  q.source = r.u64();
+  r.expect_end("bfs");
+  return q;
+}
+[[nodiscard]] inline s_components_request decode_s_components(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  s_components_request q;
+  q.graph = r.u32();
+  q.s     = r.u32();
+  r.expect_end("s_components");
+  return q;
+}
+[[nodiscard]] inline centrality_request decode_centrality(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  centrality_request q;
+  q.graph = r.u32();
+  q.s     = r.u32();
+  q.kind  = r.u32();
+  q.edge  = r.u64();
+  r.expect_end("centrality");
+  return q;
+}
+
+// --- typed reply payloads ----------------------------------------------------
+
+/// The sentinel carried by s_distance replies for "unreachable" (and the
+/// only distance value outside [0, 2^32)).
+inline constexpr std::uint64_t k_unreachable = ~std::uint64_t{0};
+
+struct stats_reply {
+  std::uint64_t num_hyperedges = 0;
+  std::uint64_t num_hypernodes = 0;
+  std::uint64_t num_incidences = 0;
+  std::uint64_t epoch          = 0;
+
+  bool operator==(const stats_reply&) const = default;
+};
+struct bfs_reply {
+  std::uint64_t reached_edges = 0;
+  std::uint64_t reached_nodes = 0;
+  std::uint64_t max_depth     = 0;  ///< deepest reached *hyperedge* level
+  std::uint64_t edge_digest   = 0;  ///< digest_u32 of the dist_edge array
+  std::uint64_t node_digest   = 0;  ///< digest_u32 of the dist_node array
+
+  bool operator==(const bfs_reply&) const = default;
+};
+struct s_components_reply {
+  std::uint64_t num_components = 0;
+  std::uint64_t labels_digest  = 0;  ///< digest_u32 of the per-edge label array
+
+  bool operator==(const s_components_reply&) const = default;
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const stats_reply& r) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, r.num_hyperedges);
+  put_u64(out, r.num_hypernodes);
+  put_u64(out, r.num_incidences);
+  put_u64(out, r.epoch);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const bfs_reply& r) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, r.reached_edges);
+  put_u64(out, r.reached_nodes);
+  put_u64(out, r.max_depth);
+  put_u64(out, r.edge_digest);
+  put_u64(out, r.node_digest);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode(const s_components_reply& r) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, r.num_components);
+  put_u64(out, r.labels_digest);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode_neighbors_reply(
+    std::span<const nw::vertex_id_t> sorted_ids) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, sorted_ids.size());
+  for (nw::vertex_id_t v : sorted_ids) put_u64(out, v);
+  return out;
+}
+[[nodiscard]] inline std::vector<std::uint8_t> encode_u64_reply(std::uint64_t v) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, v);
+  return out;
+}
+
+[[nodiscard]] inline stats_reply decode_stats_reply(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  stats_reply q;
+  q.num_hyperedges = r.u64();
+  q.num_hypernodes = r.u64();
+  q.num_incidences = r.u64();
+  q.epoch          = r.u64();
+  r.expect_end("stats reply");
+  return q;
+}
+[[nodiscard]] inline bfs_reply decode_bfs_reply(std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  bfs_reply q;
+  q.reached_edges = r.u64();
+  q.reached_nodes = r.u64();
+  q.max_depth     = r.u64();
+  q.edge_digest   = r.u64();
+  q.node_digest   = r.u64();
+  r.expect_end("bfs reply");
+  return q;
+}
+[[nodiscard]] inline s_components_reply decode_s_components_reply(
+    std::span<const std::uint8_t> p) {
+  wire_reader r(p);
+  s_components_reply q;
+  q.num_components = r.u64();
+  q.labels_digest  = r.u64();
+  r.expect_end("s_components reply");
+  return q;
+}
+[[nodiscard]] inline std::vector<nw::vertex_id_t> decode_neighbors_reply(
+    std::span<const std::uint8_t> p) {
+  wire_reader   r(p);
+  std::uint64_t n = r.u64();
+  if (n > (k_max_reply_payload - 8) / 8) {
+    throw protocol_error("neighbors reply claims " + std::to_string(n) + " ids");
+  }
+  if (r.remaining() != n * 8) {
+    throw protocol_error("neighbors reply length does not match its count");
+  }
+  std::vector<nw::vertex_id_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<nw::vertex_id_t>(r.u64()));
+  }
+  return out;
+}
+[[nodiscard]] inline std::uint64_t decode_u64_reply(std::span<const std::uint8_t> p) {
+  wire_reader   r(p);
+  std::uint64_t v = r.u64();
+  r.expect_end("u64 reply");
+  return v;
+}
+
+/// Double <-> wire bits for the centrality replies (bit pattern travels, so
+/// the differential comparison is exact, not epsilon-based).
+[[nodiscard]] inline std::uint64_t double_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+[[nodiscard]] inline double bits_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+}  // namespace nw::hypergraph::serve

@@ -1,0 +1,85 @@
+// nwhy/serve/registry.hpp
+//
+// Epoch-pinned generation publication — the server's only writer/reader
+// rendezvous.  Readers `pin()` a slot and get a shared_ptr to an immutable
+// serve_graph; publishers `publish()` a replacement, which becomes visible
+// atomically (one mutex-guarded pointer swap — no reader ever observes a
+// half-installed graph, so no reply can mix two generations).  The
+// displaced generation is *retired*, not destroyed: in-flight pins keep it
+// (and its mmap'd snapshot bytes, via the generation's io_keepalive) alive,
+// and it is reclaimed by plain shared_ptr accounting when the last pin
+// drops.  `retired_live()` exposes that accounting so tests can prove
+// reclamation actually happens instead of trusting it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nwhy/serve/query.hpp"
+
+namespace nw::hypergraph::serve {
+
+class generation_registry {
+public:
+  explicit generation_registry(std::size_t num_slots = 1) : slots_(num_slots) {}
+
+  [[nodiscard]] std::size_t num_slots() const { return slots_.size(); }
+
+  /// Pin the current generation of `slot`.  nullptr when the slot id is out
+  /// of range or nothing has been published there yet (→ status::no_graph).
+  /// The returned shared_ptr IS the pin: the generation cannot be reclaimed
+  /// while the caller holds it.
+  [[nodiscard]] std::shared_ptr<const serve_graph> pin(std::uint32_t slot) const {
+    if (slot >= slots_.size()) return nullptr;
+    std::lock_guard lock(slots_[slot].mu);
+    return slots_[slot].current;
+  }
+
+  /// Publish `graph` into `slot`, stamping it with the next epoch.  The old
+  /// generation (if any) moves to the retired list as a weak_ptr; expired
+  /// entries are pruned on the way.  Returns the assigned epoch.
+  std::uint64_t publish(std::uint32_t slot, serve_graph graph) {
+    if (slot >= slots_.size()) throw std::out_of_range("generation_registry: bad slot");
+    graph.epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto fresh  = std::make_shared<const serve_graph>(std::move(graph));
+    std::lock_guard lock(slots_[slot].mu);
+    if (slots_[slot].current) {
+      prune_retired(slots_[slot]);
+      slots_[slot].retired.emplace_back(slots_[slot].current);
+    }
+    slots_[slot].current = std::move(fresh);
+    return slots_[slot].current->epoch;
+  }
+
+  /// Number of displaced generations of `slot` still kept alive by reader
+  /// pins.  Drops to 0 once every in-flight query against the old
+  /// generation has finished — the observable form of epoch reclamation.
+  [[nodiscard]] std::size_t retired_live(std::uint32_t slot) const {
+    if (slot >= slots_.size()) return 0;
+    std::lock_guard lock(slots_[slot].mu);
+    std::size_t     live = 0;
+    for (const auto& w : slots_[slot].retired) {
+      if (!w.expired()) ++live;
+    }
+    return live;
+  }
+
+private:
+  struct slot_state {
+    mutable std::mutex                                mu;
+    std::shared_ptr<const serve_graph>                current;
+    std::vector<std::weak_ptr<const serve_graph>>     retired;
+  };
+
+  static void prune_retired(slot_state& s) {
+    std::erase_if(s.retired, [](const auto& w) { return w.expired(); });
+  }
+
+  std::vector<slot_state>    slots_;
+  std::atomic<std::uint64_t> next_epoch_{0};
+};
+
+}  // namespace nw::hypergraph::serve

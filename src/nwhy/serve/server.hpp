@@ -1,0 +1,478 @@
+// nwhy/serve/server.hpp
+//
+// The socket front-end of nwhy_serve: accepts connections on a Unix or TCP
+// loopback listener, frames requests off each connection (one reader
+// thread per connection), and hands them to the dispatcher.  Replies are
+// written by whichever worker finishes the request — out of order relative
+// to arrival — under a per-connection write mutex, matched to requests by
+// the echoed request_id.
+//
+// Malformed-input policy (normative in docs/PROTOCOL.md, enforced here and
+// in the decode layer, proven by the crafted-frame suite):
+//
+//   * not our protocol (bad magic)            → close, no reply
+//   * unframeable (bad header fields,
+//     payload_len over the request cap)       → bad_frame reply, then close
+//     — after a length lie the byte stream cannot be re-synchronized
+//   * truncated stream (EOF mid-frame)        → clean close
+//   * unknown opcode, sane framing           → bad_opcode reply, connection
+//     stays usable
+//   * known opcode, wrong payload shape      → bad_frame reply, connection
+//     stays usable (the frame boundary was still trustworthy)
+//
+// Generation lifecycle: the server owns a generation_registry; `publish()`
+// installs a new epoch atomically while connection threads pin the current
+// one per request.  A pin taken before a swap answers from the old
+// generation; one taken after answers from the new — never a mixture,
+// because a request resolves its pin exactly once.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nwhy/serve/dispatcher.hpp"
+#include "nwhy/serve/registry.hpp"
+#include "nwutil/env.hpp"
+
+namespace nw::hypergraph::serve {
+
+namespace net {
+
+/// recv() exactly `len` bytes; false on EOF or error (EINTR retried).
+inline bool read_full(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::recv(fd, p, len, 0);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    } else if (n == 0) {
+      return false;
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// send() all of `len` bytes; false on error (EINTR retried, SIGPIPE
+/// suppressed — a vanished client must not kill the daemon).
+inline bool send_full(int fd, const void* buf, std::size_t len) {
+  auto* p = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace net
+
+class server {
+public:
+  struct options {
+    /// Exactly one of these selects the listener: a Unix-socket path, or a
+    /// TCP loopback port (0 = ephemeral; read the result from bound_port()).
+    std::string   unix_path;
+    bool          use_tcp  = false;
+    std::uint16_t tcp_port = 0;
+
+    unsigned    threads        = 0;  ///< dispatcher workers (0 = env/hw default)
+    std::size_t queue_capacity = 0;  ///< admission queue (0 = env default)
+    /// Default per-request deadline when the frame carries 0; 0 = consult
+    /// NWHY_SERVE_DEADLINE_MS, whose own default (0) means "no deadline".
+    std::uint32_t default_deadline_ms = 0;
+    std::size_t   num_slots           = 4;     ///< graph slots in the registry
+    std::size_t   max_connections     = 256;   ///< concurrent connection cap
+    bool          enable_debug_ops    = false; ///< accept opcode::sleep_debug
+    bool          allow_shutdown      = false; ///< accept opcode::shutdown
+  };
+
+  explicit server(options opt)
+      : opt_(std::move(opt)),
+        registry_(opt_.num_slots),
+        dispatcher_({opt_.threads, opt_.queue_capacity}) {
+    if (opt_.default_deadline_ms == 0) {
+      opt_.default_deadline_ms = static_cast<std::uint32_t>(
+          nw::util::env_u64_strict("NWHY_SERVE_DEADLINE_MS", 0, 0, 3'600'000));
+    }
+    listen_fd_ = opt_.use_tcp ? listen_tcp() : listen_unix();
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  server(const server&)            = delete;
+  server& operator=(const server&) = delete;
+  ~server() { stop(); }
+
+  /// Publish a graph into a slot (epoch assigned by the registry).
+  std::uint64_t publish(std::uint32_t slot, serve_graph graph) {
+    return registry_.publish(slot, std::move(graph));
+  }
+
+  [[nodiscard]] const generation_registry& registry() const { return registry_; }
+  [[nodiscard]] dispatch_metrics           metrics() const { return dispatcher_.snapshot(); }
+  [[nodiscard]] unsigned                   num_workers() const { return dispatcher_.num_threads(); }
+  [[nodiscard]] std::uint16_t              bound_port() const { return bound_port_; }
+
+  /// "unix:<path>" or "tcp:127.0.0.1:<port>" — what clients connect() to.
+  [[nodiscard]] std::string address() const {
+    if (opt_.use_tcp) return "tcp:127.0.0.1:" + std::to_string(bound_port_);
+    return "unix:" + opt_.unix_path;
+  }
+
+  /// Block until a shutdown request arrives (opcode::shutdown, or stop()
+  /// from another thread).  The daemon's main thread parks here.
+  void wait() {
+    std::unique_lock lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+  }
+
+  /// Tear down: close the listener, shut down every live connection, join
+  /// all threads, drain the dispatcher.  Must not be called from a
+  /// connection thread (it joins them); the shutdown opcode therefore only
+  /// *signals* wait() and lets the owning thread call stop().  Idempotent.
+  void stop() {
+    {
+      std::lock_guard lock(shutdown_mu_);
+      if (stopped_) return;
+      stopped_            = true;
+      shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::unordered_map<std::thread::id, std::thread> threads;
+    {
+      std::lock_guard lock(conns_mu_);
+      for (auto& c : conns_) ::shutdown(c->fd, SHUT_RDWR);
+      threads.swap(conn_threads_);
+      finished_.clear();
+    }
+    for (auto& [id, t] : threads) {
+      if (t.joinable()) t.join();
+    }
+    dispatcher_.stop();
+    {
+      std::lock_guard lock(conns_mu_);
+      conns_.clear();
+    }
+    if (!opt_.use_tcp && !opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+  }
+
+private:
+  /// Shared between the connection's reader thread and every in-flight
+  /// completion callback; the fd closes only when the last holder drops,
+  /// so a late reply can never write to a recycled descriptor.
+  struct conn_state {
+    explicit conn_state(int f) : fd(f) {}
+    ~conn_state() {
+      if (fd >= 0) ::close(fd);
+    }
+    conn_state(const conn_state&)            = delete;
+    conn_state& operator=(const conn_state&) = delete;
+
+    int        fd;
+    std::mutex write_mu;  ///< workers reply out of order; frames must not interleave
+  };
+
+  [[nodiscard]] int listen_unix() {
+    if (opt_.unix_path.empty()) {
+      throw std::runtime_error("server: unix_path required without use_tcp");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("server: unix socket path too long: " + opt_.unix_path);
+    }
+    std::memcpy(addr.sun_path, opt_.unix_path.c_str(), opt_.unix_path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("server: socket() failed");
+    ::unlink(opt_.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int err = errno;
+      ::close(fd);
+      throw std::runtime_error("server: bind(" + opt_.unix_path +
+                               ") failed: " + std::strerror(err));
+    }
+    if (::listen(fd, 64) != 0) {
+      int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("server: listen() failed: ") + std::strerror(err));
+    }
+    return fd;
+  }
+
+  [[nodiscard]] int listen_tcp() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("server: socket() failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family      = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port        = htons(opt_.tcp_port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("server: bind(127.0.0.1:") +
+                               std::to_string(opt_.tcp_port) +
+                               ") failed: " + std::strerror(err));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      bound_port_ = ntohs(addr.sin_port);
+    }
+    if (::listen(fd, 64) != 0) {
+      int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("server: listen() failed: ") + std::strerror(err));
+    }
+    return fd;
+  }
+
+  void accept_loop() {
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down
+      }
+      {
+        std::lock_guard lock(shutdown_mu_);
+        if (stopped_) {
+          ::close(fd);
+          return;
+        }
+      }
+      auto conn = std::make_shared<conn_state>(fd);
+      {
+        std::lock_guard lock(conns_mu_);
+        reap_finished();
+        if (conns_.size() >= opt_.max_connections) {
+          // Over the cap: refuse by immediate close (conn dtor closes fd).
+          continue;
+        }
+        conns_.push_back(conn);
+      }
+      std::thread t([this, conn] {
+        connection_loop(conn);
+        finish_connection(conn);
+      });
+      std::lock_guard lock(conns_mu_);
+      conn_threads_.emplace(t.get_id(), std::move(t));
+    }
+  }
+
+  /// Runs on the connection's own thread once its reader loop exits, for
+  /// any reason (client EOF, bad magic, length lie).  The shutdown() makes
+  /// the close visible to the peer immediately — a protocol-violating
+  /// client must observe EOF now, not when the whole server stops — while
+  /// the fd itself closes when the last completion callback drops `conn`.
+  /// Dropping the conns_ entry also frees its max_connections slot.
+  void finish_connection(const std::shared_ptr<conn_state>& conn) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    std::lock_guard lock(conns_mu_);
+    std::erase(conns_, conn);
+    finished_.push_back(std::this_thread::get_id());
+  }
+
+  /// Join connection threads that announced completion (called under
+  /// conns_mu_).  An id not yet registered in conn_threads_ — the thread
+  /// outran accept_loop's emplace — stays queued for the next pass.
+  void reap_finished() {
+    std::vector<std::thread::id> keep;
+    for (auto id : finished_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) {
+        keep.push_back(id);
+        continue;
+      }
+      it->second.join();
+      conn_threads_.erase(it);
+    }
+    finished_ = std::move(keep);
+  }
+
+  void send_reply(const std::shared_ptr<conn_state>& conn, opcode op, status st,
+                  std::uint64_t request_id, std::span<const std::uint8_t> payload) {
+    auto            frame = encode_frame(op, st, request_id, payload);
+    std::lock_guard lock(conn->write_mu);
+    // A failed send means the client vanished; its reader thread will see
+    // the close and exit — nothing to do here.
+    (void)net::send_full(conn->fd, frame.data(), frame.size());
+  }
+
+  [[nodiscard]] deadline_token resolve_deadline(std::uint32_t frame_ms) const {
+    const std::uint32_t ms = frame_ms != 0 ? frame_ms : opt_.default_deadline_ms;
+    if (ms == 0) return deadline_token{};
+    return deadline_token(deadline_token::clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  [[nodiscard]] static bool known_opcode(std::uint16_t op) {
+    switch (static_cast<opcode>(op)) {
+      case opcode::ping:
+      case opcode::stats:
+      case opcode::neighbors:
+      case opcode::s_distance:
+      case opcode::bfs:
+      case opcode::s_components:
+      case opcode::centrality:
+      case opcode::sleep_debug:
+      case opcode::shutdown:
+        return true;
+    }
+    return false;
+  }
+
+  void connection_loop(std::shared_ptr<conn_state> conn) {
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+      std::uint8_t raw[k_header_bytes];
+      if (!net::read_full(conn->fd, raw, sizeof raw)) return;  // EOF / torn header
+      const frame_header h  = decode_header(raw);
+      const auto         op = static_cast<opcode>(h.op);
+
+      if (h.magic != k_magic) return;  // not our protocol: close silently
+      if (h.stat != 0 || h.reserved != 0) {
+        send_reply(conn, op, status::bad_frame, h.request_id,
+                   as_bytes("request header carries nonzero status/reserved"));
+        return;
+      }
+      if (h.payload_len > k_max_request_payload) {
+        // The claimed length may be a lie (up to ~2^64); the stream cannot
+        // be re-synchronized past it, so reply and drop the connection.
+        send_reply(conn, op, status::bad_frame, h.request_id,
+                   as_bytes("request payload length exceeds cap"));
+        return;
+      }
+      payload.resize(static_cast<std::size_t>(h.payload_len));
+      if (h.payload_len > 0 && !net::read_full(conn->fd, payload.data(), payload.size())) {
+        return;  // truncated payload: clean close
+      }
+
+      if (!known_opcode(h.op)) {
+        send_reply(conn, op, status::bad_opcode, h.request_id, as_bytes("unknown opcode"));
+        continue;  // framing was sound; connection stays usable
+      }
+
+      switch (op) {
+        case opcode::ping: {
+          send_reply(conn, op,
+                     payload.empty() ? status::ok : status::bad_frame, h.request_id,
+                     payload.empty() ? std::span<const std::uint8_t>{}
+                                     : as_bytes("ping carries no payload"));
+          continue;
+        }
+        case opcode::shutdown: {
+          if (!opt_.allow_shutdown) {
+            send_reply(conn, op, status::bad_opcode, h.request_id,
+                       as_bytes("shutdown disabled"));
+            continue;
+          }
+          if (!payload.empty()) {
+            send_reply(conn, op, status::bad_frame, h.request_id,
+                       as_bytes("shutdown carries no payload"));
+            continue;
+          }
+          send_reply(conn, op, status::ok, h.request_id, {});
+          {
+            std::lock_guard lock(shutdown_mu_);
+            shutdown_requested_ = true;
+          }
+          shutdown_cv_.notify_all();
+          continue;
+        }
+        case opcode::sleep_debug: {
+          if (!opt_.enable_debug_ops) {
+            send_reply(conn, op, status::bad_opcode, h.request_id,
+                       as_bytes("debug ops disabled"));
+            continue;
+          }
+          dispatch(conn, op, h, nullptr, std::move(payload));
+          continue;
+        }
+        default: {
+          // Every graph opcode's payload starts with the u32 slot id; the
+          // pin must resolve here, pre-queue, so the coalescing key (and
+          // the reply) bind to exactly one epoch.
+          if (payload.size() < 4) {
+            send_reply(conn, op, status::bad_frame, h.request_id,
+                       as_bytes("payload too short for a graph request"));
+            continue;
+          }
+          auto graph = registry_.pin(get_u32(payload.data()));
+          if (!graph) {
+            send_reply(conn, op, status::no_graph, h.request_id,
+                       as_bytes("no generation published for graph id"));
+            continue;
+          }
+          dispatch(conn, op, h, std::move(graph), std::move(payload));
+          continue;
+        }
+      }
+    }
+  }
+
+  void dispatch(const std::shared_ptr<conn_state>& conn, opcode op, const frame_header& h,
+                std::shared_ptr<const serve_graph> graph,
+                std::vector<std::uint8_t>          payload) {
+    const std::uint64_t request_id = h.request_id;
+    const bool accepted = dispatcher_.submit(
+        std::move(graph), op, std::move(payload), resolve_deadline(h.deadline_ms),
+        [this, conn, op, request_id](reply_data reply) {
+          send_reply(conn, op, reply.st, request_id, reply.payload);
+        });
+    if (!accepted) {
+      send_reply(conn, op, status::busy, request_id, as_bytes("admission queue full"));
+    }
+  }
+
+  [[nodiscard]] static std::span<const std::uint8_t> as_bytes(std::string_view s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+  }
+
+  options              opt_;
+  generation_registry  registry_;
+  dispatcher           dispatcher_;
+  int                  listen_fd_  = -1;
+  std::uint16_t        bound_port_ = 0;
+  std::thread          accept_thread_;
+
+  std::mutex                                       conns_mu_;
+  std::vector<std::shared_ptr<conn_state>>         conns_;
+  std::unordered_map<std::thread::id, std::thread> conn_threads_;
+  std::vector<std::thread::id>                     finished_;
+
+  std::mutex              shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool                    shutdown_requested_ = false;
+  bool                    stopped_            = false;
+};
+
+}  // namespace nw::hypergraph::serve

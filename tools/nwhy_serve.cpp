@@ -1,0 +1,397 @@
+// tools/nwhy_serve.cpp
+//
+// The NWHy query daemon and its client-side companions.  Three modes:
+//
+//   nwhy_serve serve <file> --listen <addr> [options]
+//       Load a hypergraph (same formats as nwhy_tool), publish it as
+//       generation 0, and serve the NWSERVE1 protocol (docs/PROTOCOL.md)
+//       until stopped.  <addr> is `unix:/path/to.sock` or `tcp:<port>`
+//       (port 0 binds an ephemeral port; the actual address is printed,
+//       and written to --ready-file when given, so scripts can wait for
+//       the listener without racing it).
+//         --threads N       worker pool size   (default NWHY_SERVE_THREADS)
+//         --queue N         admission queue    (default NWHY_SERVE_QUEUE)
+//         --deadline-ms N   default deadline   (default NWHY_SERVE_DEADLINE_MS)
+//         --debug-ops       accept sleep_debug (test/diagnostic traffic)
+//         --allow-shutdown  accept the remote shutdown opcode
+//
+//   nwhy_serve load <addr> [--clients N] [--requests N] [--seed S]
+//              [--deadline-ms N]
+//       Multi-client randomized load generator: each client thread opens
+//       its own connection and fires a seed-derived mix of stats /
+//       neighbors / s-distance / BFS / components / centrality requests,
+//       then the merged latency distribution (QPS, p50/p99) and per-status
+//       tallies are printed.  Every request carries a deadline (default
+//       1000 ms) — whole-graph queries on large inputs are legitimately
+//       slow, and a bounded load run is the point; deadline-exceeded
+//       replies are expected, not failures.  Exits nonzero if any reply
+//       carries a status outside the expected set (ok / busy /
+//       deadline_exceeded) or any connection breaks — the CI smoke gate in
+//       check.sh --serve.
+//
+//   nwhy_serve ask <addr> <stats|bfs <edge-id>|ping|shutdown>
+//       One-shot queries printing *exactly* the corresponding nwhy_tool
+//       lines (stats header, `reached ...` BFS summary) so a script can
+//       diff online answers against offline ones byte-for-byte.
+//
+// Exit codes: 0 success, 1 runtime/protocol failure, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nwhy.hpp"
+
+using namespace nw::hypergraph;
+namespace sv = nw::hypergraph::serve;
+using nw::vertex_id_t;
+
+namespace {
+
+bool has_suffix(const std::string& path, const char* suffix) {
+  std::size_t n = std::strlen(suffix);
+  return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+}
+
+/// Same format dispatch as nwhy_tool: .nwcsr snapshots adopt zero-copy.
+NWHypergraph load_hypergraph(const std::string& path) {
+  if (has_suffix(path, ".nwcsr")) return NWHypergraph(load_csr_snapshot(path));
+  if (has_suffix(path, ".bin")) return NWHypergraph(read_binary(path));
+  if (has_suffix(path, ".tsv") || has_suffix(path, ".konect")) {
+    return NWHypergraph(read_konect_bipartite(path));
+  }
+  return NWHypergraph(graph_reader(path));
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: nwhy_serve serve <file> --listen <unix:PATH|tcp:PORT> [--threads N]\n"
+      "                  [--queue N] [--deadline-ms N] [--debug-ops]\n"
+      "                  [--allow-shutdown] [--ready-file PATH]\n"
+      "       nwhy_serve load <addr> [--clients N] [--requests N] [--seed S]\n"
+      "       nwhy_serve ask <addr> <stats|bfs EDGE|ping|shutdown>\n");
+}
+
+// --- serve mode --------------------------------------------------------------
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string   file;
+  std::string   listen;
+  std::string   ready_file;
+  unsigned      threads        = 0;
+  std::size_t   queue          = 0;
+  std::uint32_t deadline_ms    = 0;
+  bool          debug_ops      = false;
+  bool          allow_shutdown = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--listen") {
+      listen = next();
+    } else if (a == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (a == "--queue") {
+      queue = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (a == "--deadline-ms") {
+      deadline_ms = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (a == "--ready-file") {
+      ready_file = next();
+    } else if (a == "--debug-ops") {
+      debug_ops = true;
+    } else if (a == "--allow-shutdown") {
+      allow_shutdown = true;
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (file.empty() || listen.empty()) {
+    usage();
+    return 2;
+  }
+
+  sv::server::options opt;
+  if (listen.rfind("unix:", 0) == 0) {
+    opt.unix_path = listen.substr(5);
+  } else if (listen.rfind("tcp:", 0) == 0) {
+    opt.use_tcp  = true;
+    opt.tcp_port = static_cast<std::uint16_t>(std::strtoul(listen.c_str() + 4, nullptr, 10));
+  } else {
+    std::fprintf(stderr, "error: --listen must be unix:PATH or tcp:PORT\n");
+    return 2;
+  }
+  opt.threads             = threads;
+  opt.queue_capacity      = queue;
+  opt.default_deadline_ms = deadline_ms;
+  opt.enable_debug_ops    = debug_ops;
+  opt.allow_shutdown      = allow_shutdown;
+
+  NWHypergraph hg = load_hypergraph(file);
+  // Serving requires plain external-id storage: fold away a relabeled
+  // snapshot's storage permutation once at load instead of translating ids
+  // on every request.
+  if (hg.is_relabeled()) hg.derelabel();
+  std::printf("loaded %s: %zu hyperedges, %zu hypernodes, %zu incidences\n", file.c_str(),
+              hg.num_hyperedges(), hg.num_hypernodes(), hg.num_incidences());
+
+  sv::server srv(opt);
+  srv.publish(0, sv::make_serve_graph(hg));
+  const std::string addr = srv.address();
+  std::printf("listening on %s (%u workers)\n", addr.c_str(), srv.num_workers());
+  std::fflush(stdout);
+  if (!ready_file.empty()) {
+    std::ofstream rf(ready_file);
+    rf << addr << '\n';
+  }
+  srv.wait();
+  srv.stop();
+  auto m = srv.metrics();
+  std::printf("served %llu requests (busy %llu, deadline %llu, coalesced %llu)\n",
+              static_cast<unsigned long long>(m.completed),
+              static_cast<unsigned long long>(m.rejected_busy),
+              static_cast<unsigned long long>(m.deadline_exceeded),
+              static_cast<unsigned long long>(m.coalesced));
+  return 0;
+}
+
+// --- load mode ---------------------------------------------------------------
+
+struct load_result {
+  std::vector<double> latencies_ms;
+  std::uint64_t       ok = 0, busy = 0, deadline = 0, unexpected = 0;
+  bool                failed = false;
+};
+
+void load_worker(const std::string& addr, std::uint64_t seed, std::size_t requests,
+                 std::uint32_t deadline_ms, load_result& out) {
+  try {
+    sv::client c;
+    c.connect(addr);
+    auto st = c.stats(0);
+    if (!st || !st->ok()) {
+      out.failed = true;
+      return;
+    }
+    const auto      info = sv::decode_stats_reply(st->payload);
+    const auto      ne   = info.num_hyperedges;
+    nw::xoshiro256ss rng(seed);
+    out.latencies_ms.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      const std::uint64_t e = ne != 0 ? rng.bounded(ne) : 0;
+      const std::uint32_t s = 1 + static_cast<std::uint32_t>(rng.bounded(3));
+      const auto          t0 = std::chrono::steady_clock::now();
+      std::optional<sv::client_reply> r;
+      switch (rng.bounded(6)) {
+        case 0: r = c.stats(0, deadline_ms); break;
+        case 1: r = c.neighbors(0, s, e, deadline_ms); break;
+        case 2:
+          r = c.s_distance(0, s, e, ne != 0 ? rng.bounded(ne) : 0, deadline_ms);
+          break;
+        case 3: r = c.bfs(0, e, deadline_ms); break;
+        case 4: r = c.s_components(0, s, deadline_ms); break;
+        default:
+          r = c.centrality(0, s, static_cast<sv::centrality_kind>(rng.bounded(3)), e,
+                           deadline_ms);
+          break;
+      }
+      out.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count());
+      if (!r) {
+        out.failed = true;
+        return;
+      }
+      switch (r->st) {
+        case sv::status::ok: ++out.ok; break;
+        case sv::status::busy: ++out.busy; break;
+        case sv::status::deadline_exceeded: ++out.deadline; break;
+        default: ++out.unexpected; break;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: load client: %s\n", e.what());
+    out.failed = true;
+  }
+}
+
+int cmd_load(const std::vector<std::string>& args) {
+  std::string   addr;
+  std::size_t   clients     = 4;
+  std::size_t   requests    = 200;
+  std::uint64_t seed        = 0x5eed5e7fULL;
+  std::uint32_t deadline_ms = 1000;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--clients") {
+      clients = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (a == "--requests") {
+      requests = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (a == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--deadline-ms") {
+      deadline_ms = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (addr.empty()) {
+      addr = a;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (addr.empty() || clients == 0) {
+    usage();
+    return 2;
+  }
+
+  std::vector<load_result> results(clients);
+  std::vector<std::thread> threads;
+  const auto               t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < clients; ++i) {
+    threads.emplace_back(load_worker, addr, seed + i, requests, deadline_ms,
+                         std::ref(results[i]));
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<double> lat;
+  std::uint64_t       ok = 0, busy = 0, deadline = 0, unexpected = 0;
+  bool                failed = false;
+  for (const auto& r : results) {
+    lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+    ok += r.ok;
+    busy += r.busy;
+    deadline += r.deadline;
+    unexpected += r.unexpected;
+    failed = failed || r.failed;
+  }
+  std::sort(lat.begin(), lat.end());
+  const double p50 = lat.empty() ? 0 : lat[lat.size() / 2];
+  const double p99 =
+      lat.empty() ? 0 : lat[std::min(lat.size() - 1, (lat.size() * 99) / 100)];
+  const double qps = elapsed_s > 0 ? static_cast<double>(lat.size()) / elapsed_s : 0;
+
+  std::printf("%zu clients x %zu requests in %.2f s\n", clients, requests, elapsed_s);
+  std::printf("qps %.0f  p50 %.3f ms  p99 %.3f ms\n", qps, p50, p99);
+  std::printf("status: ok %llu, busy %llu, deadline %llu, unexpected %llu\n",
+              static_cast<unsigned long long>(ok), static_cast<unsigned long long>(busy),
+              static_cast<unsigned long long>(deadline),
+              static_cast<unsigned long long>(unexpected));
+  if (failed || unexpected != 0) {
+    std::fprintf(stderr, "error: load run saw failures\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --- ask mode ----------------------------------------------------------------
+
+int cmd_ask(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    usage();
+    return 2;
+  }
+  const std::string& addr = args[0];
+  const std::string& what = args[1];
+  sv::client         c;
+  c.connect(addr);
+
+  if (what == "ping") {
+    auto r = c.ping();
+    if (!r || !r->ok()) {
+      std::fprintf(stderr, "error: ping failed\n");
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (what == "shutdown") {
+    auto r = c.shutdown();
+    if (!r || !r->ok()) {
+      std::fprintf(stderr, "error: shutdown refused: %s\n",
+                   r ? sv::status_name(r->st) : "disconnected");
+      return 1;
+    }
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+  if (what == "stats") {
+    auto r = c.stats(0);
+    if (!r || !r->ok()) {
+      std::fprintf(stderr, "error: stats failed: %s\n",
+                   r ? sv::status_name(r->st) : "disconnected");
+      return 1;
+    }
+    auto s = sv::decode_stats_reply(r->payload);
+    // Byte-identical to nwhy_tool stats' first three lines, for diffing.
+    std::printf("hyperedges   : %zu\n", static_cast<std::size_t>(s.num_hyperedges));
+    std::printf("hypernodes   : %zu\n", static_cast<std::size_t>(s.num_hypernodes));
+    std::printf("incidences   : %zu\n", static_cast<std::size_t>(s.num_incidences));
+    return 0;
+  }
+  if (what == "bfs" && args.size() >= 3) {
+    const auto source = static_cast<std::uint64_t>(std::strtoull(args[2].c_str(), nullptr, 10));
+    auto       st     = c.stats(0);
+    auto       r      = c.bfs(0, source);
+    if (!st || !st->ok() || !r || !r->ok()) {
+      std::fprintf(stderr, "error: bfs failed: %s\n",
+                   r ? sv::status_name(r->st) : "disconnected");
+      return 1;
+    }
+    auto info = sv::decode_stats_reply(st->payload);
+    auto b    = sv::decode_bfs_reply(r->payload);
+    // Byte-identical to nwhy_tool's print_bfs_summary second line.
+    std::printf("reached %zu/%zu hyperedges, %zu/%zu hypernodes, max depth %u\n",
+                static_cast<std::size_t>(b.reached_edges),
+                static_cast<std::size_t>(info.num_hyperedges),
+                static_cast<std::size_t>(b.reached_nodes),
+                static_cast<std::size_t>(info.num_hypernodes),
+                static_cast<unsigned>(b.max_depth));
+    return 0;
+  }
+  usage();
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    usage();
+    return 2;
+  }
+  const std::string mode = args[0];
+  args.erase(args.begin());
+  try {
+    if (mode == "serve") return cmd_serve(args);
+    if (mode == "load") return cmd_load(args);
+    if (mode == "ask") return cmd_ask(args);
+  } catch (const nw::hypergraph::io_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
