@@ -1,0 +1,107 @@
+// bench/bench_betweenness.cpp — batched Brandes s-betweenness on the s-line
+// graph: the exact all-sources pass versus the seed-driven sampled estimator,
+// each swept over NWHY_BENCH_THREADS on a generated hypergraph's s=2 line
+// graph.
+//
+// Operations:
+//   betweenness-exact    betweenness_batched over every line-graph vertex
+//                        (NWHY_BETWEENNESS_BATCH sources per frontier pass)
+//   betweenness-sampled  betweenness_sampled with NWHY_BETWEENNESS_SAMPLES
+//                        seed-driven sources (seed fixed, so every thread
+//                        count prices the identical work)
+//
+//   NWHY_BENCH_JSON  path; when set the harness writes machine-readable
+//                    records for scripts/bench_snapshot.sh: schema section
+//                    "betweenness" of nwhy-bench-analytics-v1, one record per
+//                    operation x thread-count: {"dataset", "operation", "s",
+//                    "vertices", "samples", "threads", "median_ms",
+//                    "peak_rss_kb"}
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct sample {
+  std::string operation;
+  std::size_t samples;  // 0 for the exact pass
+  unsigned    threads;
+  double      median_ms;
+};
+
+int run_json_mode(const char* path, const std::string& dataset, std::size_t s,
+                  std::size_t vertices, const std::vector<sample>& rows) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "[");
+  bool first = true;
+  for (const auto& r : rows) {
+    std::fprintf(out,
+                 "%s\n  {\"dataset\": \"%s\", \"operation\": \"%s\", \"s\": %zu, "
+                 "\"vertices\": %zu, \"samples\": %zu, \"threads\": %u, "
+                 "\"median_ms\": %.4f, \"peak_rss_kb\": %ld}",
+                 first ? "" : ",", dataset.c_str(), r.operation.c_str(), s, vertices,
+                 r.samples, r.threads, r.median_ms, peak_rss_kb());
+    first = false;
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] wrote betweenness sweep to %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  install_profile_export();
+
+  const std::size_t scale = env_size("NWHY_BENCH_SCALE", 1);
+  const std::size_t ne    = 4000 * scale;
+  const std::size_t nv    = 1000 * scale;
+  const std::size_t s     = 2;
+  const std::string name  = "Rand-betweenness";
+
+  biedgelist<> el = gen::uniform_random_hypergraph(ne, nv, 8, 0xBC01);
+  el.sort_and_unique();
+  NWHypergraph hg{std::move(el)};
+  auto         lg = hg.make_s_linegraph(s);
+  const std::size_t n       = lg.num_vertices();
+  const std::size_t samples = betweenness_samples();
+
+  std::vector<sample> rows;
+  for (unsigned threads : env_threads()) {
+    nw::par::thread_pool::set_default_concurrency(threads);
+    rows.push_back({"betweenness-exact", 0, threads, time_median_ms([&] {
+                      auto bc = lg.s_betweenness_centrality_batched();
+                      (void)bc;
+                    })});
+    rows.push_back({"betweenness-sampled", samples, threads, time_median_ms([&] {
+                      auto bc = lg.s_betweenness_centrality_sampled(samples, 0xBC5EED);
+                      (void)bc;
+                    })});
+  }
+  nw::par::thread_pool::set_default_concurrency(
+      std::max(1u, std::thread::hardware_concurrency()));
+
+  if (const char* json = std::getenv("NWHY_BENCH_JSON"); json != nullptr && *json != '\0') {
+    return run_json_mode(json, name, s, n, rows);
+  }
+
+  std::printf("s-betweenness — exact batched vs sampled (median of %zu reps)\n",
+              env_size("NWHY_BENCH_REPS", 3));
+  std::printf("dataset %s: s = %zu line graph, %zu vertices, %zu edges\n", name.c_str(), s, n,
+              lg.num_edges());
+  std::printf("%-20s %8s %8s %12s\n", "operation", "samples", "threads", "median ms");
+  for (const auto& r : rows) {
+    std::printf("%-20s %8zu %8u %12.4f\n", r.operation.c_str(), r.samples, r.threads,
+                r.median_ms);
+  }
+  return 0;
+}

@@ -56,8 +56,18 @@
 #           query-serving (neighbors/bfs/mixed) throughputs this file
 #           freezes
 #
-# Usage: scripts/bench_snapshot.sh [--allow-debug] [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json] [serve.json]
-#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json BENCH_dynamic.json BENCH_serve.json
+# BENCH_analytics.json merges two sections:
+#   betweenness — bench_betweenness in NWHY_BENCH_JSON mode: one record per
+#                 operation (betweenness-exact / betweenness-sampled) x
+#                 thread-count on a generated s=2 line graph, with the
+#                 sample count and peak_rss_kb — the exact-vs-sampled cost
+#                 gap this file freezes
+#   motif       — bench_motif in NWHY_BENCH_JSON mode: one motif-census
+#                 record per thread-count with the wedge count, showing the
+#                 per-wedge parallel_for scaling
+#
+# Usage: scripts/bench_snapshot.sh [--allow-debug] [build-dir] [slinegraph.json] [traversal.json] [io.json] [dynamic.json] [serve.json] [analytics.json]
+#   defaults: build BENCH_slinegraph.json BENCH_traversal.json BENCH_io.json BENCH_dynamic.json BENCH_serve.json BENCH_analytics.json
 #
 # A non-Release build dir is refused unless --allow-debug is given: numbers
 # from -O0/-g builds have silently polluted checked-in baselines before.
@@ -91,6 +101,7 @@ OUT_TRAVERSAL=${3:-BENCH_traversal.json}
 OUT_IO=${4:-BENCH_io.json}
 OUT_DYNAMIC=${5:-BENCH_dynamic.json}
 OUT_SERVE=${6:-BENCH_serve.json}
+OUT_ANALYTICS=${7:-BENCH_analytics.json}
 
 # Refuse to freeze baselines from anything but a Release build unless the
 # caller explicitly opted in.  The build type comes from the CMake cache, so
@@ -120,7 +131,7 @@ export NWHY_BENCH_REPS="${NWHY_BENCH_REPS:-3}"
 export NWHY_BENCH_DATASETS="${NWHY_BENCH_DATASETS-Friendster-sim,Rand1-sim}"
 
 cmake --build "$BUILD" --target bench_fig9_slinegraph bench_fig8_bfs bench_fig7_cc bench_micro \
-  bench_io bench_dynamic bench_serve -j "$(nproc)"
+  bench_io bench_dynamic bench_serve bench_betweenness bench_motif -j "$(nproc)"
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -131,17 +142,20 @@ NWHY_BENCH_JSON="$TMP/cc.json" "$BUILD/bench/bench_fig7_cc"
 NWHY_BENCH_JSON="$TMP/io.json" "$BUILD/bench/bench_io"
 NWHY_BENCH_JSON="$TMP/dynamic.json" "$BUILD/bench/bench_dynamic"
 NWHY_BENCH_JSON="$TMP/serve.json" "$BUILD/bench/bench_serve"
+NWHY_BENCH_JSON="$TMP/betweenness.json" "$BUILD/bench/bench_betweenness"
+NWHY_BENCH_JSON="$TMP/motif.json" "$BUILD/bench/bench_motif"
 
 "$BUILD/bench/bench_micro" \
   --benchmark_filter='BM_MergeThreadVectors|BM_EdgeListFromBuffers|BM_CsrFromBuffers|BM_CsrLegacyRoundtrip|BM_Frontier' \
   --benchmark_out="$TMP/micro.json" --benchmark_out_format=json \
   --benchmark_repetitions="$NWHY_BENCH_REPS" --benchmark_report_aggregates_only=true
 
-python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" "$OUT_DYNAMIC" "$OUT_SERVE" <<'PY'
+python3 - "$TMP" "$OUT" "$OUT_TRAVERSAL" "$OUT_IO" "$OUT_DYNAMIC" "$OUT_SERVE" "$OUT_ANALYTICS" <<'PY'
 import json, os, sys
 
-tmp, out_sline, out_traversal, out_io, out_dynamic, out_serve = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5], sys.argv[6])
+(tmp, out_sline, out_traversal, out_io, out_dynamic, out_serve,
+ out_analytics) = (sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4],
+                   sys.argv[5], sys.argv[6], sys.argv[7])
 
 construction = json.load(open(os.path.join(tmp, "construction.json")))
 bfs = json.load(open(os.path.join(tmp, "bfs.json")))
@@ -149,6 +163,8 @@ cc = json.load(open(os.path.join(tmp, "cc.json")))
 io_records = json.load(open(os.path.join(tmp, "io.json")))
 dynamic_records = json.load(open(os.path.join(tmp, "dynamic.json")))
 serve_records = json.load(open(os.path.join(tmp, "serve.json")))
+betweenness_records = json.load(open(os.path.join(tmp, "betweenness.json")))
+motif_records = json.load(open(os.path.join(tmp, "motif.json")))
 
 gb = json.load(open(os.path.join(tmp, "micro.json")))
 micro = []
@@ -277,4 +293,20 @@ if stats_qps:
 if mixed_p99:
     note += f", worst mixed p99 {mixed_p99:.1f} ms"
 print(f"bench_snapshot.sh: wrote {out_serve} ({len(serve_records)} serve records{note})")
+
+doc = {
+    "schema": "nwhy-bench-analytics-v1",
+    "context": context,
+    "betweenness": betweenness_records,
+    "motif": motif_records,
+}
+json.dump(doc, open(out_analytics, "w"), indent=1)
+open(out_analytics, "a").write("\n")
+exact1 = next((r["median_ms"] for r in betweenness_records
+               if r["operation"] == "betweenness-exact" and r["threads"] == 1), None)
+sampled1 = next((r["median_ms"] for r in betweenness_records
+                 if r["operation"] == "betweenness-sampled" and r["threads"] == 1), None)
+note = f", 1-thread exact/sampled {exact1 / sampled1:.1f}x" if exact1 and sampled1 else ""
+print(f"bench_snapshot.sh: wrote {out_analytics} ({len(betweenness_records)} betweenness "
+      f"records, {len(motif_records)} motif records{note})")
 PY

@@ -58,6 +58,14 @@ cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
 
+# Doc-truth gate (also registered as the `docs_truth` ctest, but run here
+# explicitly so a docs-only change can't silently skip it): every knob,
+# counter name, and tool subcommand the docs mention must exist in source,
+# and every user-facing knob must be documented.
+echo "===== doc-truth linter ====="
+scripts/check_docs.sh
+scripts/check_docs.sh --self-test
+
 if [ "$DIFFERENTIAL" = 1 ]; then
   echo "===== differential harness (NWHY_TEST_ITERS=${NWHY_TEST_ITERS:-12}) ====="
   NWHY_TEST_ITERS="${NWHY_TEST_ITERS:-12}" "$BUILD"/tests/test_differential

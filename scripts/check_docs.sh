@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# scripts/check_docs.sh — the doc-truth linter: docs/ and README.md may only
+# name things that exist in the tree.  Three checks:
+#
+#   1. env knobs, both directions.  Every `NWHY_*` token in the docs must be
+#      read somewhere (a quoted "NWHY_*" string in src/tools/bench/tests/
+#      examples/scripts — the getenv surface), be a CMake cache variable
+#      (any CMakeLists.txt), or be a `#define`d macro.  And every quoted
+#      "NWHY_*" string in src/tools/bench (the user-facing knob surface;
+#      tests/ contains synthetic fixture knobs, scripts/ internal plumbing)
+#      must appear in the docs.
+#   2. nwobs counter/timer names, docs -> source.  Backticked dotted tokens
+#      whose first segment is a known metric family (derived from the
+#      NWOBS_* call sites themselves) must exactly match a registered
+#      counter, gauge, or timer name — so `motif.wedges` fails when the
+#      counter is `motif.wedges_scanned`.  Dotted tokens outside the family
+#      set (file names, struct fields) are ignored; file extensions are
+#      filtered explicitly.
+#   3. nwhy_tool subcommands, docs -> dispatch.  Every `nwhy_tool <word>`
+#      mention must have a matching `cmd == "<word>"` branch in
+#      tools/nwhy_tool.cpp.
+#
+# Usage:
+#   scripts/check_docs.sh                 lint docs/*.md + README.md (both
+#                                         knob directions)
+#   scripts/check_docs.sh <file>...       lint only the given files
+#                                         (docs->source directions only)
+#   scripts/check_docs.sh --self-test     negative test: a synthetic doc
+#                                         citing a nonexistent knob must be
+#                                         rejected, and the rejection must
+#                                         name the knob
+#
+# Exit status: 0 clean, 1 any drift.  Runs from any cwd; needs only grep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+  printf 'Set `NWHY_NO_SUCH_KNOB` to tune nothing at all.\n' >"$TMP/bogus.md"
+  if "$0" "$TMP/bogus.md" >"$TMP/out" 2>&1; then
+    echo "check_docs.sh: self-test FAILED — a doc citing NWHY_NO_SUCH_KNOB passed" >&2
+    cat "$TMP/out" >&2
+    exit 1
+  fi
+  if ! grep -q "NWHY_NO_SUCH_KNOB" "$TMP/out"; then
+    echo "check_docs.sh: self-test FAILED — rejection did not name the bogus knob" >&2
+    cat "$TMP/out" >&2
+    exit 1
+  fi
+  echo "check_docs.sh: self-test OK (doc with a nonexistent knob rejected)"
+  exit 0
+fi
+
+FULL=1
+if [[ $# -gt 0 ]]; then
+  DOCS=("$@")
+  FULL=0
+else
+  DOCS=(docs/*.md README.md)
+fi
+
+FAIL=0
+err() {
+  echo "check_docs.sh: $*" >&2
+  FAIL=1
+}
+
+# --- inventory: what the tree actually provides ----------------------------
+
+# Strings actually read from the environment (or written to it by scripts).
+# The linter excludes itself: its self-test machinery quotes a deliberately
+# nonexistent knob, which must not leak into the inventory.
+GETENV_KNOBS=$(grep -rhoE --exclude=check_docs.sh '"NWHY_[A-Z0-9_]+"' \
+  src tools bench tests examples scripts 2>/dev/null | tr -d '"' | sort -u)
+# CMake cache variables / compile definitions (NWHY_SANITIZE, NWHY_OBS, ...).
+CMAKE_KNOBS=$(grep -rhoE 'NWHY_[A-Z0-9_]+' CMakeLists.txt ./*/CMakeLists.txt \
+  2>/dev/null | sort -u)
+# Preprocessor macros docs may legitimately mention (NWHY_NULL_ID, ...).
+MACRO_KNOBS=$(grep -rhoE '#[[:space:]]*define[[:space:]]+NWHY_[A-Z0-9_]+' \
+  src tools tests examples 2>/dev/null | grep -oE 'NWHY_[A-Z0-9_]+' | sort -u)
+KNOWN_KNOBS=$(printf '%s\n%s\n%s\n' "$GETENV_KNOBS" "$CMAKE_KNOBS" "$MACRO_KNOBS" \
+  | sort -u)
+
+# Registered nwobs metric names (counters, gauges, scope timers) and the
+# family prefixes they establish.
+SRC_METRICS=$(grep -rhoE 'NWOBS_(COUNT|GAUGE_MAX|GAUGE_SET|SCOPE_TIMER)\("[^"]+"' \
+  src tools | sed -E 's/.*\("([^"]+)".*/\1/' | sort -u)
+METRIC_FAMILIES=$(printf '%s\n' "$SRC_METRICS" | sed -E 's/\..*$//' | sort -u)
+
+# nwhy_tool dispatch branches.
+TOOL_CMDS=$(grep -hoE 'cmd == "[a-z_]+"' tools/nwhy_tool.cpp \
+  | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+
+has_line() {  # has_line <needle> <haystack-lines>
+  # Here-string, not a pipe: `grep -q` exits on the first match, and under
+  # pipefail a printf that catches the resulting SIGPIPE would turn a
+  # successful lookup into an intermittent failure.
+  grep -qxF -- "$1" <<<"$2"
+}
+
+# --- check 1a: every documented NWHY_* token exists ------------------------
+
+# Trailing [A-Z0-9] keeps glob-style mentions like `NWHY_BENCH_*` from
+# extracting a truncated "NWHY_BENCH_" token.
+DOC_KNOBS=$(grep -hoE 'NWHY_[A-Z0-9_]*[A-Z0-9]' "${DOCS[@]}" 2>/dev/null | sort -u || true)
+for knob in $DOC_KNOBS; do
+  if ! has_line "$knob" "$KNOWN_KNOBS"; then
+    err "documented knob $knob is not read, defined, or cached anywhere in the tree"
+  fi
+done
+
+# --- check 1b: every user-facing env knob is documented --------------------
+
+if [[ "$FULL" == 1 ]]; then
+  SURFACE_KNOBS=$(grep -rhoE '"NWHY_[A-Z0-9_]+"' src tools bench 2>/dev/null \
+    | tr -d '"' | sort -u)
+  for knob in $SURFACE_KNOBS; do
+    if ! has_line "$knob" "$DOC_KNOBS"; then
+      err "env knob $knob is read by src/tools/bench but documented nowhere"
+    fi
+  done
+fi
+
+# --- check 2: documented counter/timer names exist -------------------------
+
+DOC_DOTTED=$(grep -hoE '`[A-Za-z0-9_]+(\.[A-Za-z0-9_]+)+`' "${DOCS[@]}" 2>/dev/null \
+  | tr -d '`' | sort -u || true)
+for tok in $DOC_DOTTED; do
+  case "$tok" in
+    *.md|*.hpp|*.cpp|*.h|*.json|*.sh|*.py|*.txt|*.cmake|*.mtx|*.tsv|*.bin|\
+    *.nwcsr|*.nwcsrz|*.el|*.sock|*.so|*.out|*.log|*.ipynb) continue ;;
+  esac
+  family=${tok%%.*}
+  has_line "$family" "$METRIC_FAMILIES" || continue
+  if ! has_line "$tok" "$SRC_METRICS"; then
+    err "documented metric $tok matches no NWOBS_* registration (family '$family' exists)"
+  fi
+done
+
+# --- check 3: documented nwhy_tool subcommands exist -----------------------
+
+DOC_CMDS=$(grep -hoE 'nwhy_tool +[a-z_]+' "${DOCS[@]}" 2>/dev/null \
+  | sed -E 's/nwhy_tool +//' | sort -u || true)
+for cmd in $DOC_CMDS; do
+  if ! has_line "$cmd" "$TOOL_CMDS"; then
+    err "documented subcommand 'nwhy_tool $cmd' has no cmd == \"$cmd\" dispatch branch"
+  fi
+done
+
+if [[ "$FAIL" != 0 ]]; then
+  echo "check_docs.sh: FAILED — docs and source disagree (see above)" >&2
+  exit 1
+fi
+echo "check_docs.sh: OK (${#DOCS[@]} files; $(printf '%s\n' "$DOC_KNOBS" | grep -c . || true) knobs, $(printf '%s\n' "$SRC_METRICS" | grep -c . || true) metrics, $(printf '%s\n' "$TOOL_CMDS" | grep -c . || true) subcommands checked)"

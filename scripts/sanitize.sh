@@ -60,6 +60,10 @@ case "$MODE" in
     # generation swaps, all racing by design — the whole suite runs under
     # TSan (client threads included).
     "$BUILD"/tests/test_serve
+    # The analytics engines: batched Brandes (CAS level claims + sigma/delta
+    # pulls) and the per-wedge census with per-thread counters.
+    "$BUILD"/tests/test_betweenness
+    "$BUILD"/tests/test_motif
     ;;
   ubsan)
     BUILD=${2:-build-ubsan}
@@ -77,6 +81,10 @@ case "$MODE" in
     # Wire-protocol decoders: the crafted-frame suite must reject every
     # malformed frame with a structured status, never UB.
     "$BUILD"/tests/test_serve
+    # Floating-point accumulation paths: sigma/delta division and the
+    # sampling scale factor must stay defined on degenerate graphs.
+    "$BUILD"/tests/test_betweenness
+    "$BUILD"/tests/test_motif
     ;;
   *)
     echo "usage: scripts/sanitize.sh [asan|tsan|ubsan] [build-dir]" >&2

@@ -63,6 +63,17 @@ size_t nwhy_toplexes(const nwhy_hypergraph* hg, uint32_t* out) {
   return t.size();
 }
 
+int nwhy_motif_counts(const nwhy_hypergraph* hg, uint64_t* wedges, uint64_t* triads,
+                      uint64_t* open_wedges, uint64_t* butterflies) {
+  if (hg == nullptr) return -1;
+  auto census = hg->impl.motifs();
+  if (wedges != nullptr) *wedges = census.wedges;
+  if (triads != nullptr) *triads = census.triads;
+  if (open_wedges != nullptr) *open_wedges = census.open_wedges;
+  if (butterflies != nullptr) *butterflies = census.butterflies;
+  return 0;
+}
+
 int nwhy_insert_edge(nwhy_hypergraph* hg, uint32_t edge, const uint32_t* nodes, size_t n) {
   if (hg == nullptr || edge == NWHY_NULL_ID || (nodes == nullptr && n > 0)) return -1;
   hg->impl.update_edge(edge, std::vector<uint32_t>(nodes, nodes + n));
@@ -171,6 +182,25 @@ void nwhy_slg_s_betweenness_centrality(const nwhy_slinegraph* lg, int normalized
     return;
   }
   auto bc = lg->impl.s_betweenness_centrality(normalized != 0);
+  std::copy(bc.begin(), bc.end(), out);
+}
+
+void nwhy_slg_s_betweenness_batched(const nwhy_slinegraph* lg, int normalized, double* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), 0.0);
+    return;
+  }
+  auto bc = lg->impl.s_betweenness_centrality_batched(normalized != 0);
+  std::copy(bc.begin(), bc.end(), out);
+}
+
+void nwhy_slg_s_betweenness_sampled(const nwhy_slinegraph* lg, size_t num_samples, uint64_t seed,
+                                    double* out) {
+  if (lg->stale()) {
+    std::fill(out, out + lg->impl.num_vertices(), 0.0);
+    return;
+  }
+  auto bc = lg->impl.s_betweenness_centrality_sampled(num_samples, seed);
   std::copy(bc.begin(), bc.end(), out);
 }
 

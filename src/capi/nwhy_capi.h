@@ -48,6 +48,11 @@ void nwhy_node_degrees(const nwhy_hypergraph* hg, size_t* out);
  * count obtained from a first call with out == NULL. */
 size_t nwhy_toplexes(const nwhy_hypergraph* hg, uint32_t* out);
 
+/* Wedge/triad/butterfly census of the bipartite form.  Each non-NULL output
+ * receives its count; returns 0, or -1 on a NULL hypergraph. */
+int nwhy_motif_counts(const nwhy_hypergraph* hg, uint64_t* wedges, uint64_t* triads,
+                      uint64_t* open_wedges, uint64_t* butterflies);
+
 /* --- mutation (the dynamic delta-overlay engine) --------------------------- */
 
 /* Insert-or-replace hyperedge `edge` with the given member list (ids past
@@ -120,6 +125,12 @@ size_t nwhy_slg_s_path(const nwhy_slinegraph* lg, uint32_t src, uint32_t dest, u
 
 /* Listing 5 centralities; out has num_vertices entries. */
 void nwhy_slg_s_betweenness_centrality(const nwhy_slinegraph* lg, int normalized, double* out);
+/* Batched frontier Brandes: same conventions, bit-deterministic at every
+ * thread count.  Sampled: num_samples seed-driven sources (0 = the
+ * NWHY_BETWEENNESS_SAMPLES default), scaled by n / samples. */
+void nwhy_slg_s_betweenness_batched(const nwhy_slinegraph* lg, int normalized, double* out);
+void nwhy_slg_s_betweenness_sampled(const nwhy_slinegraph* lg, size_t num_samples, uint64_t seed,
+                                    double* out);
 void nwhy_slg_s_closeness_centrality(const nwhy_slinegraph* lg, double* out);
 void nwhy_slg_s_harmonic_closeness_centrality(const nwhy_slinegraph* lg, double* out);
 void nwhy_slg_s_eccentricity(const nwhy_slinegraph* lg, uint32_t* out);

@@ -337,6 +337,131 @@ inline planted_toplexes_t planted_toplex_hypergraph(std::size_t num_toplexes,
   return out;
 }
 
+/// Output of the planted-betweenness generators: the edge list plus the
+/// exact betweenness of every hyperedge in the s=1 line graph, under the
+/// engine's halved (undirected) unnormalized convention.  All truth values
+/// are exact small integers, so EXPECT_EQ on doubles is sound.
+struct planted_betweenness_t {
+  biedgelist<>        el;
+  std::size_t         s = 1;   ///< the s the structure was planted for
+  std::vector<double> scores;  ///< exact halved betweenness per hyperedge id
+};
+
+/// Planted path betweenness: `num_edges` hyperedges chained so consecutive
+/// hyperedges share exactly one link hypernode and each owns one private
+/// hypernode — the 1-line graph is exactly a path in chain order, and no
+/// pair overlaps twice (the 2-line graph is empty).  Closed form for a
+/// path of n vertices: BC(position i) = i * (n - 1 - i), the number of
+/// vertex pairs separated by position i.  Edge/node ids are scrambled so
+/// planted order never aligns with id order.
+inline planted_betweenness_t planted_path_hypergraph(std::size_t num_edges,
+                                                     std::uint64_t seed) {
+  NW_ASSERT(num_edges >= 2, "a planted path needs at least two hyperedges");
+  const std::size_t nv = 2 * num_edges - 1;  // num_edges-1 links + num_edges privates
+
+  xoshiro256ss rng(seed);
+  auto         edge_perm = detail::random_permutation(num_edges, rng);
+  auto         node_perm = detail::random_permutation(nv, rng);
+  auto link    = [&](std::size_t j) { return node_perm[j]; };
+  auto priv    = [&](std::size_t j) { return node_perm[num_edges - 1 + j]; };
+
+  planted_betweenness_t out;
+  out.el = biedgelist<>(num_edges, nv);
+  out.scores.assign(num_edges, 0.0);
+  for (std::size_t j = 0; j < num_edges; ++j) {
+    vertex_id_t e = edge_perm[j];
+    if (j > 0) out.el.push_back(e, link(j - 1));
+    if (j + 1 < num_edges) out.el.push_back(e, link(j));
+    out.el.push_back(e, priv(j));
+    out.scores[e] = static_cast<double>(j) * static_cast<double>(num_edges - 1 - j);
+  }
+  return out;
+}
+
+/// Planted star betweenness: one center hyperedge sharing a distinct
+/// hypernode with each of `num_leaves` pairwise-disjoint leaf hyperedges —
+/// the 1-line graph is a star, so the center's halved betweenness is
+/// C(num_leaves, 2) and every leaf's is 0.
+inline planted_betweenness_t planted_star_hypergraph(std::size_t num_leaves,
+                                                     std::uint64_t seed) {
+  NW_ASSERT(num_leaves >= 2, "a planted star needs at least two leaves");
+  const std::size_t ne = num_leaves + 1;
+  const std::size_t nv = 2 * num_leaves;  // one spoke + one private node per leaf
+
+  xoshiro256ss rng(seed);
+  auto         edge_perm = detail::random_permutation(ne, rng);
+  auto         node_perm = detail::random_permutation(nv, rng);
+
+  planted_betweenness_t out;
+  out.el = biedgelist<>(ne, nv);
+  out.scores.assign(ne, 0.0);
+  vertex_id_t center = edge_perm[0];
+  for (std::size_t j = 0; j < num_leaves; ++j) {
+    vertex_id_t leaf  = edge_perm[1 + j];
+    vertex_id_t spoke = node_perm[j];
+    out.el.push_back(center, spoke);
+    out.el.push_back(leaf, spoke);
+    out.el.push_back(leaf, node_perm[num_leaves + j]);
+  }
+  out.scores[center] =
+      static_cast<double>(num_leaves) * static_cast<double>(num_leaves - 1) / 2.0;
+  return out;
+}
+
+/// Output of planted_clique_hypergraph: the edge list plus the exact motif
+/// census (open_wedges = wedges - triads is left to the caller).
+struct planted_motifs_t {
+  biedgelist<>  el;
+  std::uint64_t wedges      = 0;
+  std::uint64_t triads      = 0;
+  std::uint64_t butterflies = 0;
+};
+
+/// Planted motif census: `num_blocks` clique blocks over disjoint hypernode
+/// ranges.  Block b has k_b hyperedges (2..5, seed-driven) all containing
+/// the same m_b-node core (1..4) plus one private node each, so every
+/// hyperedge pair of the block overlaps in exactly m_b nodes and the census
+/// has closed form per block:
+///   wedges       m * C(k, 2)   (one wedge per core node per pair)
+///   triads       all of them when m >= 2, none when m == 1
+///   butterflies  C(k, 2) * C(m, 2)
+/// Blocks are node-disjoint, so the totals are the block sums.  Edge and
+/// node ids are scrambled by seed-driven permutations.
+inline planted_motifs_t planted_clique_hypergraph(std::size_t num_blocks,
+                                                  std::uint64_t seed) {
+  NW_ASSERT(num_blocks > 0, "a planted census needs at least one block");
+  xoshiro256ss             rng(seed);
+  std::vector<std::size_t> edges_of(num_blocks), core_of(num_blocks);
+  std::size_t              ne = 0, nv = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    edges_of[b] = 2 + rng.bounded(4);  // k in [2, 5]
+    core_of[b]  = 1 + rng.bounded(4);  // m in [1, 4]
+    ne += edges_of[b];
+    nv += core_of[b] + edges_of[b];  // core + one private node per edge
+  }
+  auto edge_perm = detail::random_permutation(ne, rng);
+  auto node_perm = detail::random_permutation(nv, rng);
+
+  planted_motifs_t out;
+  out.el = biedgelist<>(ne, nv);
+  std::size_t next_edge = 0, next_node = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t k = edges_of[b], m = core_of[b];
+    const std::size_t core_base = next_node;
+    next_node += m;
+    for (std::size_t j = 0; j < k; ++j) {
+      vertex_id_t e = edge_perm[next_edge++];
+      for (std::size_t c = 0; c < m; ++c) out.el.push_back(e, node_perm[core_base + c]);
+      out.el.push_back(e, node_perm[next_node++]);
+    }
+    const std::uint64_t pairs = static_cast<std::uint64_t>(k) * (k - 1) / 2;
+    out.wedges += m * pairs;
+    if (m >= 2) out.triads += m * pairs;
+    out.butterflies += pairs * (static_cast<std::uint64_t>(m) * (m - 1) / 2);
+  }
+  return out;
+}
+
 /// Output of adversarial_hypergraph: a deliberately *non-canonical* edge
 /// list plus the exact planted defect counts (what nwhy/validate.hpp must
 /// report, number for number).

@@ -49,6 +49,7 @@
 #include "nwhy/algorithms/adjoin_algorithms.hpp"
 #include "nwhy/algorithms/hyper_bfs.hpp"
 #include "nwhy/algorithms/hyper_cc.hpp"
+#include "nwhy/algorithms/motif.hpp"
 #include "nwhy/algorithms/toplex.hpp"
 #include "nwhy/biadjacency.hpp"
 #include "nwhy/biedgelist.hpp"
@@ -57,6 +58,7 @@
 #include "nwhy/relabel.hpp"
 #include "nwgraph/relabel.hpp"
 #include "nwhy/ref/incidence.hpp"
+#include "nwhy/ref/serial_motif.hpp"
 #include "nwhy/ref/serial_slinegraph.hpp"
 #include "nwhy/ref/serial_traversal.hpp"
 #include "nwhy/s_linegraph.hpp"
@@ -568,6 +570,18 @@ public:
     auto internal = nw::hypergraph::toplexes(gen_->hyperedges, gen_->hypernodes);
     if (!relabel_) return internal;
     return derelabel_toplexes(internal);
+  }
+
+  /// Wedge/triad/butterfly census of the bipartite form
+  /// (nwhy/algorithms/motif.hpp).  A pending delta runs the serial census on
+  /// the composed incidence; the census is label-invariant, so the parallel
+  /// path runs on the internal (possibly relabeled) CSRs unchanged.
+  [[nodiscard]] motif_census motifs() const {
+    if (!delta_.empty()) {
+      auto r = ref::motif_counts(composed());
+      return motif_census{r.wedges, r.triads, r.open_wedges, r.butterflies};
+    }
+    return count_motifs(gen_->hyperedges, gen_->hypernodes);
   }
 
   // --- degree-ordered storage relabeling (ROADMAP item 2 locality pass) ----

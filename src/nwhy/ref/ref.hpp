@@ -9,7 +9,9 @@
 #pragma once
 
 #include "nwhy/ref/incidence.hpp"
+#include "nwhy/ref/serial_betweenness.hpp"
 #include "nwhy/ref/serial_kcore.hpp"
+#include "nwhy/ref/serial_motif.hpp"
 #include "nwhy/ref/serial_slinegraph.hpp"
 #include "nwhy/ref/serial_toplex.hpp"
 #include "nwhy/ref/serial_traversal.hpp"

@@ -1,0 +1,96 @@
+// nwhy/ref/serial_betweenness.hpp
+//
+// Serial reference Brandes betweenness on a plain adjacency list — the
+// ground truth of the batched frontier engine
+// (nwhy/algorithms/s_betweenness.hpp).  Textbook formulation: one BFS per
+// source with `order` doubling as the queue, path counts pushed forward,
+// dependencies pulled backward over the reversed order.  The differential
+// comparison is bit-exact, not within-epsilon, because the two sides agree
+// on every floating-point accumulation order: sigma values are integer
+// path counts (exact in doubles), each delta[w] sums over w's neighbor
+// list in ascending adjacency order, and the per-source dependencies fold
+// into the scores in source order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nwhy/ref/incidence.hpp"
+#include "nwutil/defs.hpp"
+
+namespace nw::hypergraph::ref {
+
+namespace detail {
+
+/// One source's dependency accumulation into `scores` (textbook Brandes).
+inline void brandes_source(const adjacency_list& g, vertex_id_t s, std::vector<double>& scores) {
+  const std::size_t         n = g.size();
+  std::vector<std::int64_t> dist(n, -1);
+  std::vector<double>       sigma(n, 0.0);
+  std::vector<double>       delta(n, 0.0);
+  std::vector<vertex_id_t>  order;
+
+  dist[s]  = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    vertex_id_t u = order[head];
+    for (vertex_id_t v : g[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        order.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (std::size_t k = order.size(); k-- > 0;) {
+    vertex_id_t w = order[k];
+    for (vertex_id_t v : g[w]) {
+      if (dist[v] == dist[w] + 1 && sigma[v] > 0) {
+        delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+    if (w != s) scores[w] += delta[w];
+  }
+}
+
+}  // namespace detail
+
+/// Raw (unhalved, unnormalized) accumulation over an explicit source list,
+/// folded in source order — the comparison target of the engine's
+/// betweenness_over_sources.
+inline std::vector<double> betweenness_over_sources(const adjacency_list& g,
+                                                    const std::vector<vertex_id_t>& sources) {
+  std::vector<double> scores(g.size(), 0.0);
+  for (vertex_id_t s : sources) detail::brandes_source(g, s, scores);
+  return scores;
+}
+
+/// Exact betweenness: every vertex a source, halved for the undirected
+/// double count, optionally normalized by 2/((n-1)(n-2)) — mirroring the
+/// engine's (and nw::graph's) conventions operation for operation.
+inline std::vector<double> betweenness(const adjacency_list& g, bool normalized = true) {
+  const std::size_t        n = g.size();
+  std::vector<vertex_id_t> sources(n);
+  for (std::size_t v = 0; v < n; ++v) sources[v] = static_cast<vertex_id_t>(v);
+  auto scores = betweenness_over_sources(g, sources);
+  for (auto& x : scores) x /= 2.0;
+  if (normalized && n > 2) {
+    double scale = 2.0 / (static_cast<double>(n - 1) * static_cast<double>(n - 2));
+    for (auto& x : scores) x *= scale;
+  }
+  return scores;
+}
+
+/// Sampled estimator over a caller-provided source list (the test replays
+/// the engine's seed-driven list), scaled by n / samples / 2.
+inline std::vector<double> betweenness_sampled(const adjacency_list& g,
+                                               const std::vector<vertex_id_t>& sources) {
+  auto scores = betweenness_over_sources(g, sources);
+  if (sources.empty()) return scores;
+  double scale = static_cast<double>(g.size()) / static_cast<double>(sources.size()) / 2.0;
+  for (auto& x : scores) x *= scale;
+  return scores;
+}
+
+}  // namespace nw::hypergraph::ref

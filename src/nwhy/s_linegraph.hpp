@@ -32,6 +32,7 @@
 #include "nwgraph/algorithms/pagerank.hpp"
 #include "nwgraph/algorithms/triangle_count.hpp"
 #include "nwgraph/edge_list.hpp"
+#include "nwhy/algorithms/s_betweenness.hpp"
 #include "nwutil/defs.hpp"
 #include "nwutil/rng.hpp"
 
@@ -147,6 +148,23 @@ public:
   /// Listing 5 `s_betweenness_centrality(normalized)`.
   [[nodiscard]] std::vector<double> s_betweenness_centrality(bool normalized = true) const {
     return nw::graph::betweenness_centrality(graph_, normalized);
+  }
+
+  /// Exact s-betweenness via the batched frontier Brandes engine
+  /// (nwhy/algorithms/s_betweenness.hpp): same conventions as
+  /// s_betweenness_centrality, but bit-deterministic at every thread count.
+  /// `batch` bounds scratch memory (0 = NWHY_BETWEENNESS_BATCH).
+  [[nodiscard]] std::vector<double> s_betweenness_centrality_batched(
+      bool normalized = true, std::size_t batch = 0) const {
+    return betweenness_batched(graph_, normalized, batch);
+  }
+
+  /// Sampled s-betweenness over `num_samples` seed-driven sources (0 =
+  /// NWHY_BETWEENNESS_SAMPLES).  Same seed => bit-identical scores, at every
+  /// thread count and batch size.
+  [[nodiscard]] std::vector<double> s_betweenness_centrality_sampled(
+      std::size_t num_samples = 0, std::uint64_t seed = 42, std::size_t batch = 0) const {
+    return betweenness_sampled(graph_, num_samples, seed, batch);
   }
 
   /// Listing 5 `s_closeness_centrality(v)`: all entities, or one.

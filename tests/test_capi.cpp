@@ -75,6 +75,50 @@ TEST(CApi, Listing5Session) {
   EXPECT_EQ(ecc[0], 1u);
 }
 
+TEST(CApi, BatchedAndSampledBetweennessWithStaleSentinels) {
+  // Fig. 1: the s=1 line graph is the path e0-e1-e2-e3.
+  std::vector<uint32_t> edges{0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 3, 3};
+  std::vector<uint32_t> nodes{0, 1, 2, 1, 2, 3, 4, 4, 5, 6, 6, 7, 8};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  lg_ptr lg{nwhy_s_linegraph(hg.p, 1, 1)};
+  ASSERT_EQ(nwhy_slg_num_vertices(lg.p), 4u);
+
+  std::vector<double> bc(4);
+  nwhy_slg_s_betweenness_batched(lg.p, 0, bc.data());
+  EXPECT_EQ(bc, (std::vector<double>{0.0, 2.0, 2.0, 0.0}));
+
+  // Sampled with every vertex drawn is the exact raw scores scaled by
+  // n / samples = 1 once the clamp kicks in; just pin determinism here.
+  std::vector<double> s1(4), s2(4);
+  nwhy_slg_s_betweenness_sampled(lg.p, 3, 7, s1.data());
+  nwhy_slg_s_betweenness_sampled(lg.p, 3, 7, s2.data());
+  EXPECT_EQ(s1, s2);
+
+  // Mutating the source hypergraph stales the handle: sentinel fills.
+  uint32_t members[] = {0, 8};
+  ASSERT_EQ(nwhy_insert_edge(hg.p, 4, members, 2), 0);
+  nwhy_slg_s_betweenness_batched(lg.p, 1, bc.data());
+  EXPECT_EQ(bc, std::vector<double>(4, 0.0));
+  nwhy_slg_s_betweenness_sampled(lg.p, 3, 7, s1.data());
+  EXPECT_EQ(s1, std::vector<double>(4, 0.0));
+}
+
+TEST(CApi, MotifCounts) {
+  // Fig. 1 census: 4 wedges, 2 closed (e0/e1 share {1, 2}), 1 butterfly.
+  std::vector<uint32_t> edges{0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 3, 3};
+  std::vector<uint32_t> nodes{0, 1, 2, 1, 2, 3, 4, 4, 5, 6, 6, 7, 8};
+  hg_ptr hg{nwhy_hypergraph_create(edges.data(), nodes.data(), nullptr, edges.size())};
+  uint64_t wedges = 0, triads = 0, open = 0, butterflies = 0;
+  ASSERT_EQ(nwhy_motif_counts(hg.p, &wedges, &triads, &open, &butterflies), 0);
+  EXPECT_EQ(wedges, 4u);
+  EXPECT_EQ(triads, 2u);
+  EXPECT_EQ(open, 2u);
+  EXPECT_EQ(butterflies, 1u);
+  // NULL outputs are count-only holes; NULL hypergraph is rejected.
+  EXPECT_EQ(nwhy_motif_counts(hg.p, nullptr, nullptr, nullptr, nullptr), 0);
+  EXPECT_EQ(nwhy_motif_counts(nullptr, &wedges, nullptr, nullptr, nullptr), -1);
+}
+
 TEST(CApi, EdgeSizesAndNodeDegrees) {
   std::vector<uint32_t> edges{0, 0, 0, 1, 1};
   std::vector<uint32_t> nodes{0, 1, 2, 2, 3};

@@ -305,6 +305,40 @@ TEST_F(NwobsTest, ToplexEmitsDominanceCounters) {
   EXPECT_TRUE(registry::get().timers_snapshot().contains("toplex"));
 }
 
+TEST_F(NwobsTest, BetweennessEmitsBatchAndDependencyCounters) {
+  auto hg = figure1();
+  auto lg = hg.make_s_linegraph(1);
+  registry::get().reset();  // drop the construction counters
+  (void)lg.s_betweenness_centrality_batched();
+  auto counters = registry::get().counters_snapshot();
+  ASSERT_TRUE(counters.contains("betweenness.sources"));
+  ASSERT_TRUE(counters.contains("betweenness.batches"));
+  ASSERT_TRUE(counters.contains("betweenness.levels"));
+  ASSERT_TRUE(counters.contains("betweenness.frontier_total"));
+  ASSERT_TRUE(counters.contains("betweenness.edges_relaxed"));
+  ASSERT_TRUE(counters.contains("betweenness.dependencies"));
+  // Fig. 1 at s=1: the 4-vertex path, all 4 sources in one default batch.
+  EXPECT_EQ(counters.at("betweenness.sources"), 4u);
+  EXPECT_EQ(counters.at("betweenness.batches"), 1u);
+  EXPECT_GT(counters.at("betweenness.levels"), 0u);
+  EXPECT_GT(counters.at("betweenness.dependencies"), 0u);
+  EXPECT_TRUE(registry::get().timers_snapshot().contains("betweenness"));
+}
+
+TEST_F(NwobsTest, MotifEmitsWedgeCounters) {
+  auto hg = figure1();
+  (void)hg.motifs();
+  auto counters = registry::get().counters_snapshot();
+  ASSERT_TRUE(counters.contains("motif.centers"));
+  ASSERT_TRUE(counters.contains("motif.wedges_scanned"));
+  ASSERT_TRUE(counters.contains("motif.intersection_steps"));
+  // Fig. 1: nodes 1, 2, 4, 6 each center exactly one wedge.
+  EXPECT_EQ(counters.at("motif.centers"), 4u);
+  EXPECT_EQ(counters.at("motif.wedges_scanned"), 4u);
+  EXPECT_GT(counters.at("motif.intersection_steps"), 0u);
+  EXPECT_TRUE(registry::get().timers_snapshot().contains("motif"));
+}
+
 TEST_F(NwobsTest, CountersAreDeterministicAcrossRuns) {
   // Two runs of the same algorithm on the same input produce identical
   // counters — the property that makes counter deltas diagnostic.

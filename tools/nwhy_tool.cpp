@@ -15,6 +15,10 @@
 //   nwhy_tool slinegraph <file> <s> [out.mtx]   build L_s(H); optional export
 //   nwhy_tool slcompare  <file> <s>             time all construction algorithms
 //   nwhy_tool smetrics   <file> <s>             connectivity/centrality summary
+//   nwhy_tool betweenness <file> <s> [samples]  batched Brandes s-betweenness
+//                                               (exact, or sampled when a
+//                                               sample count is given)
+//   nwhy_tool motifs     <file>                 wedge/triad/butterfly census
 //   nwhy_tool toplexes   <file>                 maximal hyperedges
 //   nwhy_tool collapse   <file>                 duplicate-hyperedge collapse
 //   nwhy_tool convert    <in> <out> [--adjoin]  format conversion (.bin, .mtx,
@@ -240,6 +244,44 @@ int cmd_smetrics(const std::string& path, std::size_t s) {
   auto bc   = lg.s_betweenness_centrality();
   auto imax = std::max_element(bc.begin(), bc.end()) - bc.begin();
   std::printf("most s-between hyperedge: e%td (%.4f)\n", imax, bc[imax]);
+  return 0;
+}
+
+/// Exact (samples == 0) or sampled s-betweenness via the batched frontier
+/// Brandes engine; prints the top-scoring hyperedges.
+int cmd_betweenness(const std::string& path, std::size_t s, std::size_t samples) {
+  NWHypergraph hg = load_hypergraph(path);
+  auto         lg = hg.make_s_linegraph(s);
+  nw::timer    t;
+  auto         bc = samples == 0 ? lg.s_betweenness_centrality_batched()
+                                 : lg.s_betweenness_centrality_sampled(samples);
+  double ms = t.elapsed_ms();
+  if (samples == 0) {
+    std::printf("exact s-betweenness, s = %zu: %zu sources, %.2f ms\n", s, bc.size(), ms);
+  } else {
+    std::printf("sampled s-betweenness, s = %zu: %zu samples, %.2f ms\n", s,
+                std::min(samples, bc.size()), ms);
+  }
+  std::vector<vertex_id_t> order(bc.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<vertex_id_t>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](vertex_id_t a, vertex_id_t b) { return bc[a] > bc[b]; });
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    std::printf("  e%u: %.6f\n", order[i], bc[order[i]]);
+  }
+  return 0;
+}
+
+/// Wedge/triad/butterfly census of the bipartite form.
+int cmd_motifs(const std::string& path) {
+  NWHypergraph hg = load_hypergraph(path);
+  nw::timer    t;
+  auto         census = hg.motifs();
+  std::printf("motif census: %.2f ms\n", t.elapsed_ms());
+  std::printf("  wedges      : %llu\n", static_cast<unsigned long long>(census.wedges));
+  std::printf("  triads      : %llu\n", static_cast<unsigned long long>(census.triads));
+  std::printf("  open wedges : %llu\n", static_cast<unsigned long long>(census.open_wedges));
+  std::printf("  butterflies : %llu\n", static_cast<unsigned long long>(census.butterflies));
   return 0;
 }
 
@@ -560,6 +602,8 @@ void usage() {
                "  slinegraph <file> <s> [out.mtx]\n"
                "  slcompare  <file> <s>\n"
                "  smetrics   <file> <s>\n"
+               "  betweenness <file> <s> [samples]\n"
+               "  motifs     <file>\n"
                "  toplexes   <file>\n"
                "  collapse   <file>\n"
                "  convert    <in> <out.bin|out.mtx|out.nwcsr> [--adjoin] [--compress]\n"
@@ -634,6 +678,11 @@ int main(int argc, char** argv) {
     rc = cmd_smetrics(path, static_cast<std::size_t>(std::atol(arg(2))));
   } else if (cmd == "slcompare" && args.size() >= 3) {
     rc = cmd_slcompare(path, static_cast<std::size_t>(std::atol(arg(2))));
+  } else if (cmd == "betweenness" && args.size() >= 3) {
+    rc = cmd_betweenness(path, static_cast<std::size_t>(std::atol(arg(2))),
+                         args.size() >= 4 ? static_cast<std::size_t>(std::atol(arg(3))) : 0);
+  } else if (cmd == "motifs") {
+    rc = cmd_motifs(path);
   } else if (cmd == "toplexes") {
     rc = cmd_toplexes(path);
   } else if (cmd == "collapse") {
